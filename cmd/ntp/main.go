@@ -1,0 +1,87 @@
+// Command ntp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ntp -list
+//	ntp -run table2
+//	ntp -run fig7 -len 10000000
+//	ntp -run fig8 -workloads compress,gcc
+//	ntp -run all -len 5000000
+//
+// Each experiment streams the six benchmark workloads (or the subset
+// given with -workloads) through the trace selector and prints the
+// regenerated exhibit. -len scales the per-workload instruction budget;
+// the paper used >= 100M instructions per benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"pathtrace"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available experiments and exit")
+		run       = flag.String("run", "", "experiment id to run, or \"all\"")
+		length    = flag.Uint64("len", 0, "instructions per workload (default 2000000)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default all six)")
+		values    = flag.Bool("values", false, "also print the experiment's key metrics as CSV (key,value)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		listExperiments()
+		if *run == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nuse -run <id> to run an experiment")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := pathtrace.ExperimentOptions{Limit: *length}
+	if *workloads != "" {
+		opt.Workloads = strings.Split(*workloads, ",")
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range pathtrace.Experiments() {
+			ids = append(ids, e.Name)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := pathtrace.RunExperiment(strings.TrimSpace(id), opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", id, time.Since(start).Seconds(), res.Text)
+		if *values {
+			keys := make([]string, 0, len(res.Values))
+			for k := range res.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("%s,%s,%g\n", id, k, res.Values[k])
+			}
+		}
+	}
+}
+
+func listExperiments() {
+	fmt.Println("Experiments (ntp -run <id>):")
+	for _, e := range pathtrace.Experiments() {
+		fmt.Printf("  %-18s %s\n                     %s\n", e.Name, e.Title, e.Desc)
+	}
+}

@@ -1,0 +1,110 @@
+// Command ptasm assembles and runs PT32 assembly programs.
+//
+// Usage:
+//
+//	ptasm prog.s                  assemble and run to completion
+//	ptasm -limit 1000000 prog.s   bound the instruction count
+//	ptasm -traces prog.s          also print trace-selection statistics
+//	ptasm -disas prog.s           print the assembled text segment
+//	ptasm -o prog.img prog.s      assemble to a binary image and exit
+//	ptasm prog.img                run a prebuilt image
+//
+// The program's OUT values are printed one per line; the exit status is
+// non-zero on assembly errors or simulator faults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathtrace"
+)
+
+func main() {
+	var (
+		limit  = flag.Uint64("limit", 0, "max instructions (0 = until halt)")
+		traces = flag.Bool("traces", false, "print trace selection statistics")
+		disas  = flag.Bool("disas", false, "print the assembled text segment and exit")
+		outImg = flag.String("o", "", "write a binary program image to this path and exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ptasm [-limit n] [-traces] [-disas] [-o out.img] prog.s|prog.img")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptasm: %v\n", err)
+		os.Exit(1)
+	}
+	var prog *pathtrace.Program
+	if pathtrace.IsProgramImage(src) {
+		prog, err = pathtrace.DecodeProgramImage(src)
+	} else {
+		prog, err = pathtrace.Assemble(string(src))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptasm: %v\n", err)
+		os.Exit(1)
+	}
+	if *outImg != "" {
+		if err := os.WriteFile(*outImg, prog.EncodeImage(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ptasm: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d instructions, %d data bytes)\n",
+			*outImg, len(prog.Text), len(prog.Data))
+		return
+	}
+	if *disas {
+		for i := range prog.Text {
+			addr := prog.TextBase + uint32(i)*4
+			in, err := prog.Instr(addr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ptasm: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%#08x: %s\n", addr, in)
+		}
+		return
+	}
+	cpu, err := pathtrace.NewCPU(prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptasm: %v\n", err)
+		os.Exit(1)
+	}
+
+	var sel *pathtrace.TraceSelector
+	var ntraces, nbranches uint64
+	if *traces {
+		sel, err = pathtrace.NewTraceSelector(pathtrace.DefaultTraceConfig(), func(tr *pathtrace.Trace) {
+			ntraces++
+			nbranches += uint64(tr.NumBr)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptasm: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	visit := func(r pathtrace.Retired) {
+		if sel != nil {
+			sel.Feed(r)
+		}
+	}
+	if err := cpu.Run(*limit, visit); err != nil {
+		fmt.Fprintf(os.Stderr, "ptasm: %v\n", err)
+		os.Exit(1)
+	}
+	if sel != nil {
+		sel.Flush()
+	}
+	for _, v := range cpu.Output {
+		fmt.Printf("%d\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "retired %d instructions; halted=%v\n", cpu.InstrCount, cpu.Halted())
+	if *traces && ntraces > 0 {
+		fmt.Fprintf(os.Stderr, "traces: %d, avg length %.2f, avg branches %.2f\n",
+			ntraces, float64(cpu.InstrCount)/float64(ntraces), float64(nbranches)/float64(ntraces))
+	}
+}

@@ -1,0 +1,89 @@
+// Command ptcc compiles PTC (a small C-like language) to PT32 assembly
+// and optionally runs the result.
+//
+// Usage:
+//
+//	ptcc prog.ptc              compile and print the assembly
+//	ptcc -run prog.ptc         compile and execute; print OUT values
+//	ptcc -run -traces prog.ptc also print trace statistics
+//
+// PTC plays the role the C compiler played for the paper's substrate:
+// workloads in readable source, lowered to the ISA the front-end models
+// consume. See internal/cc for the language.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathtrace"
+)
+
+func main() {
+	var (
+		runIt  = flag.Bool("run", false, "execute the compiled program")
+		traces = flag.Bool("traces", false, "with -run: print trace statistics")
+		limit  = flag.Uint64("limit", 0, "with -run: max instructions (0 = until halt)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ptcc [-run] [-traces] [-limit n] prog.ptc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptcc: %v\n", err)
+		os.Exit(1)
+	}
+	asmText, err := pathtrace.CompilePTC(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptcc: %v\n", err)
+		os.Exit(1)
+	}
+	if !*runIt {
+		fmt.Print(asmText)
+		return
+	}
+	prog, err := pathtrace.Assemble(asmText)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptcc: internal error: %v\n", err)
+		os.Exit(1)
+	}
+	cpu, err := pathtrace.NewCPU(prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptcc: %v\n", err)
+		os.Exit(1)
+	}
+	var sel *pathtrace.TraceSelector
+	var ntraces uint64
+	if *traces {
+		sel, err = pathtrace.NewTraceSelector(pathtrace.DefaultTraceConfig(), func(*pathtrace.Trace) {
+			ntraces++
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptcc: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	visit := func(r pathtrace.Retired) {
+		if sel != nil {
+			sel.Feed(r)
+		}
+	}
+	if err := cpu.Run(*limit, visit); err != nil {
+		fmt.Fprintf(os.Stderr, "ptcc: %v\n", err)
+		os.Exit(1)
+	}
+	if sel != nil {
+		sel.Flush()
+	}
+	for _, v := range cpu.Output {
+		fmt.Printf("%d\n", v)
+	}
+	fmt.Fprintf(os.Stderr, "retired %d instructions; halted=%v\n", cpu.InstrCount, cpu.Halted())
+	if sel != nil && ntraces > 0 {
+		fmt.Fprintf(os.Stderr, "traces: %d, avg length %.2f\n",
+			ntraces, float64(cpu.InstrCount)/float64(ntraces))
+	}
+}

@@ -1,0 +1,72 @@
+// Command ptstat prints workload characterisation statistics: dynamic
+// instruction mix, trace shape, and control-flow class breakdown for
+// each benchmark — the data behind the paper's Table 1, in more detail.
+//
+// Usage:
+//
+//	ptstat                 all six benchmarks, 2M instructions each
+//	ptstat -len 10000000 compress gcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathtrace"
+)
+
+func main() {
+	length := flag.Uint64("len", 2_000_000, "instructions per workload")
+	flag.Parse()
+
+	var ws []*pathtrace.Workload
+	if flag.NArg() == 0 {
+		ws = pathtrace.Workloads()
+	} else {
+		for _, name := range flag.Args() {
+			w, ok := pathtrace.WorkloadByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ptstat: unknown workload %q\n", name)
+				os.Exit(1)
+			}
+			ws = append(ws, w)
+		}
+	}
+
+	fmt.Printf("%-9s %12s %9s %7s %7s %7s %7s %7s %7s %8s\n",
+		"benchmark", "instrs", "traces", "avglen", "br/tr", "call%", "ret%", "ind%", "cond%", "static")
+	for _, w := range ws {
+		type agg struct {
+			traces, branches, calls, rets, indirects, conds uint64
+			static                                          map[pathtrace.TraceID]struct{}
+		}
+		a := agg{static: map[pathtrace.TraceID]struct{}{}}
+		instrs, traces, err := pathtrace.RunWorkload(w, *length, func(tr *pathtrace.Trace) {
+			a.traces++
+			a.branches += uint64(tr.NumBr)
+			a.calls += uint64(tr.Calls)
+			if tr.EndsInRet {
+				a.rets++
+			}
+			a.static[tr.ID] = struct{}{}
+			for _, b := range tr.Branches {
+				if b.Ctrl.Indirect() {
+					a.indirects++
+				}
+			}
+			a.conds += uint64(tr.NumBr)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptstat: %v\n", err)
+			os.Exit(1)
+		}
+		pct := func(n uint64) float64 { return 100 * float64(n) / float64(instrs) }
+		fmt.Printf("%-9s %12d %9d %7.2f %7.2f %6.2f%% %6.2f%% %6.2f%% %6.2f%% %8d\n",
+			w.Name, instrs, traces,
+			float64(instrs)/float64(traces),
+			float64(a.branches)/float64(traces),
+			pct(a.calls), pct(a.rets), pct(a.indirects), pct(a.conds),
+			len(a.static))
+	}
+}

@@ -1,0 +1,28 @@
+# gcd.s — Euclid's algorithm over a table of pairs; outputs each gcd.
+# Run: go run ./cmd/ptasm examples/asm/gcd.s
+        .data
+pairs:  .word 1071, 462
+        .word 3528, 3780
+        .word 17, 5
+        .word 100000, 75000
+        .word 0, 0              # terminator
+        .text
+main:   la   s0, pairs
+loop:   lw   a0, 0(s0)
+        lw   a1, 4(s0)
+        addi s0, s0, 8
+        or   t0, a0, a1
+        beqz t0, done           # hit the terminator
+        jal  gcd
+        out  v0
+        j    loop
+done:   halt
+
+# gcd(a0, a1) -> v0, via the remainder chain.
+gcd:    bnez a1, step
+        move v0, a0
+        ret
+step:   rem  t0, a0, a1
+        move a0, a1
+        move a1, t0
+        j    gcd

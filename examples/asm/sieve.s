@@ -1,0 +1,27 @@
+# sieve.s — count primes below 10000 with the sieve of Eratosthenes.
+# Run: go run ./cmd/ptasm -traces examples/asm/sieve.s
+        .data
+flags:  .space 10000            # one byte per candidate
+        .text
+main:   li   s0, 10000          # limit
+        li   s1, 2              # candidate
+        li   s2, 0              # prime count
+outer:  bge  s1, s0, done
+        la   t0, flags
+        add  t0, t0, s1
+        lbu  t1, 0(t0)
+        bnez t1, next           # composite: already marked
+        addi s2, s2, 1          # found a prime
+        # mark multiples
+        add  t2, s1, s1
+mark:   bge  t2, s0, next
+        la   t3, flags
+        add  t3, t3, t2
+        li   t4, 1
+        sb   t4, 0(t3)
+        add  t2, t2, s1
+        j    mark
+next:   addi s1, s1, 1
+        j    outer
+done:   out  s2
+        halt

@@ -1,0 +1,68 @@
+# sort.s — insertion sort of 64 pseudo-random words, then a checksum of
+# the sorted order (sum of value*index) to prove sortedness.
+# Run: go run ./cmd/ptasm examples/asm/sort.s
+        .data
+arr:    .space 256              # 64 words
+        .text
+main:   # fill with an LCG
+        la   t0, arr
+        li   t1, 64
+        li   t2, 12345
+fill:   li   t3, 1103515245
+        mul  t2, t2, t3
+        addi t2, t2, 12345
+        srl  t4, t2, 16
+        andi t4, t4, 1023
+        sw   t4, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, fill
+
+        # insertion sort
+        li   s0, 1              # i
+isort:  li   t5, 64
+        bge  s0, t5, check
+        la   t0, arr
+        sll  t1, s0, 2
+        add  t0, t0, t1
+        lw   s1, 0(t0)          # key
+        addi s2, s0, -1         # j
+inner:  bltz s2, place
+        la   t0, arr
+        sll  t1, s2, 2
+        add  t0, t0, t1
+        lw   t2, 0(t0)
+        ble  t2, s1, place
+        sw   t2, 4(t0)          # shift right
+        addi s2, s2, -1
+        j    inner
+place:  la   t0, arr
+        addi t1, s2, 1
+        sll  t1, t1, 2
+        add  t0, t0, t1
+        sw   s1, 0(t0)
+        addi s0, s0, 1
+        j    isort
+
+        # verify: monotone, and emit checksum
+check:  li   s0, 1
+        li   s3, 0              # checksum
+        la   t0, arr
+        lw   s4, 0(t0)          # previous
+vloop:  li   t5, 64
+        bge  s0, t5, emit
+        la   t0, arr
+        sll  t1, s0, 2
+        add  t0, t0, t1
+        lw   t2, 0(t0)
+        blt  t2, s4, bad        # must be non-decreasing
+        mul  t3, t2, s0
+        add  s3, s3, t3
+        move s4, t2
+        addi s0, s0, 1
+        j    vloop
+bad:    li   t6, 0xdead
+        out  t6
+        halt
+emit:   out  s3
+        halt

@@ -1,0 +1,3 @@
+module pathtrace
+
+go 1.22

@@ -1,0 +1,218 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"pathtrace/internal/isa"
+)
+
+// Coverage of the operand-form error paths and less common syntax.
+
+func TestOperandErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"mem garbage", "main: lw t0, 4(t1", "malformed memory operand"},
+		{"mem double paren", "main: lw t0, 4(t1)(t2)", "malformed memory operand"},
+		{"mem offset range", "main: lw t0, 99999(t1)", "out of range"},
+		{"mem bad base", "main: lw t0, 4(99)", "expected register"},
+		{"branch imm range", "main: beq t0, t1, 40000", "out of range"},
+		{"branch two regs", "main: beq t0, main", "needs 3 operands"},
+		{"jump operand count", "main: j", "needs 1 operand"},
+		{"jump range", "main: j 999999999", "out of range"},
+		{"jr count", "main: jr t0, t1", "needs 1 operand"},
+		{"jalr count", "main: jalr t0, t1, t2", "needs 1 or 2"},
+		{"ret operands", "main: ret t0", "takes no operands"},
+		{"halt operands", "main: halt 1", "takes no operands"},
+		{"out count", "main: out", "needs 1 operand"},
+		{"out non-reg", "main: out 5", "expected register"},
+		{"lui count", "main: lui t0", "needs 2 operands"},
+		{"lui range", "main: lui t0, 99999", "out of range"},
+		{"lui reg", "main: lui 7, 1", "expected register"},
+		{"rrr count", "main: add t0, t1", "expected 3 register operands"},
+		{"rri count", "main: addi t0, t1", "expected reg, reg, imm"},
+		{"rri imm", "main: addi t0, t1, t2", "expected immediate"},
+		{"li count", "main: li t0", "needs 2 operands"},
+		{"move count", "main: move t0", "expected 2 register operands"},
+		{"beqz count", "main: beqz t0", "needs 2 operands"},
+		{"bgt count", "main: bgt t0, t1", "needs 3 operands"},
+		{"b count", "main: b", "needs 1 operand"},
+		{"call count", "main: call", "needs 1 operand"},
+		{"subi count", "main: subi t0, t1", "expected reg, reg, imm"},
+		{"mem load count", "main: lw t0", "needs 2 operands"},
+		{"word bad operand", ".data\nx: .word (", "bad .word operand"},
+		{"byte bad operand", ".data\nx: .byte foo", "bad .byte operand"},
+		{"space bad", ".data\nx: .space -1", "non-negative"},
+		{"align bad", ".align 20", "power-of-two exponent"},
+		{"branch target junk", "main: beq t0, t1, (", "expected immediate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("assembled, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestNumericBranchAndJumpOperands(t *testing.T) {
+	// Raw numeric targets are accepted for low-level testing.
+	p := mustAssemble(t, `
+main:   beq  t0, t1, 4
+        j    0x10000
+        jal  0x10008
+        halt
+`)
+	ins := decodeAll(t, p)
+	if ins[0].Imm != 4 {
+		t.Errorf("numeric branch imm = %d", ins[0].Imm)
+	}
+	if ins[1].Target != 0x10000 || ins[2].Target != 0x10008 {
+		t.Errorf("numeric jump targets = %#x, %#x", ins[1].Target, ins[2].Target)
+	}
+}
+
+func TestBareOffsetMemoryOperand(t *testing.T) {
+	// `lw t0, 16` means absolute address 16 (base = zero register).
+	p := mustAssemble(t, "main: lw t0, 16\nsw t0, 20(zero)\nhalt")
+	ins := decodeAll(t, p)
+	if ins[0].Rs != isa.Zero || ins[0].Imm != 16 {
+		t.Errorf("bare offset: %+v", ins[0])
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+c:      .byte 'a', '\n', '\t', '\0', '\\', '\''
+        .text
+main:   halt
+`)
+	want := []byte{'a', '\n', '\t', 0, '\\', '\''}
+	for i, w := range want {
+		if p.Data[i] != w {
+			t.Errorf("data[%d] = %q, want %q", i, p.Data[i], w)
+		}
+	}
+	for _, bad := range []string{
+		".data\nx: .byte 'ab'",
+		".data\nx: .byte '\\q'",
+		".data\nx: .byte '",
+		".data\nx: .byte '\\",
+	} {
+		if _, err := Assemble(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestNumberFormats(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+n:      .word 0b1010, 0x1F, -0x10, +7
+        .text
+main:   halt
+`)
+	word := func(i int) int32 {
+		off := i * 4
+		return int32(uint32(p.Data[off]) | uint32(p.Data[off+1])<<8 |
+			uint32(p.Data[off+2])<<16 | uint32(p.Data[off+3])<<24)
+	}
+	for i, want := range []int32{10, 31, -16, 7} {
+		if got := word(i); got != want {
+			t.Errorf("word %d = %d, want %d", i, got, want)
+		}
+	}
+	for _, bad := range []string{".data\nx: .word 0x", ".data\nx: .word 0b", ".data\nx: .word -"} {
+		if _, err := Assemble(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestIgnoredDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+        .globl main
+        .ent main
+main:   halt
+        .end main
+`)
+	if len(p.Text) != 1 {
+		t.Errorf("text length %d", len(p.Text))
+	}
+}
+
+func TestTextAlignPads(t *testing.T) {
+	p := mustAssemble(t, `
+main:   nop
+        .align 3
+target: halt
+`)
+	if p.Symbols["target"]%8 != 0 {
+		t.Errorf("target not 8-aligned: %#x", p.Symbols["target"])
+	}
+	// Padding must be NOPs.
+	in, err := p.Instr(p.TextBase + 4)
+	if err != nil || in.Op != isa.NOP {
+		t.Errorf("padding = %v, %v", in, err)
+	}
+}
+
+func TestTokenStringForms(t *testing.T) {
+	toks, err := lexLine("add t0, t1, (t2): 5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []string
+	for _, tk := range toks {
+		parts = append(parts, tk.String())
+	}
+	joined := strings.Join(parts, " ")
+	for _, want := range []string{"add", ",", "(", ")", ":", "5"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("token dump %q missing %q", joined, want)
+		}
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	// A branch whose target is too many instruction words away.
+	var b strings.Builder
+	b.WriteString("main: beq t0, t1, far\n")
+	for i := 0; i < 33000; i++ {
+		b.WriteString("nop\n")
+	}
+	b.WriteString("far: halt\n")
+	if _, err := Assemble(b.String()); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("distant branch error = %v", err)
+	}
+}
+
+func TestImageValidateRejections(t *testing.T) {
+	base := imageFixture(t)
+	mutate := func(f func(p *Program)) error {
+		q, err := DecodeImage(base.EncodeImage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(q)
+		_, err = DecodeImage(q.EncodeImage())
+		return err
+	}
+	if err := mutate(func(p *Program) { p.Text = nil }); err == nil {
+		t.Error("empty text accepted")
+	}
+	if err := mutate(func(p *Program) { p.Entry = p.TextBase + 2 }); err == nil {
+		t.Error("unaligned entry accepted")
+	}
+	if err := mutate(func(p *Program) { p.DataBase = p.TextBase }); err == nil {
+		t.Error("overlapping segments accepted")
+	}
+	if err := mutate(func(p *Program) { p.StackTop = p.DataBase }); err == nil {
+		t.Error("segments beyond stack top accepted")
+	}
+}

@@ -1,0 +1,268 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"pathtrace/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func decodeAll(t *testing.T, p *Program) []isa.Instr {
+	t.Helper()
+	out := make([]isa.Instr, len(p.Text))
+	for i, w := range p.Text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("decode text[%d]: %v", i, err)
+		}
+		out[i] = in
+	}
+	return out
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   addi t0, zero, 5
+loop:   addi t0, t0, -1
+        bne  t0, zero, loop
+        halt
+`)
+	ins := decodeAll(t, p)
+	if len(ins) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(ins))
+	}
+	if ins[0].Op != isa.ADDI || ins[0].Rt != isa.T0 || ins[0].Imm != 5 {
+		t.Errorf("ins[0] = %v", ins[0])
+	}
+	// bne at index 2 targets loop at index 1: imm = (1-2-1) = -2... in words:
+	// target = pc+4+imm*4; pc = base+8, target = base+4 => imm = -2.
+	if ins[2].Op != isa.BNE || ins[2].Imm != -2 {
+		t.Errorf("ins[2] = %v, want bne imm -2", ins[2])
+	}
+	if p.Entry != p.TextBase {
+		t.Errorf("Entry = %#x, want %#x (main is first)", p.Entry, p.TextBase)
+	}
+}
+
+func TestAssembleEntryMain(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+helper: ret
+main:   halt
+`)
+	if want := p.TextBase + 4; p.Entry != want {
+		t.Errorf("Entry = %#x, want %#x", p.Entry, want)
+	}
+}
+
+func TestAssembleLiExpansion(t *testing.T) {
+	p := mustAssemble(t, `
+main:   li t0, 42
+        li t1, -7
+        li t2, 0x12345678
+        li t3, 0x10000
+        halt
+`)
+	ins := decodeAll(t, p)
+	// li small -> 1 instr each; li big -> lui+ori; li 0x10000 -> lui only.
+	want := []isa.Opcode{isa.ADDI, isa.ADDI, isa.LUI, isa.ORI, isa.LUI, isa.HALT}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instrs, want %d: %v", len(ins), len(want), ins)
+	}
+	for i, op := range want {
+		if ins[i].Op != op {
+			t.Errorf("ins[%d].Op = %v, want %v", i, ins[i].Op, op)
+		}
+	}
+	if ins[2].Imm != 0x1234 || ins[3].Imm != 0x5678 {
+		t.Errorf("li 0x12345678 -> lui %#x / ori %#x", ins[2].Imm, ins[3].Imm)
+	}
+}
+
+func TestAssembleLaAndData(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+vals:   .word 1, 2, 3
+ptr:    .word vals
+bytes:  .byte 'A', '\n', 0x7f
+        .align 2
+after:  .word -1
+        .space 8
+        .text
+main:   la t0, vals
+        lw t1, 4(t0)
+        halt
+`)
+	if got := p.Symbols["vals"]; got != p.DataBase {
+		t.Errorf("vals = %#x, want %#x", got, p.DataBase)
+	}
+	// vals occupies 12 bytes; ptr at +12 holds address of vals.
+	off := p.Symbols["ptr"] - p.DataBase
+	got := uint32(p.Data[off]) | uint32(p.Data[off+1])<<8 |
+		uint32(p.Data[off+2])<<16 | uint32(p.Data[off+3])<<24
+	if got != p.DataBase {
+		t.Errorf("ptr value = %#x, want %#x", got, p.DataBase)
+	}
+	boff := p.Symbols["bytes"] - p.DataBase
+	if p.Data[boff] != 'A' || p.Data[boff+1] != '\n' || p.Data[boff+2] != 0x7f {
+		t.Errorf("bytes = %v", p.Data[boff:boff+3])
+	}
+	if a := p.Symbols["after"]; a%4 != 0 {
+		t.Errorf("after not aligned: %#x", a)
+	}
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.LUI || ins[1].Op != isa.ORI {
+		t.Errorf("la expansion = %v %v", ins[0], ins[1])
+	}
+	addr := uint32(ins[0].Imm)<<16 | uint32(ins[1].Imm)&0xffff
+	if addr != p.DataBase {
+		t.Errorf("la resolves to %#x, want %#x", addr, p.DataBase)
+	}
+}
+
+func TestAssemblePseudoBranches(t *testing.T) {
+	p := mustAssemble(t, `
+main:   beqz t0, main
+        bnez t1, main
+        bltz t2, main
+        bgez t3, main
+        bgtz t4, main
+        blez t5, main
+        bgt  t0, t1, main
+        ble  t0, t1, main
+        bgtu t0, t1, main
+        bleu t0, t1, main
+        b    main
+        call main
+        halt
+`)
+	ins := decodeAll(t, p)
+	want := []isa.Opcode{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLT, isa.BGE,
+		isa.BLT, isa.BGE, isa.BLTU, isa.BGEU, isa.J, isa.JAL, isa.HALT}
+	for i, op := range want {
+		if ins[i].Op != op {
+			t.Errorf("ins[%d].Op = %v, want %v", i, ins[i].Op, op)
+		}
+	}
+	// bgt t0,t1 swaps to blt t1,t0.
+	if ins[6].Rs != isa.T1 || ins[6].Rt != isa.T0 {
+		t.Errorf("bgt operands: %v", ins[6])
+	}
+	// bgtz t4 -> blt zero, t4.
+	if ins[4].Rs != isa.Zero || ins[4].Rt != isa.T4 {
+		t.Errorf("bgtz operands: %v", ins[4])
+	}
+}
+
+func TestAssembleJalr(t *testing.T) {
+	p := mustAssemble(t, `
+main:   jalr t9
+        jalr s0, t8
+        jr   ra
+        ret
+        halt
+`)
+	ins := decodeAll(t, p)
+	if ins[0].Rd != isa.RA || ins[0].Rs != isa.T9 {
+		t.Errorf("jalr t9 = %v", ins[0])
+	}
+	if ins[1].Rd != isa.S0 || ins[1].Rs != isa.T8 {
+		t.Errorf("jalr s0, t8 = %v", ins[1])
+	}
+	if ins[3].Op != isa.RET || ins[3].Rs != isa.RA {
+		t.Errorf("ret = %v", ins[3])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "main: frob t0", "unknown mnemonic"},
+		{"dup label", "x: nop\nx: nop", "duplicate label"},
+		{"undefined symbol", "main: j nowhere", "undefined symbol"},
+		{"bad reg", "main: add t0, t1, 5", "expected register"},
+		{"instr in data", ".data\nadd t0, t1, t2", "in .data"},
+		{"word in text", ".text\n.word 5", ".word outside"},
+		{"imm range", "main: addi t0, t0, 100000", "out of range"},
+		{"trailing comma", "main: add t0, t1,", "trailing comma"},
+		{"bad directive", ".frob", "unknown directive"},
+		{"empty", "", "empty program"},
+		{"bad char", "main: add t0, t1, t2 @", "unexpected character"},
+		{"la literal", "main: la t0, 5", "la needs a symbol"},
+		{"dot label", ".foo: nop", "may not start with '.'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.src)
+			if err == nil {
+				t.Fatalf("Assemble succeeded, want error containing %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestSourceErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nfrob\n")
+	se, ok := err.(*SourceError)
+	if !ok {
+		t.Fatalf("error type %T, want *SourceError", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("error line = %d, want 3", se.Line)
+	}
+}
+
+func TestProgramInstr(t *testing.T) {
+	p := mustAssemble(t, "main: nop\nhalt")
+	in, err := p.Instr(p.TextBase + 4)
+	if err != nil || in.Op != isa.HALT {
+		t.Errorf("Instr = %v, %v", in, err)
+	}
+	if _, err := p.Instr(p.TextBase + 8); err == nil {
+		t.Error("Instr past end succeeded")
+	}
+	if _, err := p.Instr(p.TextBase + 1); err == nil {
+		t.Error("unaligned Instr succeeded")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("frob")
+}
+
+func TestCommentsAndLabelsOnly(t *testing.T) {
+	p := mustAssemble(t, `
+# full line comment
+; another
+// and another
+main:           # label with comment
+        nop     ; trailing
+        halt    // trailing
+only:
+`)
+	if len(p.Text) != 2 {
+		t.Errorf("got %d instructions, want 2", len(p.Text))
+	}
+	if p.Symbols["only"] != p.TextBase+8 {
+		t.Errorf("trailing label = %#x", p.Symbols["only"])
+	}
+}

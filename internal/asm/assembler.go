@@ -1,0 +1,298 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"pathtrace/internal/isa"
+)
+
+// fixKind describes how a symbolic operand patches an instruction in
+// pass 2.
+type fixKind uint8
+
+const (
+	fixNone   fixKind = iota
+	fixBranch         // imm = (sym - (pc+4)) / 4
+	fixJump           // target = sym
+	fixHi16           // imm = sym >> 16
+	fixLo16           // imm = sym & 0xffff
+)
+
+// mstmt is a machine instruction awaiting final encoding.
+type mstmt struct {
+	line int
+	in   isa.Instr
+	fix  fixKind
+	sym  string
+	add  int64 // addend applied to the symbol value
+}
+
+// ditem is one datum in the data segment.
+type ditem struct {
+	line  int
+	addr  uint32
+	size  int
+	word  bool   // 32-bit value (otherwise a byte)
+	sym   string // if non-empty, value = symbol address + val
+	val   int64
+	space bool // .space: size zero bytes
+}
+
+type assembler struct {
+	text    []mstmt
+	data    []ditem
+	symbols map[string]uint32
+	textPC  uint32
+	dataPC  uint32
+	inData  bool
+}
+
+// Assemble translates PT32 assembly source into an executable Program.
+func Assemble(source string) (*Program, error) {
+	a := &assembler{
+		symbols: make(map[string]uint32),
+		textPC:  DefaultTextBase,
+		dataPC:  DefaultDataBase,
+	}
+	for lineNo, raw := range strings.Split(source, "\n") {
+		if err := a.line(stripComment(raw), lineNo+1); err != nil {
+			return nil, err
+		}
+	}
+	return a.finish()
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics on
+// error. Workload programs are compiled once at first use.
+func MustAssemble(source string) *Program {
+	p, err := Assemble(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) line(line string, lineNo int) error {
+	toks, err := lexLine(line, lineNo)
+	if err != nil {
+		return err
+	}
+	// Leading labels: "name:" possibly several.
+	for len(toks) >= 2 && toks[0].kind == tokIdent && toks[1].kind == tokColon {
+		name := toks[0].text
+		if strings.HasPrefix(name, ".") {
+			return errf(lineNo, "label %q may not start with '.'", name)
+		}
+		if _, dup := a.symbols[name]; dup {
+			return errf(lineNo, "duplicate label %q", name)
+		}
+		if a.inData {
+			a.symbols[name] = a.dataPC
+		} else {
+			a.symbols[name] = a.textPC
+		}
+		toks = toks[2:]
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	if toks[0].kind != tokIdent {
+		return errf(lineNo, "expected mnemonic or directive, got %q", toks[0])
+	}
+	head, rest := toks[0].text, toks[1:]
+	if strings.HasPrefix(head, ".") {
+		return a.directive(head, rest, lineNo)
+	}
+	if a.inData {
+		return errf(lineNo, "instruction %q in .data section", head)
+	}
+	return a.instruction(head, rest, lineNo)
+}
+
+func (a *assembler) directive(name string, args []token, lineNo int) error {
+	switch name {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".globl", ".global", ".ent", ".end":
+		// Accepted and ignored for source compatibility.
+	case ".word":
+		if !a.inData {
+			return errf(lineNo, ".word outside .data")
+		}
+		vals, err := splitArgs(args, lineNo)
+		if err != nil {
+			return err
+		}
+		for _, v := range vals {
+			d := ditem{line: lineNo, addr: a.dataPC, size: 4, word: true}
+			switch {
+			case len(v) == 1 && v[0].kind == tokNum:
+				d.val = v[0].num
+			case len(v) == 1 && v[0].kind == tokIdent:
+				d.sym = v[0].text
+			default:
+				return errf(lineNo, "bad .word operand")
+			}
+			a.data = append(a.data, d)
+			a.dataPC += 4
+		}
+	case ".byte":
+		if !a.inData {
+			return errf(lineNo, ".byte outside .data")
+		}
+		vals, err := splitArgs(args, lineNo)
+		if err != nil {
+			return err
+		}
+		for _, v := range vals {
+			if len(v) != 1 || v[0].kind != tokNum {
+				return errf(lineNo, "bad .byte operand")
+			}
+			a.data = append(a.data, ditem{line: lineNo, addr: a.dataPC, size: 1, val: v[0].num})
+			a.dataPC++
+		}
+	case ".space":
+		if !a.inData {
+			return errf(lineNo, ".space outside .data")
+		}
+		if len(args) != 1 || args[0].kind != tokNum || args[0].num < 0 {
+			return errf(lineNo, ".space needs one non-negative size")
+		}
+		a.data = append(a.data, ditem{line: lineNo, addr: a.dataPC, size: int(args[0].num), space: true})
+		a.dataPC += uint32(args[0].num)
+	case ".align":
+		if len(args) != 1 || args[0].kind != tokNum || args[0].num < 0 || args[0].num > 12 {
+			return errf(lineNo, ".align needs a power-of-two exponent 0..12")
+		}
+		align := uint32(1) << args[0].num
+		pc := &a.textPC
+		if a.inData {
+			pc = &a.dataPC
+		}
+		if pad := (align - *pc%align) % align; pad > 0 {
+			if a.inData {
+				a.data = append(a.data, ditem{line: lineNo, addr: a.dataPC, size: int(pad), space: true})
+				a.dataPC += pad
+			} else {
+				for i := uint32(0); i < pad; i += 4 {
+					a.emit(lineNo, isa.Instr{Op: isa.NOP})
+				}
+			}
+		}
+	default:
+		return errf(lineNo, "unknown directive %q", name)
+	}
+	return nil
+}
+
+// splitArgs splits a token list on commas into operand groups.
+func splitArgs(toks []token, lineNo int) ([][]token, error) {
+	if len(toks) == 0 {
+		return nil, nil
+	}
+	var out [][]token
+	cur := []token{}
+	for _, t := range toks {
+		if t.kind == tokComma {
+			if len(cur) == 0 {
+				return nil, errf(lineNo, "empty operand")
+			}
+			out = append(out, cur)
+			cur = []token{}
+			continue
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) == 0 {
+		return nil, errf(lineNo, "trailing comma")
+	}
+	return append(out, cur), nil
+}
+
+func (a *assembler) emit(line int, in isa.Instr) {
+	a.text = append(a.text, mstmt{line: line, in: in})
+	a.textPC += 4
+}
+
+func (a *assembler) emitFix(line int, in isa.Instr, fix fixKind, sym string, add int64) {
+	a.text = append(a.text, mstmt{line: line, in: in, fix: fix, sym: sym, add: add})
+	a.textPC += 4
+}
+
+func (a *assembler) finish() (*Program, error) {
+	p := &Program{
+		TextBase: DefaultTextBase,
+		DataBase: DefaultDataBase,
+		StackTop: DefaultStackTop,
+		Symbols:  a.symbols,
+	}
+	// Pass 2: resolve symbols in text.
+	p.Text = make([]uint32, len(a.text))
+	for i, m := range a.text {
+		in := m.in
+		if m.fix != fixNone {
+			addr, ok := a.symbols[m.sym]
+			if !ok {
+				return nil, errf(m.line, "undefined symbol %q", m.sym)
+			}
+			v := int64(addr) + m.add
+			pc := p.TextBase + uint32(i)*4
+			switch m.fix {
+			case fixBranch:
+				delta := v - int64(pc) - 4
+				if delta%4 != 0 {
+					return nil, errf(m.line, "unaligned branch target %q", m.sym)
+				}
+				words := delta / 4
+				if words < -(1<<15) || words >= 1<<15 {
+					return nil, errf(m.line, "branch to %q out of range (%d words)", m.sym, words)
+				}
+				in.Imm = int32(words)
+			case fixJump:
+				in.Target = uint32(v)
+			case fixHi16:
+				in.Imm = int32(uint32(v) >> 16)
+			case fixLo16:
+				in.Imm = int32(uint32(v) & 0xffff)
+			}
+		}
+		p.Text[i] = in.Encode()
+	}
+	// Materialise the data segment.
+	p.Data = make([]byte, a.dataPC-DefaultDataBase)
+	for _, d := range a.data {
+		if d.space {
+			continue
+		}
+		v := d.val
+		if d.sym != "" {
+			addr, ok := a.symbols[d.sym]
+			if !ok {
+				return nil, errf(d.line, "undefined symbol %q", d.sym)
+			}
+			v += int64(addr)
+		}
+		off := d.addr - DefaultDataBase
+		if d.word {
+			u := uint32(v)
+			p.Data[off] = byte(u)
+			p.Data[off+1] = byte(u >> 8)
+			p.Data[off+2] = byte(u >> 16)
+			p.Data[off+3] = byte(u >> 24)
+		} else {
+			p.Data[off] = byte(v)
+		}
+	}
+	if main, ok := a.symbols["main"]; ok {
+		p.Entry = main
+	} else {
+		p.Entry = p.TextBase
+	}
+	if len(p.Text) == 0 {
+		return nil, fmt.Errorf("asm: empty program")
+	}
+	return p, nil
+}

@@ -1,0 +1,177 @@
+package asm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary image format for assembled programs, so `ptasm -o` can write
+// an executable once and `ptasm`/`ptcc` (or any embedder) can load it
+// without re-assembling. Little-endian throughout:
+//
+//	magic    [8]byte  "PT32IMG1"
+//	textBase uint32
+//	dataBase uint32
+//	stackTop uint32
+//	entry    uint32
+//	nText    uint32   instruction words
+//	nData    uint32   data bytes
+//	nSyms    uint32
+//	text     nText * uint32
+//	data     nData bytes
+//	symbols  nSyms * { nameLen uint16, name bytes, addr uint32 }
+
+var imageMagic = [8]byte{'P', 'T', '3', '2', 'I', 'M', 'G', '1'}
+
+// maxImageSection bounds section sizes on load, so corrupt headers
+// cannot trigger huge allocations.
+const maxImageSection = 1 << 26
+
+// WriteImage serialises the program.
+func (p *Program) WriteImage(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.Write(imageMagic[:])
+	le := binary.LittleEndian
+	var hdr [28]byte
+	le.PutUint32(hdr[0:], p.TextBase)
+	le.PutUint32(hdr[4:], p.DataBase)
+	le.PutUint32(hdr[8:], p.StackTop)
+	le.PutUint32(hdr[12:], p.Entry)
+	le.PutUint32(hdr[16:], uint32(len(p.Text)))
+	le.PutUint32(hdr[20:], uint32(len(p.Data)))
+	le.PutUint32(hdr[24:], uint32(len(p.Symbols)))
+	buf.Write(hdr[:])
+	var word [4]byte
+	for _, t := range p.Text {
+		le.PutUint32(word[:], t)
+		buf.Write(word[:])
+	}
+	buf.Write(p.Data)
+	// Symbols in sorted order for deterministic output.
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if len(n) > 1<<15 {
+			return fmt.Errorf("asm: symbol name %q too long", n[:32])
+		}
+		var l [2]byte
+		le.PutUint16(l[:], uint16(len(n)))
+		buf.Write(l[:])
+		buf.WriteString(n)
+		le.PutUint32(word[:], p.Symbols[n])
+		buf.Write(word[:])
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// EncodeImage serialises the program to a byte slice.
+func (p *Program) EncodeImage() []byte {
+	var buf bytes.Buffer
+	// WriteImage on a bytes.Buffer cannot fail.
+	_ = p.WriteImage(&buf)
+	return buf.Bytes()
+}
+
+// IsImage reports whether the bytes begin with the image magic, so
+// tools can accept either assembly source or a prebuilt image.
+func IsImage(b []byte) bool {
+	return len(b) >= len(imageMagic) && bytes.Equal(b[:len(imageMagic)], imageMagic[:])
+}
+
+// DecodeImage deserialises a program image.
+func DecodeImage(b []byte) (*Program, error) {
+	if !IsImage(b) {
+		return nil, fmt.Errorf("asm: not a PT32 image (bad magic)")
+	}
+	r := bytes.NewReader(b[len(imageMagic):])
+	le := binary.LittleEndian
+	var hdr [28]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("asm: truncated image header: %w", err)
+	}
+	p := &Program{
+		TextBase: le.Uint32(hdr[0:]),
+		DataBase: le.Uint32(hdr[4:]),
+		StackTop: le.Uint32(hdr[8:]),
+		Entry:    le.Uint32(hdr[12:]),
+		Symbols:  map[string]uint32{},
+	}
+	nText := le.Uint32(hdr[16:])
+	nData := le.Uint32(hdr[20:])
+	nSyms := le.Uint32(hdr[24:])
+	if nText > maxImageSection || nData > maxImageSection || nSyms > maxImageSection {
+		return nil, fmt.Errorf("asm: image section too large (text=%d data=%d syms=%d)", nText, nData, nSyms)
+	}
+	p.Text = make([]uint32, nText)
+	var word [4]byte
+	for i := range p.Text {
+		if _, err := io.ReadFull(r, word[:]); err != nil {
+			return nil, fmt.Errorf("asm: truncated text section: %w", err)
+		}
+		p.Text[i] = le.Uint32(word[:])
+	}
+	p.Data = make([]byte, nData)
+	if _, err := io.ReadFull(r, p.Data); err != nil {
+		return nil, fmt.Errorf("asm: truncated data section: %w", err)
+	}
+	for i := uint32(0); i < nSyms; i++ {
+		var l [2]byte
+		if _, err := io.ReadFull(r, l[:]); err != nil {
+			return nil, fmt.Errorf("asm: truncated symbol table: %w", err)
+		}
+		name := make([]byte, le.Uint16(l[:]))
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("asm: truncated symbol name: %w", err)
+		}
+		if _, err := io.ReadFull(r, word[:]); err != nil {
+			return nil, fmt.Errorf("asm: truncated symbol address: %w", err)
+		}
+		p.Symbols[string(name)] = le.Uint32(word[:])
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("asm: %d trailing bytes after image", r.Len())
+	}
+	if err := p.validateImage(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ReadImage deserialises a program image from a reader.
+func ReadImage(r io.Reader) (*Program, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeImage(b)
+}
+
+// validateImage sanity-checks the loaded layout so the simulator can
+// trust it.
+func (p *Program) validateImage() error {
+	if len(p.Text) == 0 {
+		return fmt.Errorf("asm: image has no text")
+	}
+	if p.TextBase%4 != 0 || p.Entry%4 != 0 {
+		return fmt.Errorf("asm: unaligned text base or entry")
+	}
+	textEnd := uint64(p.TextBase) + uint64(4*len(p.Text))
+	dataEnd := uint64(p.DataBase) + uint64(len(p.Data))
+	if uint64(p.Entry) < uint64(p.TextBase) || uint64(p.Entry) >= textEnd {
+		return fmt.Errorf("asm: entry %#x outside text [%#x, %#x)", p.Entry, p.TextBase, textEnd)
+	}
+	if textEnd > uint64(p.DataBase) && uint64(p.TextBase) < dataEnd {
+		return fmt.Errorf("asm: text and data segments overlap")
+	}
+	if dataEnd > uint64(p.StackTop) || textEnd > uint64(p.StackTop) {
+		return fmt.Errorf("asm: segment beyond the stack top")
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func imageFixture(t *testing.T) *Program {
+	t.Helper()
+	return mustAssemble(t, `
+        .data
+vals:   .word 1, 2, 3
+        .text
+main:   la   t0, vals
+        lw   t1, 8(t0)
+        out  t1
+        halt
+helper: ret
+`)
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p := imageFixture(t)
+	img := p.EncodeImage()
+	if !IsImage(img) {
+		t.Fatal("encoded image fails magic check")
+	}
+	q, err := DecodeImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TextBase != p.TextBase || q.DataBase != p.DataBase ||
+		q.StackTop != p.StackTop || q.Entry != p.Entry {
+		t.Errorf("layout mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Text) != len(p.Text) {
+		t.Fatalf("text length %d vs %d", len(q.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if q.Text[i] != p.Text[i] {
+			t.Fatalf("text[%d] differs", i)
+		}
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Error("data differs")
+	}
+	if len(q.Symbols) != len(p.Symbols) {
+		t.Fatalf("symbols %d vs %d", len(q.Symbols), len(p.Symbols))
+	}
+	for n, a := range p.Symbols {
+		if q.Symbols[n] != a {
+			t.Errorf("symbol %q = %#x, want %#x", n, q.Symbols[n], a)
+		}
+	}
+	// Deterministic encoding.
+	if !bytes.Equal(img, q.EncodeImage()) {
+		t.Error("re-encoding differs")
+	}
+}
+
+func TestImageWriteRead(t *testing.T) {
+	p := imageFixture(t)
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Entry != p.Entry {
+		t.Error("entry mismatch after Write/Read")
+	}
+}
+
+func TestImageErrors(t *testing.T) {
+	p := imageFixture(t)
+	img := p.EncodeImage()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[0] = 'X'
+		if _, err := DecodeImage(bad); err == nil {
+			t.Error("accepted bad magic")
+		}
+		if IsImage(bad) {
+			t.Error("IsImage accepted bad magic")
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for _, cut := range []int{9, 20, 40, len(img) - 1} {
+			if cut >= len(img) {
+				continue
+			}
+			if _, err := DecodeImage(img[:cut]); err == nil {
+				t.Errorf("accepted truncation at %d", cut)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := DecodeImage(append(append([]byte(nil), img...), 0)); err == nil {
+			t.Error("accepted trailing bytes")
+		}
+	})
+	t.Run("huge section", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		// nText field at offset 8+16.
+		for i := 0; i < 4; i++ {
+			bad[24+i] = 0xff
+		}
+		if _, err := DecodeImage(bad); err == nil {
+			t.Error("accepted absurd section size")
+		}
+	})
+	t.Run("bad entry", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		// entry field at offset 8+12: point far outside text.
+		bad[20] = 0
+		bad[21] = 0
+		bad[22] = 0
+		bad[23] = 0x40
+		if _, err := DecodeImage(bad); err == nil {
+			t.Error("accepted out-of-text entry")
+		}
+	})
+}
+
+// A decoded image must run identically to the original program.
+func TestImageRunsIdentically(t *testing.T) {
+	p := imageFixture(t)
+	q, err := DecodeImage(p.EncodeImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the disassembler for a text-level check (the simulator lives
+	// in a package that imports this one, so run equivalence is covered
+	// by the ptasm-level tests).
+	for i := range p.Text {
+		a, err1 := p.Instr(p.TextBase + uint32(i)*4)
+		b, err2 := q.Instr(q.TextBase + uint32(i)*4)
+		if err1 != nil || err2 != nil || a != b {
+			t.Fatalf("instr %d differs: %v vs %v", i, a, b)
+		}
+	}
+}

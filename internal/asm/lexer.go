@@ -1,0 +1,194 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// token kinds produced by the line lexer.
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota // labels, mnemonics, register names, directives
+	tokNum                  // integer literal (value in num)
+	tokComma
+	tokColon
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokNum:
+		return fmt.Sprintf("%d", t.num)
+	case tokComma:
+		return ","
+	case tokColon:
+		return ":"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	}
+	return t.text
+}
+
+// stripComment removes "#", ";" and "//" comments.
+func stripComment(line string) string {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '#', ';':
+			return line[:i]
+		case '/':
+			if i+1 < len(line) && line[i+1] == '/' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// lexLine tokenises one source line (comments already stripped).
+func lexLine(line string, lineNo int) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma})
+			i++
+		case c == ':':
+			toks = append(toks, token{kind: tokColon})
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen})
+			i++
+		case c == '\'':
+			// Character literal: 'a', '\n', '\0', '\\', '\''.
+			v, n, err := lexChar(line[i:])
+			if err != nil {
+				return nil, errf(lineNo, "%v", err)
+			}
+			toks = append(toks, token{kind: tokNum, num: v})
+			i += n
+		case c == '-' || c == '+' || c >= '0' && c <= '9':
+			v, n, err := lexNumber(line[i:])
+			if err != nil {
+				return nil, errf(lineNo, "%v", err)
+			}
+			toks = append(toks, token{kind: tokNum, num: v})
+			i += n
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(line) && isIdentChar(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: line[i:j]})
+			i = j
+		default:
+			return nil, errf(lineNo, "unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func lexChar(s string) (int64, int, error) {
+	if len(s) < 3 {
+		return 0, 0, fmt.Errorf("unterminated character literal")
+	}
+	if s[1] == '\\' {
+		if len(s) < 4 || s[3] != '\'' {
+			return 0, 0, fmt.Errorf("bad character escape")
+		}
+		var v int64
+		switch s[2] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return 0, 0, fmt.Errorf("unknown escape \\%c", s[2])
+		}
+		return v, 4, nil
+	}
+	if s[2] != '\'' {
+		return 0, 0, fmt.Errorf("unterminated character literal")
+	}
+	return int64(s[1]), 3, nil
+}
+
+func lexNumber(s string) (int64, int, error) {
+	neg := false
+	i := 0
+	if s[0] == '-' {
+		neg = true
+		i = 1
+	} else if s[0] == '+' {
+		i = 1
+	}
+	if i >= len(s) || s[i] < '0' || s[i] > '9' {
+		return 0, 0, fmt.Errorf("malformed number %q", s)
+	}
+	base := int64(10)
+	if strings.HasPrefix(s[i:], "0x") || strings.HasPrefix(s[i:], "0X") {
+		base = 16
+		i += 2
+	} else if strings.HasPrefix(s[i:], "0b") || strings.HasPrefix(s[i:], "0B") {
+		base = 2
+		i += 2
+	}
+	var v int64
+	start := i
+	for i < len(s) {
+		c := s[i]
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			d = -1
+		}
+		if d < 0 || d >= base {
+			break
+		}
+		v = v*base + d
+		i++
+	}
+	if i == start {
+		return 0, 0, fmt.Errorf("malformed number %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, i, nil
+}

@@ -1,0 +1,397 @@
+package asm
+
+import (
+	"pathtrace/internal/isa"
+)
+
+// instruction parses one mnemonic line and emits machine statements.
+func (a *assembler) instruction(mnem string, rest []token, lineNo int) error {
+	args, err := splitArgs(rest, lineNo)
+	if err != nil {
+		return err
+	}
+	// Pseudo-instructions first; anything else must be a machine opcode.
+	if ok, err := a.pseudo(mnem, args, lineNo); ok || err != nil {
+		return err
+	}
+	op, ok := isa.OpcodeByName(mnem)
+	if !ok {
+		return errf(lineNo, "unknown mnemonic %q", mnem)
+	}
+	switch op {
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM, isa.AND, isa.OR,
+		isa.XOR, isa.NOR, isa.SLT, isa.SLTU, isa.SLLV, isa.SRLV, isa.SRAV:
+		rd, rs, rt, err := regRegReg(args, lineNo)
+		if err != nil {
+			return err
+		}
+		a.emit(lineNo, isa.Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI, isa.SLTIU,
+		isa.SLL, isa.SRL, isa.SRA:
+		rt, rs, imm, err := regRegImm(args, lineNo)
+		if err != nil {
+			return err
+		}
+		a.emit(lineNo, isa.Instr{Op: op, Rt: rt, Rs: rs, Imm: imm})
+	case isa.LUI:
+		if len(args) != 2 {
+			return errf(lineNo, "lui needs 2 operands")
+		}
+		rt, err := asReg(args[0], lineNo)
+		if err != nil {
+			return err
+		}
+		imm, err := asImm(args[1], lineNo, 0, 0xffff)
+		if err != nil {
+			return err
+		}
+		a.emit(lineNo, isa.Instr{Op: isa.LUI, Rt: rt, Imm: imm})
+	case isa.LW, isa.LB, isa.LBU, isa.SW, isa.SB:
+		if len(args) != 2 {
+			return errf(lineNo, "%s needs 2 operands", mnem)
+		}
+		rt, err := asReg(args[0], lineNo)
+		if err != nil {
+			return err
+		}
+		off, base, err := asMem(args[1], lineNo)
+		if err != nil {
+			return err
+		}
+		a.emit(lineNo, isa.Instr{Op: op, Rt: rt, Rs: base, Imm: off})
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		if len(args) != 3 {
+			return errf(lineNo, "%s needs 3 operands", mnem)
+		}
+		rs, rt, err := twoRegs(args[:2], lineNo)
+		if err != nil {
+			return err
+		}
+		return a.emitBranch(op, rs, rt, args[2], lineNo)
+	case isa.J, isa.JAL:
+		if len(args) != 1 {
+			return errf(lineNo, "%s needs 1 operand", mnem)
+		}
+		return a.emitJump(op, args[0], lineNo)
+	case isa.JR:
+		if len(args) != 1 {
+			return errf(lineNo, "jr needs 1 operand")
+		}
+		rs, err := asReg(args[0], lineNo)
+		if err != nil {
+			return err
+		}
+		a.emit(lineNo, isa.Instr{Op: isa.JR, Rs: rs})
+	case isa.JALR:
+		var rd, rs isa.Reg
+		switch len(args) {
+		case 1:
+			rd = isa.RA
+			r, err := asReg(args[0], lineNo)
+			if err != nil {
+				return err
+			}
+			rs = r
+		case 2:
+			var err error
+			rd, err = asReg(args[0], lineNo)
+			if err != nil {
+				return err
+			}
+			rs, err = asReg(args[1], lineNo)
+			if err != nil {
+				return err
+			}
+		default:
+			return errf(lineNo, "jalr needs 1 or 2 operands")
+		}
+		a.emit(lineNo, isa.Instr{Op: isa.JALR, Rd: rd, Rs: rs})
+	case isa.RET, isa.HALT, isa.NOP:
+		if len(args) != 0 {
+			return errf(lineNo, "%s takes no operands", mnem)
+		}
+		in := isa.Instr{Op: op}
+		if op == isa.RET {
+			in.Rs = isa.RA
+		}
+		a.emit(lineNo, in)
+	case isa.OUT:
+		if len(args) != 1 {
+			return errf(lineNo, "out needs 1 operand")
+		}
+		rs, err := asReg(args[0], lineNo)
+		if err != nil {
+			return err
+		}
+		a.emit(lineNo, isa.Instr{Op: isa.OUT, Rs: rs})
+	default:
+		return errf(lineNo, "unhandled opcode %q", mnem)
+	}
+	return nil
+}
+
+// pseudo expands pseudo-instructions. It reports whether mnem was a
+// pseudo-instruction.
+func (a *assembler) pseudo(mnem string, args [][]token, lineNo int) (bool, error) {
+	switch mnem {
+	case "li", "la":
+		if len(args) != 2 {
+			return true, errf(lineNo, "%s needs 2 operands", mnem)
+		}
+		rt, err := asReg(args[0], lineNo)
+		if err != nil {
+			return true, err
+		}
+		if sym, ok := asSymbol(args[1]); ok {
+			a.emitFix(lineNo, isa.Instr{Op: isa.LUI, Rt: rt}, fixHi16, sym, 0)
+			a.emitFix(lineNo, isa.Instr{Op: isa.ORI, Rt: rt, Rs: rt}, fixLo16, sym, 0)
+			return true, nil
+		}
+		if mnem == "la" {
+			return true, errf(lineNo, "la needs a symbol operand")
+		}
+		v, err := asImm(args[1], lineNo, -1<<31, 1<<32-1)
+		if err != nil {
+			return true, err
+		}
+		if v >= -(1<<15) && v < 1<<15 {
+			a.emit(lineNo, isa.Instr{Op: isa.ADDI, Rt: rt, Rs: isa.Zero, Imm: v})
+		} else {
+			u := uint32(v)
+			a.emit(lineNo, isa.Instr{Op: isa.LUI, Rt: rt, Imm: int32(u >> 16)})
+			if lo := u & 0xffff; lo != 0 {
+				a.emit(lineNo, isa.Instr{Op: isa.ORI, Rt: rt, Rs: rt, Imm: int32(lo)})
+			}
+		}
+		return true, nil
+	case "move":
+		rd, rs, err := twoRegs(args, lineNo)
+		if err != nil {
+			return true, err
+		}
+		a.emit(lineNo, isa.Instr{Op: isa.ADD, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return true, nil
+	case "neg":
+		rd, rs, err := twoRegs(args, lineNo)
+		if err != nil {
+			return true, err
+		}
+		a.emit(lineNo, isa.Instr{Op: isa.SUB, Rd: rd, Rs: isa.Zero, Rt: rs})
+		return true, nil
+	case "not":
+		rd, rs, err := twoRegs(args, lineNo)
+		if err != nil {
+			return true, err
+		}
+		a.emit(lineNo, isa.Instr{Op: isa.NOR, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return true, nil
+	case "subi":
+		rt, rs, imm, err := regRegImm(args, lineNo)
+		if err != nil {
+			return true, err
+		}
+		a.emit(lineNo, isa.Instr{Op: isa.ADDI, Rt: rt, Rs: rs, Imm: -imm})
+		return true, nil
+	case "beqz", "bnez", "bltz", "bgez", "bgtz", "blez":
+		if len(args) != 2 {
+			return true, errf(lineNo, "%s needs 2 operands", mnem)
+		}
+		rs, err := asReg(args[0], lineNo)
+		if err != nil {
+			return true, err
+		}
+		var op isa.Opcode
+		var ra, rb isa.Reg
+		switch mnem {
+		case "beqz":
+			op, ra, rb = isa.BEQ, rs, isa.Zero
+		case "bnez":
+			op, ra, rb = isa.BNE, rs, isa.Zero
+		case "bltz":
+			op, ra, rb = isa.BLT, rs, isa.Zero
+		case "bgez":
+			op, ra, rb = isa.BGE, rs, isa.Zero
+		case "bgtz":
+			op, ra, rb = isa.BLT, isa.Zero, rs
+		case "blez":
+			op, ra, rb = isa.BGE, isa.Zero, rs
+		}
+		return true, a.emitBranch(op, ra, rb, args[1], lineNo)
+	case "bgt", "ble", "bgtu", "bleu":
+		if len(args) != 3 {
+			return true, errf(lineNo, "%s needs 3 operands", mnem)
+		}
+		rs, rt, err := twoRegs(args[:2], lineNo)
+		if err != nil {
+			return true, err
+		}
+		var op isa.Opcode
+		switch mnem {
+		case "bgt":
+			op = isa.BLT
+		case "ble":
+			op = isa.BGE
+		case "bgtu":
+			op = isa.BLTU
+		case "bleu":
+			op = isa.BGEU
+		}
+		// Swapped operands: bgt rs,rt == blt rt,rs.
+		return true, a.emitBranch(op, rt, rs, args[2], lineNo)
+	case "b":
+		if len(args) != 1 {
+			return true, errf(lineNo, "b needs 1 operand")
+		}
+		return true, a.emitJump(isa.J, args[0], lineNo)
+	case "call":
+		if len(args) != 1 {
+			return true, errf(lineNo, "call needs 1 operand")
+		}
+		return true, a.emitJump(isa.JAL, args[0], lineNo)
+	}
+	return false, nil
+}
+
+func (a *assembler) emitBranch(op isa.Opcode, rs, rt isa.Reg, target []token, lineNo int) error {
+	if sym, ok := asSymbol(target); ok {
+		a.emitFix(lineNo, isa.Instr{Op: op, Rs: rs, Rt: rt}, fixBranch, sym, 0)
+		return nil
+	}
+	imm, err := asImm(target, lineNo, -(1 << 15), 1<<15-1)
+	if err != nil {
+		return err
+	}
+	a.emit(lineNo, isa.Instr{Op: op, Rs: rs, Rt: rt, Imm: imm})
+	return nil
+}
+
+func (a *assembler) emitJump(op isa.Opcode, target []token, lineNo int) error {
+	if sym, ok := asSymbol(target); ok {
+		a.emitFix(lineNo, isa.Instr{Op: op}, fixJump, sym, 0)
+		return nil
+	}
+	imm, err := asImm(target, lineNo, 0, 1<<28-1)
+	if err != nil {
+		return err
+	}
+	a.emit(lineNo, isa.Instr{Op: op, Target: uint32(imm)})
+	return nil
+}
+
+// Operand helpers.
+
+func asReg(g []token, lineNo int) (isa.Reg, error) {
+	if len(g) == 1 && g[0].kind == tokIdent {
+		if r, ok := isa.RegByName(g[0].text); ok {
+			return r, nil
+		}
+	}
+	return 0, errf(lineNo, "expected register, got %q", joinToks(g))
+}
+
+func asImm(g []token, lineNo int, lo, hi int64) (int32, error) {
+	if len(g) != 1 || g[0].kind != tokNum {
+		return 0, errf(lineNo, "expected immediate, got %q", joinToks(g))
+	}
+	v := g[0].num
+	if v < lo || v > hi {
+		return 0, errf(lineNo, "immediate %d out of range [%d, %d]", v, lo, hi)
+	}
+	return int32(v), nil
+}
+
+// asSymbol reports whether the operand is a bare identifier that is not
+// a register name.
+func asSymbol(g []token) (string, bool) {
+	if len(g) == 1 && g[0].kind == tokIdent {
+		if _, isReg := isa.RegByName(g[0].text); !isReg {
+			return g[0].text, true
+		}
+	}
+	return "", false
+}
+
+// asMem parses "off(base)", "(base)" or a bare offset (base = zero).
+func asMem(g []token, lineNo int) (int32, isa.Reg, error) {
+	var off int64
+	i := 0
+	if i < len(g) && g[i].kind == tokNum {
+		off = g[i].num
+		i++
+	}
+	if off < -(1<<15) || off >= 1<<15 {
+		return 0, 0, errf(lineNo, "memory offset %d out of range", off)
+	}
+	if i == len(g) {
+		return int32(off), isa.Zero, nil
+	}
+	if len(g)-i != 3 || g[i].kind != tokLParen || g[i+2].kind != tokRParen {
+		return 0, 0, errf(lineNo, "malformed memory operand %q", joinToks(g))
+	}
+	base, err := asReg(g[i+1:i+2], lineNo)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(off), base, nil
+}
+
+func twoRegs(args [][]token, lineNo int) (isa.Reg, isa.Reg, error) {
+	if len(args) != 2 {
+		return 0, 0, errf(lineNo, "expected 2 register operands")
+	}
+	ra, err := asReg(args[0], lineNo)
+	if err != nil {
+		return 0, 0, err
+	}
+	rb, err := asReg(args[1], lineNo)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ra, rb, nil
+}
+
+func regRegReg(args [][]token, lineNo int) (isa.Reg, isa.Reg, isa.Reg, error) {
+	if len(args) != 3 {
+		return 0, 0, 0, errf(lineNo, "expected 3 register operands")
+	}
+	rd, err := asReg(args[0], lineNo)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rs, err := asReg(args[1], lineNo)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rt, err := asReg(args[2], lineNo)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return rd, rs, rt, nil
+}
+
+func regRegImm(args [][]token, lineNo int) (isa.Reg, isa.Reg, int32, error) {
+	if len(args) != 3 {
+		return 0, 0, 0, errf(lineNo, "expected reg, reg, imm")
+	}
+	rt, err := asReg(args[0], lineNo)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rs, err := asReg(args[1], lineNo)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	imm, err := asImm(args[2], lineNo, -(1 << 15), 1<<16-1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return rt, rs, imm, nil
+}
+
+func joinToks(g []token) string {
+	s := ""
+	for _, t := range g {
+		s += t.String()
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+// Package asm implements a two-pass assembler for the PT32 instruction
+// set defined in package isa.
+//
+// The source language is a conventional line-oriented assembly dialect:
+//
+//	# comment (also ";" and "//")
+//	        .data
+//	table:  .word 1, 2, 3, loop      # labels may appear in .word
+//	buf:    .space 256
+//	        .byte 0x41, 10
+//	        .align 4
+//	        .text
+//	main:   li   t0, 100000          # pseudo-instruction
+//	loop:   addi t0, t0, -1
+//	        bne  t0, zero, loop
+//	        halt
+//
+// Pseudo-instructions (li, la, move, neg, not, beqz, bnez, bgt, ble,
+// bgtu, bleu, subi, b) expand into one or two machine instructions.
+// Labels are resolved across the whole file; branch targets are
+// PC-relative, jump targets absolute.
+package asm
+
+import (
+	"fmt"
+
+	"pathtrace/internal/isa"
+)
+
+// Default memory layout. The bases are far apart so out-of-segment
+// accesses fault loudly in the simulator.
+const (
+	DefaultTextBase = 0x0001_0000
+	DefaultDataBase = 0x0010_0000
+	DefaultStackTop = 0x0080_0000
+)
+
+// Program is the output of assembly: an executable image for the
+// simulator in package sim.
+type Program struct {
+	Text     []uint32 // encoded instructions, word per instruction
+	TextBase uint32   // address of Text[0]
+	Data     []byte   // initialised data segment
+	DataBase uint32   // address of Data[0]
+	StackTop uint32   // initial stack pointer
+	Entry    uint32   // initial PC ("main" if defined, else TextBase)
+	Symbols  map[string]uint32
+}
+
+// Instr decodes the instruction stored at the given address.
+func (p *Program) Instr(addr uint32) (isa.Instr, error) {
+	i := int(addr-p.TextBase) / 4
+	if addr%4 != 0 || i < 0 || i >= len(p.Text) {
+		return isa.Instr{}, fmt.Errorf("asm: address %#x outside text segment", addr)
+	}
+	return isa.Decode(p.Text[i])
+}
+
+// SourceError reports an assembly failure with its source position.
+type SourceError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SourceError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &SourceError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

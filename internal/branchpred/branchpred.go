@@ -1,0 +1,165 @@
+// Package branchpred implements conventional branch prediction
+// components — pattern history tables, global-history predictors
+// (GSHARE, GAg), a bimodal predictor, a return address stack, a branch
+// target buffer, and a correlated indirect-target cache — and composes
+// them into the paper's idealized *sequential* trace predictor baseline
+// (§5.1): each control instruction in a trace is predicted in turn,
+// with the outcomes of all previous branches known at prediction time.
+package branchpred
+
+import "fmt"
+
+// PHT is a pattern history table of two-bit saturating counters,
+// initialised weakly-not-taken (paper-era convention).
+type PHT struct {
+	ctrs []uint8
+	mask uint32
+}
+
+// NewPHT creates a table with 1<<indexBits counters.
+func NewPHT(indexBits int) (*PHT, error) {
+	if indexBits < 1 || indexBits > 26 {
+		return nil, fmt.Errorf("branchpred: PHT index bits %d outside [1, 26]", indexBits)
+	}
+	p := &PHT{ctrs: make([]uint8, 1<<indexBits), mask: 1<<indexBits - 1}
+	for i := range p.ctrs {
+		p.ctrs[i] = 1 // weakly not taken
+	}
+	return p, nil
+}
+
+// Predict reads the counter at idx: values 2 and 3 predict taken.
+func (p *PHT) Predict(idx uint32) bool { return p.ctrs[idx&p.mask] >= 2 }
+
+// Update trains the counter at idx toward the actual outcome.
+func (p *PHT) Update(idx uint32, taken bool) {
+	c := &p.ctrs[idx&p.mask]
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}
+
+// ConditionalPredictor is the common interface of the direction
+// predictors in this package. Update must be called with the actual
+// outcome after every Predict for the same branch.
+type ConditionalPredictor interface {
+	Predict(pc uint32) bool
+	Update(pc uint32, taken bool)
+	Name() string
+}
+
+// pcBits extracts the word-index bits of a PC (instructions are
+// 4-byte aligned, so the two low bits carry no information).
+func pcBits(pc uint32) uint32 { return pc >> 2 }
+
+// Gshare is the global-history predictor of McFarling: the branch PC
+// exclusive-ored with a global branch history register indexes the PHT.
+type Gshare struct {
+	pht  *PHT
+	hist uint32
+	mask uint32
+	bits int
+}
+
+// NewGshare creates a GSHARE predictor with `bits` of global history
+// and a 1<<bits-entry PHT.
+func NewGshare(bits int) (*Gshare, error) {
+	pht, err := NewPHT(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Gshare{pht: pht, mask: 1<<bits - 1, bits: bits}, nil
+}
+
+// MustNewGshare is NewGshare for static configurations.
+func MustNewGshare(bits int) *Gshare {
+	g, err := NewGshare(bits)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint32) uint32 { return (pcBits(pc) ^ g.hist) & g.mask }
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *Gshare) Predict(pc uint32) bool { return g.pht.Predict(g.index(pc)) }
+
+// Update trains the PHT and shifts the outcome into the history.
+func (g *Gshare) Update(pc uint32, taken bool) {
+	g.pht.Update(g.index(pc), taken)
+	g.hist = (g.hist<<1 | b2u(taken)) & g.mask
+}
+
+// Name implements ConditionalPredictor.
+func (g *Gshare) Name() string { return fmt.Sprintf("gshare-%d", g.bits) }
+
+// History exposes the current global history value (used by the
+// correlated indirect-target cache, which shares the BHR).
+func (g *Gshare) History() uint32 { return g.hist }
+
+// GAg is the two-level predictor of Yeh & Patt in which the global
+// history register alone indexes the PHT.
+type GAg struct {
+	pht  *PHT
+	hist uint32
+	mask uint32
+	bits int
+}
+
+// NewGAg creates a GAg predictor with `bits` of global history.
+func NewGAg(bits int) (*GAg, error) {
+	pht, err := NewPHT(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &GAg{pht: pht, mask: 1<<bits - 1, bits: bits}, nil
+}
+
+// Predict implements ConditionalPredictor.
+func (g *GAg) Predict(pc uint32) bool { return g.pht.Predict(g.hist) }
+
+// Update implements ConditionalPredictor.
+func (g *GAg) Update(pc uint32, taken bool) {
+	g.pht.Update(g.hist, taken)
+	g.hist = (g.hist<<1 | b2u(taken)) & g.mask
+}
+
+// Name implements ConditionalPredictor.
+func (g *GAg) Name() string { return fmt.Sprintf("gag-%d", g.bits) }
+
+// Bimodal is the classic per-branch two-bit counter predictor (Smith):
+// the PHT is indexed by PC bits alone.
+type Bimodal struct {
+	pht  *PHT
+	bits int
+}
+
+// NewBimodal creates a bimodal predictor with a 1<<bits-entry PHT.
+func NewBimodal(bits int) (*Bimodal, error) {
+	pht, err := NewPHT(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Bimodal{pht: pht, bits: bits}, nil
+}
+
+// Predict implements ConditionalPredictor.
+func (b *Bimodal) Predict(pc uint32) bool { return b.pht.Predict(pcBits(pc)) }
+
+// Update implements ConditionalPredictor.
+func (b *Bimodal) Update(pc uint32, taken bool) { b.pht.Update(pcBits(pc), taken) }
+
+// Name implements ConditionalPredictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", b.bits) }
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,409 @@
+package branchpred
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pathtrace/internal/isa"
+	"pathtrace/internal/trace"
+)
+
+func TestPHTCounterSaturation(t *testing.T) {
+	p, err := NewPHT(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial state: weakly not taken.
+	if p.Predict(0) {
+		t.Error("fresh PHT predicts taken")
+	}
+	// Two taken updates flip it; many more saturate.
+	for i := 0; i < 10; i++ {
+		p.Update(0, true)
+	}
+	if !p.Predict(0) {
+		t.Error("saturated-taken PHT predicts not-taken")
+	}
+	// Needs two not-taken updates to flip back (hysteresis).
+	p.Update(0, false)
+	if !p.Predict(0) {
+		t.Error("one not-taken flipped a saturated counter")
+	}
+	p.Update(0, false)
+	if p.Predict(0) {
+		t.Error("counter did not flip after two not-taken")
+	}
+	// Counters stay in range under arbitrary update sequences.
+	f := func(ops []bool) bool {
+		q, _ := NewPHT(2)
+		for _, taken := range ops {
+			q.Update(3, taken)
+		}
+		return q.ctrs[3] <= 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPHTValidation(t *testing.T) {
+	if _, err := NewPHT(0); err == nil {
+		t.Error("PHT bits 0 accepted")
+	}
+	if _, err := NewPHT(27); err == nil {
+		t.Error("PHT bits 27 accepted")
+	}
+}
+
+// loopPattern drives a predictor with a biased loop branch: taken
+// n-1 times, then not taken, repeatedly.
+func loopPattern(p ConditionalPredictor, pc uint32, n, iters int) (correct, total int) {
+	for i := 0; i < iters; i++ {
+		for j := 0; j < n; j++ {
+			taken := j != n-1
+			if p.Predict(pc) == taken {
+				correct++
+			}
+			total++
+			p.Update(pc, taken)
+		}
+	}
+	return
+}
+
+func TestBimodalOnBiasedBranch(t *testing.T) {
+	b, err := NewBimodal(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := loopPattern(b, 0x1000, 10, 100)
+	// Bimodal gets the exit wrong each iteration, everything else right.
+	if rate := float64(correct) / float64(total); rate < 0.85 {
+		t.Errorf("bimodal accuracy %.2f on 90%% biased branch", rate)
+	}
+}
+
+func TestGshareLearnsCorrelatedPattern(t *testing.T) {
+	// A 4-iteration loop: with global history, the exit becomes
+	// predictable; gshare should approach 100% in steady state.
+	g := MustNewGshare(14)
+	// Warm up.
+	loopPattern(g, 0x1000, 4, 200)
+	correct, total := loopPattern(g, 0x1000, 4, 200)
+	if correct != total {
+		t.Errorf("gshare steady state %d/%d on periodic pattern", correct, total)
+	}
+	// And it must beat bimodal on this pattern.
+	b, _ := NewBimodal(14)
+	loopPattern(b, 0x1000, 4, 200)
+	bc, bt := loopPattern(b, 0x1000, 4, 200)
+	if float64(correct)/float64(total) <= float64(bc)/float64(bt) {
+		t.Errorf("gshare (%d/%d) not better than bimodal (%d/%d)", correct, total, bc, bt)
+	}
+}
+
+func TestGAgLearnsGlobalPattern(t *testing.T) {
+	g, err := NewGAg(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopPattern(g, 0x1000, 4, 200)
+	correct, total := loopPattern(g, 0x1000, 4, 200)
+	if correct != total {
+		t.Errorf("GAg steady state %d/%d", correct, total)
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	g := MustNewGshare(16)
+	if g.Name() != "gshare-16" {
+		t.Errorf("gshare name = %q", g.Name())
+	}
+	ga, _ := NewGAg(12)
+	if ga.Name() != "gag-12" {
+		t.Errorf("gag name = %q", ga.Name())
+	}
+	b, _ := NewBimodal(10)
+	if b.Name() != "bimodal-10" {
+		t.Errorf("bimodal name = %q", b.Name())
+	}
+}
+
+func TestTargetCache(t *testing.T) {
+	tc := MustNewTargetCache(8)
+	if _, ok := tc.Predict(0x1000); ok {
+		t.Error("empty cache predicted")
+	}
+	// Train an alternating target pattern; the target history must
+	// disambiguate the two, which a plain PC-indexed BTB cannot.
+	a, b := uint32(0x204), uint32(0x308)
+	for i := 0; i < 20; i++ {
+		tc.Update(0x1000, a)
+		tc.Update(0x1000, b)
+	}
+	got1, ok1 := tc.Predict(0x1000) // after b, a follows
+	tc.Update(0x1000, a)
+	got2, ok2 := tc.Predict(0x1000) // after a, b follows
+	tc.Update(0x1000, b)
+	if !ok1 || got1 != a || !ok2 || got2 != b {
+		t.Errorf("alternating pattern: got (%#x,%v) (%#x,%v), want (%#x) (%#x)",
+			got1, ok1, got2, ok2, a, b)
+	}
+}
+
+// A repeating dispatch sequence (interpreter-style) must become nearly
+// perfectly predictable once the target history warms up.
+func TestTargetCacheLearnsDispatchSequence(t *testing.T) {
+	tc := MustNewTargetCache(12)
+	seq := []uint32{0x100, 0x140, 0x180, 0x100, 0x1c0, 0x140}
+	pc := uint32(0x2000)
+	// Warm up several periods.
+	for r := 0; r < 50; r++ {
+		for _, tgt := range seq {
+			tc.Predict(pc)
+			tc.Update(pc, tgt)
+		}
+	}
+	correct := 0
+	for r := 0; r < 10; r++ {
+		for _, tgt := range seq {
+			if got, ok := tc.Predict(pc); ok && got == tgt {
+				correct++
+			}
+			tc.Update(pc, tgt)
+		}
+	}
+	if correct != 60 {
+		t.Errorf("steady-state dispatch prediction %d/60", correct)
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r, err := NewRAS(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	r.Push(4) // overflow: discards 1
+	if r.Depth() != 3 {
+		t.Errorf("depth = %d", r.Depth())
+	}
+	for _, want := range []uint32{4, 3, 2} {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Errorf("Pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("drained RAS popped")
+	}
+	if _, err := NewRAS(0); err == nil {
+		t.Error("RAS depth 0 accepted")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b, err := NewBTB(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Predict(0x1000); ok {
+		t.Error("empty BTB hit")
+	}
+	b.Update(0x1000, 0x2000)
+	if got, ok := b.Predict(0x1000); !ok || got != 0x2000 {
+		t.Errorf("Predict = %#x,%v", got, ok)
+	}
+	// A conflicting PC (same index, different tag) must miss, not alias.
+	conflict := uint32(0x1000 + 16*4)
+	if _, ok := b.Predict(conflict); ok {
+		t.Error("BTB tag mismatch returned a target")
+	}
+	b.Update(conflict, 0x3000)
+	if _, ok := b.Predict(0x1000); ok {
+		t.Error("evicted entry still hits")
+	}
+}
+
+// mkTrace builds a trace containing the given branch records.
+func mkTrace(branches ...trace.Branch) *trace.Trace {
+	id := trace.MakeID(0x1000, 0)
+	return &trace.Trace{ID: id, Hash: id.Hash(), StartPC: 0x1000,
+		Len: 8, Branches: branches}
+}
+
+func TestSequentialPerfectComponents(t *testing.T) {
+	s := MustNewSequential(SequentialConfig{})
+	// Direct jumps, calls and returns never mispredict.
+	tr := mkTrace(
+		trace.Branch{PC: 0x1000, Ctrl: isa.CtrlJumpDir, Taken: true, Target: 0x2000},
+		trace.Branch{PC: 0x2000, Ctrl: isa.CtrlCallDir, Taken: true, Target: 0x3000},
+		trace.Branch{PC: 0x3000, Ctrl: isa.CtrlReturn, Taken: true, Target: 0x2004},
+	)
+	if !s.ObserveTrace(tr) {
+		t.Error("perfect components mispredicted")
+	}
+	st := s.Stats()
+	if st.Traces != 1 || st.TraceMisp != 0 || st.CondBranches != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSequentialConditionalAccounting(t *testing.T) {
+	s := MustNewSequential(SequentialConfig{})
+	// Feed a deterministic alternating branch; gshare learns it, but the
+	// first observations mispredict.
+	var missTraces int
+	for i := 0; i < 200; i++ {
+		tr := mkTrace(trace.Branch{PC: 0x1004, Ctrl: isa.CtrlCondDir, Taken: i%2 == 0, Target: 0x1100})
+		if !s.ObserveTrace(tr) {
+			missTraces++
+		}
+	}
+	st := s.Stats()
+	if st.CondBranches != 200 {
+		t.Errorf("CondBranches = %d", st.CondBranches)
+	}
+	if int(st.TraceMisp) != missTraces {
+		t.Errorf("TraceMisp = %d, observed %d", st.TraceMisp, missTraces)
+	}
+	if st.CondMisp == 0 {
+		t.Error("no warmup mispredictions at all")
+	}
+	// Steady state must be learned: final 100 traces all correct.
+	s2 := MustNewSequential(SequentialConfig{})
+	var lateMiss int
+	for i := 0; i < 400; i++ {
+		tr := mkTrace(trace.Branch{PC: 0x1004, Ctrl: isa.CtrlCondDir, Taken: i%2 == 0, Target: 0x1100})
+		ok := s2.ObserveTrace(tr)
+		if i >= 300 && !ok {
+			lateMiss++
+		}
+	}
+	if lateMiss != 0 {
+		t.Errorf("alternating branch still mispredicted %d times in steady state", lateMiss)
+	}
+}
+
+func TestSequentialIndirects(t *testing.T) {
+	s := MustNewSequential(SequentialConfig{})
+	// Indirect jump with a stable target: first is a compulsory miss,
+	// then all hits.
+	for i := 0; i < 10; i++ {
+		tr := mkTrace(trace.Branch{PC: 0x1008, Ctrl: isa.CtrlJumpInd, Taken: true, Target: 0x4000})
+		s.ObserveTrace(tr)
+	}
+	st := s.Stats()
+	if st.Indirects != 10 || st.IndirectMisp != 1 {
+		t.Errorf("indirect stats = %+v", st)
+	}
+	if st.IndirectMissRate() != 10 {
+		t.Errorf("IndirectMissRate = %v", st.IndirectMissRate())
+	}
+}
+
+func TestSequentialMultiBranchTraceCountsOnce(t *testing.T) {
+	s := MustNewSequential(SequentialConfig{})
+	// A trace with several hopeless random branches still counts as ONE
+	// trace misprediction.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		tr := mkTrace(
+			trace.Branch{PC: 0x1004, Ctrl: isa.CtrlCondDir, Taken: rng.Intn(2) == 0, Target: 0x1100},
+			trace.Branch{PC: 0x1008, Ctrl: isa.CtrlCondDir, Taken: rng.Intn(2) == 0, Target: 0x1200},
+			trace.Branch{PC: 0x100c, Ctrl: isa.CtrlCondDir, Taken: rng.Intn(2) == 0, Target: 0x1300},
+		)
+		s.ObserveTrace(tr)
+	}
+	st := s.Stats()
+	if st.Traces != 50 {
+		t.Errorf("Traces = %d", st.Traces)
+	}
+	if st.TraceMisp > st.Traces {
+		t.Errorf("TraceMisp %d > Traces %d", st.TraceMisp, st.Traces)
+	}
+	if st.CondBranches != 150 {
+		t.Errorf("CondBranches = %d", st.CondBranches)
+	}
+	if got := st.BranchesPerTrace(); got != 3 {
+		t.Errorf("BranchesPerTrace = %v", got)
+	}
+}
+
+func TestSeqStatsZero(t *testing.T) {
+	var s SeqStats
+	if s.BranchMissRate() != 0 || s.TraceMissRate() != 0 ||
+		s.BranchesPerTrace() != 0 || s.IndirectMissRate() != 0 {
+		t.Error("zero stats produce nonzero rates")
+	}
+}
+
+func TestSequentialCustomPredictor(t *testing.T) {
+	b, _ := NewBimodal(10)
+	s, err := NewSequential(SequentialConfig{Cond: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mkTrace(trace.Branch{PC: 0x1004, Ctrl: isa.CtrlCondDir, Taken: false, Target: 0x1100})
+	s.ObserveTrace(tr)
+	if s.Stats().CondBranches != 1 {
+		t.Error("custom predictor not exercised")
+	}
+}
+
+func TestSequentialRealRAS(t *testing.T) {
+	s := MustNewSequential(SequentialConfig{RealRAS: 8})
+	// Matched call/return: return predicted after the call pushed.
+	call := mkTrace(trace.Branch{PC: 0x1000, Ctrl: isa.CtrlCallDir, Taken: true, Target: 0x2000})
+	ret := mkTrace(trace.Branch{PC: 0x2000, Ctrl: isa.CtrlReturn, Taken: true, Target: 0x1004})
+	s.ObserveTrace(call)
+	if !s.ObserveTrace(ret) {
+		t.Error("matched return mispredicted")
+	}
+	// Unmatched return (longjmp-style): must miss.
+	bogus := mkTrace(trace.Branch{PC: 0x3000, Ctrl: isa.CtrlReturn, Taken: true, Target: 0x7777})
+	if s.ObserveTrace(bogus) {
+		t.Error("return with empty RAS predicted correctly")
+	}
+	st := s.Stats()
+	if st.Returns != 2 || st.ReturnMisp != 1 {
+		t.Errorf("return stats = %+v", st)
+	}
+	if st.ReturnMissRate() != 50 {
+		t.Errorf("ReturnMissRate = %v", st.ReturnMissRate())
+	}
+}
+
+func TestSequentialRealBTB(t *testing.T) {
+	s := MustNewSequential(SequentialConfig{RealBTB: 10})
+	j := mkTrace(trace.Branch{PC: 0x1000, Ctrl: isa.CtrlJumpDir, Taken: true, Target: 0x2000})
+	// Compulsory miss, then hit.
+	if s.ObserveTrace(j) {
+		t.Error("cold BTB hit")
+	}
+	if !s.ObserveTrace(j) {
+		t.Error("warm BTB missed")
+	}
+	st := s.Stats()
+	if st.Directs != 2 || st.DirectMisp != 1 {
+		t.Errorf("direct stats = %+v", st)
+	}
+}
+
+func TestSequentialStringDescribesConfig(t *testing.T) {
+	a := MustNewSequential(SequentialConfig{})
+	if !strings.Contains(a.String(), "perfect RAS") {
+		t.Errorf("default String = %q", a.String())
+	}
+	b := MustNewSequential(SequentialConfig{RealRAS: 16, RealBTB: 10})
+	if !strings.Contains(b.String(), "RAS-16") || !strings.Contains(b.String(), "real BTB") {
+		t.Errorf("real String = %q", b.String())
+	}
+}

@@ -1,0 +1,261 @@
+package branchpred
+
+import (
+	"fmt"
+
+	"pathtrace/internal/isa"
+	"pathtrace/internal/trace"
+)
+
+// This file implements the realizable multiple-branch predictors the
+// paper's §2 surveys — the mechanisms the idealized sequential baseline
+// upper-bounds:
+//
+//   - the multiported GAg of Yeh, Marr and Patt (ICS 1993), as used for
+//     the original trace cache study (Rotenberg et al., MICRO-29): one
+//     global history register indexes a PHT; to predict several
+//     branches in one cycle the predictor reads counters for the
+//     speculative history extensions, so later predictions in the
+//     bundle see progressively less real history;
+//   - the trace-oriented multiple-branch predictor of Patel, Friendly
+//     and Patt (CSE-TR-342-97): the global history register XORed with
+//     the address of the first instruction of the trace indexes a table
+//     whose entries hold multiple two-bit counters, one per potential
+//     branch slot — GSHARE-like accuracy with one access per trace.
+//
+// Both are driven at trace granularity: given the previous trace's end
+// state they predict all conditional branches of the next trace at
+// once, *without* seeing intermediate real outcomes (unlike the
+// idealized sequential predictor, which does).
+
+// MultiBranchPredictor predicts all conditional branches of a trace in
+// a single cycle.
+type MultiBranchPredictor interface {
+	// PredictTrace returns predicted directions for up to
+	// trace.DefaultMaxBranches conditional branches of the trace that
+	// begins at startPC.
+	PredictTrace(startPC uint32, n int) []bool
+	// UpdateTrace reveals the actual outcomes; implementations train
+	// their tables and advance the real history.
+	UpdateTrace(startPC uint32, outcomes []bool)
+	Name() string
+}
+
+// MultiStats counts trace-level accuracy of a multiple-branch
+// predictor: a trace is mispredicted if any of its conditional branch
+// predictions is wrong.
+type MultiStats struct {
+	Traces       uint64
+	TraceMisp    uint64
+	CondBranches uint64
+	CondMisp     uint64
+}
+
+// TraceMissRate returns the per-trace misprediction rate in percent.
+func (s MultiStats) TraceMissRate() float64 {
+	if s.Traces == 0 {
+		return 0
+	}
+	return 100 * float64(s.TraceMisp) / float64(s.Traces)
+}
+
+// BranchMissRate returns the per-branch misprediction rate in percent.
+func (s MultiStats) BranchMissRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return 100 * float64(s.CondMisp) / float64(s.CondBranches)
+}
+
+// MultiGAg is the multiported GAg: the BHR indexes the PHT directly;
+// the second and later predictions of a bundle extend the history with
+// the just-made (speculative) predictions.
+type MultiGAg struct {
+	pht  *PHT
+	hist uint32
+	mask uint32
+	bits int
+	buf  []bool
+}
+
+// NewMultiGAg creates a multiported GAg with `bits` of global history.
+func NewMultiGAg(bits int) (*MultiGAg, error) {
+	pht, err := NewPHT(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiGAg{pht: pht, mask: 1<<bits - 1, bits: bits}, nil
+}
+
+// PredictTrace implements MultiBranchPredictor.
+func (g *MultiGAg) PredictTrace(_ uint32, n int) []bool {
+	g.buf = g.buf[:0]
+	h := g.hist
+	for i := 0; i < n; i++ {
+		taken := g.pht.Predict(h)
+		g.buf = append(g.buf, taken)
+		h = (h<<1 | b2u(taken)) & g.mask
+	}
+	return g.buf
+}
+
+// UpdateTrace implements MultiBranchPredictor. Counters are trained at
+// the indices the predictions were (or would have been) read from,
+// using the *actual* intermediate outcomes, as the multiported
+// implementations do at branch resolution.
+func (g *MultiGAg) UpdateTrace(_ uint32, outcomes []bool) {
+	h := g.hist
+	for _, taken := range outcomes {
+		g.pht.Update(h, taken)
+		h = (h<<1 | b2u(taken)) & g.mask
+	}
+	g.hist = h
+}
+
+// Name implements MultiBranchPredictor.
+func (g *MultiGAg) Name() string { return fmt.Sprintf("mgag-%d", g.bits) }
+
+// PatelMulti is the trace-based multiple-branch predictor: the history
+// register XORed with the trace's starting address selects an entry of
+// per-slot two-bit counters, so all branches of the trace are predicted
+// in one access.
+type PatelMulti struct {
+	entries [][]uint8 // [index][slot] two-bit counters
+	hist    uint32
+	mask    uint32
+	bits    int
+	slots   int
+	buf     []bool
+}
+
+// NewPatelMulti creates the predictor with 1<<bits entries of `slots`
+// counters each.
+func NewPatelMulti(bits, slots int) (*PatelMulti, error) {
+	if bits < 1 || bits > 24 {
+		return nil, fmt.Errorf("branchpred: PatelMulti bits %d outside [1, 24]", bits)
+	}
+	if slots < 1 || slots > trace.DefaultMaxBranches {
+		return nil, fmt.Errorf("branchpred: PatelMulti slots %d outside [1, %d]",
+			slots, trace.DefaultMaxBranches)
+	}
+	entries := make([][]uint8, 1<<bits)
+	backing := make([]uint8, (1<<bits)*slots)
+	for i := range backing {
+		backing[i] = 1 // weakly not taken
+	}
+	for i := range entries {
+		entries[i], backing = backing[:slots:slots], backing[slots:]
+	}
+	return &PatelMulti{entries: entries, mask: uint32(1<<bits - 1), bits: bits, slots: slots}, nil
+}
+
+func (p *PatelMulti) index(startPC uint32) uint32 {
+	return (startPC>>2 ^ p.hist) & p.mask
+}
+
+// PredictTrace implements MultiBranchPredictor.
+func (p *PatelMulti) PredictTrace(startPC uint32, n int) []bool {
+	e := p.entries[p.index(startPC)]
+	p.buf = p.buf[:0]
+	for i := 0; i < n && i < p.slots; i++ {
+		p.buf = append(p.buf, e[i] >= 2)
+	}
+	for i := p.slots; i < n; i++ {
+		p.buf = append(p.buf, false) // beyond the slot budget: static NT
+	}
+	return p.buf
+}
+
+// UpdateTrace implements MultiBranchPredictor.
+func (p *PatelMulti) UpdateTrace(startPC uint32, outcomes []bool) {
+	e := p.entries[p.index(startPC)]
+	for i, taken := range outcomes {
+		if i >= p.slots {
+			break
+		}
+		c := &e[i]
+		if taken {
+			if *c < 3 {
+				*c++
+			}
+		} else if *c > 0 {
+			*c--
+		}
+	}
+	for _, taken := range outcomes {
+		p.hist = p.hist<<1 | b2u(taken)
+	}
+	p.hist &= p.mask
+}
+
+// Name implements MultiBranchPredictor.
+func (p *PatelMulti) Name() string { return fmt.Sprintf("patel-%d/%d", p.bits, p.slots) }
+
+// MultiBranchHarness drives a multiple-branch predictor over a trace
+// stream and accounts trace-level accuracy. Direct targets are ideal
+// (as with the sequential baseline); indirect targets use a shared
+// correlated target cache; returns are perfect.
+type MultiBranchHarness struct {
+	pred   MultiBranchPredictor
+	tcache *TargetCache
+	stats  MultiStats
+	outBuf []bool
+}
+
+// NewMultiBranchHarness wires a predictor to the standard target
+// machinery.
+func NewMultiBranchHarness(pred MultiBranchPredictor, indirectBits int) (*MultiBranchHarness, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("branchpred: nil multi-branch predictor")
+	}
+	if indirectBits == 0 {
+		indirectBits = 12
+	}
+	tc, err := NewTargetCache(indirectBits)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiBranchHarness{pred: pred, tcache: tc}, nil
+}
+
+// ObserveTrace predicts the trace's conditional branches as a bundle
+// and its indirect target (if any), then trains with the actual
+// outcomes. Returns whether the whole trace was predicted correctly.
+func (h *MultiBranchHarness) ObserveTrace(tr *trace.Trace) bool {
+	h.outBuf = h.outBuf[:0]
+	for _, b := range tr.Branches {
+		if b.Ctrl == isa.CtrlCondDir {
+			h.outBuf = append(h.outBuf, b.Taken)
+		}
+	}
+	ok := true
+	preds := h.pred.PredictTrace(tr.StartPC, len(h.outBuf))
+	for i, taken := range h.outBuf {
+		h.stats.CondBranches++
+		if preds[i] != taken {
+			h.stats.CondMisp++
+			ok = false
+		}
+	}
+	// Indirect terminal target, if any.
+	for _, b := range tr.Branches {
+		if b.Ctrl.Indirect() && b.Ctrl != isa.CtrlReturn {
+			if t, valid := h.tcache.Predict(b.PC); !valid || t != b.Target {
+				ok = false
+			}
+			h.tcache.Update(b.PC, b.Target)
+		}
+	}
+	h.pred.UpdateTrace(tr.StartPC, h.outBuf)
+	h.stats.Traces++
+	if !ok {
+		h.stats.TraceMisp++
+	}
+	return ok
+}
+
+// Stats returns the accumulated counters.
+func (h *MultiBranchHarness) Stats() MultiStats { return h.stats }
+
+// Name describes the wrapped predictor.
+func (h *MultiBranchHarness) Name() string { return h.pred.Name() }

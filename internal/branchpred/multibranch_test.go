@@ -1,0 +1,209 @@
+package branchpred
+
+import (
+	"testing"
+
+	"pathtrace/internal/isa"
+	"pathtrace/internal/trace"
+)
+
+func TestMultiGAgLearnsBundlePattern(t *testing.T) {
+	g, err := NewMultiGAg(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A repeating 3-branch bundle: T, N, T.
+	pattern := []bool{true, false, true}
+	for i := 0; i < 200; i++ {
+		g.PredictTrace(0x1000, len(pattern))
+		g.UpdateTrace(0x1000, pattern)
+	}
+	got := g.PredictTrace(0x1000, len(pattern))
+	for i, want := range pattern {
+		if got[i] != want {
+			t.Errorf("steady-state bundle[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestMultiGAgSpeculativeHistoryChains(t *testing.T) {
+	// The second prediction of a bundle must depend on the first: train
+	// a history-dependent pattern where branch 2's outcome equals
+	// branch 1's.
+	g, err := NewMultiGAg(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := [][]bool{{true, true}, {false, false}}
+	for i := 0; i < 400; i++ {
+		s := seqs[i%2]
+		g.PredictTrace(0x1000, 2)
+		g.UpdateTrace(0x1000, s)
+	}
+	// After an even number of updates the next bundle is {T,T}.
+	got := g.PredictTrace(0x1000, 2)
+	if got[0] != got[1] {
+		t.Errorf("bundle predictions not chained: %v", got)
+	}
+}
+
+func TestPatelMultiValidation(t *testing.T) {
+	if _, err := NewPatelMulti(0, 3); err == nil {
+		t.Error("bits 0 accepted")
+	}
+	if _, err := NewPatelMulti(10, 0); err == nil {
+		t.Error("slots 0 accepted")
+	}
+	if _, err := NewPatelMulti(10, 7); err == nil {
+		t.Error("slots beyond trace branch limit accepted")
+	}
+	if _, err := NewMultiGAg(0); err == nil {
+		t.Error("MultiGAg bits 0 accepted")
+	}
+}
+
+func TestPatelMultiPerSlotCounters(t *testing.T) {
+	p, err := NewPatelMulti(12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot-dependent pattern for a single trace start.
+	pattern := []bool{true, false, true, true, false, false}
+	for i := 0; i < 100; i++ {
+		p.PredictTrace(0x2000, len(pattern))
+		p.UpdateTrace(0x2000, pattern)
+	}
+	// The history register is periodic, so the index recurs; slots must
+	// have learned the per-position outcomes.
+	got := p.PredictTrace(0x2000, len(pattern))
+	for i, want := range pattern {
+		if got[i] != want {
+			t.Errorf("slot %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestPatelMultiBeyondSlotsPredictsNotTaken(t *testing.T) {
+	p, err := NewPatelMulti(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.PredictTrace(0x1000, 4)
+	if len(got) != 4 {
+		t.Fatalf("got %d predictions", len(got))
+	}
+	if got[2] || got[3] {
+		t.Error("beyond-slot predictions should default not-taken")
+	}
+}
+
+func TestPatelMultiNames(t *testing.T) {
+	p, _ := NewPatelMulti(14, 6)
+	if p.Name() != "patel-14/6" {
+		t.Errorf("name = %q", p.Name())
+	}
+	g, _ := NewMultiGAg(14)
+	if g.Name() != "mgag-14" {
+		t.Errorf("name = %q", g.Name())
+	}
+}
+
+func multiTrace(startPC uint32, outcomes ...bool) *trace.Trace {
+	var outs uint8
+	branches := make([]trace.Branch, len(outcomes))
+	for i, taken := range outcomes {
+		branches[i] = trace.Branch{PC: startPC + uint32(i)*8, Ctrl: isa.CtrlCondDir, Taken: taken}
+		if taken {
+			outs |= 1 << i
+		}
+	}
+	id := trace.MakeID(startPC, outs)
+	return &trace.Trace{ID: id, Hash: id.Hash(), StartPC: startPC,
+		Len: 8, NumBr: len(outcomes), Branches: branches}
+}
+
+func TestMultiBranchHarnessAccounting(t *testing.T) {
+	g, _ := NewMultiGAg(12)
+	h, err := NewMultiBranchHarness(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fixed repeating trace: steady state perfect.
+	for i := 0; i < 300; i++ {
+		h.ObserveTrace(multiTrace(0x1000, true, false))
+	}
+	warm := h.Stats()
+	for i := 0; i < 100; i++ {
+		if !h.ObserveTrace(multiTrace(0x1000, true, false)) {
+			t.Fatal("steady-state trace mispredicted")
+		}
+	}
+	st := h.Stats()
+	if st.Traces != 400 || st.CondBranches != 800 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.TraceMisp != warm.TraceMisp {
+		t.Error("late mispredictions in steady state")
+	}
+	if st.TraceMissRate() < 0 || st.TraceMissRate() > 100 ||
+		st.BranchMissRate() < 0 || st.BranchMissRate() > 100 {
+		t.Error("rates out of range")
+	}
+}
+
+func TestMultiBranchHarnessIndirects(t *testing.T) {
+	g, _ := NewMultiGAg(12)
+	h, _ := NewMultiBranchHarness(g, 8)
+	tr := multiTrace(0x1000, true)
+	tr.Branches = append(tr.Branches, trace.Branch{
+		PC: 0x1020, Ctrl: isa.CtrlJumpInd, Taken: true, Target: 0x4000})
+	// First observation: compulsory indirect miss marks the trace wrong
+	// even if the branch was right.
+	h.ObserveTrace(tr)
+	if h.Stats().TraceMisp == 0 {
+		t.Error("compulsory indirect miss not charged to the trace")
+	}
+	if _, err := NewMultiBranchHarness(nil, 0); err == nil {
+		t.Error("nil predictor accepted")
+	}
+}
+
+func TestMultiStatsZero(t *testing.T) {
+	var s MultiStats
+	if s.TraceMissRate() != 0 || s.BranchMissRate() != 0 {
+		t.Error("zero stats rates not 0")
+	}
+}
+
+// The ordering the paper relies on: the idealized sequential predictor
+// (real intermediate outcomes) is at least as good as the realizable
+// bundle predictors on the same stream.
+func TestSequentialUpperBoundsMultiBranch(t *testing.T) {
+	seq := MustNewSequential(SequentialConfig{})
+	mg, _ := NewMultiGAg(16)
+	hg, _ := NewMultiBranchHarness(mg, 0)
+	pm, _ := NewPatelMulti(16, 6)
+	hp, _ := NewMultiBranchHarness(pm, 0)
+
+	// A mix of repeating bundles with history-dependent outcomes.
+	patterns := [][]bool{
+		{true, true, false},
+		{true, false, false},
+		{false, true},
+		{true},
+	}
+	for i := 0; i < 3000; i++ {
+		p := patterns[i%len(patterns)]
+		tr := multiTrace(0x1000+uint32(i%7)*64, p...)
+		seq.ObserveTrace(tr)
+		hg.ObserveTrace(tr)
+		hp.ObserveTrace(tr)
+	}
+	s := seq.Stats().TraceMissRate()
+	g := hg.Stats().TraceMissRate()
+	p := hp.Stats().TraceMissRate()
+	// Allow a tiny warmup epsilon.
+	if s > g+1.0 || s > p+1.0 {
+		t.Errorf("sequential (%v) worse than bundle predictors (mgag %v, patel %v)", s, g, p)
+	}
+}

@@ -1,0 +1,224 @@
+package branchpred
+
+import (
+	"fmt"
+
+	"pathtrace/internal/isa"
+	"pathtrace/internal/trace"
+)
+
+// Sequential is the idealized sequential trace predictor baseline of
+// §5.1: proven control-flow prediction components predicting each
+// control instruction of a trace one at a time, with the outcomes of
+// all previous branches known at each prediction.
+//
+// Components (paper configuration): a 16-bit GSHARE for conditional
+// branches, a perfect branch target buffer for PC-relative and absolute
+// targets, a 4K-entry correlated target cache for indirect jumps, and a
+// perfect return address predictor. All updates are immediate.
+//
+// A trace counts as mispredicted if one or more predictions within it
+// were incorrect.
+type Sequential struct {
+	cond   ConditionalPredictor
+	tcache *TargetCache
+	ras    *RAS // nil = perfect return address prediction
+	btb    *BTB // nil = perfect direct-target prediction
+	stats  SeqStats
+}
+
+// SeqStats are the accuracy counters of the sequential baseline,
+// matching the columns of the paper's Table 2.
+type SeqStats struct {
+	Traces       uint64
+	TraceMisp    uint64
+	CondBranches uint64
+	CondMisp     uint64
+	Indirects    uint64
+	IndirectMisp uint64
+	Returns      uint64
+	ReturnMisp   uint64
+	Directs      uint64
+	DirectMisp   uint64
+	Instructions uint64
+}
+
+// BranchMissRate returns the conditional-branch misprediction rate in
+// percent (Table 2, "gshare branch misprediction").
+func (s SeqStats) BranchMissRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return 100 * float64(s.CondMisp) / float64(s.CondBranches)
+}
+
+// TraceMissRate returns the trace misprediction rate in percent
+// (Table 2, "misprediction of traces").
+func (s SeqStats) TraceMissRate() float64 {
+	if s.Traces == 0 {
+		return 0
+	}
+	return 100 * float64(s.TraceMisp) / float64(s.Traces)
+}
+
+// BranchesPerTrace returns the mean number of conditional branches per
+// trace (Table 2, "number of branches per trace").
+func (s SeqStats) BranchesPerTrace() float64 {
+	if s.Traces == 0 {
+		return 0
+	}
+	return float64(s.CondBranches) / float64(s.Traces)
+}
+
+// IndirectMissRate returns the indirect-target misprediction rate in
+// percent.
+func (s SeqStats) IndirectMissRate() float64 {
+	if s.Indirects == 0 {
+		return 0
+	}
+	return 100 * float64(s.IndirectMisp) / float64(s.Indirects)
+}
+
+// SequentialConfig sizes the baseline. Zero values take the paper's
+// configuration (perfect BTB and return address prediction).
+type SequentialConfig struct {
+	GshareBits   int                  // default 16
+	IndirectBits int                  // default 12 (4K entries)
+	Cond         ConditionalPredictor // overrides the gshare if non-nil
+
+	// RealRAS replaces the perfect return address predictor with a
+	// bounded hardware stack of the given depth.
+	RealRAS int
+	// RealBTB replaces the perfect direct-target buffer with a tagged
+	// direct-mapped BTB of 1<<RealBTB entries.
+	RealBTB int
+}
+
+// NewSequential constructs the baseline.
+func NewSequential(cfg SequentialConfig) (*Sequential, error) {
+	if cfg.GshareBits == 0 {
+		cfg.GshareBits = 16
+	}
+	if cfg.IndirectBits == 0 {
+		cfg.IndirectBits = 12
+	}
+	tc, err := NewTargetCache(cfg.IndirectBits)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sequential{tcache: tc}
+	if cfg.RealRAS > 0 {
+		ras, err := NewRAS(cfg.RealRAS)
+		if err != nil {
+			return nil, err
+		}
+		s.ras = ras
+	}
+	if cfg.RealBTB > 0 {
+		btb, err := NewBTB(cfg.RealBTB)
+		if err != nil {
+			return nil, err
+		}
+		s.btb = btb
+	}
+	if cfg.Cond != nil {
+		s.cond = cfg.Cond
+	} else {
+		g, err := NewGshare(cfg.GshareBits)
+		if err != nil {
+			return nil, err
+		}
+		s.cond = g
+	}
+	return s, nil
+}
+
+// MustNewSequential is NewSequential for static configurations.
+func MustNewSequential(cfg SequentialConfig) *Sequential {
+	s, err := NewSequential(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ObserveTrace predicts every control instruction in the trace
+// sequentially, updates the component predictors with the actual
+// outcomes, and returns whether the whole trace was predicted
+// correctly.
+func (s *Sequential) ObserveTrace(tr *trace.Trace) bool {
+	ok := true
+	for _, b := range tr.Branches {
+		switch b.Ctrl {
+		case isa.CtrlCondDir:
+			s.stats.CondBranches++
+			if s.cond.Predict(b.PC) != b.Taken {
+				s.stats.CondMisp++
+				ok = false
+			}
+			s.cond.Update(b.PC, b.Taken)
+		case isa.CtrlJumpDir, isa.CtrlCallDir:
+			// Perfect BTB by default: direct targets are static.
+			if s.btb != nil {
+				s.stats.Directs++
+				if t, valid := s.btb.Predict(b.PC); !valid || t != b.Target {
+					s.stats.DirectMisp++
+					ok = false
+				}
+				s.btb.Update(b.PC, b.Target)
+			}
+			if s.ras != nil && b.Ctrl == isa.CtrlCallDir {
+				s.ras.Push(b.PC + 4)
+			}
+		case isa.CtrlJumpInd, isa.CtrlCallInd:
+			s.stats.Indirects++
+			if t, valid := s.tcache.Predict(b.PC); !valid || t != b.Target {
+				s.stats.IndirectMisp++
+				ok = false
+			}
+			s.tcache.Update(b.PC, b.Target)
+			if s.ras != nil && b.Ctrl == isa.CtrlCallInd {
+				s.ras.Push(b.PC + 4)
+			}
+		case isa.CtrlReturn:
+			// Perfect return address predictor by default.
+			if s.ras != nil {
+				s.stats.Returns++
+				if t, okPop := s.ras.Pop(); !okPop || t != b.Target {
+					s.stats.ReturnMisp++
+					ok = false
+				}
+			}
+		}
+	}
+	s.stats.Traces++
+	s.stats.Instructions += uint64(tr.Len)
+	if !ok {
+		s.stats.TraceMisp++
+	}
+	return ok
+}
+
+// Stats returns the accumulated counters.
+func (s *Sequential) Stats() SeqStats { return s.stats }
+
+// ReturnMissRate returns the return-address misprediction rate in
+// percent (real-RAS configurations only).
+func (s SeqStats) ReturnMissRate() float64 {
+	if s.Returns == 0 {
+		return 0
+	}
+	return 100 * float64(s.ReturnMisp) / float64(s.Returns)
+}
+
+// String describes the configuration.
+func (s *Sequential) String() string {
+	ras, btb := "perfect RAS", "perfect BTB"
+	if s.ras != nil {
+		ras = fmt.Sprintf("RAS-%d", s.ras.max)
+	}
+	if s.btb != nil {
+		btb = "real BTB"
+	}
+	return fmt.Sprintf("sequential(%s, %s, %s, correlated target cache)", s.cond.Name(), btb, ras)
+}

@@ -1,0 +1,136 @@
+package branchpred
+
+import "fmt"
+
+// TargetCache is a correlated indirect-target predictor in the style of
+// Chang, Hao and Patt ("Target Prediction for Indirect Jumps", ISCA
+// 1997): a table of full target addresses indexed by the jump PC
+// exclusive-ored with a *target history* — a register recording the
+// pattern of recent indirect-jump targets. Target history, rather than
+// taken/not-taken history, is what disambiguates the dispatch jumps of
+// interpreters and virtual calls.
+type TargetCache struct {
+	targets []uint32
+	valid   []bool
+	mask    uint32
+	thist   uint32
+}
+
+// NewTargetCache creates a 1<<indexBits-entry target cache.
+func NewTargetCache(indexBits int) (*TargetCache, error) {
+	if indexBits < 1 || indexBits > 24 {
+		return nil, fmt.Errorf("branchpred: target cache index bits %d outside [1, 24]", indexBits)
+	}
+	return &TargetCache{
+		targets: make([]uint32, 1<<indexBits),
+		valid:   make([]bool, 1<<indexBits),
+		mask:    1<<indexBits - 1,
+	}, nil
+}
+
+// MustNewTargetCache is NewTargetCache for static configurations.
+func MustNewTargetCache(indexBits int) *TargetCache {
+	t, err := NewTargetCache(indexBits)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *TargetCache) index(pc uint32) uint32 { return (pcBits(pc) ^ t.thist) & t.mask }
+
+// Predict returns the cached target for the indirect jump at pc, and
+// whether one exists.
+func (t *TargetCache) Predict(pc uint32) (uint32, bool) {
+	i := t.index(pc)
+	return t.targets[i], t.valid[i]
+}
+
+// Update records the actual target and shifts it into the target
+// history register.
+func (t *TargetCache) Update(pc, target uint32) {
+	i := t.index(pc)
+	t.targets[i] = target
+	t.valid[i] = true
+	t.thist = t.thist<<4 ^ pcBits(target)
+}
+
+// RAS is a bounded hardware return address stack. On overflow the
+// deepest entry is discarded; popping an empty stack fails.
+type RAS struct {
+	stack []uint32
+	max   int
+}
+
+// NewRAS creates a return address stack of the given depth.
+func NewRAS(depth int) (*RAS, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("branchpred: RAS depth %d < 1", depth)
+	}
+	return &RAS{stack: make([]uint32, 0, depth), max: depth}, nil
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint32) {
+	if len(r.stack) >= r.max {
+		copy(r.stack, r.stack[1:])
+		r.stack[len(r.stack)-1] = addr
+		return
+	}
+	r.stack = append(r.stack, addr)
+}
+
+// Pop predicts the target of a return.
+func (r *RAS) Pop() (uint32, bool) {
+	if len(r.stack) == 0 {
+		return 0, false
+	}
+	a := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return a, true
+}
+
+// Depth reports the number of saved return addresses.
+func (r *RAS) Depth() int { return len(r.stack) }
+
+// BTB is a tagged, direct-mapped branch target buffer mapping a branch
+// PC to its most recent target. The idealized sequential baseline uses
+// a *perfect* BTB for direct branches; this real BTB exists for
+// ablations and for completeness of the substrate.
+type BTB struct {
+	tags    []uint32
+	targets []uint32
+	valid   []bool
+	mask    uint32
+}
+
+// NewBTB creates a 1<<indexBits-entry BTB.
+func NewBTB(indexBits int) (*BTB, error) {
+	if indexBits < 1 || indexBits > 24 {
+		return nil, fmt.Errorf("branchpred: BTB index bits %d outside [1, 24]", indexBits)
+	}
+	n := 1 << indexBits
+	return &BTB{
+		tags:    make([]uint32, n),
+		targets: make([]uint32, n),
+		valid:   make([]bool, n),
+		mask:    uint32(n - 1),
+	}, nil
+}
+
+// Predict returns the cached target for the branch at pc.
+func (b *BTB) Predict(pc uint32) (uint32, bool) {
+	i := pcBits(pc) & b.mask
+	if !b.valid[i] || b.tags[i] != pc {
+		return 0, false
+	}
+	return b.targets[i], true
+}
+
+// Update records the actual target for the branch at pc.
+func (b *BTB) Update(pc, target uint32) {
+	i := pcBits(pc) & b.mask
+	b.tags[i] = pc
+	b.targets[i] = target
+	b.valid[i] = true
+}

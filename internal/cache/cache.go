@@ -1,0 +1,122 @@
+// Package cache models simple set-associative byte-addressed caches —
+// the 4KB instruction cache and 4KB data cache of the paper's execution
+// engine (§4.1). The model tracks hits and misses only; contents are
+// immaterial to the front-end studies.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size (power of two)
+	Assoc     int // ways (LRU replacement)
+}
+
+// ICache4K is the paper's 4KB instruction cache (32B lines, 2-way).
+func ICache4K() Config { return Config{SizeBytes: 4096, LineBytes: 32, Assoc: 2} }
+
+// DCache4K is the paper's 4KB data cache (32B lines, 4-way; the paper's
+// was 4-ported, which a hit/miss model need not represent).
+func DCache4K() Config { return Config{SizeBytes: 4096, LineBytes: 32, Assoc: 4} }
+
+// Stats counts accesses.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+}
+
+// Misses returns Accesses - Hits.
+func (s Stats) Misses() uint64 { return s.Accesses - s.Hits }
+
+// HitRate returns the hit rate in percent.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint32
+	valid bool
+	used  uint64
+}
+
+// Cache is a set-associative cache with LRU replacement.
+type Cache struct {
+	sets      [][]line
+	setMask   uint32
+	lineShift uint
+	clock     uint64
+	stats     Stats
+}
+
+// New builds a cache; the geometry must divide into a power-of-two
+// number of sets with power-of-two lines.
+func New(cfg Config) (*Cache, error) {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Assoc <= 0 {
+		return nil, fmt.Errorf("cache: bad geometry %+v", cfg)
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: line size %d not a power of two", cfg.LineBytes)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines == 0 || lines%cfg.Assoc != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", lines, cfg.Assoc)
+	}
+	nsets := lines / cfg.Assoc
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets not a power of two", nsets)
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, lines)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{sets: sets, setMask: uint32(nsets - 1), lineShift: shift}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access probes the line containing addr, filling on a miss. It
+// reports whether the probe hit.
+func (c *Cache) Access(addr uint32) bool {
+	c.clock++
+	c.stats.Accesses++
+	tag := addr >> c.lineShift
+	set := c.sets[tag&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = c.clock
+			c.stats.Hits++
+			return true
+		}
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, used: c.clock}
+	return false
+}
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }

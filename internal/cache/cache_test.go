@@ -1,0 +1,100 @@
+package cache
+
+import "testing"
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 32, Assoc: 2},
+		{SizeBytes: 4096, LineBytes: 0, Assoc: 2},
+		{SizeBytes: 4096, LineBytes: 33, Assoc: 2},
+		{SizeBytes: 4096, LineBytes: 32, Assoc: 0},
+		{SizeBytes: 4096, LineBytes: 32, Assoc: 5},
+		{SizeBytes: 96, LineBytes: 32, Assoc: 1}, // 3 sets
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("accepted %+v", cfg)
+		}
+	}
+	for _, good := range []Config{ICache4K(), DCache4K()} {
+		if _, err := New(good); err != nil {
+			t.Errorf("rejected %+v: %v", good, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestHitMissWithinLine(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 128, LineBytes: 32, Assoc: 2})
+	if c.Access(0x100) {
+		t.Error("cold access hit")
+	}
+	// Same line: hits.
+	for _, a := range []uint32{0x100, 0x11f, 0x104} {
+		if !c.Access(a) {
+			t.Errorf("same-line access %#x missed", a)
+		}
+	}
+	// Next line: miss.
+	if c.Access(0x120) {
+		t.Error("next line hit cold")
+	}
+	st := c.Stats()
+	if st.Accesses != 5 || st.Hits != 3 || st.Misses() != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 60 {
+		t.Errorf("HitRate = %v", st.HitRate())
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// One set, two ways: lines 0x0, 0x40... with 2 sets? Make 1-set:
+	c := MustNew(Config{SizeBytes: 64, LineBytes: 32, Assoc: 2}) // 1 set
+	c.Access(0x00)
+	c.Access(0x20)
+	c.Access(0x00) // MRU
+	c.Access(0x40) // evicts 0x20
+	if !c.Access(0x00) {
+		t.Error("MRU line evicted")
+	}
+	if c.Access(0x20) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestCapacityWorkingSet(t *testing.T) {
+	c := MustNew(ICache4K())
+	// A working set equal to capacity: after warmup, all hits.
+	for round := 0; round < 3; round++ {
+		for a := uint32(0); a < 4096; a += 32 {
+			c.Access(a)
+		}
+	}
+	st := c.Stats()
+	if st.Misses() != 128 { // compulsory only
+		t.Errorf("misses = %d, want 128 compulsory", st.Misses())
+	}
+	// Double the working set: every access misses (LRU thrash).
+	c2 := MustNew(ICache4K())
+	for round := 0; round < 3; round++ {
+		for a := uint32(0); a < 8192; a += 32 {
+			c2.Access(a)
+		}
+	}
+	if rate := c2.Stats().HitRate(); rate > 1 {
+		t.Errorf("thrash hit rate %v, want ~0", rate)
+	}
+}
+
+func TestZeroStats(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("zero stats hit rate")
+	}
+}

@@ -1,0 +1,156 @@
+package cc
+
+// The PTC abstract syntax tree. All values are 32-bit words.
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a global scalar (Size 0) or array (Size > 0).
+type GlobalDecl struct {
+	Name string
+	Size int64 // words; 0 = scalar
+	Init int64 // scalar initial value
+	Line int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Line   int
+
+	// filled by the checker:
+	locals []string // declaration order, including params
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarStmt declares a local with an initial value.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt stores to a local/global scalar or a global array element.
+type AssignStmt struct {
+	Name  string
+	Index Expr // nil for scalars
+	Value Expr
+	Line  int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// ForStmt is a C-style for loop. Init and Step may be nil; a nil Cond
+// means an unconditional loop (exit via break/return).
+type ForStmt struct {
+	Init Stmt // VarStmt, AssignStmt or ExprStmt
+	Cond Expr
+	Step Stmt // AssignStmt or ExprStmt
+	Body *Block
+	Line int
+}
+
+// ReturnStmt returns a value (Value may be nil -> 0).
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*Block) stmtNode()        {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val  int64
+	Line int
+}
+
+// VarExpr reads a local or global scalar.
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads a global array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// CallExpr calls a function or built-in (out, halt).
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr applies -, !, or ~.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinaryExpr applies a binary operator. && and || short-circuit.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+func (*NumExpr) exprNode()    {}
+func (*VarExpr) exprNode()    {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}

@@ -1,0 +1,447 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"pathtrace/internal/sim"
+)
+
+// runPTC compiles and executes a PTC program, returning its OUT stream.
+func runPTC(t *testing.T, src string) []uint32 {
+	t.Helper()
+	prog, err := CompileProgram(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cpu := sim.MustNew(prog)
+	if err := cpu.Run(50_000_000, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !cpu.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return cpu.Output
+}
+
+func wantOut(t *testing.T, got []uint32, want ...uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("output[%d] = %d (%#x), want %d", i, got[i], got[i], want[i])
+		}
+	}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	out := runPTC(t, `
+func main() {
+    out(1 + 2 * 3);          // 7
+    out((1 + 2) * 3);        // 9
+    out(10 - 3 - 2);         // 5 (left assoc)
+    out(100 / 10 / 2);       // 5
+    out(17 % 5);             // 2
+    out(1 << 4 | 3);         // 19
+    out(0xff & 0x0f ^ 1);    // 14
+    out(-5 + 3);             // -2
+    out(~0);                 // 0xffffffff
+    out(!0 + !7);            // 1
+}`)
+	neg2 := uint32(0xfffffffe)
+	wantOut(t, out, 7, 9, 5, 5, 2, 19, 14, neg2, 0xffffffff, 1)
+}
+
+func TestComparisonsSignedness(t *testing.T) {
+	out := runPTC(t, `
+func main() {
+    out(3 < 5);
+    out(5 < 3);
+    out(5 <= 5);
+    out(5 >= 6);
+    out(4 == 4);
+    out(4 != 4);
+    out(-1 < 1);             // signed compare
+    out(2 > -7);
+}`)
+	wantOut(t, out, 1, 0, 1, 0, 1, 0, 1, 1)
+}
+
+func TestShortCircuit(t *testing.T) {
+	// g is incremented by calls; short-circuiting must skip them.
+	out := runPTC(t, `
+var g = 0;
+
+func bump() { g = g + 1; return 1; }
+
+func main() {
+    out(0 && bump());        // 0, bump not called
+    out(g);                  // 0
+    out(1 || bump());        // 1, bump not called
+    out(g);                  // 0
+    out(1 && bump());        // 1, bump called
+    out(g);                  // 1
+    out(0 || bump());        // 1, bump called
+    out(g);                  // 2
+    out(7 && 9);             // normalised to 1
+}`)
+	wantOut(t, out, 0, 0, 1, 0, 1, 1, 1, 2, 1)
+}
+
+func TestControlFlow(t *testing.T) {
+	out := runPTC(t, `
+func main() {
+    var i = 0;
+    var sum = 0;
+    while (i < 10) {
+        i = i + 1;
+        if (i == 3) { continue; }
+        if (i > 8) { break; }
+        sum = sum + i;
+    }
+    out(sum);                // 1+2+4+5+6+7+8 = 33
+    if (sum == 33) { out(1); } else { out(0); }
+    if (sum != 33) { out(0); } else if (sum > 30) { out(2); } else { out(3); }
+}`)
+	wantOut(t, out, 33, 1, 2)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out := runPTC(t, `
+func fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+func max(a, b) { if (a > b) { return a; } return b; }
+
+func main() {
+    out(fib(10));            // 55
+    out(fib(15));            // 610
+    out(max(3, 9));
+    out(max(max(1, 5), max(2, 4)));  // nested calls in args
+}`)
+	wantOut(t, out, 55, 610, 9, 5)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	out := runPTC(t, `
+var total = 5;
+var seen[16];
+
+func mark(i) { seen[i] = seen[i] + 1; return seen[i]; }
+
+func main() {
+    var i = 0;
+    while (i < 16) { seen[i] = i * i; i = i + 1; }
+    out(seen[0] + seen[3] + seen[15]);  // 0+9+225 = 234
+    total = total + seen[4];            // 5+16 = 21
+    out(total);
+    out(mark(7));                       // 49+1 = 50
+    out(mark(7));                       // 51
+}`)
+	wantOut(t, out, 234, 21, 50, 51)
+}
+
+func TestCollatzProgram(t *testing.T) {
+	out := runPTC(t, `
+func collatz(n) {
+    var steps = 0;
+    while (n != 1) {
+        if (n & 1) { n = 3*n + 1; } else { n = n >> 1; }
+        steps = steps + 1;
+    }
+    return steps;
+}
+
+func main() {
+    var i = 1;
+    var total = 0;
+    while (i <= 100) { total = total + collatz(i); i = i + 1; }
+    out(total);
+}`)
+	// Independently computed: total collatz steps for 1..100.
+	var want uint32
+	for i := 1; i <= 100; i++ {
+		n := uint32(i)
+		for n != 1 {
+			if n&1 == 1 {
+				n = 3*n + 1
+			} else {
+				n >>= 1
+			}
+			want++
+		}
+	}
+	wantOut(t, out, want)
+}
+
+func TestSievePTC(t *testing.T) {
+	out := runPTC(t, `
+var flags[10000];
+
+func main() {
+    var count = 0;
+    var i = 2;
+    while (i < 10000) {
+        if (flags[i] == 0) {
+            count = count + 1;
+            var j = i + i;
+            while (j < 10000) { flags[j] = 1; j = j + i; }
+        }
+        i = i + 1;
+    }
+    out(count);
+}`)
+	wantOut(t, out, 1229)
+}
+
+func TestQueensPTC(t *testing.T) {
+	// Bitboard queens via recursion, matching the xlisp workload's count.
+	out := runPTC(t, `
+var full = 127;   // 7 columns
+
+func solve(cols, d1, d2) {
+    if (cols == full) { return 1; }
+    var count = 0;
+    var avail = ~(cols | d1 | d2) & full;
+    while (avail != 0) {
+        var bit = avail & (-avail);
+        avail = avail ^ bit;
+        count = count + solve(cols | bit, ((d1 | bit) << 1) & full, (d2 | bit) >> 1);
+    }
+    return count;
+}
+
+func main() { out(solve(0, 0, 0)); }`)
+	wantOut(t, out, 40)
+}
+
+func TestDivByZeroSemantics(t *testing.T) {
+	out := runPTC(t, `
+func main() {
+    var z = 0;
+    out(7 / z);   // PT32 defines division by zero as 0
+    out(7 % z);
+}`)
+	wantOut(t, out, 0, 0)
+}
+
+func TestHaltBuiltin(t *testing.T) {
+	out := runPTC(t, `
+func main() {
+    out(1);
+    halt();
+    out(2);      // unreachable
+}`)
+	wantOut(t, out, 1)
+}
+
+func TestUnsignedShiftRight(t *testing.T) {
+	out := runPTC(t, `
+func main() {
+    var x = 0 - 4;           // 0xfffffffc
+    out(x >> 1);             // logical shift: 0x7ffffffe
+}`)
+	wantOut(t, out, 0x7ffffffe)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"no main", `func f() {}`, "no main"},
+		{"main params", `func main(x) {}`, "main must take no parameters"},
+		{"undeclared var", `func main() { out(x); }`, "undeclared variable"},
+		{"undeclared fn", `func main() { f(); }`, "undeclared function"},
+		{"arity", `func f(a) { return a; } func main() { f(1, 2); }`, "takes 1 argument"},
+		{"dup global", `var x; var x; func main() {}`, "duplicate global"},
+		{"dup func", `func f() {} func f() {} func main() {}`, "duplicate function"},
+		{"dup local", `func main() { var x = 1; var x = 2; }`, "duplicate local"},
+		{"dup param", `func f(a, a) {} func main() {}`, "duplicate parameter"},
+		{"too many params", `func f(a, b, c, d, e) {} func main() {}`, "max 4"},
+		{"break outside", `func main() { break; }`, "break outside"},
+		{"continue outside", `func main() { continue; }`, "continue outside"},
+		{"array no index", `var a[4]; func main() { out(a); }`, "without an index"},
+		{"scalar indexed", `var x; func main() { out(x[0]); }`, "not a global array"},
+		{"assign array whole", `var a[4]; func main() { a = 3; }`, "cannot assign to array"},
+		{"builtin arity", `func main() { out(1, 2); }`, "out takes 1"},
+		{"builtin name", `func out() {} func main() {}`, "built-in name"},
+		{"global builtin", `var halt; func main() {}`, "built-in name"},
+		{"parse junk", `func main() { 1 +; }`, "expected expression"},
+		{"unterminated block", `func main() {`, "unterminated block"},
+		{"bad char", "func main() { out(1 $ 2); }", "unexpected character"},
+		{"bad number", `func main() { out(12ab); }`, "malformed number"},
+		{"huge number", `func main() { out(99999999999); }`, "too large"},
+		{"unterminated comment", "func main() { /* forever", "unterminated block comment"},
+		{"array read as stmt", `var a[4]; func main() { a[0]; }`, "expected"},
+		{"top level junk", `wibble`, "expected 'var' or 'func'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil {
+				t.Fatalf("compiled without error, want %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryLines(t *testing.T) {
+	_, err := Compile("func main() {\n  var x = 1;\n  out(y);\n}")
+	ce, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ce.Line != 3 {
+		t.Errorf("error line = %d, want 3", ce.Line)
+	}
+}
+
+func TestExpressionDepthLimit(t *testing.T) {
+	// Build a right-nested expression deeper than the register budget.
+	expr := "1"
+	for i := 0; i < 12; i++ {
+		expr = "1 + (" + expr + ")"
+	}
+	_, err := Compile("func main() { out(" + expr + "); }")
+	if err == nil || !strings.Contains(err.Error(), "too deep") {
+		t.Errorf("deep expression error = %v", err)
+	}
+	// Left-leaning chains stay shallow and must compile.
+	left := strings.Repeat("1 + ", 100) + "1"
+	if _, err := Compile("func main() { out(" + left + "); }"); err != nil {
+		t.Errorf("left-leaning chain rejected: %v", err)
+	}
+}
+
+func TestCommentsAndFormats(t *testing.T) {
+	out := runPTC(t, `
+// line comment
+/* block
+   comment */
+func main() {
+    out(0x10);   // hex
+    out(10);     /* inline */ out(0xFF);
+}`)
+	wantOut(t, out, 16, 10, 255)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	out := runPTC(t, `
+var a = 42;
+var b = -7;
+var c;
+
+func main() { out(a); out(b); out(c); }`)
+	wantOut(t, out, 42, uint32(0xfffffff9), 0)
+}
+
+func TestNestedCallArguments(t *testing.T) {
+	out := runPTC(t, `
+func add(a, b) { return a + b; }
+func mul(a, b) { return a * b; }
+
+func main() {
+    out(add(mul(2, 3), mul(4, 5)));          // 26
+    out(add(add(1, add(2, 3)), add(4, 5)));  // 15
+    out(mul(add(1, 2), add(add(1, 1), 1)));  // 9
+}`)
+	wantOut(t, out, 26, 15, 9)
+}
+
+func TestForLoops(t *testing.T) {
+	out := runPTC(t, `
+func main() {
+    var sum = 0;
+    for (var i = 0; i < 10; i += 1) { sum += i; }
+    out(sum);                         // 45
+
+    // continue must run the step.
+    var evens = 0;
+    for (var j = 0; j < 10; j += 1) {
+        if (j & 1) { continue; }
+        evens += 1;
+    }
+    out(evens);                       // 5
+
+    // empty header parts.
+    var k = 0;
+    for (;;) {
+        k += 1;
+        if (k == 7) { break; }
+    }
+    out(k);                           // 7
+
+    // init/step without var.
+    var m;
+    for (m = 10; m > 0; m -= 2) {}
+    out(m);                           // 0
+}`)
+	wantOut(t, out, 45, 5, 7, 0)
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	out := runPTC(t, `
+var g = 100;
+var a[4];
+
+func main() {
+    var x = 10;
+    x += 5;  out(x);   // 15
+    x -= 3;  out(x);   // 12
+    x *= 4;  out(x);   // 48
+    x /= 5;  out(x);   // 9
+    x %= 4;  out(x);   // 1
+    x |= 6;  out(x);   // 7
+    x &= 5;  out(x);   // 5
+    x ^= 1;  out(x);   // 4
+    x <<= 3; out(x);   // 32
+    x >>= 2; out(x);   // 8
+
+    g += 11; out(g);   // 111 (global)
+
+    a[2] = 5;
+    a[2] += 37;
+    out(a[2]);         // 42
+    a[1 + 1] *= 2;
+    out(a[2]);         // 84
+}`)
+	wantOut(t, out, 15, 12, 48, 9, 1, 7, 5, 4, 32, 8, 111, 42, 84)
+}
+
+func TestForErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"var in step", `func main() { for (;; var x = 1) {} }`, "may not declare"},
+		{"break in step pos", `func main() { for (break;;) {} }`, "expected"},
+		{"missing semis", `func main() { for (var i = 0) {} }`, "expected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil {
+				t.Fatalf("compiled, want error with %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestNestedForLoops(t *testing.T) {
+	out := runPTC(t, `
+func main() {
+    var hits = 0;
+    for (var i = 0; i < 8; i += 1) {
+        for (var j = 0; j < 8; j += 1) {
+            if ((i ^ j) == 5) { hits += 1; }
+        }
+    }
+    out(hits);   // each i has exactly one j with i^j==5
+}`)
+	wantOut(t, out, 8)
+}

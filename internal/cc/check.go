@@ -1,0 +1,247 @@
+package cc
+
+import "fmt"
+
+// MaxParams is the number of word parameters a PTC function may take
+// (the a0..a3 argument registers).
+const MaxParams = 4
+
+// builtins maps built-in functions to their arity.
+var builtins = map[string]int{
+	"out":  1, // emit a word to the simulator output channel
+	"halt": 0, // stop the program
+}
+
+// checker resolves names and validates the program.
+type checker struct {
+	globals map[string]*GlobalDecl
+	funcs   map[string]*FuncDecl
+}
+
+// Check validates a parsed program: unique names, resolvable
+// references, call arities, break/continue placement, and a main()
+// entry point with no parameters.
+func Check(prog *Program) error {
+	c := &checker{
+		globals: map[string]*GlobalDecl{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errf(g.Line, "duplicate global %q", g.Name)
+		}
+		if _, isBuiltin := builtins[g.Name]; isBuiltin {
+			return errf(g.Line, "%q is a built-in name", g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return errf(f.Line, "duplicate function %q", f.Name)
+		}
+		if _, isBuiltin := builtins[f.Name]; isBuiltin {
+			return errf(f.Line, "%q is a built-in name", f.Name)
+		}
+		if _, clash := c.globals[f.Name]; clash {
+			return errf(f.Line, "function %q collides with a global", f.Name)
+		}
+		if len(f.Params) > MaxParams {
+			return errf(f.Line, "function %q has %d parameters; max %d", f.Name, len(f.Params), MaxParams)
+		}
+		c.funcs[f.Name] = f
+	}
+	main, ok := c.funcs["main"]
+	if !ok {
+		return fmt.Errorf("cc: no main function")
+	}
+	if len(main.Params) != 0 {
+		return errf(main.Line, "main must take no parameters")
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// funcScope tracks a function's flat local namespace (PTC locals are
+// function-scoped: a name may be declared once per function).
+type funcScope struct {
+	c      *checker
+	fn     *FuncDecl
+	locals map[string]bool
+	loops  int
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	s := &funcScope{c: c, fn: f, locals: map[string]bool{}}
+	for _, p := range f.Params {
+		if s.locals[p] {
+			return errf(f.Line, "duplicate parameter %q", p)
+		}
+		s.locals[p] = true
+		f.locals = append(f.locals, p)
+	}
+	return s.block(f.Body)
+}
+
+func (s *funcScope) block(b *Block) error {
+	for _, st := range b.Stmts {
+		if err := s.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *funcScope) stmt(st Stmt) error {
+	switch v := st.(type) {
+	case *Block:
+		return s.block(v)
+	case *VarStmt:
+		if err := s.expr(v.Init); err != nil {
+			return err
+		}
+		if s.locals[v.Name] {
+			return errf(v.Line, "duplicate local %q (PTC locals are function-scoped)", v.Name)
+		}
+		if _, isBuiltin := builtins[v.Name]; isBuiltin {
+			return errf(v.Line, "%q is a built-in name", v.Name)
+		}
+		s.locals[v.Name] = true
+		s.fn.locals = append(s.fn.locals, v.Name)
+		return nil
+	case *AssignStmt:
+		if v.Index != nil {
+			g, ok := s.c.globals[v.Name]
+			if !ok || g.Size == 0 {
+				return errf(v.Line, "%q is not a global array", v.Name)
+			}
+			if err := s.expr(v.Index); err != nil {
+				return err
+			}
+		} else if !s.locals[v.Name] {
+			g, ok := s.c.globals[v.Name]
+			if !ok {
+				return errf(v.Line, "assignment to undeclared variable %q", v.Name)
+			}
+			if g.Size != 0 {
+				return errf(v.Line, "cannot assign to array %q without an index", v.Name)
+			}
+		}
+		return s.expr(v.Value)
+	case *IfStmt:
+		if err := s.expr(v.Cond); err != nil {
+			return err
+		}
+		if err := s.block(v.Then); err != nil {
+			return err
+		}
+		if v.Else != nil {
+			return s.block(v.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := s.expr(v.Cond); err != nil {
+			return err
+		}
+		s.loops++
+		err := s.block(v.Body)
+		s.loops--
+		return err
+	case *ForStmt:
+		if v.Init != nil {
+			if err := s.stmt(v.Init); err != nil {
+				return err
+			}
+		}
+		if v.Cond != nil {
+			if err := s.expr(v.Cond); err != nil {
+				return err
+			}
+		}
+		if v.Step != nil {
+			if err := s.stmt(v.Step); err != nil {
+				return err
+			}
+		}
+		s.loops++
+		err := s.block(v.Body)
+		s.loops--
+		return err
+	case *ReturnStmt:
+		if v.Value != nil {
+			return s.expr(v.Value)
+		}
+		return nil
+	case *BreakStmt:
+		if s.loops == 0 {
+			return errf(v.Line, "break outside a loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if s.loops == 0 {
+			return errf(v.Line, "continue outside a loop")
+		}
+		return nil
+	case *ExprStmt:
+		return s.expr(v.X)
+	default:
+		return fmt.Errorf("cc: unknown statement %T", st)
+	}
+}
+
+func (s *funcScope) expr(e Expr) error {
+	switch v := e.(type) {
+	case *NumExpr:
+		return nil
+	case *VarExpr:
+		if s.locals[v.Name] {
+			return nil
+		}
+		g, ok := s.c.globals[v.Name]
+		if !ok {
+			return errf(v.Line, "undeclared variable %q", v.Name)
+		}
+		if g.Size != 0 {
+			return errf(v.Line, "array %q used without an index", v.Name)
+		}
+		return nil
+	case *IndexExpr:
+		g, ok := s.c.globals[v.Name]
+		if !ok || g.Size == 0 {
+			return errf(v.Line, "%q is not a global array", v.Name)
+		}
+		return s.expr(v.Index)
+	case *CallExpr:
+		if arity, isBuiltin := builtins[v.Name]; isBuiltin {
+			if len(v.Args) != arity {
+				return errf(v.Line, "%s takes %d argument(s), got %d", v.Name, arity, len(v.Args))
+			}
+		} else {
+			f, ok := s.c.funcs[v.Name]
+			if !ok {
+				return errf(v.Line, "call to undeclared function %q", v.Name)
+			}
+			if len(v.Args) != len(f.Params) {
+				return errf(v.Line, "%s takes %d argument(s), got %d", v.Name, len(f.Params), len(v.Args))
+			}
+		}
+		for _, a := range v.Args {
+			if err := s.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *UnaryExpr:
+		return s.expr(v.X)
+	case *BinaryExpr:
+		if err := s.expr(v.L); err != nil {
+			return err
+		}
+		return s.expr(v.R)
+	default:
+		return fmt.Errorf("cc: unknown expression %T", e)
+	}
+}

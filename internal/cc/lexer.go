@@ -1,0 +1,216 @@
+// Package cc implements PTC, a small C-like language compiled to PT32
+// assembly. The paper's benchmarks were C programs compiled for
+// SimpleScalar; PTC plays the same role for this reproduction's
+// substrate: workloads and examples can be written in a readable
+// high-level form and lowered to the ISA the front-end models consume.
+//
+// The language: 32-bit words everywhere, global scalars and arrays,
+// functions with up to four word parameters, locals, recursion, the
+// usual expression operators, if/else, while, return, and the built-ins
+// out(x) (emit to the simulator output channel) and halt().
+//
+//	var seen[128];
+//
+//	func collatz(n) {
+//	    var steps = 0;
+//	    while (n != 1) {
+//	        if (n & 1) { n = 3*n + 1; } else { n = n >> 1; }
+//	        steps = steps + 1;
+//	    }
+//	    return steps;
+//	}
+//
+//	func main() {
+//	    var i = 1;
+//	    var total = 0;
+//	    while (i <= 100) { total = total + collatz(i); i = i + 1; }
+//	    out(total);
+//	}
+package cc
+
+import "fmt"
+
+// tokKind enumerates PTC token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // operators and delimiters, text in tok.text
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"var": true, "func": true, "if": true, "else": true, "for": true,
+	"while": true, "return": true, "break": true, "continue": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a compile error with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cc: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer splits PTC source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// twoCharOps are the multi-character operators, longest match first.
+var twoCharOps = []string{"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			depth := l.pos
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, errf(l.line, "unterminated block comment starting at byte %d", depth)
+			}
+			l.pos += 2
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c):
+		return l.lexNumber()
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	}
+	for _, op := range twoCharOps {
+		if len(l.src)-l.pos >= len(op) && l.src[l.pos:l.pos+len(op)] == op {
+			l.pos += len(op)
+			return token{kind: tokPunct, text: op, line: l.line}, nil
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>',
+		'=', '(', ')', '{', '}', '[', ']', ',', ';':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}, nil
+	}
+	return token{}, errf(l.line, "unexpected character %q", c)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	base := int64(10)
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		base = 16
+		l.pos += 2
+	}
+	var v int64
+	digits := 0
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			d = -1
+		}
+		if d < 0 {
+			break
+		}
+		v = v*base + d
+		if v > 1<<32 {
+			return token{}, errf(l.line, "number constant too large")
+		}
+		digits++
+		l.pos++
+	}
+	if digits == 0 {
+		return token{}, errf(l.line, "malformed number %q", l.src[start:l.pos])
+	}
+	if l.pos < len(l.src) && isIdentStart(l.src[l.pos]) {
+		return token{}, errf(l.line, "malformed number: identifier character after digits")
+	}
+	return token{kind: tokNumber, num: v, line: l.line}, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// lexAll tokenises the whole source (EOF token included).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

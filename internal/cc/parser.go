@@ -1,0 +1,517 @@
+package cc
+
+// Recursive-descent parser with precedence climbing for expressions.
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse builds the AST for a PTC compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "var"):
+			g, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case p.at(tokKeyword, "func"):
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, errf(p.cur().line, "expected 'var' or 'func' at top level, got %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text, what string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		return t, errf(t.line, "expected %s, got %s", what, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) ident(what string) (string, int, error) {
+	t, err := p.expect(tokIdent, "", what)
+	return t.text, t.line, err
+}
+
+// globalDecl parses `var name;`, `var name = N;` or `var name[N];`.
+func (p *parser) globalDecl() (*GlobalDecl, error) {
+	p.pos++ // 'var'
+	name, line, err := p.ident("global name")
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name, Line: line}
+	if p.accept(tokPunct, "[") {
+		t, err := p.expect(tokNumber, "", "array size")
+		if err != nil {
+			return nil, err
+		}
+		if t.num < 1 || t.num > 1<<20 {
+			return nil, errf(t.line, "array size %d outside [1, 2^20]", t.num)
+		}
+		g.Size = t.num
+		if _, err := p.expect(tokPunct, "]", "']'"); err != nil {
+			return nil, err
+		}
+	} else if p.accept(tokPunct, "=") {
+		neg := p.accept(tokPunct, "-")
+		t, err := p.expect(tokNumber, "", "initial value")
+		if err != nil {
+			return nil, err
+		}
+		g.Init = t.num
+		if neg {
+			g.Init = -g.Init
+		}
+	}
+	if _, err := p.expect(tokPunct, ";", "';'"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// funcDecl parses `func name(a, b) { ... }`.
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	p.pos++ // 'func'
+	name, line, err := p.ident("function name")
+	if err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name, Line: line}
+	if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+		return nil, err
+	}
+	for !p.at(tokPunct, ")") {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(tokPunct, ",", "','"); err != nil {
+				return nil, err
+			}
+		}
+		param, _, err := p.ident("parameter name")
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, param)
+	}
+	p.pos++ // ')'
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	open, err := p.expect(tokPunct, "{", "'{'")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Line: open.line}
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, errf(open.line, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+	case p.at(tokKeyword, "var"):
+		p.pos++
+		name, line, err := p.ident("local name")
+		if err != nil {
+			return nil, err
+		}
+		var init Expr = &NumExpr{Val: 0, Line: line}
+		if p.accept(tokPunct, "=") {
+			init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";", "';'"); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name, Init: init, Line: line}, nil
+	case p.at(tokKeyword, "if"):
+		p.pos++
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then, Line: t.line}
+		if p.accept(tokKeyword, "else") {
+			if p.at(tokKeyword, "if") {
+				// else if: wrap in a block.
+				inner, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				s.Else = &Block{Stmts: []Stmt{inner}, Line: p.cur().line}
+			} else {
+				s.Else, err = p.block()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return s, nil
+	case p.at(tokKeyword, "for"):
+		return p.forStmt()
+	case p.at(tokKeyword, "while"):
+		p.pos++
+		cond, err := p.parenExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+	case p.at(tokKeyword, "return"):
+		p.pos++
+		s := &ReturnStmt{Line: t.line}
+		if !p.at(tokPunct, ";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		if _, err := p.expect(tokPunct, ";", "';'"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.at(tokKeyword, "break"):
+		p.pos++
+		if _, err := p.expect(tokPunct, ";", "';'"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+	case p.at(tokKeyword, "continue"):
+		p.pos++
+		if _, err := p.expect(tokPunct, ";", "';'"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+	default:
+		st, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";", "';'"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+}
+
+// forStmt parses `for (init; cond; step) { body }`; each header part
+// may be empty.
+func (p *parser) forStmt() (Stmt, error) {
+	t := p.cur()
+	p.pos++ // 'for'
+	if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Line: t.line}
+	var err error
+	if !p.at(tokPunct, ";") {
+		f.Init, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";", "';'"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		f.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";", "';'"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		f.Step, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, isVar := f.Step.(*VarStmt); isVar {
+			return nil, errf(t.line, "for-step may not declare a variable")
+		}
+	}
+	if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+		return nil, err
+	}
+	f.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// simpleStmt parses a statement usable in a for header: a var
+// declaration, an assignment (plain or compound, scalar or array
+// element), or an expression. It does not consume a trailing ';'.
+func (p *parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	if p.at(tokKeyword, "var") {
+		p.pos++
+		name, line, err := p.ident("local name")
+		if err != nil {
+			return nil, err
+		}
+		var init Expr = &NumExpr{Val: 0, Line: line}
+		if p.accept(tokPunct, "=") {
+			init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &VarStmt{Name: name, Init: init, Line: line}, nil
+	}
+	if t.kind == tokIdent {
+		return p.identSimple()
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: t.line}, nil
+}
+
+// compoundOps maps `op=` tokens to the underlying binary operator.
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+// identSimple parses statements that begin with an identifier (without
+// the trailing ';'): `x = e`, `x op= e`, `a[i] = e`, `a[i] op= e`, or
+// an expression such as `f(1)`.
+//
+// In a compound array assignment the index expression is evaluated
+// twice (once for the read, once for the store); keep such indexes free
+// of side effects.
+func (p *parser) identSimple() (Stmt, error) {
+	t := p.cur()
+	next := p.toks[p.pos+1]
+	if next.kind == tokPunct {
+		if next.text == "=" {
+			p.pos += 2
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: t.text, Value: v, Line: t.line}, nil
+		}
+		if op, ok := compoundOps[next.text]; ok {
+			p.pos += 2
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			read := &VarExpr{Name: t.text, Line: t.line}
+			return &AssignStmt{Name: t.text,
+				Value: &BinaryExpr{Op: op, L: read, R: v, Line: t.line},
+				Line:  t.line}, nil
+		}
+		if next.text == "[" {
+			// `a[i] = e`, `a[i] op= e`, or the error case of a bare
+			// array read used as a statement.
+			p.pos += 2
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]", "']'"); err != nil {
+				return nil, err
+			}
+			if p.accept(tokPunct, "=") {
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Name: t.text, Index: idx, Value: v, Line: t.line}, nil
+			}
+			if op, ok := compoundOps[p.cur().text]; ok && p.cur().kind == tokPunct {
+				p.pos++
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				read := &IndexExpr{Name: t.text, Index: idx, Line: t.line}
+				return &AssignStmt{Name: t.text, Index: idx,
+					Value: &BinaryExpr{Op: op, L: read, R: v, Line: t.line},
+					Line:  t.line}, nil
+			}
+			return nil, errf(t.line, "expected '=' or 'op=' (array reads are expressions; only stores are statements)")
+		}
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: t.line}, nil
+}
+
+func (p *parser) parenExpr() (Expr, error) {
+	if _, err := p.expect(tokPunct, "(", "'('"); err != nil {
+		return nil, err
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")", "')'"); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// Operator precedence, loosest first (C-like).
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return left, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: t.text, L: left, R: right, Line: t.line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!" || t.text == "~") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		return &NumExpr{Val: t.num, Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		return p.parenExpr()
+	case t.kind == tokIdent:
+		p.pos++
+		switch {
+		case p.accept(tokPunct, "("):
+			call := &CallExpr{Name: t.text, Line: t.line}
+			for !p.at(tokPunct, ")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(tokPunct, ",", "','"); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			p.pos++ // ')'
+			return call, nil
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]", "']'"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.text, Index: idx, Line: t.line}, nil
+		default:
+			return &VarExpr{Name: t.text, Line: t.line}, nil
+		}
+	default:
+		return nil, errf(t.line, "expected expression, got %s", t)
+	}
+}

@@ -1,0 +1,351 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathtrace/internal/cache"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/trace"
+	"pathtrace/internal/tracecache"
+)
+
+func tr(pc uint32, outs uint8, length int) *trace.Trace {
+	id := trace.MakeID(pc, outs)
+	return &trace.Trace{ID: id, Hash: id.Hash(), StartPC: pc, Len: length}
+}
+
+func newPred(t *testing.T, depth int) *predictor.Hybrid {
+	t.Helper()
+	p, err := predictor.NewHybrid(predictor.Config{Depth: depth, IndexBits: 14, UseRHS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := newPred(t, 2)
+	bad := []Config{
+		{Width: 0, Window: 64, ExecLatency: 1},
+		{Width: 8, Window: 0, ExecLatency: 1},
+		{Width: 8, Window: 64, ExecLatency: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, p); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{}, p)
+}
+
+func TestEngineLearnsRepeatingSequence(t *testing.T) {
+	e := MustNew(DefaultConfig(), newPred(t, 2))
+	seq := []*trace.Trace{
+		tr(0x1004, 0, 12), tr(0x1008, 1, 16), tr(0x100c, 0, 8), tr(0x1010, 2, 16),
+	}
+	for round := 0; round < 200; round++ {
+		for _, x := range seq {
+			e.Feed(x)
+		}
+	}
+	res := e.Finish()
+	if res.Traces != 800 {
+		t.Fatalf("retired %d traces, want 800", res.Traces)
+	}
+	if res.Instrs != 800/4*(12+16+8+16) {
+		t.Errorf("retired %d instrs", res.Instrs)
+	}
+	// Deterministic sequence: the delayed-update predictor must still
+	// converge to near-perfect accuracy.
+	if rate := res.Stats.MissRate(); rate > 5 {
+		t.Errorf("miss rate %.2f%% on a deterministic sequence", rate)
+	}
+	if res.Cycles == 0 || res.IPC() <= 0 {
+		t.Errorf("cycles=%d ipc=%v", res.Cycles, res.IPC())
+	}
+}
+
+func TestEngineCloseToImmediateUpdates(t *testing.T) {
+	// On a mixed stream, delayed updates should track immediate updates
+	// within a couple of percentage points (the paper's Table 4 shows
+	// differences of a few tenths).
+	mkStream := func() []*trace.Trace {
+		rng := rand.New(rand.NewSource(11))
+		var seq []*trace.Trace
+		// A few deterministic cycles plus noise traces.
+		for i := 0; i < 5000; i++ {
+			switch i % 5 {
+			case 0:
+				seq = append(seq, tr(0x1004, 0, 16))
+			case 1:
+				seq = append(seq, tr(0x1008, 1, 12))
+			case 2:
+				seq = append(seq, tr(0x100c, 3, 16))
+			case 3:
+				seq = append(seq, tr(0x1010+uint32(rng.Intn(8))*4, 0, 10))
+			case 4:
+				seq = append(seq, tr(0x1100, 0, 16))
+			}
+		}
+		return seq
+	}
+
+	// Immediate updates.
+	ip := newPred(t, 3)
+	for _, x := range mkStream() {
+		ip.Predict()
+		ip.Update(x)
+	}
+	immediate := ip.Stats().MissRate()
+
+	// Delayed updates through the engine.
+	e := MustNew(DefaultConfig(), newPred(t, 3))
+	for _, x := range mkStream() {
+		e.Feed(x)
+	}
+	delayed := e.Finish().Stats.MissRate()
+
+	if diff := delayed - immediate; diff < -5 || diff > 5 {
+		t.Errorf("delayed %.2f%% vs immediate %.2f%%: gap too large", delayed, immediate)
+	}
+}
+
+func TestEngineWindowBoundsOccupancy(t *testing.T) {
+	cfg := Config{Width: 8, Window: 32, ExecLatency: 100} // long latency
+	e := MustNew(cfg, newPred(t, 1))
+	for i := 0; i < 100; i++ {
+		e.Feed(tr(0x1004, 0, 16))
+		if e.occupancy > cfg.Window {
+			t.Fatalf("window occupancy %d exceeds %d", e.occupancy, cfg.Window)
+		}
+	}
+	res := e.Finish()
+	// With a 100-cycle latency and a 2-trace window, cycles must be
+	// dominated by stalls: at least ~latency per 2 traces.
+	if res.Cycles < 100*50 {
+		t.Errorf("cycles = %d; window stall not modelled", res.Cycles)
+	}
+}
+
+func TestEngineMispredictStallsFetch(t *testing.T) {
+	// An unpredictable stream forces a resolution stall per trace, so
+	// total cycles grow with exec latency.
+	stream := func(n int) []*trace.Trace {
+		rng := rand.New(rand.NewSource(3))
+		var seq []*trace.Trace
+		for i := 0; i < n; i++ {
+			seq = append(seq, tr(0x1000+uint32(rng.Intn(512))*4, uint8(rng.Intn(64)), 16))
+		}
+		return seq
+	}
+	run := func(lat int) uint64 {
+		e := MustNew(Config{Width: 8, Window: 64, ExecLatency: lat}, newPred(t, 1))
+		for _, x := range stream(500) {
+			e.Feed(x)
+		}
+		return e.Finish().Cycles
+	}
+	fast, slow := run(1), run(20)
+	if slow <= fast {
+		t.Errorf("cycles with latency 20 (%d) not greater than with latency 1 (%d)", slow, fast)
+	}
+}
+
+func TestFinishRetiresEverything(t *testing.T) {
+	e := MustNew(DefaultConfig(), newPred(t, 1))
+	for i := 0; i < 10; i++ {
+		e.Feed(tr(0x1004, 0, 16))
+	}
+	res := e.Finish()
+	if res.Traces != 10 {
+		t.Errorf("retired %d, want 10", res.Traces)
+	}
+	if res.Stats.Predictions != 10 {
+		t.Errorf("predictions %d, want 10", res.Stats.Predictions)
+	}
+	if len(e.window) != 0 {
+		t.Errorf("window not drained: %d", len(e.window))
+	}
+}
+
+func TestEngineTraceCacheStalls(t *testing.T) {
+	// A working set larger than the cache forces misses; cycles must
+	// exceed the cacheless run on the same stream.
+	stream := func() []*trace.Trace {
+		var seq []*trace.Trace
+		for i := 0; i < 4000; i++ {
+			seq = append(seq, tr(0x1000+uint32(i%512)*16, 0, 16))
+		}
+		return seq
+	}
+	run := func(cfg Config) Result {
+		e := MustNew(cfg, newPred(t, 1))
+		for _, x := range stream() {
+			e.Feed(x)
+		}
+		return e.Finish()
+	}
+	base := run(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.TraceCache = tracecache.MustNew(tracecache.Config{Lines: 64, Assoc: 2})
+	cached := run(cfg)
+	if cached.TCHits+cached.TCMisses != cached.Traces {
+		t.Errorf("cache probes %d != traces %d", cached.TCHits+cached.TCMisses, cached.Traces)
+	}
+	if cached.TCMisses == 0 {
+		t.Fatal("tiny cache never missed on a 512-trace working set")
+	}
+	if cached.Cycles <= base.Cycles {
+		t.Errorf("trace cache misses did not cost cycles: %d vs %d", cached.Cycles, base.Cycles)
+	}
+}
+
+func TestEngineAltRecoveryReducesCycles(t *testing.T) {
+	// A two-successor pattern that keeps the primary wrong half the time
+	// but the alternate usually right.
+	stream := func() []*trace.Trace {
+		var seq []*trace.Trace
+		rng := rand.New(rand.NewSource(13))
+		x := tr(0x1004, 0, 16)
+		a, bb := tr(0x1008, 0, 16), tr(0x100c, 0, 16)
+		for i := 0; i < 4000; i++ {
+			seq = append(seq, x)
+			if rng.Intn(2) == 0 {
+				seq = append(seq, a)
+			} else {
+				seq = append(seq, bb)
+			}
+		}
+		return seq
+	}
+	run := func(alt bool) Result {
+		cfg := Config{Width: 8, Window: 64, ExecLatency: 12, AltRecovery: alt}
+		e := MustNew(cfg, newPred(t, 0))
+		for _, x := range stream() {
+			e.Feed(x)
+		}
+		return e.Finish()
+	}
+	without := run(false)
+	with := run(true)
+	if with.AltRecoveries == 0 {
+		t.Fatal("alternate recovery never triggered")
+	}
+	if with.Cycles >= without.Cycles {
+		t.Errorf("alt recovery did not save cycles: %d vs %d", with.Cycles, without.Cycles)
+	}
+	if without.AltRecoveries != 0 {
+		t.Error("alt recoveries counted while disabled")
+	}
+}
+
+func TestEngineOracleCeiling(t *testing.T) {
+	stream := func() []*trace.Trace {
+		rng := rand.New(rand.NewSource(3))
+		var seq []*trace.Trace
+		for i := 0; i < 2000; i++ {
+			seq = append(seq, tr(0x1000+uint32(rng.Intn(512))*4, uint8(rng.Intn(64)), 16))
+		}
+		return seq
+	}
+	run := func(oracle bool) Result {
+		cfg := DefaultConfig()
+		cfg.Oracle = oracle
+		e := MustNew(cfg, newPred(t, 1))
+		for _, x := range stream() {
+			e.Feed(x)
+		}
+		return e.Finish()
+	}
+	real := run(false)
+	oracle := run(true)
+	if oracle.Cycles >= real.Cycles {
+		t.Errorf("oracle (%d cycles) not faster than real prediction (%d)", oracle.Cycles, real.Cycles)
+	}
+	// The machine's ceiling with a 64-instr window and ~6-cycle trace
+	// latency is 4 traces / 6 cycles = ~10.7 IPC; expect the oracle near it.
+	if oracle.IPC() < 8 {
+		t.Errorf("oracle IPC %v suspiciously low", oracle.IPC())
+	}
+}
+
+func TestEngineConfigPenaltyValidation(t *testing.T) {
+	p := newPred(t, 1)
+	if _, err := New(Config{Width: 8, Window: 64, TCMissPenalty: -1}, p); err == nil {
+		t.Error("negative TC penalty accepted")
+	}
+	if _, err := New(Config{Width: 8, Window: 64, AltPenalty: -2}, p); err == nil {
+		t.Error("negative alt penalty accepted")
+	}
+}
+
+func TestEngineDataCacheDelaysCompletion(t *testing.T) {
+	// Traces with scattered memory references: D-cache misses must cost
+	// cycles relative to the cacheless run.
+	stream := func() []*trace.Trace {
+		var seq []*trace.Trace
+		rng := rand.New(rand.NewSource(19))
+		for i := 0; i < 2000; i++ {
+			x := tr(0x1004, 0, 16)
+			for j := 0; j < 4; j++ {
+				x.Mems = append(x.Mems, trace.MemRef{Addr: uint32(rng.Intn(1<<20)) * 4})
+			}
+			seq = append(seq, x)
+		}
+		return seq
+	}
+	run := func(withD bool) Result {
+		cfg := DefaultConfig()
+		if withD {
+			cfg.DCache = cache.MustNew(cache.DCache4K())
+		}
+		e := MustNew(cfg, newPred(t, 1))
+		for _, x := range stream() {
+			e.Feed(x)
+		}
+		return e.Finish()
+	}
+	base := run(false)
+	cached := run(true)
+	if cached.Cycles <= base.Cycles {
+		t.Errorf("D-cache misses free: %d vs %d cycles", cached.Cycles, base.Cycles)
+	}
+}
+
+func TestEngineICacheOnTraceMiss(t *testing.T) {
+	// Huge trace working set (every trace distinct) with a tiny trace
+	// cache: every fetch rebuilds from the I-cache, whose misses add up.
+	stream := func() []*trace.Trace {
+		var seq []*trace.Trace
+		for i := 0; i < 2000; i++ {
+			seq = append(seq, tr(0x1000+uint32(i)*64, 0, 16))
+		}
+		return seq
+	}
+	run := func(withI bool) Result {
+		cfg := DefaultConfig()
+		cfg.TraceCache = tracecache.MustNew(tracecache.Config{Lines: 16, Assoc: 1})
+		if withI {
+			cfg.ICache = cache.MustNew(cache.ICache4K())
+		}
+		e := MustNew(cfg, newPred(t, 1))
+		for _, x := range stream() {
+			e.Feed(x)
+		}
+		return e.Finish()
+	}
+	base := run(false)
+	cached := run(true)
+	if cached.Cycles <= base.Cycles {
+		t.Errorf("I-cache misses free: %d vs %d cycles", cached.Cycles, base.Cycles)
+	}
+}

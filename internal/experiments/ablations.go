@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathtrace/internal/history"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/sim"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+)
+
+// ablationTable runs one predictor configuration per column over every
+// workload and renders a benchmark x config table of misprediction
+// rates plus a MEAN row.
+func ablationTable(opt Options, title string, configs []struct {
+	Name string
+	Make func() predictor.NextTracePredictor
+}) (*Result, *stats.Table, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, nil, err
+	}
+	res := newResult("")
+	cols := []string{"benchmark"}
+	for _, c := range configs {
+		cols = append(cols, c.Name)
+	}
+	t := stats.NewTable(title, cols...)
+	sums := make([]float64, len(configs))
+	for _, w := range ws {
+		preds := make([]predictor.NextTracePredictor, len(configs))
+		var consumers []func(*trace.Trace)
+		for i, c := range configs {
+			p := c.Make()
+			preds[i] = p
+			consumers = append(consumers, func(tr *trace.Trace) {
+				p.Predict()
+				p.Update(tr)
+			})
+		}
+		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+			return nil, nil, err
+		}
+		row := []any{w.Name}
+		for i, c := range configs {
+			rate := preds[i].Stats().MissRate()
+			row = append(row, rate)
+			sums[i] += rate
+			res.Values[w.Name+"."+c.Name] = rate
+		}
+		t.AddRowf(row...)
+	}
+	mean := []any{"MEAN"}
+	for i, c := range configs {
+		m := sums[i] / float64(len(ws))
+		mean = append(mean, m)
+		res.Values["mean."+c.Name] = m
+	}
+	t.AddRowf(mean...)
+	return res, t, nil
+}
+
+// base returns the standard 2^16 hybrid+RHS config at depth 7.
+func baseCfg() predictor.Config {
+	return predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true}
+}
+
+func mk(cfg predictor.Config) func() predictor.NextTracePredictor {
+	return func() predictor.NextTracePredictor { return predictor.MustNew(cfg) }
+}
+
+// ablationCounter compares the paper's increment-by-1/decrement-by-2
+// counter against a conventional 2-bit counter and a 1-bit counter
+// (§3.2: "the increment-by-1, decrement-by-2 counter gives slightly
+// better performance than either a one bit or a conventional two-bit
+// counter").
+func ablationCounter(opt Options) (*Result, error) {
+	inc1dec2 := baseCfg()
+	conv2 := baseCfg()
+	conv2.CounterInc, conv2.CounterDec = 1, 1
+	onebit := baseCfg()
+	onebit.CounterBits, onebit.CounterInc, onebit.CounterDec = 1, 1, 1
+	res, t, err := ablationTable(opt,
+		"Ablation: correlated counter policy (2^16 hybrid+RHS, depth 7), misprediction %",
+		[]struct {
+			Name string
+			Make func() predictor.NextTracePredictor
+		}{
+			{"inc1/dec2 (paper)", mk(inc1dec2)},
+			{"conventional 2-bit", mk(conv2)},
+			{"1-bit", mk(onebit)},
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Name = "ablation-counter"
+	res.Text = joinSections(t.String())
+	return res, nil
+}
+
+// ablationHybrid isolates the hybrid predictor's two mechanisms: the
+// secondary table itself and the saturated-secondary update filter.
+func ablationHybrid(opt Options) (*Result, error) {
+	full := baseCfg()
+	noFilter := baseCfg()
+	noFilter.SecondaryFilter = predictor.NoFilter()
+	correlatedOnly := predictor.Config{Depth: maxDepth, IndexBits: 16}
+	smallSec := baseCfg()
+	smallSec.SecCounterBits = 2
+	res, t, err := ablationTable(opt,
+		"Ablation: hybrid mechanisms (2^16, depth 7), misprediction %",
+		[]struct {
+			Name string
+			Make func() predictor.NextTracePredictor
+		}{
+			{"hybrid+filter (paper)", mk(full)},
+			{"hybrid, no filter", mk(noFilter)},
+			{"correlated only", mk(correlatedOnly)},
+			{"2-bit secondary ctr", mk(smallSec)},
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Name = "ablation-hybrid"
+	res.Text = joinSections(t.String())
+	return res, nil
+}
+
+// ablationRHS compares RHS on/off and RHS stack depths.
+func ablationRHS(opt Options) (*Result, error) {
+	on := baseCfg()
+	off := baseCfg()
+	off.UseRHS = false
+	shallow := baseCfg()
+	shallow.RHSDepth = 4
+	deep := baseCfg()
+	deep.RHSDepth = 64
+	res, t, err := ablationTable(opt,
+		"Ablation: Return History Stack (2^16 hybrid, depth 7), misprediction %",
+		[]struct {
+			Name string
+			Make func() predictor.NextTracePredictor
+		}{
+			{"RHS-16 (paper)", mk(on)},
+			{"no RHS", mk(off)},
+			{"RHS-4", mk(shallow)},
+			{"RHS-64", mk(deep)},
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Name = "ablation-rhs"
+	res.Text = joinSections(t.String(),
+		"Expected shape (paper §5.2): the RHS helps call-heavy codes and HURTS "+
+			"compress and xlisp — xlisp's longjmp escapes leave calls with no "+
+			"matching returns, which desynchronises the stack.")
+	return res, nil
+}
+
+// ablationDOLC compares the tuned DOLC index generation against a naive
+// truncate-to-fit index that only uses the most recent traces' bits.
+func ablationDOLC(opt Options) (*Result, error) {
+	tuned := baseCfg()
+	// Narrow per-position budget, the shape the paper's legible Table 3
+	// rows suggest (more bits from more recent traces, few from older).
+	narrow := baseCfg()
+	narrow.DOLC = history.DOLC{Depth: maxDepth, Older: 4, Last: 6, Current: 6, Index: 16}
+	// Even, minimal spread: same two bits from every history position.
+	even := baseCfg()
+	even.DOLC = history.DOLC{Depth: maxDepth, Older: 2, Last: 2, Current: 2, Index: 16}
+	res, t, err := ablationTable(opt,
+		"Ablation: index generation (2^16 hybrid+RHS, depth 7), misprediction %",
+		[]struct {
+			Name string
+			Make func() predictor.NextTracePredictor
+		}{
+			{"DOLC " + history.StandardDOLC(16, maxDepth).String() + " (tuned)", mk(tuned)},
+			{"narrow 7-4-6-6", mk(narrow)},
+			{"2 bits everywhere", mk(even)},
+		})
+	if err != nil {
+		return nil, err
+	}
+	res.Name = "ablation-dolc"
+	res.Text = joinSections(t.String())
+	return res, nil
+}
+
+// ablationSelect compares trace-selection limits: the paper's 16/6,
+// longer traces, fewer branches, and the loop-closure break heuristic.
+func ablationSelect(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("ablation-select")
+	selCfgs := []struct {
+		name string
+		cfg  trace.Config
+	}{
+		{"16/6 (paper)", trace.Config{MaxLen: 16, MaxBranches: 6}},
+		{"32/6", trace.Config{MaxLen: 32, MaxBranches: 6}},
+		{"16/4", trace.Config{MaxLen: 16, MaxBranches: 4}},
+		{"16/6+loopbreak", trace.Config{MaxLen: 16, MaxBranches: 6, BreakOnLoopClosure: true}},
+	}
+	cols := []string{"benchmark"}
+	for _, sc := range selCfgs {
+		cols = append(cols, sc.name+" misp%", sc.name+" len")
+	}
+	t := stats.NewTable("Ablation: trace selection limits (2^16 hybrid+RHS, depth 7)", cols...)
+	for _, w := range ws {
+		row := []any{w.Name}
+		for _, sc := range selCfgs {
+			p := predictor.MustNew(baseCfg())
+			cpu, err := sim.New(w.Program())
+			if err != nil {
+				return nil, err
+			}
+			sel, err := trace.NewSelector(sc.cfg, func(tr *trace.Trace) {
+				p.Predict()
+				p.Update(tr)
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := cpu.Run(opt.limit(), sel.Feed); err != nil {
+				return nil, err
+			}
+			sel.Flush()
+			rate := p.Stats().MissRate()
+			avgLen := float64(sel.Instrs()) / float64(sel.Traces())
+			row = append(row, rate, avgLen)
+			res.Values[fmt.Sprintf("%s.%s", w.Name, sc.name)] = rate
+		}
+		t.AddRowf(row...)
+	}
+	res.Text = joinSections(t.String())
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "ablation-counter",
+		Title: "Ablation: counter policy",
+		Desc:  "inc-1/dec-2 (paper) vs conventional 2-bit vs 1-bit correlated counters.",
+		Run:   ablationCounter,
+	})
+	register(Experiment{
+		Name:  "ablation-hybrid",
+		Title: "Ablation: hybrid mechanisms",
+		Desc:  "Secondary table, update filter, and secondary counter width.",
+		Run:   ablationHybrid,
+	})
+	register(Experiment{
+		Name:  "ablation-rhs",
+		Title: "Ablation: Return History Stack",
+		Desc:  "RHS on/off and stack depth sensitivity.",
+		Run:   ablationRHS,
+	})
+	register(Experiment{
+		Name:  "ablation-dolc",
+		Title: "Ablation: DOLC index generation",
+		Desc:  "Tuned DOLC vs naive full-ID folding vs uniform bit spread.",
+		Run:   ablationDOLC,
+	})
+	register(Experiment{
+		Name:  "ablation-select",
+		Title: "Ablation: trace selection",
+		Desc:  "Trace length/branch limits and the loop-closure break heuristic.",
+		Run:   ablationSelect,
+	})
+}

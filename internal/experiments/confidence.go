@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+)
+
+// confidence evaluates the JRS resetting-counter confidence estimator
+// attached to the depth-7 hybrid+RHS predictor: what fraction of
+// predictions can be flagged high-confidence, and how accurate the two
+// classes are. The useful shape: high-confidence accuracy near 100%
+// with substantial coverage, so speculation depth can be gated by
+// confidence.
+func confidence(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("confidence")
+	thresholds := []int{4, 8, 12}
+	var sections []string
+	for _, thr := range thresholds {
+		t := stats.NewTable(
+			fmt.Sprintf("Confidence (resetting 4-bit counters, threshold %d), 2^16 hybrid+RHS depth 7", thr),
+			"benchmark", "coverage %", "high-conf acc %", "low-conf acc %", "overall acc %")
+		for _, w := range ws {
+			c := predictor.MustNewConfident(predictor.ConfidentConfig{
+				Predictor: predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true},
+				Threshold: thr,
+			})
+			if _, _, err := StreamTraces(w, opt.limit(), func(tr *trace.Trace) {
+				c.Predict()
+				c.Update(tr)
+			}); err != nil {
+				return nil, err
+			}
+			cs := c.ConfStats()
+			overall := 100 - c.Stats().MissRate()
+			t.AddRowf(w.Name, cs.Coverage(), cs.HighAccuracy(), cs.LowAccuracy(), overall)
+			key := fmt.Sprintf("%s.t%d.", w.Name, thr)
+			res.Values[key+"coverage"] = cs.Coverage()
+			res.Values[key+"high_acc"] = cs.HighAccuracy()
+			res.Values[key+"low_acc"] = cs.LowAccuracy()
+		}
+		sections = append(sections, t.String())
+	}
+	res.Text = joinSections(sections...)
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "confidence",
+		Title: "Extension: JRS confidence estimation for trace predictions",
+		Desc:  "Resetting-counter confidence: coverage vs accuracy at several thresholds.",
+		Run:   confidence,
+	})
+}

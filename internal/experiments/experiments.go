@@ -1,0 +1,162 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (plus the ablations called out in
+// DESIGN.md). Each experiment streams the six workloads through the
+// trace selector and feeds predictor configurations, then renders its
+// results in the shape of the corresponding paper exhibit.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pathtrace/internal/sim"
+	"pathtrace/internal/trace"
+	"pathtrace/internal/workload"
+)
+
+// DefaultLimit is the per-workload instruction budget when none is
+// given. The paper ran >= 100M instructions per benchmark; the default
+// here keeps the full suite interactive while -len scales it up.
+const DefaultLimit = 2_000_000
+
+// Options control an experiment run.
+type Options struct {
+	// Limit is the instruction budget per workload (DefaultLimit if 0).
+	Limit uint64
+	// Workloads restricts the benchmark set (all six if empty).
+	Workloads []string
+}
+
+func (o Options) limit() uint64 {
+	if o.Limit == 0 {
+		return DefaultLimit
+	}
+	return o.Limit
+}
+
+func (o Options) workloads() ([]*workload.Workload, error) {
+	if len(o.Workloads) == 0 {
+		return workload.All(), nil
+	}
+	var out []*workload.Workload
+	for _, name := range o.Workloads {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown workload %q", name)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Result is an experiment's rendered output plus its key metrics (for
+// tests and EXPERIMENTS.md bookkeeping).
+type Result struct {
+	Name   string
+	Text   string
+	Values map[string]float64
+}
+
+func newResult(name string) *Result {
+	return &Result{Name: name, Values: map[string]float64{}}
+}
+
+// Experiment couples an id to its runner.
+type Experiment struct {
+	Name  string // id used with `ntp -run`
+	Title string // paper exhibit it regenerates
+	Desc  string
+	Run   func(Options) (*Result, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	for _, x := range registry {
+		if x.Name == e.Name {
+			panic("experiments: duplicate " + e.Name)
+		}
+	}
+	registry = append(registry, e)
+}
+
+// canonicalOrder lists experiment ids in the paper's presentation
+// order; unlisted experiments follow in registration order.
+var canonicalOrder = []string{
+	"table1", "table2", "fig6", "table3", "fig7", "table4",
+	"costreduced", "fig8", "headline", "multibranch", "realistic", "frontend", "confidence",
+	"ablation-counter", "ablation-hybrid", "ablation-rhs",
+	"ablation-dolc", "ablation-select", "ablation-tracecache", "ablation-hash",
+}
+
+// All returns the experiments in the paper's presentation order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	seen := map[string]bool{}
+	for _, id := range canonicalOrder {
+		if e, ok := ByName(id); ok {
+			out = append(out, e)
+			seen[id] = true
+		}
+	}
+	for _, e := range registry {
+		if !seen[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Names lists the experiment ids in presentation order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// StreamTraces runs a workload for up to limit instructions, feeding
+// each selected trace to every consumer in turn. It returns the
+// instruction and trace counts.
+func StreamTraces(w *workload.Workload, limit uint64, consumers ...func(*trace.Trace)) (instrs, traces uint64, err error) {
+	cpu, err := sim.New(w.Program())
+	if err != nil {
+		return 0, 0, err
+	}
+	sel, err := trace.NewSelector(trace.DefaultConfig(), func(tr *trace.Trace) {
+		for _, fn := range consumers {
+			fn(tr)
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := cpu.Run(limit, sel.Feed); err != nil {
+		return 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
+	}
+	sel.Flush()
+	return sel.Instrs(), sel.Traces(), nil
+}
+
+// joinSections concatenates rendered blocks with blank lines.
+func joinSections(parts ...string) string {
+	var nonEmpty []string
+	for _, p := range parts {
+		if strings.TrimSpace(p) != "" {
+			nonEmpty = append(nonEmpty, strings.TrimRight(p, "\n"))
+		}
+	}
+	return strings.Join(nonEmpty, "\n\n") + "\n"
+}

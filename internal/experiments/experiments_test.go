@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pathtrace/internal/trace"
+	"pathtrace/internal/workload"
+)
+
+// Small budget keeps the full suite fast; shapes asserted here are
+// robust well below the default limit.
+const testLimit = 400_000
+
+func run(t *testing.T, name string, opt Options) *Result {
+	t.Helper()
+	e, ok := ByName(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	if opt.Limit == 0 {
+		opt.Limit = testLimit
+	}
+	r, err := e.Run(opt)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if r.Text == "" {
+		t.Fatalf("%s produced no text", name)
+	}
+	return r
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4",
+		"fig6", "fig7", "fig8", "costreduced", "headline",
+		"ablation-counter", "ablation-hybrid", "ablation-rhs",
+		"ablation-dolc", "ablation-select"}
+	names := Names()
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from registry", w)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+	if len(All()) != len(names) {
+		t.Error("All/Names length mismatch")
+	}
+}
+
+func TestStreamTracesCountsAndChaining(t *testing.T) {
+	w, _ := workload.ByName("compress")
+	var n uint64
+	var lastNext uint32
+	broken := 0
+	instrs, traces, err := StreamTraces(w, 100_000, func(tr *trace.Trace) {
+		n++
+		if lastNext != 0 && tr.StartPC != lastNext {
+			broken++
+		}
+		lastNext = tr.NextPC
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != traces || traces == 0 {
+		t.Errorf("callback saw %d traces, selector reports %d", n, traces)
+	}
+	if instrs < 100_000 || instrs > 100_016 {
+		t.Errorf("instrs = %d, want ~100000", instrs)
+	}
+	if broken != 0 {
+		t.Errorf("%d broken trace chains", broken)
+	}
+}
+
+func TestStreamTracesMultipleConsumersSeeSameStream(t *testing.T) {
+	w, _ := workload.ByName("mksim")
+	var a, b []trace.ID
+	_, _, err := StreamTraces(w, 50_000,
+		func(tr *trace.Trace) { a = append(a, tr.ID) },
+		func(tr *trace.Trace) { b = append(b, tr.ID) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("consumer streams differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	e, _ := ByName("table1")
+	if _, err := e.Run(Options{Limit: 1000, Workloads: []string{"bogus"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	r := run(t, "table1", Options{})
+	// gcc must have by far the most static traces (its defining trait).
+	if r.Values["gcc.static_traces"] <= 2*r.Values["compress.static_traces"] {
+		t.Errorf("gcc static traces (%v) not dominant over compress (%v)",
+			r.Values["gcc.static_traces"], r.Values["compress.static_traces"])
+	}
+	for _, w := range workload.Names() {
+		l := r.Values[w+".avg_trace_len"]
+		if l < 8 || l > 16 {
+			t.Errorf("%s avg trace length %v outside [8,16]", w, l)
+		}
+	}
+}
+
+func TestTable2Shapes(t *testing.T) {
+	r := run(t, "table2", Options{})
+	// jpeg is the most predictable benchmark; gcc among the least.
+	if r.Values["jpeg.trace_miss"] >= r.Values["gcc.trace_miss"] {
+		t.Errorf("jpeg (%v) not easier than gcc (%v)",
+			r.Values["jpeg.trace_miss"], r.Values["gcc.trace_miss"])
+	}
+	if m := r.Values["mean.trace_miss"]; m <= 0 || m >= 100 {
+		t.Errorf("mean trace miss %v out of range", m)
+	}
+}
+
+func TestTable3Static(t *testing.T) {
+	r := run(t, "table3", Options{})
+	if !strings.Contains(r.Text, "D-O-L-C") {
+		t.Error("table3 text lacks DOLC header")
+	}
+	if r.Values["w16.d7.parts"] < 2 {
+		t.Errorf("deep 16-bit config should fold (parts=%v)", r.Values["w16.d7.parts"])
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	r := run(t, "fig6", Options{Workloads: []string{"compress", "mksim"}})
+	// Hybrid must not be worse than correlated-only at max depth (cold
+	// starts are its whole purpose).
+	for _, w := range []string{"compress", "mksim"} {
+		h := r.Values[w+".hybrid.d7"]
+		c := r.Values[w+".correlated.d7"]
+		if h > c+1e-9 {
+			t.Errorf("%s: hybrid (%v) worse than correlated (%v) at depth 7", w, h, c)
+		}
+		// Depth helps: depth 7 must beat depth 0 for the hybrid.
+		if r.Values[w+".hybrid.d7"] >= r.Values[w+".hybrid.d0"] {
+			t.Errorf("%s: no benefit from history depth", w)
+		}
+	}
+	// mksim: path predictor beats the sequential baseline clearly.
+	if r.Values["mksim.hybrid+rhs.d7"] >= r.Values["mksim.sequential"] {
+		t.Errorf("mksim: path predictor (%v) not better than sequential (%v)",
+			r.Values["mksim.hybrid+rhs.d7"], r.Values["mksim.sequential"])
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	r := run(t, "fig7", Options{Workloads: []string{"gcc", "compress"}})
+	// Larger tables never hurt on the aliasing-bound benchmark at depth 7.
+	g14 := r.Values["gcc.2^14.d7"]
+	g16 := r.Values["gcc.2^16.d7"]
+	if g16 > g14+1e-9 {
+		t.Errorf("gcc: 2^16 (%v) worse than 2^14 (%v) at depth 7", g16, g14)
+	}
+	for _, k := range []string{"mean.2^14.d7", "mean.2^15.d7", "mean.2^16.d7"} {
+		if v := r.Values[k]; v <= 0 || v >= 100 {
+			t.Errorf("%s = %v out of range", k, v)
+		}
+	}
+}
+
+func TestTable4Shapes(t *testing.T) {
+	r := run(t, "table4", Options{Workloads: []string{"compress", "jpeg"}})
+	for _, w := range []string{"compress", "jpeg"} {
+		ideal, real := r.Values[w+".ideal"], r.Values[w+".real"]
+		if diff := real - ideal; diff < -5 || diff > 5 {
+			t.Errorf("%s: delayed updates shift accuracy too much (%v vs %v)", w, real, ideal)
+		}
+		if ipc := r.Values[w+".ipc"]; ipc <= 0 || ipc > 16 {
+			t.Errorf("%s: engine IPC %v implausible", w, ipc)
+		}
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	r := run(t, "fig8", Options{})
+	for _, w := range []string{"compress", "gcc"} {
+		for d := 0; d <= maxDepth; d++ {
+			p := r.Values[w+".primary.d"+string(rune('0'+d))]
+			a := r.Values[w+".alt.d"+string(rune('0'+d))]
+			if a > p+1e-9 {
+				t.Errorf("%s d%d: alternate-inclusive miss (%v) exceeds primary (%v)", w, d, a, p)
+			}
+		}
+		if c := r.Values[w+".alt_catch_pct"]; c <= 0 || c > 100 {
+			t.Errorf("%s: alternate catch rate %v", w, c)
+		}
+	}
+}
+
+func TestCostReducedShapes(t *testing.T) {
+	r := run(t, "costreduced", Options{Workloads: []string{"compress", "mksim"}})
+	for _, w := range []string{"compress", "mksim"} {
+		full, red := r.Values[w+".full"], r.Values[w+".reduced"]
+		// §5.5: "should not affect prediction accuracy in any significant
+		// way" — and hashing can only (spuriously) help.
+		if red > full+0.5 {
+			t.Errorf("%s: cost-reduced (%v) notably worse than full (%v)", w, red, full)
+		}
+		if hit := r.Values[w+".tc_hit"]; hit <= 0 || hit > 100 {
+			t.Errorf("%s: trace cache hit rate %v", w, hit)
+		}
+	}
+}
+
+func TestHeadlineShapes(t *testing.T) {
+	r := run(t, "headline", Options{})
+	if r.Values["mean.unbounded"] >= r.Values["mean.sequential"] {
+		t.Errorf("unbounded predictor (%v) not better than sequential (%v) on mean",
+			r.Values["mean.unbounded"], r.Values["mean.sequential"])
+	}
+	if red := r.Values["reduction.unbounded_pct"]; red < 10 {
+		t.Errorf("unbounded reduction %v%% below the paper's ballpark", red)
+	}
+}
+
+func TestAblationCounter(t *testing.T) {
+	r := run(t, "ablation-counter", Options{Workloads: []string{"compress", "go"}})
+	if r.Values["mean.inc1/dec2 (paper)"] <= 0 {
+		t.Error("missing mean for paper counter")
+	}
+}
+
+func TestAblationRHSXlispShape(t *testing.T) {
+	r := run(t, "ablation-rhs", Options{Workloads: []string{"xlisp", "go"}})
+	// The paper's xlisp result: the RHS HURTS it (longjmp desync).
+	if r.Values["xlisp.RHS-16 (paper)"] < r.Values["xlisp.no RHS"] {
+		t.Errorf("xlisp: RHS (%v) unexpectedly better than no-RHS (%v)",
+			r.Values["xlisp.RHS-16 (paper)"], r.Values["xlisp.no RHS"])
+	}
+	// And helps the call-heavy synthetic search code.
+	if r.Values["go.RHS-16 (paper)"] > r.Values["go.no RHS"]+0.5 {
+		t.Errorf("go: RHS (%v) notably worse than no-RHS (%v)",
+			r.Values["go.RHS-16 (paper)"], r.Values["go.no RHS"])
+	}
+}
+
+func TestAblationSelect(t *testing.T) {
+	r := run(t, "ablation-select", Options{Workloads: []string{"compress"}})
+	if len(r.Values) == 0 || !strings.Contains(r.Text, "16/6") {
+		t.Error("ablation-select output incomplete")
+	}
+}
+
+func TestAblationHybridAndDOLC(t *testing.T) {
+	r := run(t, "ablation-hybrid", Options{Workloads: []string{"gcc"}})
+	if !strings.Contains(r.Text, "correlated only") {
+		t.Error("hybrid ablation missing columns")
+	}
+	r = run(t, "ablation-dolc", Options{Workloads: []string{"gcc"}})
+	if !strings.Contains(r.Text, "DOLC") {
+		t.Error("dolc ablation missing columns")
+	}
+}
+
+func TestMultiBranchShapes(t *testing.T) {
+	// This ordering needs warm tables: the path predictor's 2^16 entries
+	// train more slowly than the bundle predictors' PHTs.
+	r := run(t, "multibranch", Options{Limit: 2_000_000})
+	// The multiported GAg is the weakest bundle predictor (paper §2).
+	if r.Values["mean.mgag"] < r.Values["mean.patel"] {
+		t.Errorf("mgag (%v) unexpectedly better than patel (%v) on mean",
+			r.Values["mean.mgag"], r.Values["mean.patel"])
+	}
+	// The proposed path-based predictor has the best mean of the four.
+	for _, k := range []string{"mean.mgag", "mean.patel", "mean.sequential"} {
+		if r.Values["mean.path"] > r.Values[k] {
+			t.Errorf("path-based mean (%v) not better than %s (%v)",
+				r.Values["mean.path"], k, r.Values[k])
+		}
+	}
+}
+
+func TestFrontendShapes(t *testing.T) {
+	r := run(t, "frontend", Options{Workloads: []string{"mksim", "compress"}})
+	for _, w := range []string{"mksim", "compress"} {
+		oracle := r.Values[w+".oracle.ipc"]
+		d7 := r.Values[w+".d7.ipc"]
+		d7alt := r.Values[w+".d7alt.ipc"]
+		d0 := r.Values[w+".d0.ipc"]
+		if !(oracle >= d7alt && d7alt >= d7) {
+			t.Errorf("%s: IPC ordering violated: oracle %v, d7+alt %v, d7 %v", w, oracle, d7alt, d7)
+		}
+		if d0 > d7+0.2 {
+			t.Errorf("%s: depth 0 (%v) outperforms depth 7 (%v)", w, d0, d7)
+		}
+		if oracle <= 0 || oracle > 16 {
+			t.Errorf("%s: oracle IPC %v implausible", w, oracle)
+		}
+	}
+}
+
+func TestConfidenceShapes(t *testing.T) {
+	r := run(t, "confidence", Options{Workloads: []string{"mksim", "compress"}})
+	for _, w := range []string{"mksim", "compress"} {
+		for _, thr := range []string{"t4", "t8", "t12"} {
+			hi := r.Values[w+"."+thr+".high_acc"]
+			lo := r.Values[w+"."+thr+".low_acc"]
+			if hi <= lo {
+				t.Errorf("%s %s: high-conf accuracy (%v) not above low (%v)", w, thr, hi, lo)
+			}
+		}
+		// Raising the threshold trades coverage for accuracy.
+		if r.Values[w+".t12.coverage"] > r.Values[w+".t4.coverage"]+1e-9 {
+			t.Errorf("%s: coverage did not shrink with threshold", w)
+		}
+		if r.Values[w+".t12.high_acc"]+1e-9 < r.Values[w+".t4.high_acc"] {
+			t.Errorf("%s: high-conf accuracy did not rise with threshold", w)
+		}
+	}
+}
+
+func TestTraceCacheSweepShapes(t *testing.T) {
+	r := run(t, "ablation-tracecache", Options{Workloads: []string{"gcc", "mksim"}})
+	// Bigger caches never hit less; mksim's tiny working set saturates
+	// everywhere while gcc never does.
+	if r.Values["gcc.4096L4w"] < r.Values["gcc.256L4w"] {
+		t.Error("gcc: larger trace cache hit rate decreased")
+	}
+	if r.Values["mksim.256L1w"] < 95 {
+		t.Errorf("mksim should saturate a small cache (got %v)", r.Values["mksim.256L1w"])
+	}
+	if r.Values["gcc.4096L4w"] > 95 {
+		t.Errorf("gcc's working set should still thrash 4096 lines (got %v)", r.Values["gcc.4096L4w"])
+	}
+}
+
+func TestRealisticShapes(t *testing.T) {
+	r := run(t, "realistic", Options{Workloads: []string{"gcc", "compress"}})
+	// Real components can only hurt the sequential baseline.
+	for _, w := range []string{"gcc", "compress"} {
+		if r.Values[w+".real"]+1e-9 < r.Values[w+".ideal"] {
+			t.Errorf("%s: real components (%v) beat perfect ones (%v)",
+				w, r.Values[w+".real"], r.Values[w+".ideal"])
+		}
+	}
+	// gcc's footprint must show a real-BTB penalty.
+	if r.Values["gcc.real"] <= r.Values["gcc.ideal"] {
+		t.Errorf("gcc: no BTB capacity penalty (%v vs %v)",
+			r.Values["gcc.real"], r.Values["gcc.ideal"])
+	}
+}
+
+func TestHashAblationShapes(t *testing.T) {
+	r := run(t, "ablation-hash", Options{Workloads: []string{"compress", "mksim"}})
+	for _, w := range []string{"compress", "mksim"} {
+		// Dropping branch outcomes must hurt (same-start traces collide).
+		if r.Values[w+".pc-only"] <= r.Values[w+".paper §3.2"] {
+			t.Errorf("%s: pc-only hash (%v) not worse than the paper hash (%v)",
+				w, r.Values[w+".pc-only"], r.Values[w+".paper §3.2"])
+		}
+		// The unstructured fold should be in the same ballpark.
+		if diff := r.Values[w+".xor-fold"] - r.Values[w+".paper §3.2"]; diff > 3 || diff < -3 {
+			t.Errorf("%s: xor-fold diverges from paper hash by %v points", w, diff)
+		}
+	}
+}

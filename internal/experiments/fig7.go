@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathtrace/internal/branchpred"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+)
+
+// fig7Sizes are the bounded correlated-table sizes studied (paper
+// Figure 7: 2^14, 2^15 and 2^16 entries).
+var fig7Sizes = []int{14, 15, 16}
+
+// fig7 regenerates "Next trace prediction" with bounded tables (paper
+// Figure 7): misprediction rate versus history depth for hybrid+RHS
+// predictors with 2^14 / 2^15 / 2^16-entry correlated tables, against
+// the idealized sequential baseline. Aliasing makes deep histories
+// hurt, sooner for smaller tables — the paper's central finite-table
+// result.
+func fig7(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("fig7")
+	var sections []string
+	meanPerSize := make(map[int][]float64, len(fig7Sizes))
+	for _, sz := range fig7Sizes {
+		meanPerSize[sz] = make([]float64, maxDepth+1)
+	}
+	var meanSeq float64
+
+	for _, w := range ws {
+		preds := map[int][]predictor.NextTracePredictor{}
+		var consumers []func(*trace.Trace)
+		for _, sz := range fig7Sizes {
+			row := make([]predictor.NextTracePredictor, maxDepth+1)
+			for d := 0; d <= maxDepth; d++ {
+				p := predictor.MustNew(predictor.Config{
+					Depth: d, IndexBits: sz, Hybrid: true, UseRHS: true,
+				})
+				row[d] = p
+				consumers = append(consumers, func(tr *trace.Trace) {
+					p.Predict()
+					p.Update(tr)
+				})
+			}
+			preds[sz] = row
+		}
+		seq := branchpred.MustNewSequential(branchpred.SequentialConfig{})
+		consumers = append(consumers, func(tr *trace.Trace) { seq.ObserveTrace(tr) })
+
+		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+			return nil, err
+		}
+
+		fig := &stats.Figure{
+			Title:  fmt.Sprintf("Figure 7 (%s): bounded tables, misprediction %% vs history depth", w.Name),
+			XLabel: "depth",
+			X:      depthAxis(),
+		}
+		for _, sz := range fig7Sizes {
+			y := make([]float64, maxDepth+1)
+			for d := 0; d <= maxDepth; d++ {
+				y[d] = preds[sz][d].Stats().MissRate()
+				meanPerSize[sz][d] += y[d]
+				res.Values[fmt.Sprintf("%s.2^%d.d%d", w.Name, sz, d)] = y[d]
+			}
+			fig.Add(fmt.Sprintf("2^%d entries", sz), y)
+		}
+		seqRate := seq.Stats().TraceMissRate()
+		meanSeq += seqRate
+		res.Values[w.Name+".sequential"] = seqRate
+		flat := make([]float64, maxDepth+1)
+		for i := range flat {
+			flat[i] = seqRate
+		}
+		fig.Add("sequential", flat)
+		sections = append(sections, fig.String())
+	}
+
+	n := float64(len(ws))
+	fig := &stats.Figure{
+		Title:  "Figure 7 (MEAN): bounded tables, misprediction % vs history depth",
+		XLabel: "depth",
+		X:      depthAxis(),
+	}
+	summary := stats.NewTable("Mean misprediction at maximum depth (paper: 10.0 / 9.5 / 8.9 vs 11.1 sequential)",
+		"config", "mean misp %")
+	for _, sz := range fig7Sizes {
+		y := make([]float64, maxDepth+1)
+		for d := range y {
+			y[d] = meanPerSize[sz][d] / n
+			res.Values[fmt.Sprintf("mean.2^%d.d%d", sz, d)] = y[d]
+		}
+		fig.Add(fmt.Sprintf("2^%d entries", sz), y)
+		summary.AddRowf(fmt.Sprintf("2^%d entries, depth %d", sz, maxDepth), y[maxDepth])
+	}
+	flat := make([]float64, maxDepth+1)
+	for i := range flat {
+		flat[i] = meanSeq / n
+	}
+	fig.Add("sequential", flat)
+	res.Values["mean.sequential"] = meanSeq / n
+	summary.AddRowf("sequential baseline", meanSeq/n)
+	if seqMean := meanSeq / n; seqMean > 0 {
+		best := res.Values[fmt.Sprintf("mean.2^16.d%d", maxDepth)]
+		res.Values["mean.reduction_vs_sequential_pct"] = 100 * (seqMean - best) / seqMean
+	}
+	sections = append(sections, fig.String(), summary.String())
+	res.Text = joinSections(sections...)
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "fig7",
+		Title: "Figure 7: Next trace prediction with bounded tables",
+		Desc:  "Misprediction vs depth for hybrid+RHS at 2^14/2^15/2^16 correlated-table entries.",
+		Run:   fig7,
+	})
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"pathtrace/internal/branchpred"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+)
+
+// multibranch compares the realizable multiple-branch predictors the
+// paper's §2 surveys — the multiported GAg (Yeh et al., used by the
+// original trace cache study) and the trace-indexed multi-counter
+// predictor of Patel et al. — against the idealized sequential
+// predictor that upper-bounds them and against the proposed path-based
+// next trace predictor. Trace-level misprediction throughout.
+func multibranch(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("multibranch")
+	t := stats.NewTable("Realizable multiple-branch predictors vs idealized sequential vs path-based (trace misp %)",
+		"benchmark", "mgag-16", "patel-16/6", "sequential (ideal)", "path 2^16 d7")
+	var sums [4]float64
+	for _, w := range ws {
+		mg, err := branchpred.NewMultiGAg(16)
+		if err != nil {
+			return nil, err
+		}
+		hg, err := branchpred.NewMultiBranchHarness(mg, 0)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := branchpred.NewPatelMulti(16, trace.DefaultMaxBranches)
+		if err != nil {
+			return nil, err
+		}
+		hp, err := branchpred.NewMultiBranchHarness(pm, 0)
+		if err != nil {
+			return nil, err
+		}
+		seq := branchpred.MustNewSequential(branchpred.SequentialConfig{})
+		path := predictor.MustNew(predictor.Config{
+			Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
+		})
+		if _, _, err := StreamTraces(w, opt.limit(),
+			func(tr *trace.Trace) { hg.ObserveTrace(tr) },
+			func(tr *trace.Trace) { hp.ObserveTrace(tr) },
+			func(tr *trace.Trace) { seq.ObserveTrace(tr) },
+			func(tr *trace.Trace) {
+				path.Predict()
+				path.Update(tr)
+			},
+		); err != nil {
+			return nil, err
+		}
+		vals := [4]float64{
+			hg.Stats().TraceMissRate(),
+			hp.Stats().TraceMissRate(),
+			seq.Stats().TraceMissRate(),
+			path.Stats().MissRate(),
+		}
+		t.AddRowf(w.Name, vals[0], vals[1], vals[2], vals[3])
+		res.Values[w.Name+".mgag"] = vals[0]
+		res.Values[w.Name+".patel"] = vals[1]
+		res.Values[w.Name+".sequential"] = vals[2]
+		res.Values[w.Name+".path"] = vals[3]
+		for i := range sums {
+			sums[i] += vals[i]
+		}
+	}
+	n := float64(len(ws))
+	t.AddRowf("MEAN", sums[0]/n, sums[1]/n, sums[2]/n, sums[3]/n)
+	res.Values["mean.mgag"] = sums[0] / n
+	res.Values["mean.patel"] = sums[1] / n
+	res.Values["mean.sequential"] = sums[2] / n
+	res.Values["mean.path"] = sums[3] / n
+	res.Text = joinSections(t.String(),
+		"Paper §2: Patel's predictor \"offers superior accuracy compared with the "+
+			"multiported GAg but does not quite achieve the overall accuracy of a single "+
+			"branch GSHARE\" — per conditional branch. At trace granularity its "+
+			"trace-address indexing is itself a (depth-0) form of path correlation, so on "+
+			"path-friendly workloads it can edge past the sequential baseline; the "+
+			"multiported GAg is the weakest throughout, and the path-based predictor "+
+			"has the best mean.")
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "multibranch",
+		Title: "§2 baselines: realizable multiple-branch predictors",
+		Desc:  "Multiported GAg and Patel-style trace-indexed predictor vs sequential vs path-based.",
+		Run:   multibranch,
+	})
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"pathtrace/internal/branchpred"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+)
+
+// realistic revisits §3's claim that "next trace predictors replace the
+// conventional branch predictor, branch target buffer (BTB) and return
+// address stack (RAS)": the sequential baseline is re-run with *real*
+// front-end components (a bounded RAS, a tagged BTB) instead of the
+// perfect ones, which is what an actual conventional front end has. The
+// path-based predictor needs none of those structures.
+func realistic(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("realistic")
+	t := stats.NewTable("Conventional front end with real components vs the trace predictor (trace misp %)",
+		"benchmark", "seq perfect BTB/RAS", "seq real BTB+RAS-16", "return misp %", "path 2^16 d7")
+	var sums [3]float64
+	for _, w := range ws {
+		ideal := branchpred.MustNewSequential(branchpred.SequentialConfig{})
+		real := branchpred.MustNewSequential(branchpred.SequentialConfig{
+			RealRAS: 16, RealBTB: 12,
+		})
+		path := predictor.MustNew(predictor.Config{
+			Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
+		})
+		if _, _, err := StreamTraces(w, opt.limit(),
+			func(tr *trace.Trace) { ideal.ObserveTrace(tr) },
+			func(tr *trace.Trace) { real.ObserveTrace(tr) },
+			func(tr *trace.Trace) {
+				path.Predict()
+				path.Update(tr)
+			},
+		); err != nil {
+			return nil, err
+		}
+		iv := ideal.Stats().TraceMissRate()
+		rv := real.Stats().TraceMissRate()
+		pv := path.Stats().MissRate()
+		t.AddRowf(w.Name, iv, rv, real.Stats().ReturnMissRate(), pv)
+		res.Values[w.Name+".ideal"] = iv
+		res.Values[w.Name+".real"] = rv
+		res.Values[w.Name+".return_miss"] = real.Stats().ReturnMissRate()
+		res.Values[w.Name+".path"] = pv
+		sums[0] += iv
+		sums[1] += rv
+		sums[2] += pv
+	}
+	n := float64(len(ws))
+	t.AddRowf("MEAN", sums[0]/n, sums[1]/n, "", sums[2]/n)
+	res.Values["mean.ideal"] = sums[0] / n
+	res.Values["mean.real"] = sums[1] / n
+	res.Values["mean.path"] = sums[2] / n
+	res.Text = joinSections(t.String(),
+		"The gap between the two sequential columns is the price of real front-end "+
+			"structures: a tagged BTB's capacity and conflict misses dominate on the "+
+			"large-footprint benchmarks (gcc), while the bounded RAS stays accurate as "+
+			"long as call/return discipline holds. The path-based predictor needs "+
+			"neither structure (§3).")
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "realistic",
+		Title: "§3: replacing the conventional BTB/RAS front end",
+		Desc:  "Sequential baseline with real RAS and BTB vs the perfect-component baseline vs path-based.",
+		Run:   realistic,
+	})
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+)
+
+// table1 regenerates the benchmark summary (paper Table 1): dynamic
+// instruction count, average trace length, and the number of static
+// traces, per benchmark.
+func table1(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("table1")
+	t := stats.NewTable("Table 1: Benchmark summary",
+		"benchmark", "input (paper)", "instructions", "traces",
+		"avg trace length", "branches/trace", "static traces")
+	for _, w := range ws {
+		static := make(map[trace.ID]struct{})
+		var branches uint64
+		instrs, traces, err := StreamTraces(w, opt.limit(), func(tr *trace.Trace) {
+			static[tr.ID] = struct{}{}
+			branches += uint64(tr.NumBr)
+		})
+		if err != nil {
+			return nil, err
+		}
+		avgLen := float64(instrs) / float64(traces)
+		avgBr := float64(branches) / float64(traces)
+		t.AddRowf(w.Name, w.PaperInput, instrs, traces, avgLen, avgBr, len(static))
+		res.Values[w.Name+".instrs"] = float64(instrs)
+		res.Values[w.Name+".avg_trace_len"] = avgLen
+		res.Values[w.Name+".static_traces"] = float64(len(static))
+		res.Values[w.Name+".branches_per_trace"] = avgBr
+	}
+	res.Text = joinSections(t.String(),
+		fmt.Sprintf("(paper ran >= 100M instructions per benchmark; this run used %d per benchmark — scale with -len)", opt.limit()))
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "table1",
+		Title: "Table 1: Benchmark summary",
+		Desc:  "Dynamic instructions, average trace length and static trace counts per benchmark.",
+		Run:   table1,
+	})
+}

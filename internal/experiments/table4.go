@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"pathtrace/internal/engine"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+)
+
+// table4 regenerates the delayed-update study (paper Table 4): the
+// 2^16-entry hybrid+RHS predictor with ideal (immediate) updates versus
+// real updates through the out-of-order execution engine, where the
+// history register is speculative and the tables update at retirement.
+func table4(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("table4")
+	t := stats.NewTable("Table 4: Impact of real (delayed) updates, 2^16 entries, depth 7",
+		"benchmark", "misp % ideal updates", "misp % real updates", "delta", "engine IPC")
+	cfg := predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true}
+	for _, w := range ws {
+		ideal := predictor.MustNew(cfg)
+		real, err := predictor.NewHybrid(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng := engine.MustNew(engine.DefaultConfig(), real)
+		if _, _, err := StreamTraces(w, opt.limit(),
+			func(tr *trace.Trace) {
+				ideal.Predict()
+				ideal.Update(tr)
+			},
+			func(tr *trace.Trace) { eng.Feed(tr) },
+		); err != nil {
+			return nil, err
+		}
+		engRes := eng.Finish()
+		im, rm := ideal.Stats().MissRate(), engRes.Stats.MissRate()
+		t.AddRowf(w.Name, im, rm, rm-im, engRes.IPC())
+		res.Values[w.Name+".ideal"] = im
+		res.Values[w.Name+".real"] = rm
+		res.Values[w.Name+".ipc"] = engRes.IPC()
+	}
+	res.Text = joinSections(t.String())
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "table4",
+		Title: "Table 4: Impact of delayed updates",
+		Desc:  "Ideal (immediate) vs real (retirement-time) predictor updates through the OoO engine.",
+		Run:   table4,
+	})
+}

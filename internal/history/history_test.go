@@ -1,0 +1,389 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathtrace/internal/trace"
+)
+
+func TestRegPushAndAt(t *testing.T) {
+	r := MustNewReg(4)
+	if r.Len() != 0 {
+		t.Errorf("fresh Len = %d", r.Len())
+	}
+	for i := 1; i <= 6; i++ {
+		r.Push(trace.HashedID(i))
+	}
+	// Most recent four: 6,5,4,3.
+	for i, want := range []trace.HashedID{6, 5, 4, 3} {
+		if got := r.At(i); got != want {
+			t.Errorf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	// Out-of-range positions read as zero.
+	if r.At(4) != 0 || r.At(-1) != 0 {
+		t.Error("out-of-range At not zero")
+	}
+}
+
+func TestRegSizeValidation(t *testing.T) {
+	if _, err := NewReg(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewReg(MaxSize + 1); err == nil {
+		t.Error("oversize accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewReg(0) did not panic")
+		}
+	}()
+	MustNewReg(0)
+}
+
+func TestRegCheckpointRestore(t *testing.T) {
+	r := MustNewReg(8)
+	for i := 1; i <= 8; i++ {
+		r.Push(trace.HashedID(i * 10))
+	}
+	snap := r // value copy is a checkpoint
+	r.Push(999)
+	r.Push(998)
+	r = snap
+	for i := 0; i < 8; i++ {
+		if got, want := r.At(i), trace.HashedID((8-i)*10); got != want {
+			t.Errorf("after restore At(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// Property: a snapshot + pushes + restore is the identity.
+func TestRegRestoreInverseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := MustNewReg(1 + rng.Intn(MaxSize))
+		for i := 0; i < rng.Intn(20); i++ {
+			r.Push(trace.HashedID(rng.Intn(1 << trace.HashBits)))
+		}
+		snap := r
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			r.Push(trace.HashedID(rng.Intn(1 << trace.HashBits)))
+		}
+		r = snap
+		return r == snap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathKeyDistinguishesPaths(t *testing.T) {
+	a := MustNewReg(8)
+	b := MustNewReg(8)
+	for i := 0; i < 8; i++ {
+		a.Push(trace.HashedID(i + 1))
+		b.Push(trace.HashedID(i + 1))
+	}
+	if a.Key() != b.Key() {
+		t.Error("identical paths produced different keys")
+	}
+	b.Push(42)
+	if a.Key() == b.Key() {
+		t.Error("different paths produced identical keys")
+	}
+}
+
+func TestPathKeyUsesAllPositions(t *testing.T) {
+	// Changing only the oldest tracked ID must change the key (8 IDs at
+	// 10 bits spans both words of the key).
+	a := MustNewReg(8)
+	b := MustNewReg(8)
+	a.Push(0x3ff)
+	b.Push(0x3fe)
+	for i := 0; i < 7; i++ {
+		a.Push(trace.HashedID(i))
+		b.Push(trace.HashedID(i))
+	}
+	if a.Key() == b.Key() {
+		t.Error("oldest position not part of key")
+	}
+}
+
+func TestDOLCValidate(t *testing.T) {
+	good := DOLC{Depth: 3, Older: 4, Last: 6, Current: 6, Index: 16}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []DOLC{
+		{Depth: -1, Current: 5, Index: 10},
+		{Depth: 8, Current: 5, Index: 10},
+		{Depth: 0, Current: 11, Index: 10},
+		{Depth: 0, Current: 5, Index: 0},
+		{Depth: 0, Current: 0, Index: 10},
+		{Depth: 2, Older: -1, Last: 5, Current: 5, Index: 10},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad config %d (%v) accepted", i, d)
+		}
+	}
+}
+
+func TestDOLCCollectedBitsAndParts(t *testing.T) {
+	cases := []struct {
+		d     DOLC
+		bits  int
+		parts int
+	}{
+		{DOLC{Depth: 0, Current: 10, Index: 16}, 10, 1},
+		{DOLC{Depth: 1, Last: 8, Current: 8, Index: 16}, 16, 1},
+		{DOLC{Depth: 3, Older: 4, Last: 6, Current: 6, Index: 16}, 20, 2},
+		{DOLC{Depth: 7, Older: 4, Last: 6, Current: 6, Index: 16}, 36, 3},
+	}
+	for _, tc := range cases {
+		if got := tc.d.CollectedBits(); got != tc.bits {
+			t.Errorf("%v CollectedBits = %d, want %d", tc.d, got, tc.bits)
+		}
+		if got := tc.d.Parts(); got != tc.parts {
+			t.Errorf("%v Parts = %d, want %d", tc.d, got, tc.parts)
+		}
+	}
+}
+
+func TestDOLCIndexDepthZero(t *testing.T) {
+	d := DOLC{Depth: 0, Current: 10, Index: 16}
+	r := MustNewReg(1)
+	r.Push(0x2a5)
+	if got := d.IndexOf(&r); got != 0x2a5 {
+		t.Errorf("index = %#x, want 0x2a5", got)
+	}
+}
+
+func TestDOLCIndexConcatenation(t *testing.T) {
+	// Depth 1, no folding: index = last[0:8] << 8 ... actually current is
+	// pushed first (LSB), so index = current | last<<8.
+	d := DOLC{Depth: 1, Last: 8, Current: 8, Index: 16}
+	r := MustNewReg(2)
+	r.Push(0x3AB) // becomes "last" after the next push
+	r.Push(0x1CD) // current
+	want := uint32(0xCD) | uint32(0xAB)<<8
+	if got := d.IndexOf(&r); got != want {
+		t.Errorf("index = %#x, want %#x", got, want)
+	}
+}
+
+func TestDOLCIndexFolding(t *testing.T) {
+	// Depth 1, 8+8 bits folded into an 8-bit index: XOR of halves.
+	d := DOLC{Depth: 1, Last: 8, Current: 8, Index: 8}
+	r := MustNewReg(2)
+	r.Push(0x0F0)
+	r.Push(0x033)
+	want := uint32(0x33 ^ 0xF0)
+	if got := d.IndexOf(&r); got != want {
+		t.Errorf("index = %#x, want %#x", got, want)
+	}
+}
+
+// Property: DOLC index is always within table bounds and deterministic.
+func TestDOLCIndexRangeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		depth := rng.Intn(MaxSize)
+		d := StandardDOLC([]int{14, 15, 16}[rng.Intn(3)], depth)
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		r := MustNewReg(depth + 1)
+		for i := 0; i < rng.Intn(16); i++ {
+			r.Push(trace.HashedID(rng.Intn(1 << trace.HashBits)))
+		}
+		idx := d.IndexOf(&r)
+		return idx < 1<<d.Index && idx == d.IndexOf(&r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for depth 7 configs every history position can influence
+// the index.
+func TestDOLCUsesDeepHistory(t *testing.T) {
+	d := StandardDOLC(16, 7)
+	base := MustNewReg(8)
+	for i := 0; i < 8; i++ {
+		base.Push(trace.HashedID(0x155))
+	}
+	for pos := 0; pos < 8; pos++ {
+		r := base
+		// Rebuild with position pos flipped in a low bit.
+		r2 := MustNewReg(8)
+		for i := 7; i >= 0; i-- {
+			v := trace.HashedID(0x155)
+			if i == pos {
+				v ^= 1
+			}
+			r2.Push(v)
+		}
+		if d.IndexOf(&r) == d.IndexOf(&r2) {
+			t.Errorf("flipping history position %d does not affect index", pos)
+		}
+	}
+}
+
+func TestStandardDOLCAllValid(t *testing.T) {
+	for _, w := range []int{14, 15, 16} {
+		for depth := 0; depth <= 7; depth++ {
+			d := StandardDOLC(w, depth)
+			if err := d.Validate(); err != nil {
+				t.Errorf("StandardDOLC(%d,%d): %v", w, depth, err)
+			}
+			if d.Depth != depth || d.Index != w {
+				t.Errorf("StandardDOLC(%d,%d) = %+v", w, depth, d)
+			}
+		}
+	}
+}
+
+func mkTrace(hash trace.HashedID, calls int, endsRet bool) *trace.Trace {
+	return &trace.Trace{Hash: hash, Calls: calls, EndsInRet: endsRet}
+}
+
+func TestRHSPushPopSplice(t *testing.T) {
+	rhs := MustNewReturnStack(16)
+	h := MustNewReg(4) // size<=5 -> keep 1
+
+	// Build pre-call history A B C D (D most recent).
+	for _, v := range []trace.HashedID{1, 2, 3, 4} {
+		h.Push(v)
+	}
+	// Trace with one call: push snapshot (history already includes it).
+	h.Push(10)
+	rhs.Observe(mkTrace(10, 1, false), &h)
+	if rhs.Depth() != 1 {
+		t.Fatalf("stack depth = %d, want 1", rhs.Depth())
+	}
+	// Subroutine body overwrites history.
+	for _, v := range []trace.HashedID{20, 21, 22, 23} {
+		h.Push(v)
+	}
+	// Returning trace (no calls): pop and splice.
+	h.Push(30)
+	rhs.Observe(mkTrace(30, 0, true), &h)
+	if rhs.Depth() != 0 {
+		t.Fatalf("stack depth = %d, want 0", rhs.Depth())
+	}
+	// Keep 1 most recent (30); older positions from snapshot [10,4,3].
+	want := []trace.HashedID{30, 10, 4, 3}
+	for i, w := range want {
+		if got := h.At(i); got != w {
+			t.Errorf("After splice At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRHSKeepTwoForDeepHistory(t *testing.T) {
+	rhs := MustNewReturnStack(16)
+	h := MustNewReg(8) // size>5 -> keep 2
+	for i := 1; i <= 8; i++ {
+		h.Push(trace.HashedID(i))
+	}
+	h.Push(100) // calling trace
+	rhs.Observe(mkTrace(100, 1, false), &h)
+	for i := 0; i < 8; i++ {
+		h.Push(trace.HashedID(200 + i))
+	}
+	h.Push(150) // returning trace
+	rhs.Observe(mkTrace(150, 0, true), &h)
+	// Keep 2: [150, 207]; rest from snapshot [100, 8, 7, 6, 5, 4].
+	want := []trace.HashedID{150, 207, 100, 8, 7, 6, 5, 4}
+	for i, w := range want {
+		if got := h.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRHSMultipleCallsPushMultipleCopies(t *testing.T) {
+	rhs := MustNewReturnStack(16)
+	h := MustNewReg(4)
+	h.Push(5)
+	rhs.Observe(mkTrace(5, 3, false), &h)
+	if rhs.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", rhs.Depth())
+	}
+	// Trace with a call AND ending in return: net 0, no push, no pop.
+	h.Push(6)
+	rhs.Observe(mkTrace(6, 1, true), &h)
+	if rhs.Depth() != 3 {
+		t.Errorf("depth after net-zero trace = %d, want 3", rhs.Depth())
+	}
+}
+
+func TestRHSUnderflowIsNoop(t *testing.T) {
+	rhs := MustNewReturnStack(4)
+	h := MustNewReg(4)
+	for _, v := range []trace.HashedID{1, 2, 3, 4} {
+		h.Push(v)
+	}
+	before := h
+	rhs.Observe(mkTrace(4, 0, true), &h) // return with empty stack
+	if h != before {
+		t.Error("pop of empty stack modified history")
+	}
+}
+
+func TestRHSOverflowDropsDeepest(t *testing.T) {
+	rhs := MustNewReturnStack(2)
+	h := MustNewReg(4)
+	for i := 1; i <= 3; i++ {
+		h.Push(trace.HashedID(i * 11))
+		rhs.Observe(mkTrace(trace.HashedID(i*11), 1, false), &h)
+	}
+	if rhs.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2 (bounded)", rhs.Depth())
+	}
+	// Pop should yield the most recent snapshot (pushed at i=3).
+	h2 := MustNewReg(4)
+	h2.Push(99)
+	rhs.Observe(mkTrace(99, 0, true), &h2)
+	// Snapshot at i=3 had [33 22 11 0]; keep 1 -> [99 33 22 11].
+	want := []trace.HashedID{99, 33, 22, 11}
+	for i, w := range want {
+		if got := h2.At(i); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRHSCloneRestore(t *testing.T) {
+	rhs := MustNewReturnStack(8)
+	h := MustNewReg(4)
+	h.Push(1)
+	rhs.Observe(mkTrace(1, 2, false), &h)
+	snap := rhs.Clone()
+	h.Push(2)
+	rhs.Observe(mkTrace(2, 1, false), &h)
+	if rhs.Depth() != 3 {
+		t.Fatalf("depth = %d", rhs.Depth())
+	}
+	rhs.Restore(snap)
+	if rhs.Depth() != 2 {
+		t.Errorf("restored depth = %d, want 2", rhs.Depth())
+	}
+	// Clone must be independent of later mutation.
+	rhs.Observe(mkTrace(3, 1, false), &h)
+	if snap.Depth() != 2 {
+		t.Errorf("clone mutated: depth %d", snap.Depth())
+	}
+}
+
+func TestNewReturnStackValidation(t *testing.T) {
+	if _, err := NewReturnStack(0); err == nil {
+		t.Error("depth 0 accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Package history implements the path-history machinery of the
+// path-based next trace predictor: the history register of hashed trace
+// identifiers, the DOLC index-generation mechanism, and the Return
+// History Stack (§3.2 and §3.4 of the paper).
+package history
+
+import (
+	"fmt"
+
+	"pathtrace/internal/trace"
+)
+
+// MaxSize is the largest number of hashed trace identifiers a history
+// register can track: the paper studies history depths 0 through 7,
+// i.e. up to 8 identifiers.
+const MaxSize = 8
+
+// Reg is the path history register: a shift register of hashed trace
+// identifiers. Index 0 is the most recent trace ("current" in DOLC
+// terms), index 1 the one before ("last"), and so on.
+//
+// Reg is a value type; copying it is a checkpoint. The predictor
+// updates it speculatively with each prediction and restores a saved
+// copy when a misprediction is discovered.
+type Reg struct {
+	ids  [MaxSize]trace.HashedID
+	size int // identifiers tracked (depth+1)
+	n    int // identifiers pushed so far, capped at size
+}
+
+// NewReg returns a history register tracking size identifiers
+// (the predictor's history depth + 1).
+func NewReg(size int) (Reg, error) {
+	if size < 1 || size > MaxSize {
+		return Reg{}, fmt.Errorf("history: size %d outside [1, %d]", size, MaxSize)
+	}
+	return Reg{size: size}, nil
+}
+
+// MustNewReg is NewReg for statically known sizes; it panics on error.
+func MustNewReg(size int) Reg {
+	r, err := NewReg(size)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Push shifts a new most-recent identifier into the register.
+func (r *Reg) Push(h trace.HashedID) {
+	copy(r.ids[1:r.size], r.ids[:r.size-1])
+	r.ids[0] = h
+	if r.n < r.size {
+		r.n++
+	}
+}
+
+// At returns the i-th most recent identifier (0 = current). Positions
+// not yet filled (cold start) read as zero, matching hardware reset.
+func (r *Reg) At(i int) trace.HashedID {
+	if i < 0 || i >= r.size {
+		return 0
+	}
+	return r.ids[i]
+}
+
+// Size returns the number of identifiers tracked.
+func (r *Reg) Size() int { return r.size }
+
+// Len returns the number of identifiers pushed so far (saturating at
+// Size); it distinguishes a cold register from one holding real zeros.
+func (r *Reg) Len() int { return r.n }
+
+// PathKey is a comparable value identifying the exact contents of a
+// history register. It is used by the unbounded-table predictor, where
+// each unique path must map to its own entry.
+type PathKey struct {
+	hi, lo uint64
+}
+
+// Key packs the register's identifiers into a PathKey. Only the tracked
+// identifiers participate.
+func (r *Reg) Key() PathKey {
+	var k PathKey
+	for i := 0; i < r.size; i++ {
+		v := uint64(r.ids[i])
+		if pos := i * trace.HashBits; pos < 64 {
+			k.lo |= v << pos
+			if pos+trace.HashBits > 64 {
+				k.hi |= v >> (64 - pos)
+			}
+		} else {
+			k.hi |= v << (pos - 64)
+		}
+	}
+	return k
+}

@@ -1,0 +1,136 @@
+package history
+
+import (
+	"fmt"
+
+	"pathtrace/internal/trace"
+)
+
+// DefaultRHSDepth is the default capacity of the Return History Stack.
+// The paper uses a stack whose maximum depth is "more than sufficient
+// to handle all the benchmarks except for the recursive section of
+// xlisp, where the predictor is of little use anyway"; 16 entries meets
+// that description for our workloads and is configurable.
+const DefaultRHSDepth = 16
+
+// ReturnStack is the Return History Stack (RHS) of §3.4. It saves path
+// history across procedure calls so that, after a subroutine returns,
+// the history again reflects the control flow *before* the call —
+// splicing in the most recent one or two traces from inside the
+// subroutine.
+type ReturnStack struct {
+	stack []Reg
+	max   int
+}
+
+// NewReturnStack returns an RHS holding at most max history snapshots.
+func NewReturnStack(max int) (*ReturnStack, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("history: return stack depth %d < 1", max)
+	}
+	return &ReturnStack{stack: make([]Reg, 0, max), max: max}, nil
+}
+
+// MustNewReturnStack is NewReturnStack for static configurations.
+func MustNewReturnStack(max int) *ReturnStack {
+	s, err := NewReturnStack(max)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SpliceKeep implements the paper's splice rule: "when there are five
+// or fewer entries in the history, only the most recent hashed
+// identifier is kept; when there are more than five entries the two
+// most recent hashed identifiers are kept." It is exported so the
+// unbounded predictor's full-identifier history can apply the same rule.
+func SpliceKeep(histSize int) int {
+	if histSize <= 5 {
+		return 1
+	}
+	return 2
+}
+
+// keepEntries is the internal alias.
+func keepEntries(histSize int) int { return SpliceKeep(histSize) }
+
+// Observe applies the RHS actions for a completed trace, after the
+// history register has been updated with the trace's hashed ID:
+//
+//   - if the trace contains calls (net of a terminal return), a copy of
+//     the current history is pushed per call;
+//   - if the trace ends in a return and contains no calls, the stack is
+//     popped and spliced into the history.
+//
+// Pushing onto a full stack discards the deepest entry (hardware
+// behaviour); popping an empty stack leaves the history unchanged.
+func (s *ReturnStack) Observe(tr *trace.Trace, h *Reg) {
+	net := tr.NetCalls()
+	switch {
+	case net > 0:
+		for i := 0; i < net; i++ {
+			s.push(*h)
+		}
+	case tr.EndsInRet && tr.Calls == 0:
+		if top, ok := s.pop(); ok {
+			splice(h, &top)
+		}
+	}
+}
+
+// Depth returns the number of histories currently saved.
+func (s *ReturnStack) Depth() int { return len(s.stack) }
+
+// Clone returns an independent copy, used for speculation checkpoints.
+func (s *ReturnStack) Clone() *ReturnStack {
+	c := &ReturnStack{stack: make([]Reg, len(s.stack), s.max), max: s.max}
+	copy(c.stack, s.stack)
+	return c
+}
+
+// Restore overwrites the stack contents from a checkpoint clone.
+func (s *ReturnStack) Restore(from *ReturnStack) {
+	s.stack = s.stack[:0]
+	s.stack = append(s.stack, from.stack...)
+	s.max = from.max
+}
+
+func (s *ReturnStack) push(h Reg) {
+	if len(s.stack) >= s.max {
+		// Discard the deepest (oldest) snapshot.
+		copy(s.stack, s.stack[1:])
+		s.stack[len(s.stack)-1] = h
+		return
+	}
+	s.stack = append(s.stack, h)
+}
+
+func (s *ReturnStack) pop() (Reg, bool) {
+	if len(s.stack) == 0 {
+		return Reg{}, false
+	}
+	top := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	return top, true
+}
+
+// splice keeps the most recent keepEntries(size) identifiers of h (the
+// tail of the subroutine) and fills the older positions from the
+// pre-call history snapshot.
+func splice(h *Reg, saved *Reg) {
+	keep := keepEntries(h.size)
+	if keep > h.size {
+		keep = h.size
+	}
+	for i := keep; i < h.size; i++ {
+		h.ids[i] = saved.ids[i-keep]
+	}
+	// The spliced register holds the kept entries plus whatever the
+	// snapshot had filled.
+	n := keep + saved.n
+	if n > h.size {
+		n = h.size
+	}
+	h.n = n
+}

@@ -1,0 +1,24 @@
+// Package isa defines the PT32 instruction set architecture used by the
+// reproduction as its execution substrate.
+//
+// PT32 is a 32-bit, MIPS-like load/store register machine: 32 general
+// purpose registers (r0 hardwired to zero), fixed 32-bit instruction
+// words, word-aligned PCs, and conventional (non-delayed) branches —
+// the same deviation from MIPS that SimpleScalar makes in the paper
+// this repository reproduces.
+//
+// The ISA deliberately distinguishes every control-flow class the next
+// trace predictor cares about:
+//
+//   - conditional branches (BEQ, BNE, BLT, BGE, BLTU, BGEU) with
+//     PC-relative targets, embeddable inside traces;
+//   - direct jumps (J) and direct calls (JAL), embeddable because their
+//     targets are static;
+//   - indirect jumps (JR), indirect calls (JALR) and returns (RET),
+//     which must terminate a trace because a trace is named only by its
+//     starting PC and conditional branch outcomes.
+//
+// Instructions encode to and decode from 32-bit words in three formats
+// (R, I and J), so programs can be stored in simulated memory exactly
+// as a binary would be.
+package isa

@@ -1,0 +1,123 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Instr is a decoded PT32 instruction. Field use depends on the
+// opcode's format:
+//
+//	FormatR: Rd, Rs, Rt
+//	FormatI: Rt (destination or store source), Rs (base/left operand), Imm
+//	FormatJ: Target (absolute byte address of a word-aligned location)
+type Instr struct {
+	Op     Opcode
+	Rd     Reg
+	Rs     Reg
+	Rt     Reg
+	Imm    int32  // sign-extended 16-bit immediate (shamt for shifts)
+	Target uint32 // absolute byte target for J/JAL
+}
+
+// Binary encoding layout (32-bit words):
+//
+//	bits 31..26  opcode
+//	R-type: 25..21 rd, 20..16 rs, 15..11 rt
+//	I-type: 25..21 rt, 20..16 rs, 15..0 imm
+//	J-type: 25..0  word target (byte address >> 2)
+const (
+	opShift = 26
+	aShift  = 21
+	bShift  = 16
+	cShift  = 11
+
+	regMask    = 0x1f
+	immMask    = 0xffff
+	targetMask = 0x03ffffff
+)
+
+// ErrBadEncoding is returned by Decode for words whose opcode field does
+// not name a defined instruction.
+var ErrBadEncoding = errors.New("isa: invalid instruction encoding")
+
+// Encode packs the instruction into its 32-bit binary form.
+func (in Instr) Encode() uint32 {
+	w := uint32(in.Op) << opShift
+	switch in.Op.Format() {
+	case FormatR:
+		w |= uint32(in.Rd&regMask) << aShift
+		w |= uint32(in.Rs&regMask) << bShift
+		w |= uint32(in.Rt&regMask) << cShift
+	case FormatI:
+		w |= uint32(in.Rt&regMask) << aShift
+		w |= uint32(in.Rs&regMask) << bShift
+		w |= uint32(in.Imm) & immMask
+	case FormatJ:
+		w |= (in.Target >> 2) & targetMask
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word into an instruction.
+func Decode(w uint32) (Instr, error) {
+	op := Opcode(w >> opShift)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("%w: word %#08x", ErrBadEncoding, w)
+	}
+	in := Instr{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.Rd = Reg(w >> aShift & regMask)
+		in.Rs = Reg(w >> bShift & regMask)
+		in.Rt = Reg(w >> cShift & regMask)
+	case FormatI:
+		in.Rt = Reg(w >> aShift & regMask)
+		in.Rs = Reg(w >> bShift & regMask)
+		in.Imm = int32(int16(w & immMask))
+	case FormatJ:
+		in.Target = (w & targetMask) << 2
+	}
+	return in, nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case NOP, HALT:
+		return in.Op.String()
+	case RET:
+		return "ret"
+	case OUT:
+		return fmt.Sprintf("out %s", in.Rs)
+	case JR:
+		return fmt.Sprintf("jr %s", in.Rs)
+	case JALR:
+		return fmt.Sprintf("jalr %s, %s", in.Rd, in.Rs)
+	case J, JAL:
+		return fmt.Sprintf("%s %#x", in.Op, in.Target)
+	case LW, LB, LBU, SW, SB:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rt, in.Imm, in.Rs)
+	case LUI:
+		return fmt.Sprintf("lui %s, %d", in.Rt, uint32(in.Imm)&immMask)
+	case ANDI, ORI, XORI:
+		// Logical immediates are zero-extended by the machine; print the
+		// unsigned form so disassembly re-assembles to the same bits.
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rt, in.Rs, uint32(in.Imm)&immMask)
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs, in.Rt, in.Imm)
+	}
+	switch in.Op.Format() {
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	case FormatI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rt, in.Rs, in.Imm)
+	}
+	return in.Op.String()
+}
+
+// BranchTarget computes the target of a PC-relative conditional branch
+// located at pc. The immediate counts instruction words, as in MIPS.
+func (in Instr) BranchTarget(pc uint32) uint32 {
+	return pc + 4 + uint32(in.Imm)<<2
+}

@@ -1,0 +1,187 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		Zero: "zero", RA: "ra", SP: "sp", GP: "gp", T0: "t0", S7: "s7", V0: "v0",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	for i := 0; i < NumRegs; i++ {
+		r := Reg(i)
+		got, ok := RegByName(r.String())
+		if !ok || got != r {
+			t.Errorf("RegByName(%q) = %v,%v, want %v", r.String(), got, ok, r)
+		}
+	}
+	// Numeric aliases.
+	if r, ok := RegByName("r31"); !ok || r != RA {
+		t.Errorf("RegByName(r31) = %v,%v, want ra", r, ok)
+	}
+	for _, bad := range []string{"", "r32", "r", "rx", "foo", "r-1"} {
+		if _, ok := RegByName(bad); ok {
+			t.Errorf("RegByName(%q) unexpectedly ok", bad)
+		}
+	}
+}
+
+func TestOpcodeByNameRoundTrip(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v,%v, want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("OpcodeByName(bogus) unexpectedly ok")
+	}
+}
+
+func TestCtrlClassification(t *testing.T) {
+	tests := []struct {
+		op       Opcode
+		ctrl     CtrlClass
+		indirect bool
+		call     bool
+	}{
+		{ADD, CtrlNone, false, false},
+		{BEQ, CtrlCondDir, false, false},
+		{BGEU, CtrlCondDir, false, false},
+		{J, CtrlJumpDir, false, false},
+		{JAL, CtrlCallDir, false, true},
+		{JR, CtrlJumpInd, true, false},
+		{JALR, CtrlCallInd, true, true},
+		{RET, CtrlReturn, true, false},
+		{HALT, CtrlHalt, false, false},
+	}
+	for _, tc := range tests {
+		if got := tc.op.Ctrl(); got != tc.ctrl {
+			t.Errorf("%v.Ctrl() = %v, want %v", tc.op, got, tc.ctrl)
+		}
+		if got := tc.op.Ctrl().Indirect(); got != tc.indirect {
+			t.Errorf("%v indirect = %v, want %v", tc.op, got, tc.indirect)
+		}
+		if got := tc.op.Ctrl().Call(); got != tc.call {
+			t.Errorf("%v call = %v, want %v", tc.op, got, tc.call)
+		}
+	}
+	if CtrlNone.ControlFlow() {
+		t.Error("CtrlNone.ControlFlow() = true")
+	}
+	if !CtrlCondDir.ControlFlow() {
+		t.Error("CtrlCondDir.ControlFlow() = false")
+	}
+}
+
+// randInstr generates a canonical, encodable instruction for the given opcode.
+func randInstr(rng *rand.Rand, op Opcode) Instr {
+	in := Instr{Op: op}
+	switch op.Format() {
+	case FormatR:
+		in.Rd = Reg(rng.Intn(NumRegs))
+		in.Rs = Reg(rng.Intn(NumRegs))
+		in.Rt = Reg(rng.Intn(NumRegs))
+	case FormatI:
+		in.Rt = Reg(rng.Intn(NumRegs))
+		in.Rs = Reg(rng.Intn(NumRegs))
+		in.Imm = int32(int16(rng.Uint32()))
+	case FormatJ:
+		in.Target = rng.Uint32() & 0x03ffffff << 2
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		for i := 0; i < 64; i++ {
+			in := randInstr(rng, op)
+			got, err := Decode(in.Encode())
+			if err != nil {
+				t.Fatalf("Decode(Encode(%v)): %v", in, err)
+			}
+			if got != in {
+				t.Fatalf("round trip %v -> %v", in, got)
+			}
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	bad := uint32(NumOpcodes) << 26
+	if _, err := Decode(bad); err == nil {
+		t.Error("Decode of invalid opcode succeeded")
+	}
+}
+
+// Property: encoding is stable — Encode(Decode(Encode(x))) == Encode(x).
+func TestEncodeStableQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		op := Opcode(rng.Intn(NumOpcodes))
+		in := randInstr(rng, op)
+		w := in.Encode()
+		d, err := Decode(w)
+		if err != nil {
+			return false
+		}
+		return d.Encode() == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	in := Instr{Op: BEQ, Imm: -3}
+	if got, want := in.BranchTarget(0x1000), uint32(0x1000+4-12); got != want {
+		t.Errorf("backward target = %#x, want %#x", got, want)
+	}
+	in.Imm = 5
+	if got, want := in.BranchTarget(0x1000), uint32(0x1000+4+20); got != want {
+		t.Errorf("forward target = %#x, want %#x", got, want)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: NOP}, "nop"},
+		{Instr{Op: HALT}, "halt"},
+		{Instr{Op: RET}, "ret"},
+		{Instr{Op: ADD, Rd: V0, Rs: A0, Rt: A1}, "add v0, a0, a1"},
+		{Instr{Op: ADDI, Rt: T0, Rs: Zero, Imm: 42}, "addi t0, zero, 42"},
+		{Instr{Op: LW, Rt: T1, Rs: SP, Imm: 8}, "lw t1, 8(sp)"},
+		{Instr{Op: SW, Rt: T1, Rs: SP, Imm: -4}, "sw t1, -4(sp)"},
+		{Instr{Op: BEQ, Rs: T0, Rt: Zero, Imm: 7}, "beq t0, zero, 7"},
+		{Instr{Op: J, Target: 0x40}, "j 0x40"},
+		{Instr{Op: JR, Rs: T9}, "jr t9"},
+		{Instr{Op: JALR, Rd: RA, Rs: T9}, "jalr ra, t9"},
+		{Instr{Op: OUT, Rs: V0}, "out v0"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		s := Instr{Op: op}.String()
+		if s == "" || strings.Contains(s, "%!") {
+			t.Errorf("opcode %d String() = %q", op, s)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package isa
+
+// Opcode identifies a PT32 operation. Opcodes are dense small integers;
+// the binary encoding maps them onto MIPS-style major opcode and funct
+// fields (see encoding.go).
+type Opcode uint8
+
+// The complete PT32 instruction set.
+const (
+	// R-type ALU operations: rd <- rs OP rt.
+	ADD Opcode = iota
+	SUB
+	MUL
+	DIV // rd <- rs / rt (signed; division by zero yields 0)
+	REM // rd <- rs % rt (signed; modulo by zero yields 0)
+	AND
+	OR
+	XOR
+	NOR
+	SLT  // set on less than, signed
+	SLTU // set on less than, unsigned
+	SLLV // shift left logical by register
+	SRLV // shift right logical by register
+	SRAV // shift right arithmetic by register
+
+	// I-type ALU operations: rt <- rs OP imm.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLTIU
+	SLL // shift by immediate (shamt in imm)
+	SRL
+	SRA
+	LUI // rt <- imm << 16
+
+	// Memory operations: rt <-> mem[rs+imm].
+	LW
+	LB  // sign-extending byte load
+	LBU // zero-extending byte load
+	SW
+	SB
+
+	// Conditional branches: PC-relative, compare rs against rt.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Unconditional control flow.
+	J    // direct jump to absolute word target
+	JAL  // direct call: ra <- PC+4, jump to target
+	JR   // indirect jump to address in rs
+	JALR // indirect call: rd <- PC+4, jump to rs
+	RET  // return: jump to address in ra (architecturally distinct from JR)
+
+	// System operations.
+	HALT // stop the program
+	OUT  // emit the value of rs to the simulator output channel
+	NOP  // no operation
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// Format describes how an instruction's operands are encoded.
+type Format uint8
+
+const (
+	FormatR Format = iota // rd, rs, rt (register-register)
+	FormatI               // rt, rs, imm16
+	FormatJ               // target26
+)
+
+// CtrlClass classifies an opcode's effect on control flow. The trace
+// selector and the predictors key off this classification.
+type CtrlClass uint8
+
+const (
+	CtrlNone    CtrlClass = iota // falls through to PC+4
+	CtrlCondDir                  // conditional branch, direct target
+	CtrlJumpDir                  // unconditional jump, direct target
+	CtrlCallDir                  // call, direct target
+	CtrlJumpInd                  // unconditional jump, indirect target
+	CtrlCallInd                  // call, indirect target
+	CtrlReturn                   // return (indirect target via ra)
+	CtrlHalt                     // program end
+)
+
+// Indirect reports whether the class transfers control to a target that
+// is not statically encoded in the instruction. Indirect transfers must
+// terminate a trace.
+func (c CtrlClass) Indirect() bool {
+	switch c {
+	case CtrlJumpInd, CtrlCallInd, CtrlReturn:
+		return true
+	}
+	return false
+}
+
+// Call reports whether the class is a procedure call.
+func (c CtrlClass) Call() bool { return c == CtrlCallDir || c == CtrlCallInd }
+
+// ControlFlow reports whether the class can redirect the PC at all.
+func (c CtrlClass) ControlFlow() bool { return c != CtrlNone }
+
+type opInfo struct {
+	name   string
+	format Format
+	ctrl   CtrlClass
+}
+
+var opTable = [NumOpcodes]opInfo{
+	ADD:   {"add", FormatR, CtrlNone},
+	SUB:   {"sub", FormatR, CtrlNone},
+	MUL:   {"mul", FormatR, CtrlNone},
+	DIV:   {"div", FormatR, CtrlNone},
+	REM:   {"rem", FormatR, CtrlNone},
+	AND:   {"and", FormatR, CtrlNone},
+	OR:    {"or", FormatR, CtrlNone},
+	XOR:   {"xor", FormatR, CtrlNone},
+	NOR:   {"nor", FormatR, CtrlNone},
+	SLT:   {"slt", FormatR, CtrlNone},
+	SLTU:  {"sltu", FormatR, CtrlNone},
+	SLLV:  {"sllv", FormatR, CtrlNone},
+	SRLV:  {"srlv", FormatR, CtrlNone},
+	SRAV:  {"srav", FormatR, CtrlNone},
+	ADDI:  {"addi", FormatI, CtrlNone},
+	ANDI:  {"andi", FormatI, CtrlNone},
+	ORI:   {"ori", FormatI, CtrlNone},
+	XORI:  {"xori", FormatI, CtrlNone},
+	SLTI:  {"slti", FormatI, CtrlNone},
+	SLTIU: {"sltiu", FormatI, CtrlNone},
+	SLL:   {"sll", FormatI, CtrlNone},
+	SRL:   {"srl", FormatI, CtrlNone},
+	SRA:   {"sra", FormatI, CtrlNone},
+	LUI:   {"lui", FormatI, CtrlNone},
+	LW:    {"lw", FormatI, CtrlNone},
+	LB:    {"lb", FormatI, CtrlNone},
+	LBU:   {"lbu", FormatI, CtrlNone},
+	SW:    {"sw", FormatI, CtrlNone},
+	SB:    {"sb", FormatI, CtrlNone},
+	BEQ:   {"beq", FormatI, CtrlCondDir},
+	BNE:   {"bne", FormatI, CtrlCondDir},
+	BLT:   {"blt", FormatI, CtrlCondDir},
+	BGE:   {"bge", FormatI, CtrlCondDir},
+	BLTU:  {"bltu", FormatI, CtrlCondDir},
+	BGEU:  {"bgeu", FormatI, CtrlCondDir},
+	J:     {"j", FormatJ, CtrlJumpDir},
+	JAL:   {"jal", FormatJ, CtrlCallDir},
+	JR:    {"jr", FormatR, CtrlJumpInd},
+	JALR:  {"jalr", FormatR, CtrlCallInd},
+	RET:   {"ret", FormatR, CtrlReturn},
+	HALT:  {"halt", FormatR, CtrlHalt},
+	OUT:   {"out", FormatR, CtrlNone},
+	NOP:   {"nop", FormatR, CtrlNone},
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < NumOpcodes {
+		return opTable[op].name
+	}
+	return "op?"
+}
+
+// Format returns the encoding format of the opcode.
+func (op Opcode) Format() Format { return opTable[op].format }
+
+// Ctrl returns the control-flow classification of the opcode.
+func (op Opcode) Ctrl() CtrlClass { return opTable[op].ctrl }
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return int(op) < NumOpcodes }
+
+// OpcodeByName resolves an assembler mnemonic to its opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op, info := range opTable {
+		m[info.name] = Opcode(op)
+	}
+	return m
+}()

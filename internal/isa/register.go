@@ -1,0 +1,89 @@
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 32
+
+// Reg names an architectural register. Register 0 always reads as zero;
+// writes to it are discarded.
+type Reg uint8
+
+// Conventional register assignments. They mirror the MIPS o32 calling
+// convention closely enough that hand-written assembly reads naturally.
+const (
+	Zero Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary (used by pseudo-instructions)
+	V0   Reg = 2 // function result
+	V1   Reg = 3 // function result (second word)
+	A0   Reg = 4 // argument 0
+	A1   Reg = 5 // argument 1
+	A2   Reg = 6 // argument 2
+	A3   Reg = 7 // argument 3
+	T0   Reg = 8 // caller-saved temporaries T0..T7
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // callee-saved S0..S7
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26 // reserved
+	K1   Reg = 27 // reserved
+	GP   Reg = 28 // global pointer (base of .data)
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+)
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional name of the register, e.g. "sp".
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// RegByName resolves a register name. Both conventional names ("sp",
+// "ra", "t0") and numeric names ("r29") are accepted.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	if len(name) >= 2 && name[0] == 'r' {
+		n := 0
+		for _, c := range name[1:] {
+			if c < '0' || c > '9' {
+				return 0, false
+			}
+			n = n*10 + int(c-'0')
+			if n >= NumRegs {
+				return 0, false
+			}
+		}
+		return Reg(n), true
+	}
+	return 0, false
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }

@@ -1,0 +1,127 @@
+package predictor
+
+import (
+	"pathtrace/internal/history"
+	"pathtrace/internal/trace"
+)
+
+// basic is the correlated predictor of §3.2: a single table indexed by
+// the DOLC-generated path index; entries hold a predicted trace
+// identifier, an increment-by-1/decrement-by-2 two-bit counter, and
+// (per §6) an alternate identifier.
+type basic struct {
+	cfg   Config
+	hist  history.Reg
+	table []basicEntry
+	stats Stats
+	tok   basicToken
+}
+
+type basicEntry struct {
+	val      uint64 // trace.ID, or trace.HashedID when cost-reduced
+	alt      uint64
+	ctr      uint8
+	valid    bool
+	altValid bool
+}
+
+type basicToken struct {
+	idx     uint32
+	pred    Prediction
+	predVal uint64
+	altVal  uint64
+}
+
+func newBasic(cfg Config) (*basic, error) {
+	h, err := history.NewReg(cfg.Depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	return &basic{
+		cfg:   cfg,
+		hist:  h,
+		table: make([]basicEntry, 1<<cfg.IndexBits),
+	}, nil
+}
+
+// storedVal converts a trace to the value representation the table
+// stores: the full identifier, or its hash when cost-reduced.
+func (cfg *Config) storedVal(tr *trace.Trace) uint64 {
+	if cfg.CostReduced {
+		return uint64(tr.Hash)
+	}
+	return uint64(tr.ID)
+}
+
+// present converts a stored value back into Prediction fields.
+func (cfg *Config) present(p *Prediction, val uint64) {
+	if cfg.CostReduced {
+		p.Hashed = trace.HashedID(val)
+	} else {
+		p.ID = trace.ID(val)
+		p.Hashed = p.ID.Hash()
+	}
+}
+
+func (b *basic) Predict() Prediction {
+	idx := b.cfg.DOLC.IndexOf(&b.hist)
+	e := &b.table[idx]
+	var p Prediction
+	if e.valid {
+		p.Valid = true
+		b.cfg.present(&p, e.val)
+		if e.altValid {
+			p.AltValid = true
+			if !b.cfg.CostReduced {
+				p.Alt = trace.ID(e.alt)
+			}
+		}
+	}
+	b.tok = basicToken{idx: idx, pred: p, predVal: e.val, altVal: e.alt}
+	return p
+}
+
+func (b *basic) Update(actual *trace.Trace) {
+	tok := b.tok
+	actualVal := b.cfg.storedVal(actual)
+
+	b.stats.Predictions++
+	correct := tok.pred.Valid && tok.predVal == actualVal
+	if correct {
+		b.stats.Correct++
+	} else {
+		if !tok.pred.Valid {
+			b.stats.Cold++
+		}
+		if tok.pred.AltValid {
+			b.stats.AltPresent++
+			if tok.altVal == actualVal {
+				b.stats.AltCorrect++
+			}
+		}
+	}
+
+	e := &b.table[tok.idx]
+	max := ctrMax(b.cfg.CounterBits)
+	switch {
+	case !e.valid:
+		e.val = actualVal
+		e.ctr = 0
+		e.valid = true
+	case e.val == actualVal:
+		e.ctr = satInc(e.ctr, b.cfg.CounterInc, max)
+	case e.ctr == 0:
+		// Replace; the displaced prediction becomes the alternate (§6).
+		e.alt = e.val
+		e.altValid = true
+		e.val = actualVal
+	default:
+		e.ctr = satDec(e.ctr, b.cfg.CounterDec)
+		e.alt = actualVal
+		e.altValid = true
+	}
+
+	b.hist.Push(actual.Hash)
+}
+
+func (b *basic) Stats() Stats { return b.stats }

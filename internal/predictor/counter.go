@@ -1,0 +1,22 @@
+package predictor
+
+// satInc increments a saturating counter by `by`, clamping at max.
+func satInc(v uint8, by, max int) uint8 {
+	n := int(v) + by
+	if n > max {
+		n = max
+	}
+	return uint8(n)
+}
+
+// satDec decrements a saturating counter by `by`, clamping at zero.
+func satDec(v uint8, by int) uint8 {
+	n := int(v) - by
+	if n < 0 {
+		n = 0
+	}
+	return uint8(n)
+}
+
+// ctrMax returns the saturation value of a counter of the given width.
+func ctrMax(bits int) int { return 1<<bits - 1 }

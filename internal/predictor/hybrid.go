@@ -1,0 +1,263 @@
+package predictor
+
+import (
+	"pathtrace/internal/history"
+	"pathtrace/internal/trace"
+)
+
+// Hybrid is the predictor of §3.3–§3.4: a tagged correlated table plus
+// a smaller secondary table indexed only by the hashed identifier of
+// the most recent trace, with an optional Return History Stack.
+//
+// Selection rule: if the secondary entry's 4-bit counter is saturated,
+// the secondary's prediction is used (and, when correct, the correlated
+// table is not updated — the aliasing filter). Otherwise the correlated
+// prediction is used when its tag matches the hashed identifier of the
+// immediately preceding trace, and the secondary's otherwise.
+//
+// Hybrid exposes a lower-level API (Lookup / CommitUpdate / Advance /
+// Checkpoint / Restore) so package engine can model speculative history
+// with delayed table updates (§5.4).
+type Hybrid struct {
+	cfg  Config
+	hist history.Reg
+	rhs  *history.ReturnStack // nil when RHS disabled
+
+	corr []corrEntry
+	sec  []secEntry
+
+	stats     Stats
+	tok       Token
+	secFilter bool
+	tagMask   uint32
+	secMask   uint32
+}
+
+type corrEntry struct {
+	tag      uint16
+	val      uint64
+	alt      uint64
+	ctr      uint8
+	valid    bool
+	altValid bool
+}
+
+type secEntry struct {
+	val   uint64
+	ctr   uint8
+	valid bool
+}
+
+// Token captures everything a Lookup decided, so the matching update
+// can be applied later (possibly much later, under delayed updates).
+type Token struct {
+	CorrIdx      uint32
+	SecIdx       uint32
+	Tag          uint16
+	Pred         Prediction
+	predVal      uint64
+	altVal       uint64
+	secPredVal   uint64
+	secValid     bool
+	secSaturated bool
+}
+
+func newHybrid(cfg Config) (*Hybrid, error) {
+	h, err := history.NewReg(cfg.Depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	p := &Hybrid{
+		cfg:       cfg,
+		hist:      h,
+		corr:      make([]corrEntry, 1<<cfg.IndexBits),
+		sec:       make([]secEntry, 1<<cfg.SecondaryBits),
+		secFilter: *cfg.SecondaryFilter,
+		tagMask:   uint32(1)<<cfg.TagBits - 1,
+		secMask:   uint32(1)<<cfg.SecondaryBits - 1,
+	}
+	if cfg.UseRHS {
+		rhs, err := history.NewReturnStack(cfg.RHSDepth)
+		if err != nil {
+			return nil, err
+		}
+		p.rhs = rhs
+	}
+	return p, nil
+}
+
+// NewHybrid builds a hybrid predictor directly, for callers that need
+// the lower-level API (package engine). cfg.Hybrid is implied.
+func NewHybrid(cfg Config) (*Hybrid, error) {
+	cfg.Hybrid = true
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return newHybrid(full)
+}
+
+// Lookup computes the prediction for the next trace from the current
+// path history, without changing any state.
+func (p *Hybrid) Lookup() (Prediction, Token) {
+	tok := Token{
+		CorrIdx: p.cfg.DOLC.IndexOf(&p.hist),
+		SecIdx:  uint32(p.hist.At(0)) & p.secMask,
+		Tag:     uint16(uint32(p.hist.At(0)) & p.tagMask),
+	}
+	ce := &p.corr[tok.CorrIdx]
+	se := &p.sec[tok.SecIdx]
+	tok.secValid = se.valid
+	tok.secPredVal = se.val
+	tok.secSaturated = se.valid && int(se.ctr) == ctrMax(p.cfg.SecCounterBits)
+
+	var pred Prediction
+	useSecondary := tok.secSaturated || !(ce.valid && ce.tag == tok.Tag)
+	if useSecondary {
+		if se.valid {
+			pred.Valid = true
+			pred.FromSecondary = true
+			p.cfg.present(&pred, se.val)
+			tok.predVal = se.val
+		}
+	} else {
+		pred.Valid = true
+		p.cfg.present(&pred, ce.val)
+		tok.predVal = ce.val
+		if ce.altValid {
+			pred.AltValid = true
+			tok.altVal = ce.alt
+			if !p.cfg.CostReduced {
+				pred.Alt = trace.ID(ce.alt)
+			}
+		}
+	}
+	tok.Pred = pred
+	return pred, tok
+}
+
+// CommitUpdate trains the tables for a prediction described by tok,
+// given the trace that actually followed. It does not touch the path
+// history; pair it with Advance.
+func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
+	actualVal := p.cfg.storedVal(actual)
+
+	p.stats.Predictions++
+	correct := tok.Pred.Valid && tok.predVal == actualVal
+	if correct {
+		p.stats.Correct++
+	} else {
+		if !tok.Pred.Valid {
+			p.stats.Cold++
+		}
+		if tok.Pred.AltValid {
+			p.stats.AltPresent++
+			if tok.altVal == actualVal {
+				p.stats.AltCorrect++
+			}
+		}
+	}
+	if tok.Pred.FromSecondary {
+		p.stats.FromSecondary++
+	}
+
+	// Secondary table update.
+	se := &p.sec[tok.SecIdx]
+	secMax := ctrMax(p.cfg.SecCounterBits)
+	switch {
+	case !se.valid:
+		se.val = actualVal
+		se.ctr = 0
+		se.valid = true
+	case se.val == actualVal:
+		se.ctr = satInc(se.ctr, 1, secMax)
+	case se.ctr == 0:
+		se.val = actualVal
+	default:
+		se.ctr = satDec(se.ctr, p.cfg.SecCounterDec)
+	}
+
+	// Correlated table update — filtered when a saturated secondary was
+	// correct, so single-successor traces do not pollute it.
+	if p.secFilter && tok.secSaturated && tok.secPredVal == actualVal {
+		return
+	}
+	ce := &p.corr[tok.CorrIdx]
+	max := ctrMax(p.cfg.CounterBits)
+	switch {
+	case !ce.valid || ce.tag != tok.Tag:
+		*ce = corrEntry{tag: tok.Tag, val: actualVal, valid: true}
+	case ce.val == actualVal:
+		ce.ctr = satInc(ce.ctr, p.cfg.CounterInc, max)
+	case ce.ctr == 0:
+		ce.alt = ce.val
+		ce.altValid = true
+		ce.val = actualVal
+	default:
+		ce.ctr = satDec(ce.ctr, p.cfg.CounterDec)
+		ce.alt = actualVal
+		ce.altValid = true
+	}
+}
+
+// Advance pushes a trace onto the path history and applies the Return
+// History Stack actions. Under speculation, call it with the predicted
+// trace's metadata; under immediate updates, with the actual trace.
+func (p *Hybrid) Advance(tr *trace.Trace) {
+	p.hist.Push(tr.Hash)
+	if p.rhs != nil {
+		p.rhs.Observe(tr, &p.hist)
+	}
+}
+
+// State is a speculation checkpoint of the history register and RHS.
+type State struct {
+	hist history.Reg
+	rhs  *history.ReturnStack
+}
+
+// Checkpoint captures the speculative front-end state.
+func (p *Hybrid) Checkpoint() State {
+	st := State{hist: p.hist}
+	if p.rhs != nil {
+		st.rhs = p.rhs.Clone()
+	}
+	return st
+}
+
+// Restore rewinds the front-end state to a checkpoint (misprediction
+// recovery: "in the case of an incorrect prediction the history is
+// backed up to the state before the bad prediction").
+func (p *Hybrid) Restore(st State) {
+	p.hist = st.hist
+	if p.rhs != nil && st.rhs != nil {
+		p.rhs.Restore(st.rhs)
+	}
+}
+
+// Predict implements NextTracePredictor (immediate-update protocol).
+func (p *Hybrid) Predict() Prediction {
+	pred, tok := p.Lookup()
+	p.tok = tok
+	return pred
+}
+
+// Update implements NextTracePredictor.
+func (p *Hybrid) Update(actual *trace.Trace) {
+	p.CommitUpdate(p.tok, actual)
+	p.Advance(actual)
+}
+
+// Stats implements NextTracePredictor.
+func (p *Hybrid) Stats() Stats { return p.stats }
+
+// AddStats merges externally computed counters (used by the delayed-
+// update engine, which performs its own accounting).
+func (p *Hybrid) AddStats(s Stats) {
+	p.stats.Predictions += s.Predictions
+	p.stats.Correct += s.Correct
+	p.stats.Cold += s.Cold
+	p.stats.FromSecondary += s.FromSecondary
+	p.stats.AltCorrect += s.AltCorrect
+	p.stats.AltPresent += s.AltPresent
+}

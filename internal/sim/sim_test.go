@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"pathtrace/internal/asm"
+	"pathtrace/internal/isa"
+)
+
+// run assembles src, runs it to completion and returns the CPU.
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	c := MustNew(asm.MustAssemble(src))
+	if err := c.Run(1_000_000, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !c.Halted() {
+		t.Fatal("program did not halt within 1M instructions")
+	}
+	return c
+}
+
+func wantOutput(t *testing.T, c *CPU, want ...uint32) {
+	t.Helper()
+	if len(c.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", c.Output, want)
+	}
+	for i := range want {
+		if c.Output[i] != want[i] {
+			t.Errorf("output[%d] = %d (%#x), want %d", i, c.Output[i], c.Output[i], want[i])
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	c := run(t, `
+main:   li t0, 21
+        li t1, 2
+        mul t2, t0, t1      # 42
+        out t2
+        sub t3, t2, t0      # 21
+        out t3
+        li t4, -7
+        div t5, t4, t1      # -3
+        out t5
+        rem t6, t4, t1      # -1
+        out t6
+        li t7, 0
+        div s0, t0, t7      # div by zero -> 0
+        out s0
+        halt
+`)
+	neg := func(v int32) uint32 { return uint32(v) }
+	wantOutput(t, c, 42, 21, neg(-3), neg(-1), 0)
+}
+
+func TestLogicAndShifts(t *testing.T) {
+	c := run(t, `
+main:   li t0, 0xf0f0
+        li t1, 0x0ff0
+        and t2, t0, t1
+        out t2              # 0x0ff0 & 0xf0f0 = 0x00f0... check: 0xf0f0 & 0x0ff0 = 0x00f0
+        or  t3, t0, t1
+        out t3              # 0xfff0
+        xor t4, t0, t1
+        out t4              # 0xff00
+        nor t5, t0, t1
+        out t5              # ^0xfff0
+        ori t6, zero, 0x8000 # zero-extended logical imm
+        out t6
+        li  t7, 1
+        sll s0, t7, 31
+        out s0              # 0x80000000
+        srl s1, s0, 31
+        out s1              # 1
+        sra s2, s0, 31
+        out s2              # 0xffffffff
+        li  s3, 4
+        sllv s4, t7, s3
+        out s4              # 16
+        halt
+`)
+	wantOutput(t, c, 0x00f0, 0xfff0, 0xff00, ^uint32(0xfff0), 0x8000,
+		0x80000000, 1, 0xffffffff, 16)
+}
+
+func TestComparisons(t *testing.T) {
+	c := run(t, `
+main:   li t0, -1
+        li t1, 1
+        slt t2, t0, t1
+        out t2              # 1 signed
+        sltu t3, t0, t1
+        out t3              # 0 unsigned (0xffffffff > 1)
+        slti t4, t0, 0
+        out t4              # 1
+        sltiu t5, t1, 2
+        out t5              # 1
+        halt
+`)
+	wantOutput(t, c, 1, 0, 1, 1)
+}
+
+func TestMemory(t *testing.T) {
+	c := run(t, `
+        .data
+vals:   .word 10, 20, 30
+buf:    .space 16
+        .text
+main:   la t0, vals
+        lw t1, 0(t0)
+        lw t2, 4(t0)
+        add t3, t1, t2
+        out t3              # 30
+        la t4, buf
+        sw t3, 0(t4)
+        lw t5, 0(t4)
+        out t5              # 30
+        li t6, 0x41
+        sb t6, 5(t4)
+        lbu t7, 5(t4)
+        out t7              # 0x41
+        li s0, -1
+        sb s0, 6(t4)
+        lb s1, 6(t4)
+        out s1              # sign-extended -1
+        lbu s2, 6(t4)
+        out s2              # 255
+        halt
+`)
+	wantOutput(t, c, 30, 30, 0x41, 0xffffffff, 255)
+}
+
+func TestBranchSemantics(t *testing.T) {
+	// Each branch outputs 1 when it behaves correctly.
+	c := run(t, `
+main:   li t0, 5
+        li t1, 5
+        li t2, -3
+        li v0, 0
+        beq t0, t1, ok1
+        j fail
+ok1:    bne t0, t2, ok2
+        j fail
+ok2:    blt t2, t0, ok3
+        j fail
+ok3:    bge t0, t1, ok4
+        j fail
+ok4:    bltu t0, t2, ok5    # unsigned: 5 < 0xfffffffd
+        j fail
+ok5:    bgeu t2, t0, ok6
+        j fail
+ok6:    li v0, 1
+fail:   out v0
+        halt
+`)
+	wantOutput(t, c, 1)
+}
+
+func TestCallReturn(t *testing.T) {
+	c := run(t, `
+main:   li a0, 10
+        jal double
+        out v0              # 20
+        la t9, triple
+        jalr t9
+        out v0              # 60
+        halt
+double: add v0, a0, a0
+        ret
+triple: add v0, v0, a0
+        add v0, v0, a0
+        add v0, v0, a0      # v0 = 20 + 30 = 50? no: v0=20 then +10*3 = 50
+        ret
+`)
+	wantOutput(t, c, 20, 50)
+}
+
+func TestRecursiveFib(t *testing.T) {
+	c := run(t, `
+# fib(10) = 55, classic recursion through the stack.
+main:   li a0, 10
+        jal fib
+        out v0
+        halt
+fib:    li t0, 2
+        blt a0, t0, base
+        addi sp, sp, -12
+        sw ra, 0(sp)
+        sw a0, 4(sp)
+        addi a0, a0, -1
+        jal fib
+        sw v0, 8(sp)
+        lw a0, 4(sp)
+        addi a0, a0, -2
+        jal fib
+        lw t1, 8(sp)
+        add v0, v0, t1
+        lw ra, 0(sp)
+        addi sp, sp, 12
+        ret
+base:   move v0, a0
+        ret
+`)
+	wantOutput(t, c, 55)
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	c := run(t, `
+main:   li t0, 7
+        add zero, t0, t0
+        addi zero, t0, 5
+        out zero
+        halt
+`)
+	wantOutput(t, c, 0)
+}
+
+func TestRetiredStream(t *testing.T) {
+	c := MustNew(asm.MustAssemble(`
+main:   li t0, 2
+loop:   addi t0, t0, -1
+        bne t0, zero, loop
+        jal f
+        halt
+f:      ret
+`))
+	var rec []Retired
+	if err := c.Run(0, func(r Retired) { rec = append(rec, r) }); err != nil {
+		t.Fatal(err)
+	}
+	// li(1) + 2*(addi,bne) + jal + ret + halt = 8 retires.
+	if len(rec) != 8 {
+		t.Fatalf("retired %d instructions, want 8: %v", len(rec), rec)
+	}
+	// First bne is taken, second not.
+	if !rec[2].Taken || rec[2].Ctrl != isa.CtrlCondDir {
+		t.Errorf("rec[2] = %+v, want taken conditional", rec[2])
+	}
+	if rec[4].Taken {
+		t.Errorf("rec[4] = %+v, want not-taken", rec[4])
+	}
+	jal := rec[5]
+	if jal.Ctrl != isa.CtrlCallDir || jal.NextPC != c.Program().Symbols["f"] {
+		t.Errorf("jal record = %+v", jal)
+	}
+	ret := rec[6]
+	if ret.Ctrl != isa.CtrlReturn || ret.NextPC != jal.PC+4 {
+		t.Errorf("ret record = %+v", ret)
+	}
+	if rec[7].Ctrl != isa.CtrlHalt {
+		t.Errorf("last record = %+v, want halt", rec[7])
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"jump outside text", "main: li t0, 0x500000\njr t0"},
+		{"unaligned jump", "main: li t0, 0x10002\njr t0"},
+		{"load outside memory", "main: li t0, 0x7fffffc\nlw t1, 4(t0)"},
+		{"unaligned load", "main: li t0, 0x100002\nlw t1, 0(t0)"},
+		{"unaligned store", "main: li t0, 0x100002\nsw t1, 0(t0)"},
+		{"store outside memory", "main: li t0, 0x7fffffc\nsw t1, 4(t0)"},
+		{"byte load outside", "main: li t0, 0x7ffffff\nlbu t1, 1(t0)"},
+		{"byte store outside", "main: li t0, 0x7ffffff\nsb t1, 1(t0)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNew(asm.MustAssemble(tc.src))
+			err := c.Run(100, nil)
+			var f *Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("err = %v, want *Fault", err)
+			}
+			if !c.Halted() {
+				t.Error("CPU not halted after fault")
+			}
+			if _, err := c.Step(); !errors.Is(err, ErrHalted) {
+				t.Errorf("Step after fault = %v, want ErrHalted", err)
+			}
+		})
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	c := MustNew(asm.MustAssemble("main: j main"))
+	if err := c.Run(1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.InstrCount != 1000 {
+		t.Errorf("InstrCount = %d, want 1000", c.InstrCount)
+	}
+	if c.Halted() {
+		t.Error("spin loop halted unexpectedly")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := asm.MustAssemble("main: out sp\nhalt")
+	c := MustNew(p)
+	if err := c.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	wantOutput(t, c, p.StackTop-16)
+	c.Reset()
+	if c.PC != p.Entry || c.Halted() || c.InstrCount != 0 || len(c.Output) != 0 {
+		t.Error("Reset did not restore initial state")
+	}
+	if c.Regs[isa.GP] != p.DataBase {
+		t.Errorf("gp = %#x, want %#x", c.Regs[isa.GP], p.DataBase)
+	}
+}
+
+func TestRetiredMemoryFields(t *testing.T) {
+	c := MustNew(asm.MustAssemble(`
+        .data
+w:      .word 7
+        .text
+main:   lw  t0, 0(gp)
+        sw  t0, 4(gp)
+        lb  t1, 0(gp)
+        lbu t2, 1(gp)
+        sb  t0, 2(gp)
+        add t3, t0, t0
+        halt
+`))
+	var recs []Retired
+	if err := c.Run(0, func(r Retired) { recs = append(recs, r) }); err != nil {
+		t.Fatal(err)
+	}
+	base := c.Program().DataBase
+	want := []struct {
+		kind MemKind
+		addr uint32
+	}{
+		{MemLoad, base}, {MemStore, base + 4}, {MemLoad, base},
+		{MemLoad, base + 1}, {MemStore, base + 2}, {MemNone, 0}, {MemNone, 0},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("retired %d, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if recs[i].Mem != w.kind || (w.kind != MemNone && recs[i].MemAddr != w.addr) {
+			t.Errorf("rec[%d] = kind %d addr %#x, want %d %#x",
+				i, recs[i].Mem, recs[i].MemAddr, w.kind, w.addr)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package stats provides the small numeric and text-rendering helpers
+// shared by the experiment harness: aligned tables for the paper's
+// tables and column-formatted series for its figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows of cells with aligned columns.
+type Table struct {
+	Title string
+	cols  []string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, cols: cols}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.cols) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.cols)))
+	}
+	row := make([]string, len(t.cols))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: strings pass through,
+// float64 render with two decimals, integers in decimal.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out = append(out, v)
+		case float64:
+			out = append(out, F2(v))
+		case int:
+			out = append(out, fmt.Sprintf("%d", v))
+		case uint64:
+			out = append(out, fmt.Sprintf("%d", v))
+		default:
+			out = append(out, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		width[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.cols)
+	total := len(t.cols) - 1
+	for _, w := range width {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure renders several series against a shared X axis as aligned
+// columns — the text equivalent of the paper's line graphs.
+type Figure struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+}
+
+// Add appends a series; its length must match X.
+func (f *Figure) Add(name string, y []float64) {
+	if len(y) != len(f.X) {
+		panic(fmt.Sprintf("stats: series %q has %d points, X has %d", name, len(y), len(f.X)))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+}
+
+// String renders the figure as a table: one row per X value, one column
+// per series.
+func (f *Figure) String() string {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name)
+	}
+	t := NewTable(f.Title, cols...)
+	for i, x := range f.X {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			row = append(row, F2(s.Y[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// Pct formats a percentage with two decimals and a % sign.
+func Pct(x float64) string { return fmt.Sprintf("%.2f%%", x) }
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if any value
+// is non-positive or the slice is empty).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// The value column must start at the same offset in every row.
+	idx := strings.Index(lines[3], "1")
+	if got := strings.Index(lines[4], "22"); got != idx {
+		t.Errorf("column misaligned: %d vs %d\n%s", got, idx, out)
+	}
+}
+
+func TestTableRowPanicsOnExtraCells(t *testing.T) {
+	tb := NewTable("", "one")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on extra cells")
+		}
+	}()
+	tb.AddRow("a", "b")
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "s", "f", "i", "u")
+	tb.AddRowf("x", 1.234, 42, uint64(7))
+	out := tb.String()
+	for _, want := range []string{"x", "1.23", "42", "7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := &Figure{Title: "Fig", XLabel: "depth", X: []float64{0, 1, 2}}
+	f.Add("a", []float64{1.5, 2.5, 3.5})
+	f.Add("b", []float64{9, 8, 7})
+	out := f.String()
+	for _, want := range []string{"depth", "a", "b", "1.50", "8.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureAddPanicsOnLengthMismatch(t *testing.T) {
+	f := &Figure{X: []float64{0, 1}}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched series")
+		}
+	}()
+	f.Add("bad", []float64{1})
+}
+
+func TestMeans(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 0}); got != 0 {
+		t.Errorf("GeoMean with zero = %v", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(12.345) != "12.35%" {
+		t.Errorf("Pct = %q", Pct(12.345))
+	}
+	if F2(1.0/3) != "0.33" {
+		t.Errorf("F2 = %q", F2(1.0/3))
+	}
+	if trimFloat(3) != "3" || trimFloat(2.5) != "2.5" {
+		t.Errorf("trimFloat: %q %q", trimFloat(3), trimFloat(2.5))
+	}
+}

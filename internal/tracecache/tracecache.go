@@ -1,0 +1,133 @@
+// Package tracecache models the trace cache that the next trace
+// predictor feeds (Rotenberg, Bennett, Smith; MICRO-29 1996). Traces
+// are stored whole and indexed by their hashed identifier; the full
+// identifier serves as the tag, exactly the arrangement assumed by the
+// cost-reduced predictor of §5.5 (the prediction table stores the
+// 10-bit hashed cache index, and the full identifier stored in the
+// cache validates the fetch).
+package tracecache
+
+import (
+	"fmt"
+
+	"pathtrace/internal/trace"
+)
+
+// Config sizes the cache.
+type Config struct {
+	// Lines is the total number of trace lines. The paper's execution
+	// engine models a 64KB trace cache; at 64B of instruction storage
+	// per 16-instruction line that is 1024 lines.
+	Lines int
+	// Assoc is the set associativity (LRU replacement).
+	Assoc int
+}
+
+// DefaultConfig is the 64KB, 4-way configuration.
+func DefaultConfig() Config { return Config{Lines: 1024, Assoc: 4} }
+
+// Stats counts cache accesses.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Fills    uint64
+	Evicts   uint64
+}
+
+// HitRate returns the hit rate in percent.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	id    trace.ID
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative trace cache keyed by hashed trace ID.
+type Cache struct {
+	sets    [][]line
+	setMask uint32
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a trace cache. Lines/Assoc must divide into a power-of-two
+// number of sets.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Lines <= 0 || cfg.Assoc <= 0 || cfg.Lines%cfg.Assoc != 0 {
+		return nil, fmt.Errorf("tracecache: bad geometry %d lines / %d ways", cfg.Lines, cfg.Assoc)
+	}
+	nsets := cfg.Lines / cfg.Assoc
+	if nsets&(nsets-1) != 0 {
+		return nil, fmt.Errorf("tracecache: %d sets is not a power of two", nsets)
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, cfg.Lines)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	return &Cache{sets: sets, setMask: uint32(nsets - 1)}, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Cache) set(id trace.ID) []line {
+	return c.sets[uint32(id.Hash())&c.setMask]
+}
+
+// Access probes the cache for a trace and fills it on a miss. It
+// returns whether the probe hit.
+func (c *Cache) Access(id trace.ID) bool {
+	c.clock++
+	c.stats.Accesses++
+	set := c.set(id)
+	for i := range set {
+		if set[i].valid && set[i].id == id {
+			set[i].used = c.clock
+			c.stats.Hits++
+			return true
+		}
+	}
+	// Miss: fill, evicting the LRU way.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evicts++
+	}
+	set[victim] = line{id: id, valid: true, used: c.clock}
+	c.stats.Fills++
+	return false
+}
+
+// Contains probes without modifying cache state.
+func (c *Cache) Contains(id trace.ID) bool {
+	for _, l := range c.set(id) {
+		if l.valid && l.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }

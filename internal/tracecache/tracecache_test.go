@@ -1,0 +1,111 @@
+package tracecache
+
+import (
+	"testing"
+
+	"pathtrace/internal/trace"
+)
+
+func id(pc uint32, outs uint8) trace.ID { return trace.MakeID(pc, outs) }
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{Lines: 0, Assoc: 1},
+		{Lines: 8, Assoc: 3},
+		{Lines: 12, Assoc: 2}, // 6 sets, not a power of two
+		{Lines: 8, Assoc: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := MustNew(Config{Lines: 16, Assoc: 2})
+	a := id(0x1000, 0)
+	if c.Access(a) {
+		t.Error("first access hit")
+	}
+	if !c.Access(a) {
+		t.Error("second access missed")
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Fills != 1 || st.Evicts != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 50 {
+		t.Errorf("HitRate = %v", st.HitRate())
+	}
+}
+
+func TestTagDisambiguatesWithinSet(t *testing.T) {
+	c := MustNew(Config{Lines: 8, Assoc: 2})
+	// Two traces with the same hash (same set) but different IDs: both
+	// must be cacheable simultaneously in a 2-way set.
+	a := id(0x1000, 0)
+	b := id(0x1000+1024*4, 0) // differs above the hash's PC bits
+	if a.Hash() != b.Hash() {
+		t.Fatalf("test setup: hashes differ (%#x vs %#x)", a.Hash(), b.Hash())
+	}
+	if a == b {
+		t.Fatal("test setup: IDs equal")
+	}
+	c.Access(a)
+	c.Access(b)
+	if !c.Contains(a) || !c.Contains(b) {
+		t.Error("2-way set failed to hold two same-hash traces")
+	}
+	if !c.Access(a) || !c.Access(b) {
+		t.Error("re-access missed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew(Config{Lines: 2, Assoc: 2}) // one set, two ways
+	a, b, d := id(0x1000, 0), id(0x1004, 0), id(0x1008, 0)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now MRU
+	c.Access(d) // evicts b (LRU)
+	if !c.Contains(a) {
+		t.Error("MRU evicted")
+	}
+	if c.Contains(b) {
+		t.Error("LRU survived")
+	}
+	if c.Stats().Evicts != 1 {
+		t.Errorf("Evicts = %d", c.Stats().Evicts)
+	}
+}
+
+func TestContainsDoesNotFill(t *testing.T) {
+	c := MustNew(Config{Lines: 4, Assoc: 1})
+	a := id(0x2000, 3)
+	if c.Contains(a) {
+		t.Error("empty cache contains")
+	}
+	if c.Stats().Accesses != 0 {
+		t.Error("Contains counted as access")
+	}
+	if c.Contains(a) {
+		t.Error("Contains filled the cache")
+	}
+}
+
+func TestZeroStats(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("zero stats hit rate")
+	}
+}

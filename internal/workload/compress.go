@@ -1,0 +1,192 @@
+package workload
+
+import "fmt"
+
+// compressSource emits the LZW compression benchmark. The input stream
+// is produced by a run-structured generator (about 5/8 of bytes repeat
+// the previous byte, the rest draw a fresh symbol from a 32-symbol
+// alphabet), which gives the compressor realistic hash-probe and
+// dictionary-reset behaviour.
+//
+// Per iteration the program compresses inputLen bytes with a 4096-code
+// LZW dictionary held in an open-addressed hash table, and emits a
+// checksum of the code stream (sum' = sum*31 + code).
+func compressSource(iters, inputLen int) string {
+	return fmt.Sprintf(`
+# compress: LZW compression kernel (SPECint95 `+"`compress`"+` substitute).
+        .data
+hkeys:  .space 32768            # 8192-slot open-addressed hash: keys
+hcodes: .space 32768            #                                 codes
+        .text
+main:   li   s7, %d             # outer iterations
+iter:
+        # --- clear dictionary: keys <- -1, next_code <- 256 ---
+        la   t0, hkeys
+        li   t1, 8192
+        li   t2, -1
+clr:    sw   t2, 0(t0)
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, clr
+        li   s0, 256            # next_code
+
+        # --- seed the input generator with the iteration number ---
+        li   t0, 0x9E3779B1
+        mul  s1, s7, t0
+        addi s1, s1, 12345      # s1 = generator state
+        li   s2, 0              # s2 = previous byte (run source)
+
+        jal  nextbyte
+        move s3, v0             # s3 = prefix code
+        li   s4, %d             # bytes remaining
+        li   s5, 0              # checksum
+
+loop:   jal  nextbyte
+        move s6, v0             # s6 = next char
+        sll  t0, s3, 8
+        or   t0, t0, s6         # t0 = key = prefix<<8 | char
+        li   t1, 0x9E3779B1
+        mul  t1, t0, t1
+        srl  t1, t1, 19
+        andi t1, t1, 8191       # t1 = hash slot
+probe:  sll  t2, t1, 2
+        la   t3, hkeys
+        add  t3, t3, t2
+        lw   t4, 0(t3)
+        li   t5, -1
+        beq  t4, t5, miss       # empty slot: new string
+        beq  t4, t0, hit        # found (prefix,char)
+        addi t1, t1, 1
+        andi t1, t1, 8191
+        j    probe
+
+hit:    la   t3, hcodes
+        add  t3, t3, t2
+        lw   s3, 0(t3)          # prefix = dictionary code
+        j    next
+
+miss:   # emit prefix code into the checksum
+        li   t6, 31
+        mul  s5, s5, t6
+        add  s5, s5, s3
+        # insert key -> next_code at the probed slot
+        sw   t0, 0(t3)
+        la   t7, hcodes
+        add  t7, t7, t2
+        sw   s0, 0(t7)
+        addi s0, s0, 1
+        move s3, s6             # prefix = char
+        li   t6, 4096
+        blt  s0, t6, next
+        # dictionary full: reset
+        la   t6, hkeys
+        li   t7, 8192
+        li   t4, -1
+rst:    sw   t4, 0(t6)
+        addi t6, t6, 4
+        addi t7, t7, -1
+        bnez t7, rst
+        li   s0, 256
+
+next:   addi s4, s4, -1
+        bnez s4, loop
+
+        # emit the final prefix and the iteration checksum
+        li   t6, 31
+        mul  s5, s5, t6
+        add  s5, s5, s3
+        out  s5
+        addi s7, s7, -1
+        bnez s7, iter
+        halt
+
+# nextbyte: v0 <- next input byte. State: s1 = LCG, s2 = previous byte.
+# With probability 13/16 the previous byte repeats (runs); otherwise a
+# fresh symbol from a 16-symbol alphabet is drawn.
+nextbyte:
+        li   t8, 1103515245
+        mul  s1, s1, t8
+        addi s1, s1, 12345
+        srl  t8, s1, 16
+        andi t9, t8, 15
+        li   at, 13
+        bge  t9, at, nb_new
+        bnez s2, nb_run
+nb_new: srl  t9, t8, 4
+        andi t9, t9, 15
+        move s2, t9
+        move v0, t9
+        ret
+nb_run: move v0, s2
+        ret
+`, iters, inputLen-1)
+}
+
+// compressRef is the Go reference implementation of exactly the same
+// algorithm, used by tests to validate the assembly program end to end.
+func compressRef(iters, inputLen int) []uint32 {
+	var outs []uint32
+	for it := uint32(iters); it >= 1; it-- {
+		keys := make([]int32, 8192)
+		for i := range keys {
+			keys[i] = -1
+		}
+		codes := make([]uint32, 8192)
+		nextCode := uint32(256)
+
+		state := it*0x9E3779B1 + 12345
+		prevb := uint32(0)
+		nextbyte := func() uint32 {
+			state = state*1103515245 + 12345
+			r := state >> 16
+			if r&15 < 13 && prevb != 0 {
+				return prevb
+			}
+			b := (r >> 4) & 15
+			prevb = b
+			return b
+		}
+
+		prefix := nextbyte()
+		var sum uint32
+		for n := inputLen - 1; n > 0; n-- {
+			c := nextbyte()
+			key := prefix<<8 | c
+			slot := (key * 0x9E3779B1) >> 19 & 8191
+			for {
+				if keys[slot] == -1 {
+					sum = sum*31 + prefix
+					keys[slot] = int32(key)
+					codes[slot] = nextCode
+					nextCode++
+					prefix = c
+					if nextCode == 4096 {
+						for i := range keys {
+							keys[i] = -1
+						}
+						nextCode = 256
+					}
+					break
+				}
+				if uint32(keys[slot]) == key {
+					prefix = codes[slot]
+					break
+				}
+				slot = (slot + 1) & 8191
+			}
+		}
+		sum = sum*31 + prefix
+		outs = append(outs, sum)
+	}
+	return outs
+}
+
+func init() {
+	register(&Workload{
+		Name:       "compress",
+		PaperInput: "bigtest.in (SPECint95 129.compress)",
+		Description: "LZW compression with an open-addressed hash dictionary " +
+			"over a run-structured synthetic source; small static footprint.",
+		source: func() string { return compressSource(100000, 6000) },
+	})
+}

@@ -1,0 +1,377 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// jpegCoeff returns the 8x8 integer transform matrix: a scaled DCT-II
+// basis rounded to integers, as a JPEG-style codec would use in
+// fixed-point arithmetic.
+func jpegCoeff() [64]int32 {
+	var c [64]int32
+	for i := 0; i < 8; i++ {
+		for k := 0; k < 8; k++ {
+			v := 8 * math.Cos(float64(2*k+1)*float64(i)*math.Pi/16)
+			c[i*8+k] = int32(math.Round(v))
+		}
+	}
+	return c
+}
+
+// jpegQuant returns a quantisation table with the usual low-frequency
+// emphasis.
+func jpegQuant() [64]int32 {
+	var q [64]int32
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			q[i*8+j] = int32(8 + 4*(i+j))
+		}
+	}
+	return q
+}
+
+// jpegZigzag returns the standard zig-zag scan order.
+func jpegZigzag() [64]int32 {
+	var zz [64]int32
+	i, j, n := 0, 0, 0
+	up := true
+	for n < 64 {
+		zz[n] = int32(i*8 + j)
+		n++
+		if up {
+			switch {
+			case j == 7:
+				i++
+				up = false
+			case i == 0:
+				j++
+				up = false
+			default:
+				i--
+				j++
+			}
+		} else {
+			switch {
+			case i == 7:
+				j++
+				up = true
+			case j == 0:
+				i++
+				up = true
+			default:
+				i++
+				j--
+			}
+		}
+	}
+	return zz
+}
+
+func wordList(vals []int32) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if i%8 == 0 {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			b.WriteString("        .word ")
+		} else {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+// unrolledMACs emits eight multiply-accumulate steps for the unrolled
+// DCT inner product: step k loads from t6+aStride*k and t7+bStride*k,
+// multiplies into t8 and accumulates into t3.
+func unrolledMACs(aStride, bStride int) string {
+	var b strings.Builder
+	for k := 0; k < 8; k++ {
+		fmt.Fprintf(&b, "        lw   t8, %d(t6)\n", aStride*k)
+		fmt.Fprintf(&b, "        lw   t9, %d(t7)\n", bStride*k)
+		b.WriteString("        mul  t8, t8, t9\n")
+		b.WriteString("        add  t3, t3, t8\n")
+	}
+	return b.String()
+}
+
+// jpegArchetypes returns 12 base 8x8 pixel blocks (random walks with
+// small steps). Real images are dominated by recurring smooth content;
+// drawing blocks from a small archetype set plus a per-block DC offset
+// reproduces that: the AC coefficient pattern (and hence the RLE
+// control flow) repeats per archetype, while the DC varies.
+func jpegArchetypes() [12][64]int32 {
+	var arch [12][64]int32
+	state := uint32(0xBEEF)
+	for a := range arch {
+		prev := int32(100)
+		for i := 0; i < 64; i++ {
+			state = state*1103515245 + 12345
+			prev += int32(state>>16&15) - 7
+			if prev < 0 {
+				prev = 0
+			}
+			if prev > 199 {
+				prev = 199
+			}
+			arch[a][i] = prev
+		}
+	}
+	return arch
+}
+
+// jpegSource emits the block-transform benchmark: per iteration it
+// selects `blocks` 8x8 pixel blocks (archetype + DC offset), applies
+// the separable integer transform (tmp = C*blk, out = tmp*C^T),
+// quantises, and zig-zag run-length encodes into a checksum.
+func jpegSource(iters, blocks int) string {
+	coeff := jpegCoeff()
+	quant := jpegQuant()
+	zz := jpegZigzag()
+	arch := jpegArchetypes()
+	var archWords []int32
+	for _, a := range arch {
+		archWords = append(archWords, a[:]...)
+	}
+	// Scale zig-zag indices to byte offsets at generation time.
+	var zzb [64]int32
+	for i, v := range zz {
+		zzb[i] = v * 4
+	}
+	return fmt.Sprintf(`
+# jpeg: 8x8 block transform / quantise / zig-zag RLE kernel
+# (SPECint95 132.ijpeg substitute).
+        .data
+coef:
+%[1]s
+qtab:
+%[2]s
+zig:
+%[3]s
+arch:
+%[4]s
+blk:    .space 256
+tmp:    .space 256
+outb:   .space 256
+        .text
+main:   li   s7, %[5]d          # outer iterations
+iter:   li   s6, %[6]d          # blocks per iteration
+        li   s5, 0              # checksum
+        li   t0, 0x41C64E6D
+        mul  s4, s7, t0
+        addi s4, s4, 1013       # pixel generator state
+blkloop:
+        jal  doblock
+        addi s6, s6, -1
+        bnez s6, blkloop
+        out  s5
+        addi s7, s7, -1
+        bnez s7, iter
+        halt
+
+# doblock: process one 8x8 block through the four pipeline stages.
+doblock:
+        addi sp, sp, -4
+        sw   ra, 0(sp)
+        jal  dofill
+        jal  pass1
+        jal  pass2
+        jal  dozz
+        lw   ra, 0(sp)
+        addi sp, sp, 4
+        ret
+
+# dofill: pick an archetype and DC offset; fill the block.
+dofill:
+        li   t3, 1103515245
+        mul  s4, s4, t3
+        addi s4, s4, 12345
+        srl  t3, s4, 16
+        li   t4, 12
+        rem  t4, t3, t4         # archetype index
+        srl  t5, t3, 8
+        andi t5, t5, 31         # DC offset 0..31
+        sll  t4, t4, 8          # archetype byte offset (64 words)
+        la   t6, arch
+        add  t6, t6, t4         # source pointer
+        la   t0, blk
+        li   t1, 16             # 16 iterations of 4 pixels
+fill:   lw   t2, 0(t6)
+        add  t2, t2, t5
+        sw   t2, 0(t0)
+        lw   t2, 4(t6)
+        add  t2, t2, t5
+        sw   t2, 4(t0)
+        lw   t2, 8(t6)
+        add  t2, t2, t5
+        sw   t2, 8(t0)
+        lw   t2, 12(t6)
+        add  t2, t2, t5
+        sw   t2, 12(t0)
+        addi t6, t6, 16
+        addi t0, t0, 16
+        addi t1, t1, -1
+        nop                     # de-phase the loop body (17 instrs)
+        bnez t1, fill
+
+        ret
+
+# pass1: tmp = C * blk (tmp[i][j] = sum_k C[i][k]*blk[k][j]);
+# inner k-loop fully unrolled, as in ijpeg's fast DCT.
+pass1:  li   t0, 0              # i
+rowi:   li   t1, 0              # j
+rowj:   li   t3, 0              # acc
+        sll  t4, t0, 5          # i*32
+        la   t6, coef
+        add  t6, t6, t4         # &C[i][0]
+        sll  t5, t1, 2          # j*4
+        la   t7, blk
+        add  t7, t7, t5         # &blk[0][j]
+%[7]s        sra  t3, t3, 3          # renormalise
+        sll  t4, t0, 5
+        sll  t5, t1, 2
+        add  t4, t4, t5
+        la   t6, tmp
+        add  t6, t6, t4
+        sw   t3, 0(t6)
+        nop                     # de-phase the j body (53 instrs)
+        addi t1, t1, 1
+        li   t8, 8
+        blt  t1, t8, rowj
+        addi t0, t0, 1
+        blt  t0, t8, rowi
+
+        ret
+
+# pass2: outb = tmp * C^T (outb[i][j] = sum_k tmp[i][k]*C[j][k]),
+# quantised in place.
+pass2:  li   t0, 0
+coli:   li   t1, 0
+colj:   li   t3, 0
+        sll  t4, t0, 5
+        la   t6, tmp
+        add  t6, t6, t4         # &tmp[i][0]
+        sll  t5, t1, 5
+        la   t7, coef
+        add  t7, t7, t5         # &C[j][0]
+%[8]s        sra  t3, t3, 6
+        sll  t4, t0, 5
+        sll  t5, t1, 2
+        add  t4, t4, t5
+        la   t6, outb
+        add  t6, t6, t4
+        # --- quantise in place ---
+        la   t7, qtab
+        add  t7, t7, t4
+        lw   t7, 0(t7)
+        div  t3, t3, t7
+        sw   t3, 0(t6)
+        nop                     # de-phase the j body (53 instrs)
+        addi t1, t1, 1
+        li   t8, 8
+        blt  t1, t8, colj
+        addi t0, t0, 1
+        blt  t0, t8, coli
+
+        ret
+
+# dozz: zig-zag RLE of the quantised block into the checksum.
+dozz:   li   t0, 0              # scan position
+        li   t1, 0              # zero-run length
+zzloop: sll  t2, t0, 2
+        la   t3, zig
+        add  t3, t3, t2
+        lw   t3, 0(t3)          # byte offset of coefficient
+        la   t4, outb
+        add  t4, t4, t3
+        lw   t4, 0(t4)
+        beqz t4, zrun
+        li   t5, 31
+        mul  s5, s5, t5
+        add  s5, s5, t4
+        add  s5, s5, t1         # fold the run length in
+        li   t1, 0
+        j    zznext
+zrun:   addi t1, t1, 1
+zznext: addi t0, t0, 1
+        li   t5, 64
+        blt  t0, t5, zzloop
+        add  s5, s5, t1         # trailing run
+        ret
+`, wordList(coeff[:]), wordList(quant[:]), wordList(zzb[:]), wordList(archWords),
+		iters, blocks, unrolledMACs(4, 32), unrolledMACs(4, 4))
+}
+
+// jpegRef is the Go reference implementation matching jpegSource.
+func jpegRef(iters, blocks int) []uint32 {
+	coeff := jpegCoeff()
+	quant := jpegQuant()
+	zz := jpegZigzag()
+	arch := jpegArchetypes()
+	var outs []uint32
+	for it := uint32(iters); it >= 1; it-- {
+		var sum uint32
+		state := it*0x41C64E6D + 1013
+		for b := 0; b < blocks; b++ {
+			var blk, tmp, out [64]int32
+			state = state*1103515245 + 12345
+			r := state >> 16
+			a := r % 12
+			dc := int32(r >> 8 & 31)
+			for i := 0; i < 64; i++ {
+				blk[i] = arch[a][i] + dc
+			}
+			for i := 0; i < 8; i++ {
+				for j := 0; j < 8; j++ {
+					var acc int32
+					for k := 0; k < 8; k++ {
+						acc += coeff[i*8+k] * blk[k*8+j]
+					}
+					tmp[i*8+j] = acc >> 3
+				}
+			}
+			for i := 0; i < 8; i++ {
+				for j := 0; j < 8; j++ {
+					var acc int32
+					for k := 0; k < 8; k++ {
+						acc += tmp[i*8+k] * coeff[j*8+k]
+					}
+					acc >>= 6
+					if q := quant[i*8+j]; q != 0 {
+						acc /= q
+					} else {
+						acc = 0
+					}
+					out[i*8+j] = acc
+				}
+			}
+			run := uint32(0)
+			for n := 0; n < 64; n++ {
+				v := out[zz[n]]
+				if v == 0 {
+					run++
+					continue
+				}
+				sum = sum*31 + uint32(v) + run
+				run = 0
+			}
+			sum += run
+		}
+		outs = append(outs, sum)
+	}
+	return outs
+}
+
+func init() {
+	register(&Workload{
+		Name:       "jpeg",
+		PaperInput: "vigo.ppm (SPECint95 132.ijpeg)",
+		Description: "8x8 integer block transform, quantisation and zig-zag " +
+			"run-length coding; loop-dominated with a small static footprint.",
+		source: func() string { return jpegSource(100000, 40) },
+	})
+}

@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VM opcodes interpreted by the mksim workload. Each bytecode
+// instruction is two words: (opcode, argument).
+const (
+	vHALT = iota
+	vPUSH
+	vADD
+	vSUB
+	vMUL
+	vDIV2
+	vDUP
+	vDROP
+	vSWAP
+	vJMP
+	vJZ
+	vJNZ
+	vLT
+	vLOADG
+	vSTOREG
+	vOUT
+	vAND1
+	vNumOps
+)
+
+// vmAsm is a tiny bytecode assembler with labels.
+type vmAsm struct {
+	words  []int32
+	labels map[string]int32
+	fixups map[int]string // word index of argument -> label
+}
+
+func newVMAsm() *vmAsm {
+	return &vmAsm{labels: map[string]int32{}, fixups: map[int]string{}}
+}
+
+func (a *vmAsm) emit(op, arg int32) {
+	a.words = append(a.words, op, arg)
+}
+
+func (a *vmAsm) emitL(op int32, label string) {
+	a.fixups[len(a.words)+1] = label
+	a.words = append(a.words, op, 0)
+}
+
+func (a *vmAsm) label(name string) {
+	a.labels[name] = int32(len(a.words) / 2) // instruction index
+}
+
+func (a *vmAsm) finish() []int32 {
+	for idx, name := range a.fixups {
+		target, ok := a.labels[name]
+		if !ok {
+			panic(fmt.Sprintf("workload: vm label %q undefined", name))
+		}
+		a.words[idx] = target
+	}
+	return a.words
+}
+
+// collatzBytecode builds a VM program that sums the Collatz step counts
+// of 1..n and emits the total.
+//
+// Globals: 0 = i, 1 = total, 2 = n.
+func collatzBytecode(n int32) []int32 {
+	a := newVMAsm()
+	a.emit(vPUSH, 1)
+	a.emit(vSTOREG, 0) // i = 1
+	a.label("outer")
+	a.emit(vLOADG, 0)
+	a.emit(vPUSH, n+1)
+	a.emit(vLT, 0) // i < n+1
+	a.emitL(vJZ, "end")
+	a.emit(vLOADG, 0)
+	a.emit(vSTOREG, 2) // cur = i
+	a.label("inner")
+	a.emit(vLOADG, 2)
+	a.emit(vPUSH, 1)
+	a.emit(vSUB, 0)
+	a.emitL(vJZ, "done") // while cur != 1
+	a.emit(vLOADG, 2)
+	a.emit(vAND1, 0)
+	a.emitL(vJZ, "even")
+	a.emit(vLOADG, 2) // odd: cur = 3*cur + 1
+	a.emit(vPUSH, 3)
+	a.emit(vMUL, 0)
+	a.emit(vPUSH, 1)
+	a.emit(vADD, 0)
+	a.emit(vSTOREG, 2)
+	a.emitL(vJMP, "step")
+	a.label("even")
+	a.emit(vLOADG, 2) // even: cur = cur / 2
+	a.emit(vDIV2, 0)
+	a.emit(vSTOREG, 2)
+	a.label("step")
+	a.emit(vLOADG, 1) // total++
+	a.emit(vPUSH, 1)
+	a.emit(vADD, 0)
+	a.emit(vSTOREG, 1)
+	a.emitL(vJMP, "inner")
+	a.label("done")
+	a.emit(vLOADG, 0) // i++
+	a.emit(vPUSH, 1)
+	a.emit(vADD, 0)
+	a.emit(vSTOREG, 0)
+	a.emitL(vJMP, "outer")
+	a.label("end")
+	a.emit(vLOADG, 1)
+	a.emit(vOUT, 0)
+	a.emit(vHALT, 0)
+	return a.finish()
+}
+
+// mksimSource emits a stack-machine bytecode interpreter with
+// jump-table dispatch (an indirect jump per interpreted instruction),
+// running the Collatz bytecode. This mirrors m88ksim's character:
+// an interpreter loop with large dispatch fan-out.
+func mksimSource(iters int, code []int32) string {
+	return fmt.Sprintf(`
+# mksim: bytecode VM interpreter with jump-table dispatch
+# (SPECint95 124.m88ksim substitute).
+        .data
+vmjt:   .word op_halt, op_push, op_add, op_sub, op_mul, op_div2
+        .word op_dup, op_drop, op_swap, op_jmp, op_jz, op_jnz
+        .word op_lt, op_loadg, op_storeg, op_out, op_and1
+code:
+%s
+vstack: .space 4096
+globals: .space 64
+        .text
+main:   li   s7, %d             # outer iterations
+iter:   la   s0, code           # code base
+        li   s1, 0              # VM pc (instruction index)
+        la   s2, vstack         # VM operand stack pointer (grows up)
+        la   s3, globals
+        sw   zero, 0(s3)
+        sw   zero, 4(s3)
+        sw   zero, 8(s3)
+        sw   zero, 12(s3)
+
+vmloop: sll  t0, s1, 3          # fetch (op, arg)
+        add  t0, t0, s0
+        lw   t1, 0(t0)
+        lw   t2, 4(t0)
+        addi s1, s1, 1
+        sll  t3, t1, 2          # dispatch through the jump table
+        la   t4, vmjt
+        add  t4, t4, t3
+        lw   t4, 0(t4)
+        jr   t4
+
+op_push:
+        sw   t2, 0(s2)
+        addi s2, s2, 4
+        j    vmloop
+op_add: lw   t5, -4(s2)
+        lw   t6, -8(s2)
+        add  t5, t6, t5
+        sw   t5, -8(s2)
+        addi s2, s2, -4
+        j    vmloop
+op_sub: lw   t5, -4(s2)
+        lw   t6, -8(s2)
+        sub  t5, t6, t5
+        sw   t5, -8(s2)
+        addi s2, s2, -4
+        j    vmloop
+op_mul: lw   t5, -4(s2)
+        lw   t6, -8(s2)
+        mul  t5, t6, t5
+        sw   t5, -8(s2)
+        addi s2, s2, -4
+        j    vmloop
+op_div2:
+        lw   t5, -4(s2)
+        srl  t5, t5, 1
+        sw   t5, -4(s2)
+        j    vmloop
+op_dup: lw   t5, -4(s2)
+        sw   t5, 0(s2)
+        addi s2, s2, 4
+        j    vmloop
+op_drop:
+        addi s2, s2, -4
+        j    vmloop
+op_swap:
+        lw   t5, -4(s2)
+        lw   t6, -8(s2)
+        sw   t5, -8(s2)
+        sw   t6, -4(s2)
+        j    vmloop
+op_jmp: move s1, t2
+        j    vmloop
+op_jz:  lw   t5, -4(s2)
+        addi s2, s2, -4
+        bnez t5, vmloop
+        move s1, t2
+        j    vmloop
+op_jnz: lw   t5, -4(s2)
+        addi s2, s2, -4
+        beqz t5, vmloop
+        move s1, t2
+        j    vmloop
+op_lt:  lw   t5, -4(s2)         # b
+        lw   t6, -8(s2)         # a
+        slt  t5, t6, t5
+        sw   t5, -8(s2)
+        addi s2, s2, -4
+        j    vmloop
+op_loadg:
+        sll  t5, t2, 2
+        add  t5, t5, s3
+        lw   t5, 0(t5)
+        sw   t5, 0(s2)
+        addi s2, s2, 4
+        j    vmloop
+op_storeg:
+        sll  t5, t2, 2
+        add  t5, t5, s3
+        lw   t6, -4(s2)
+        addi s2, s2, -4
+        sw   t6, 0(t5)
+        j    vmloop
+op_out: lw   t5, -4(s2)
+        addi s2, s2, -4
+        out  t5
+        j    vmloop
+op_and1:
+        lw   t5, -4(s2)
+        andi t5, t5, 1
+        sw   t5, -4(s2)
+        j    vmloop
+op_halt:
+        addi s7, s7, -1
+        bnez s7, iter
+        halt
+`, bytecodeWords(code), iters)
+}
+
+func bytecodeWords(code []int32) string {
+	var b strings.Builder
+	for i := 0; i < len(code); i += 8 {
+		b.WriteString("        .word ")
+		end := i + 8
+		if end > len(code) {
+			end = len(code)
+		}
+		for j := i; j < end; j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", code[j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// collatzTotal is the reference result: total Collatz steps for 1..n,
+// matching the VM program's semantics (cur>>1 on even, 3cur+1 on odd).
+func collatzTotal(n int) uint32 {
+	var total uint32
+	for i := 1; i <= n; i++ {
+		cur := uint32(i)
+		for cur != 1 {
+			if cur&1 == 1 {
+				cur = 3*cur + 1
+			} else {
+				cur >>= 1
+			}
+			total++
+		}
+	}
+	return total
+}
+
+func init() {
+	register(&Workload{
+		Name:       "mksim",
+		PaperInput: "ctl.in (SPECint95 124.m88ksim)",
+		Description: "Stack-machine bytecode interpreter with jump-table " +
+			"dispatch (one indirect jump per interpreted instruction), running " +
+			"a Collatz workload.",
+		source: func() string { return mksimSource(100000, collatzBytecode(150)) },
+	})
+}

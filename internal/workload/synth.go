@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SynthParams parameterise the synthetic program generator used for the
+// large-static-footprint benchmarks. The generator emits a deterministic
+// (seeded) assembly program: a layered call graph of functions whose
+// bodies are chains of data-dependent control-flow blocks (diamonds,
+// compare chains, small loops, jump-table switches), driven by a table
+// of random words walked with a wrapping cursor.
+type SynthParams struct {
+	Seed      int64
+	Funcs     int // total functions
+	Layers    int // call-graph layers; roots are layer 0
+	Blocks    int // decision blocks per function (±2, randomised)
+	Recurse   bool
+	Depth     int // call/recursion depth budget (a0 at the roots)
+	DataWords int
+	Iters     int
+}
+
+type synthGen struct {
+	p   SynthParams
+	rng *rand.Rand
+	b   strings.Builder
+	// layer assignment: fn index -> layer
+	layer []int
+	// functions per layer
+	byLayer [][]int
+}
+
+// synthSource generates the program text.
+func synthSource(p SynthParams) string {
+	g := &synthGen{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	g.assignLayers()
+	g.emitData()
+	g.emitMain()
+	for fn := 0; fn < p.Funcs; fn++ {
+		g.emitFunc(fn)
+	}
+	return g.b.String()
+}
+
+func (g *synthGen) assignLayers() {
+	g.layer = make([]int, g.p.Funcs)
+	g.byLayer = make([][]int, g.p.Layers)
+	for fn := 0; fn < g.p.Funcs; fn++ {
+		l := fn * g.p.Layers / g.p.Funcs
+		g.layer[fn] = l
+		g.byLayer[l] = append(g.byLayer[l], fn)
+	}
+}
+
+func (g *synthGen) emitData() {
+	fmt.Fprintf(&g.b, "# synthetic workload: seed=%d funcs=%d layers=%d\n",
+		g.p.Seed, g.p.Funcs, g.p.Layers)
+	g.b.WriteString("        .data\nsdata:\n")
+	// Words are drawn from a small alphabet with Markov stickiness, so
+	// control flow is *correlated* rather than random: once early
+	// branches reveal which pattern word is live, the rest of its bits
+	// are determined — learnable by history-based predictors, exactly
+	// like real integer code. A fresh random table would make every
+	// branch a coin flip, which no predictor (and no real program)
+	// exhibits.
+	alphabet := make([]uint32, 16)
+	for i := range alphabet {
+		alphabet[i] = g.rng.Uint32()
+	}
+	cur := 0
+	for i := 0; i < g.p.DataWords; i += 8 {
+		g.b.WriteString("        .word ")
+		for j := 0; j < 8 && i+j < g.p.DataWords; j++ {
+			if j > 0 {
+				g.b.WriteString(", ")
+			}
+			if g.rng.Intn(4) == 0 {
+				cur = g.rng.Intn(len(alphabet))
+			}
+			fmt.Fprintf(&g.b, "%d", int32(alphabet[cur]))
+		}
+		g.b.WriteString("\n")
+	}
+	g.b.WriteString("sdata_end:\n        .word 0\n")
+}
+
+func (g *synthGen) emitMain() {
+	g.b.WriteString("        .text\n")
+	fmt.Fprintf(&g.b, "main:   la   s6, sdata\n")
+	fmt.Fprintf(&g.b, "        li   s7, 0\n")
+	fmt.Fprintf(&g.b, "        li   s5, %d\n", g.p.Iters)
+	g.b.WriteString("m_loop:\n")
+	for _, root := range g.byLayer[0] {
+		fmt.Fprintf(&g.b, "        li   a0, %d\n", g.p.Depth)
+		fmt.Fprintf(&g.b, "        jal  f%d\n", root)
+	}
+	g.b.WriteString(`        out  s7
+        addi s5, s5, -1
+        bnez s5, m_loop
+        halt
+`)
+}
+
+// nextWord emits the data-cursor load into t0 with wraparound.
+func (g *synthGen) nextWord(id string) {
+	fmt.Fprintf(&g.b, `        lw   t0, 0(s6)
+        addi s6, s6, 4
+        la   t9, sdata_end
+        blt  s6, t9, %[1]s_nw
+        la   s6, sdata
+%[1]s_nw:
+`, id)
+}
+
+func (g *synthGen) emitFunc(fn int) {
+	id := fmt.Sprintf("f%d", fn)
+	fmt.Fprintf(&g.b, "\n%s:\n", id)
+	g.b.WriteString(`        addi sp, sp, -12
+        sw   ra, 0(sp)
+        sw   s0, 4(sp)
+        move s0, a0
+`)
+	g.nextWord(id)
+	g.b.WriteString("        sw   t0, 8(sp)\n")
+
+	nblocks := g.p.Blocks - 1 + g.rng.Intn(3)
+	for b := 0; b < nblocks; b++ {
+		g.emitBlock(fmt.Sprintf("%s_b%d", id, b), b)
+	}
+	g.emitCalls(fn, id)
+
+	g.b.WriteString(`        lw   ra, 0(sp)
+        lw   s0, 4(sp)
+        addi sp, sp, 12
+        ret
+`)
+}
+
+func (g *synthGen) emitBlock(id string, b int) {
+	sh := (b*5 + g.rng.Intn(4)) % 27
+	switch g.rng.Intn(4) {
+	case 0: // diamond
+		c1, c2 := g.rng.Intn(100)+1, g.rng.Intn(100)+1
+		fmt.Fprintf(&g.b, `        srl  t2, t0, %d
+        andi t2, t2, 1
+        beqz t2, %[2]s_e
+        addi s7, s7, %[3]d
+        j    %[2]s_x
+%[2]s_e:
+        addi s7, s7, %[4]d
+        xor  s7, s7, t0
+%[2]s_x:
+`, sh, id, c1, c2)
+	case 1: // three-arm compare chain
+		c1, c2, c3 := g.rng.Intn(50)+1, g.rng.Intn(50)+1, g.rng.Intn(50)+1
+		fmt.Fprintf(&g.b, `        srl  t2, t0, %d
+        andi t2, t2, 7
+        li   t3, 3
+        blt  t2, t3, %[2]s_a
+        li   t3, 6
+        blt  t2, t3, %[2]s_b
+        addi s7, s7, %[3]d
+        j    %[2]s_x
+%[2]s_a:
+        addi s7, s7, %[4]d
+        j    %[2]s_x
+%[2]s_b:
+        addi s7, s7, %[5]d
+%[2]s_x:
+`, sh, id, c1, c2, c3)
+	case 2: // data-dependent small loop
+		fmt.Fprintf(&g.b, `        srl  t2, t0, %d
+        andi t2, t2, 7
+%[2]s_l:
+        beqz t2, %[2]s_x
+        addi s7, s7, 1
+        addi t2, t2, -1
+        j    %[2]s_l
+%[2]s_x:
+`, sh, id)
+	case 3: // four-way jump-table switch (indirect jump)
+		fmt.Fprintf(&g.b, `        srl  t2, t0, %d
+        andi t2, t2, 3
+        sll  t2, t2, 2
+        la   t3, jt_%[2]s
+        add  t3, t3, t2
+        lw   t3, 0(t3)
+        jr   t3
+`, sh, id)
+		for c := 0; c < 4; c++ {
+			fmt.Fprintf(&g.b, "%s_c%d:\n        addi s7, s7, %d\n        j    %s_x\n",
+				id, c, g.rng.Intn(200)+1, id)
+		}
+		fmt.Fprintf(&g.b, "%s_x:\n", id)
+		// Jump tables live in .data; switch back to .text afterwards.
+		fmt.Fprintf(&g.b, "        .data\njt_%[1]s: .word %[1]s_c0, %[1]s_c1, %[1]s_c2, %[1]s_c3\n        .text\n", id)
+	}
+}
+
+func (g *synthGen) emitCalls(fn int, id string) {
+	layer := g.layer[fn]
+	last := layer == g.p.Layers-1
+	if last && !g.p.Recurse {
+		return
+	}
+	if last && g.p.Recurse {
+		// Tree recursion: always recurse once, conditionally twice.
+		bit := 1 << uint(g.rng.Intn(8))
+		fmt.Fprintf(&g.b, `        blez s0, %[1]s_nr
+        addi a0, s0, -1
+        jal  %[1]s
+        lw   t2, 8(sp)
+        andi t2, t2, %[2]d
+        beqz t2, %[1]s_nr
+        addi a0, s0, -1
+        jal  %[1]s
+%[1]s_nr:
+`, id, bit)
+		return
+	}
+	next := g.byLayer[layer+1]
+	a := next[g.rng.Intn(len(next))]
+	bcallee := next[g.rng.Intn(len(next))]
+	bit := 1 << uint(g.rng.Intn(8))
+	fmt.Fprintf(&g.b, `        blez s0, %[1]s_nc
+        lw   t2, 8(sp)
+        andi t2, t2, %[2]d
+        addi a0, s0, -1
+        beqz t2, %[1]s_cb
+        jal  f%[3]d
+        j    %[1]s_nc
+%[1]s_cb:
+        jal  f%[4]d
+%[1]s_nc:
+`, id, bit, a, bcallee)
+	// Some functions make a second, unconditional call.
+	if g.rng.Intn(2) == 0 {
+		c := next[g.rng.Intn(len(next))]
+		fmt.Fprintf(&g.b, `        blez s0, %[1]s_nc2
+        addi a0, s0, -1
+        jal  f%[2]d
+%[1]s_nc2:
+`, id, c)
+	}
+}
+
+func init() {
+	register(&Workload{
+		Name:       "gcc",
+		PaperInput: "genrecog.i (SPECint95 126.gcc)",
+		Description: "Generated program with a very large static footprint: " +
+			"120 functions of data-driven branchy code in a 4-layer call " +
+			"graph with jump-table switches.",
+		source: func() string {
+			return synthSource(SynthParams{
+				Seed: 42, Funcs: 120, Layers: 4, Blocks: 6,
+				Depth: 4, DataWords: 4096, Iters: 100000,
+			})
+		},
+	})
+	register(&Workload{
+		Name:       "go",
+		PaperInput: "2stone9.in (SPECint95 099.go)",
+		Description: "Generated program with game-search character: deep " +
+			"data-dependent decision chains and tree recursion at the leaves.",
+		source: func() string {
+			return synthSource(SynthParams{
+				Seed: 7, Funcs: 48, Layers: 3, Blocks: 8, Recurse: true,
+				Depth: 6, DataWords: 2048, Iters: 100000,
+			})
+		},
+	})
+}

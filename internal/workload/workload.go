@@ -1,0 +1,113 @@
+// Package workload provides the six benchmark programs used throughout
+// the evaluation. They stand in for the SPECint95 benchmarks of the
+// original paper (compress, gcc, go, ijpeg, m88ksim, xlisp), which are
+// not redistributable; each substitute is written for (or generated
+// into) the PT32 ISA and tuned to match the control-flow *character* of
+// the benchmark it replaces — see DESIGN.md §2 for the substitution
+// argument.
+//
+//	compress — LZW compression with a hash-table dictionary over a
+//	           run-structured synthetic source (small static footprint,
+//	           data-dependent hash probing).
+//	gcc      — generated program with a very large static footprint:
+//	           hundreds of functions of branchy, data-driven code with
+//	           calls and jump-table switches.
+//	go       — generated program with tree recursion and deep,
+//	           data-dependent decision chains (game-search character).
+//	jpeg     — 8x8 block transform/quantise/zig-zag RLE kernel
+//	           (loop-dominated, few static traces).
+//	mksim    — bytecode-VM interpreter with jump-table dispatch
+//	           (indirect jumps), running a Collatz workload.
+//	xlisp    — recursive N-queens solver (deep recursion; the paper ran
+//	           xlisp on "queens 7").
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pathtrace/internal/asm"
+)
+
+// Workload describes one benchmark.
+type Workload struct {
+	// Name is the benchmark's short name (matching the paper's table).
+	Name string
+	// PaperInput records what the original paper ran, for documentation.
+	PaperInput string
+	// Description summarises the program and what it substitutes for.
+	Description string
+
+	// Source returns the assembly source, scaled by size. Size 1 is the
+	// standard configuration; smaller fractions of work are not
+	// meaningful — programs run until the harness's instruction limit.
+	source func() string
+}
+
+// Program assembles the workload (cached; programs are deterministic).
+func (w *Workload) Program() *asm.Program {
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[w.Name]; ok {
+		return p
+	}
+	p := asm.MustAssemble(w.source())
+	progCache[w.Name] = p
+	return p
+}
+
+var (
+	progMu    sync.Mutex
+	progCache = map[string]*asm.Program{}
+)
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// Names returns the benchmark names in the paper's order.
+func Names() []string {
+	return []string{"compress", "gcc", "go", "jpeg", "mksim", "xlisp"}
+}
+
+// All returns all registered workloads in the paper's order.
+func All() []*Workload {
+	var out []*Workload
+	for _, n := range Names() {
+		if w, ok := registry[n]; ok {
+			out = append(out, w)
+		}
+	}
+	// Include any extras (registered by tests or extensions) after the
+	// canonical six, sorted by name.
+	var extra []string
+	for n := range registry {
+		found := false
+		for _, c := range Names() {
+			if n == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// ByName looks up a workload.
+func ByName(name string) (*Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}

@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"pathtrace/internal/asm"
+	"pathtrace/internal/isa"
+	"pathtrace/internal/sim"
+)
+
+// runToHalt assembles and runs a program to completion.
+func runToHalt(t *testing.T, src string, limit uint64) *sim.CPU {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := sim.MustNew(p)
+	if err := c.Run(limit, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Halted() {
+		t.Fatalf("program did not halt within %d instructions", limit)
+	}
+	return c
+}
+
+func checkOutputs(t *testing.T, got []uint32, want []uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output count = %d, want %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("output[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompressMatchesReference(t *testing.T) {
+	c := runToHalt(t, compressSource(2, 512), 2_000_000)
+	checkOutputs(t, c.Output, compressRef(2, 512))
+}
+
+func TestCompressProducesVariedChecksums(t *testing.T) {
+	c := runToHalt(t, compressSource(3, 256), 2_000_000)
+	if c.Output[0] == c.Output[1] && c.Output[1] == c.Output[2] {
+		t.Error("all iterations produced identical checksums; generator not seeded per iteration?")
+	}
+}
+
+func TestJpegMatchesReference(t *testing.T) {
+	c := runToHalt(t, jpegSource(2, 3), 2_000_000)
+	checkOutputs(t, c.Output, jpegRef(2, 3))
+}
+
+func TestJpegTables(t *testing.T) {
+	zz := jpegZigzag()
+	seen := map[int32]bool{}
+	for _, v := range zz {
+		if v < 0 || v > 63 || seen[v] {
+			t.Fatalf("zigzag invalid at %d", v)
+		}
+		seen[v] = true
+	}
+	if zz[0] != 0 || zz[1] != 1 || zz[2] != 8 || zz[63] != 63 {
+		t.Errorf("zigzag head/tail = %d %d %d ... %d", zz[0], zz[1], zz[2], zz[63])
+	}
+	co := jpegCoeff()
+	for k := 0; k < 8; k++ {
+		if co[k] != 8 {
+			t.Errorf("DC row coefficient %d = %d, want 8", k, co[k])
+		}
+	}
+	for _, q := range jpegQuant() {
+		if q < 1 {
+			t.Errorf("quant entry %d < 1", q)
+		}
+	}
+}
+
+func TestQueensCount(t *testing.T) {
+	// Classic values: the paper's input was queens 7.
+	for n, want := range map[int]int{4: 2, 5: 10, 6: 4, 7: 40, 8: 92} {
+		if got := queensCount(n); got != want {
+			t.Errorf("queens(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestXlispMatchesReference(t *testing.T) {
+	// n=7: odd iterations complete (40 solutions), even iterations are
+	// capped at 32 and escape via longjmp.
+	c := runToHalt(t, xlispSource(3, 7), 2_000_000)
+	checkOutputs(t, c.Output, xlispRef(3, 7))
+	want := []uint32{40, 32, 40}
+	checkOutputs(t, c.Output, want)
+}
+
+func TestXlispSmallBoardNoCap(t *testing.T) {
+	// queens(6) = 4 < cap: every iteration returns normally.
+	c := runToHalt(t, xlispSource(4, 6), 2_000_000)
+	checkOutputs(t, c.Output, []uint32{4, 4, 4, 4})
+}
+
+func TestXlispLongjmpLeavesUnmatchedCalls(t *testing.T) {
+	// Count calls and returns in the retired stream of a capped
+	// iteration: the longjmp must leave calls unmatched.
+	p := asm.MustAssemble(xlispSource(2, 7)) // iterations 2 (capped) then 1 (full)
+	c := sim.MustNew(p)
+	calls, rets := 0, 0
+	if err := c.Run(0, func(r sim.Retired) {
+		switch r.Ctrl {
+		case isa.CtrlCallDir, isa.CtrlCallInd:
+			calls++
+		case isa.CtrlReturn:
+			rets++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls <= rets {
+		t.Errorf("calls=%d rets=%d; longjmp should leave calls unmatched", calls, rets)
+	}
+}
+
+func TestCollatzBytecode(t *testing.T) {
+	code := collatzBytecode(30)
+	if len(code)%2 != 0 {
+		t.Fatal("odd bytecode length")
+	}
+	for i := 0; i < len(code); i += 2 {
+		if op := code[i]; op < 0 || op >= vNumOps {
+			t.Fatalf("bad opcode %d at %d", op, i)
+		}
+	}
+}
+
+func TestMksimMatchesReference(t *testing.T) {
+	c := runToHalt(t, mksimSource(2, collatzBytecode(30)), 5_000_000)
+	want := collatzTotal(30)
+	checkOutputs(t, c.Output, []uint32{want, want})
+}
+
+func TestMksimUsesIndirectDispatch(t *testing.T) {
+	p := asm.MustAssemble(mksimSource(1, collatzBytecode(5)))
+	c := sim.MustNew(p)
+	indirect := 0
+	if err := c.Run(0, func(r sim.Retired) {
+		if r.Ctrl == isa.CtrlJumpInd {
+			indirect++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if indirect < 50 {
+		t.Errorf("only %d indirect jumps; dispatch should be one per VM instruction", indirect)
+	}
+}
+
+func TestSynthDeterministicAndBranchy(t *testing.T) {
+	p := SynthParams{Seed: 99, Funcs: 24, Layers: 3, Blocks: 4,
+		Depth: 3, DataWords: 256, Iters: 3}
+	src1 := synthSource(p)
+	src2 := synthSource(p)
+	if src1 != src2 {
+		t.Fatal("generator not deterministic")
+	}
+	c := runToHalt(t, src1, 5_000_000)
+	if len(c.Output) != 3 {
+		t.Fatalf("outputs = %v", c.Output)
+	}
+	// Deterministic execution: a second run matches.
+	c2 := runToHalt(t, src1, 5_000_000)
+	checkOutputs(t, c2.Output, c.Output)
+
+	// The generated program must actually exercise calls, conditional
+	// branches and indirect jumps.
+	prog := asm.MustAssemble(src1)
+	cpu := sim.MustNew(prog)
+	var cond, calls, ind int
+	if err := cpu.Run(0, func(r sim.Retired) {
+		switch r.Ctrl {
+		case isa.CtrlCondDir:
+			cond++
+		case isa.CtrlCallDir:
+			calls++
+		case isa.CtrlJumpInd:
+			ind++
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cond < 100 || calls < 10 {
+		t.Errorf("cond=%d calls=%d; generated code insufficiently branchy", cond, calls)
+	}
+}
+
+func TestSynthRecursion(t *testing.T) {
+	p := SynthParams{Seed: 5, Funcs: 9, Layers: 3, Blocks: 3, Recurse: true,
+		Depth: 5, DataWords: 128, Iters: 2}
+	c := runToHalt(t, synthSource(p), 10_000_000)
+	if len(c.Output) != 2 {
+		t.Fatalf("outputs = %v", c.Output)
+	}
+}
+
+func TestRegistryCanonicalOrder(t *testing.T) {
+	all := All()
+	if len(all) < 6 {
+		t.Fatalf("registered %d workloads, want >= 6", len(all))
+	}
+	for i, name := range Names() {
+		if all[i].Name != name {
+			t.Errorf("All()[%d] = %q, want %q", i, all[i].Name, name)
+		}
+	}
+	for _, name := range Names() {
+		w, ok := ByName(name)
+		if !ok || w.Name != name {
+			t.Errorf("ByName(%q) failed", name)
+		}
+		if w.PaperInput == "" || w.Description == "" {
+			t.Errorf("%s missing documentation fields", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+// Every registered workload must assemble and run a window of
+// instructions without faulting, and produce at least one output within
+// a modest budget.
+func TestRegisteredWorkloadsExecute(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := w.Program()
+			c := sim.MustNew(prog)
+			if err := c.Run(3_000_000, nil); err != nil {
+				t.Fatalf("%s faulted: %v", w.Name, err)
+			}
+			if c.Halted() {
+				t.Errorf("%s halted after only %d instructions; workloads must sustain long runs",
+					w.Name, c.InstrCount)
+			}
+			if len(c.Output) == 0 {
+				t.Errorf("%s produced no output in 3M instructions", w.Name)
+			}
+		})
+	}
+}
+
+// Program() caches: same pointer on second call.
+func TestProgramCache(t *testing.T) {
+	w, _ := ByName("compress")
+	if w.Program() != w.Program() {
+		t.Error("Program() not cached")
+	}
+}
+
+func TestSynthSourceShape(t *testing.T) {
+	src := synthSource(SynthParams{Seed: 1, Funcs: 12, Layers: 3, Blocks: 4,
+		Depth: 3, DataWords: 64, Iters: 1})
+	for _, want := range []string{"main:", "f0:", "f11:", "sdata:", "jr   t3"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+}

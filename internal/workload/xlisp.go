@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// xlispSource emits the recursive N-queens benchmark (the paper ran
+// xlisp on "queens 7"). Control flow character: deep recursion through
+// a single solver routine, with data-dependent backtracking.
+//
+// To reproduce xlisp's RHS-confusing behaviour — "to minimize overhead
+// it uses unusual control flow to backup quickly to the point before
+// the recursion without iteratively performing returns" — every other
+// iteration caps the solution count and bails out of the recursion with
+// a longjmp (restoring sp and jumping through a saved continuation),
+// leaving a stack of calls with no matching returns.
+func xlispSource(iters, n int) string {
+	full := (1 << n) - 1
+	// Column dispatch table: candidate bit value -> per-column stub.
+	// Like xlisp's evaluator dispatching on expression type, the solver
+	// dispatches each candidate column through an indirect call to a
+	// distinct stub, turning the data-dependent choice into control
+	// flow that trace identifiers (and path history) can see.
+	var coltab strings.Builder
+	for v := 0; v < 1<<n; v++ {
+		col := 0
+		for k := 0; k < n; k++ {
+			if v == 1<<k {
+				col = k
+			}
+		}
+		if v%8 == 0 {
+			if v > 0 {
+				coltab.WriteString("\n")
+			}
+			coltab.WriteString("        .word ")
+		} else {
+			coltab.WriteString(", ")
+		}
+		fmt.Fprintf(&coltab, "col%d", col)
+	}
+	var stubs strings.Builder
+	for k := 0; k < n; k++ {
+		fmt.Fprintf(&stubs, "col%d:  j    solve\n", k)
+	}
+	return fmt.Sprintf(`
+# xlisp: recursive N-queens with setjmp/longjmp escapes and
+# interpreter-style column dispatch (SPECint95 130.li substitute;
+# input "queens %d").
+        .data
+jb:     .space 8                # jmp_buf: saved sp, saved pc
+coltab:
+%s
+        .text
+main:   li   s7, %d             # outer iterations
+iter:   li   s0, 0              # solution count
+        # Even iterations cap the search and escape via longjmp.
+        andi t0, s7, 1
+        bnez t0, nocap
+        li   s3, 32             # cap
+        j    setj
+nocap:  li   s3, 100000
+setj:   la   t0, jb
+        sw   sp, 0(t0)
+        la   t1, resume
+        sw   t1, 4(t0)
+        li   a0, 0              # cols
+        li   a1, 0              # major diagonals
+        li   a2, 0              # minor diagonals
+        jal  solve
+resume: out  s0
+        addi s7, s7, -1
+        bnez s7, iter
+        halt
+
+# solve(a0=cols, a1=d1, a2=d2): recursive backtracking search.
+# s0 accumulates solutions; when s0 reaches the cap s3, longjmp out.
+solve:  li   t0, %d             # FULL board mask
+        bne  a0, t0, srec
+        addi s0, s0, 1
+        bge  s0, s3, escape
+        ret
+srec:   addi sp, sp, -20
+        sw   ra, 16(sp)
+        or   t1, a0, a1
+        or   t1, t1, a2
+        nor  t1, t1, zero
+        and  t1, t1, t0         # t1 = available squares
+sloop:  beqz t1, sdone
+        sub  t2, zero, t1
+        and  t2, t2, t1         # lowest available bit
+        xor  t1, t1, t2
+        sw   a0, 0(sp)
+        sw   a1, 4(sp)
+        sw   a2, 8(sp)
+        sw   t1, 12(sp)
+        # dispatch the candidate column through its stub
+        sll  t4, t2, 2
+        la   t5, coltab
+        add  t5, t5, t4
+        lw   t5, 0(t5)
+        or   a0, a0, t2
+        or   a1, a1, t2
+        sll  a1, a1, 1
+        li   t3, %d
+        and  a1, a1, t3
+        or   a2, a2, t2
+        srl  a2, a2, 1
+        jalr t5
+        lw   a0, 0(sp)
+        lw   a1, 4(sp)
+        lw   a2, 8(sp)
+        lw   t1, 12(sp)
+        j    sloop
+sdone:  lw   ra, 16(sp)
+        addi sp, sp, 20
+        ret
+
+# longjmp: restore the saved stack pointer and continue at resume:
+# without unwinding the recursion (calls with no matching returns).
+escape: la   t4, jb
+        lw   sp, 0(t4)
+        lw   t5, 4(t4)
+        jr   t5
+
+# per-column dispatch stubs
+%s`, n, coltab.String(), iters, full, full, stubs.String())
+}
+
+// xlispRef returns the expected OUT stream: the solution count per
+// iteration, capped at 32 on even iteration numbers (the counter runs
+// from iters down to 1).
+func xlispRef(iters, n int) []uint32 {
+	total := uint32(queensCount(n))
+	var outs []uint32
+	for it := iters; it >= 1; it-- {
+		if it%2 == 0 && total >= 32 {
+			outs = append(outs, 32)
+		} else {
+			outs = append(outs, total)
+		}
+	}
+	return outs
+}
+
+// queensCount solves N-queens in Go (reference only).
+func queensCount(n int) int {
+	full := uint32(1<<n) - 1
+	var rec func(cols, d1, d2 uint32) int
+	rec = func(cols, d1, d2 uint32) int {
+		if cols == full {
+			return 1
+		}
+		count := 0
+		avail := ^(cols | d1 | d2) & full
+		for avail != 0 {
+			bit := avail & (^avail + 1)
+			avail ^= bit
+			count += rec(cols|bit, (d1|bit)<<1&full, (d2|bit)>>1)
+		}
+		return count
+	}
+	return rec(0, 0, 0)
+}
+
+func init() {
+	register(&Workload{
+		Name:       "xlisp",
+		PaperInput: "queens 7 (SPECint95 130.li)",
+		Description: "Recursive N-queens (n=7) with periodic longjmp escapes " +
+			"that leave calls unmatched by returns, as xlisp's interpreter does.",
+		source: func() string { return xlispSource(100000, 7) },
+	})
+}

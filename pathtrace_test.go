@@ -1,0 +1,292 @@
+package pathtrace_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"pathtrace"
+)
+
+func TestPublicAPIPredictionFlow(t *testing.T) {
+	w, ok := pathtrace.WorkloadByName("compress")
+	if !ok {
+		t.Fatal("compress workload missing")
+	}
+	p := pathtrace.MustNewPredictor(pathtrace.PredictorConfig{
+		Depth: 5, IndexBits: 15, Hybrid: true, UseRHS: true,
+	})
+	instrs, traces, err := pathtrace.RunWorkload(w, 200_000, func(tr *pathtrace.Trace) {
+		p.Predict()
+		p.Update(tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrs < 200_000 || traces == 0 {
+		t.Fatalf("instrs=%d traces=%d", instrs, traces)
+	}
+	st := p.Stats()
+	if st.Predictions != traces {
+		t.Errorf("predictions %d != traces %d", st.Predictions, traces)
+	}
+	if st.MissRate() <= 0 || st.MissRate() >= 100 {
+		t.Errorf("miss rate %v implausible", st.MissRate())
+	}
+}
+
+func TestPublicAPIAssembleAndSimulate(t *testing.T) {
+	prog, err := pathtrace.Assemble(`
+main:   li   t0, 6
+        li   t1, 7
+        mul  t2, t0, t1
+        out  t2
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := pathtrace.NewCPU(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces int
+	sel, err := pathtrace.NewTraceSelector(pathtrace.DefaultTraceConfig(), func(*pathtrace.Trace) {
+		traces++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(0, sel.Feed); err != nil {
+		t.Fatal(err)
+	}
+	sel.Flush()
+	if len(cpu.Output) != 1 || cpu.Output[0] != 42 {
+		t.Errorf("output = %v, want [42]", cpu.Output)
+	}
+	if traces == 0 {
+		t.Error("no traces selected")
+	}
+}
+
+func TestPublicAPIBaselineAndCache(t *testing.T) {
+	w, _ := pathtrace.WorkloadByName("mksim")
+	seq, err := pathtrace.NewSequentialBaseline(pathtrace.SequentialConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := pathtrace.NewTraceCache(pathtrace.DefaultTraceCacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pathtrace.RunWorkload(w, 100_000,
+		func(tr *pathtrace.Trace) { seq.ObserveTrace(tr) },
+		func(tr *pathtrace.Trace) { tc.Access(tr.ID) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats().Traces == 0 {
+		t.Error("baseline saw no traces")
+	}
+	if tc.Stats().HitRate() <= 0 {
+		t.Error("trace cache never hit")
+	}
+}
+
+func TestPublicAPIEngine(t *testing.T) {
+	hp, err := pathtrace.NewHybridPredictor(pathtrace.PredictorConfig{
+		Depth: 7, IndexBits: 16, Hybrid: true, UseRHS: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pathtrace.NewEngine(pathtrace.DefaultEngineConfig(), hp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := pathtrace.WorkloadByName("jpeg")
+	if _, _, err := pathtrace.RunWorkload(w, 100_000, func(tr *pathtrace.Trace) {
+		eng.Feed(tr)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Finish()
+	if res.Traces == 0 || res.IPC() <= 0 {
+		t.Errorf("engine result %+v", res)
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	if len(pathtrace.Experiments()) < 14 {
+		t.Errorf("only %d experiments registered", len(pathtrace.Experiments()))
+	}
+	r, err := pathtrace.RunExperiment("table3", pathtrace.ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "D-O-L-C") {
+		t.Error("table3 output malformed")
+	}
+	if _, err := pathtrace.RunExperiment("nope", pathtrace.ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, ok := pathtrace.ExperimentByName("fig7"); !ok {
+		t.Error("fig7 not found")
+	}
+}
+
+func TestStandardDOLCExported(t *testing.T) {
+	d := pathtrace.StandardDOLC(16, 7)
+	if d.Depth != 7 || d.Index != 16 {
+		t.Errorf("StandardDOLC = %+v", d)
+	}
+}
+
+// The sample assembly programs shipped under examples/asm must
+// assemble, run to completion, and produce correct answers.
+func TestExampleAsmPrograms(t *testing.T) {
+	cases := []struct {
+		file string
+		want []uint32
+	}{
+		{"examples/asm/sieve.s", []uint32{1229}}, // primes below 10000
+		{"examples/asm/gcd.s", []uint32{21, 252, 1, 25000}},
+		{"examples/asm/sort.s", nil}, // checked below: single non-0xdead checksum
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			src, err := os.ReadFile(tc.file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := pathtrace.Assemble(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpu, err := pathtrace.NewCPU(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cpu.Run(50_000_000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !cpu.Halted() {
+				t.Fatal("did not halt")
+			}
+			if tc.want != nil {
+				if len(cpu.Output) != len(tc.want) {
+					t.Fatalf("output %v, want %v", cpu.Output, tc.want)
+				}
+				for i := range tc.want {
+					if cpu.Output[i] != tc.want[i] {
+						t.Errorf("output[%d] = %d, want %d", i, cpu.Output[i], tc.want[i])
+					}
+				}
+				return
+			}
+			if len(cpu.Output) != 1 || cpu.Output[0] == 0xdead || cpu.Output[0] == 0 {
+				t.Errorf("sort checksum output = %v", cpu.Output)
+			}
+		})
+	}
+}
+
+// The sample PTC programs under examples/ptc must compile, run, and
+// produce independently computed answers.
+func TestExamplePTCPrograms(t *testing.T) {
+	collatzTotal := func(n int) uint32 {
+		var total uint32
+		for i := 1; i <= n; i++ {
+			x := uint32(i)
+			for x != 1 {
+				if x&1 == 1 {
+					x = 3*x + 1
+				} else {
+					x >>= 1
+				}
+				total++
+			}
+		}
+		return total
+	}
+	cases := []struct {
+		file string
+		want []uint32
+	}{
+		{"examples/ptc/collatz.ptc", []uint32{collatzTotal(1000)}},
+		{"examples/ptc/queens.ptc", []uint32{92}},
+		{"examples/ptc/hash.ptc", nil}, // probe count checked loosely below
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			src, err := os.ReadFile(tc.file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := pathtrace.CompilePTCProgram(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpu, err := pathtrace.NewCPU(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cpu.Run(50_000_000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if !cpu.Halted() {
+				t.Fatal("did not halt")
+			}
+			if tc.want != nil {
+				if len(cpu.Output) != len(tc.want) || cpu.Output[0] != tc.want[0] {
+					t.Errorf("output = %v, want %v", cpu.Output, tc.want)
+				}
+				return
+			}
+			// hash.ptc: 512 insertions into 1024 slots; total probes must
+			// be at least 512 and well under quadratic blowup.
+			if len(cpu.Output) != 1 || cpu.Output[0] < 512 || cpu.Output[0] > 5120 {
+				t.Errorf("probe count = %v", cpu.Output)
+			}
+		})
+	}
+}
+
+// A PTC-compiled program must flow through the whole front-end pipeline.
+func TestPTCThroughPredictor(t *testing.T) {
+	src, err := os.ReadFile("examples/ptc/collatz.ptc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pathtrace.CompilePTCProgram(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := pathtrace.NewCPU(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pathtrace.MustNewPredictor(pathtrace.PredictorConfig{
+		Depth: 7, IndexBits: 16, Hybrid: true, UseRHS: true,
+	})
+	sel, err := pathtrace.NewTraceSelector(pathtrace.DefaultTraceConfig(), func(tr *pathtrace.Trace) {
+		p.Predict()
+		p.Update(tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(0, sel.Feed); err != nil {
+		t.Fatal(err)
+	}
+	sel.Flush()
+	st := p.Stats()
+	if st.Predictions == 0 {
+		t.Fatal("no predictions")
+	}
+	// Collatz branches are data-driven but the interpreter-free compiled
+	// code is repetitive; expect a sane band.
+	if r := st.MissRate(); r <= 0 || r > 60 {
+		t.Errorf("miss rate %v implausible", r)
+	}
+}
