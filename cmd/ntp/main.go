@@ -8,19 +8,39 @@
 //	ntp -run fig8 -workloads compress,gcc
 //	ntp -run all -len 5000000
 //
+// Hardened runs:
+//
+//	ntp -run all -timeout 5s -keep-going
+//	ntp -run all -workloads compress,gcc,hang -timeout 5s -keep-going
+//	ntp -run faults -inject table:1e-4,history:1e-5 -seed 7
+//	ntp -run all -parallel 4 -timeout 30s -keep-going
+//
 // Each experiment streams the six benchmark workloads (or the subset
 // given with -workloads) through the trace selector and prints the
 // regenerated exhibit. -len scales the per-workload instruction budget;
 // the paper used >= 100M instructions per benchmark.
+//
+// -timeout bounds each (experiment, workload) cell; -keep-going
+// continues past failed cells, reporting them at the end; -parallel
+// runs cells concurrently (output order stays deterministic). -inject
+// enables deterministic fault injection (see internal/faults) and
+// -seed pins its PRNG streams; the `faults` experiment sweeps scaled
+// rates into a degradation curve. The synthetic `hang` workload (a
+// program generator that blocks forever) is available by naming it in
+// -workloads, to exercise the deadline machinery.
+//
+// All experiment output goes to stdout and is bit-for-bit reproducible
+// for a fixed flag set; timing goes to stderr.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 	"time"
+
+	"flag"
 
 	"pathtrace"
 )
@@ -28,10 +48,15 @@ import (
 func main() {
 	var (
 		list      = flag.Bool("list", false, "list available experiments and exit")
-		run       = flag.String("run", "", "experiment id to run, or \"all\"")
+		run       = flag.String("run", "", "comma-separated experiment ids to run, or \"all\"")
 		length    = flag.Uint64("len", 0, "instructions per workload (default 2000000)")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default all six)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default all six; add \"hang\" for the hanging synthetic)")
 		values    = flag.Bool("values", false, "also print the experiment's key metrics as CSV (key,value)")
+		timeout   = flag.Duration("timeout", 0, "per-cell deadline, e.g. 5s (0 = none)")
+		inject    = flag.String("inject", "", "fault-injection spec, e.g. table:1e-4,history:1e-5,stuck,bits:2")
+		seed      = flag.Uint64("seed", 0, "fault-injection PRNG seed")
+		keepGoing = flag.Bool("keep-going", false, "continue past failed cells; report failures at the end")
+		parallel  = flag.Int("parallel", 1, "cells to run concurrently")
 	)
 	flag.Parse()
 
@@ -46,7 +71,16 @@ func main() {
 
 	opt := pathtrace.ExperimentOptions{Limit: *length}
 	if *workloads != "" {
-		opt.Workloads = strings.Split(*workloads, ",")
+		opt.Workloads = splitList(*workloads)
+	}
+	if *inject != "" || *seed != 0 {
+		fcfg, err := pathtrace.ParseFaultSpec(*inject)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntp: %v\n", err)
+			os.Exit(2)
+		}
+		fcfg.Seed = *seed
+		opt.Faults = &fcfg
 	}
 
 	var ids []string
@@ -55,28 +89,108 @@ func main() {
 			ids = append(ids, e.Name)
 		}
 	} else {
-		ids = strings.Split(*run, ",")
+		ids = splitList(*run)
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		res, err := pathtrace.RunExperiment(strings.TrimSpace(id), opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ntp: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", id, time.Since(start).Seconds(), res.Text)
-		if *values {
-			keys := make([]string, 0, len(res.Values))
-			for k := range res.Values {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				fmt.Printf("%s,%s,%g\n", id, k, res.Values[k])
+	// Validate everything up front: a long sweep should not die on a
+	// typo after an hour of simulation.
+	validate(ids, opt.Workloads)
+
+	exps := make([]pathtrace.Experiment, len(ids))
+	for i, id := range ids {
+		exps[i], _ = pathtrace.ExperimentByName(id)
+	}
+
+	hardened := *timeout > 0 || *keepGoing || *parallel > 1
+	cfg := pathtrace.HarnessConfig{
+		Options:     opt,
+		Timeout:     *timeout,
+		KeepGoing:   *keepGoing,
+		Parallel:    *parallel,
+		PerWorkload: hardened,
+	}
+
+	start := time.Now()
+	report, err := pathtrace.RunHarness(cfg, exps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntp: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, cell := range report.Cells {
+		switch {
+		case cell.Skipped:
+			fmt.Fprintf(os.Stderr, "ntp: skipped %s\n", cell.Cell)
+		case cell.Err != nil:
+			failed = true
+			fmt.Fprintf(os.Stderr, "ntp: FAIL %v\n", cell.Err)
+		default:
+			fmt.Printf("==== %s ====\n%s\n", cell.Cell, cell.Result.Text)
+			fmt.Fprintf(os.Stderr, "ntp: %s done in %.1fs\n", cell.Cell, cell.Duration.Seconds())
+			if *values {
+				keys := make([]string, 0, len(cell.Result.Values))
+				for k := range cell.Result.Values {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Printf("%s,%s,%g\n", cell.Cell, k, cell.Result.Values[k])
+				}
 			}
 		}
 	}
+	if failed || !report.OK() {
+		fmt.Println(report.Summary())
+	}
+	fmt.Fprintf(os.Stderr, "ntp: total %.1fs\n", time.Since(start).Seconds())
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// validate checks experiment ids and workload names before any cell
+// runs, exiting with status 2 and the full list of unknowns.
+func validate(ids, workloadNames []string) {
+	var unknown []string
+	for _, id := range ids {
+		if _, ok := pathtrace.ExperimentByName(id); !ok {
+			unknown = append(unknown, "experiment "+id)
+		}
+	}
+	for _, name := range workloadNames {
+		if name == "hang" {
+			// Opt-in: naming the hanging synthetic registers it.
+			pathtrace.HangWorkload()
+		}
+		if _, ok := pathtrace.WorkloadByName(name); !ok {
+			unknown = append(unknown, "workload "+name)
+		}
+	}
+	if len(unknown) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ntp: unknown %s\n", strings.Join(unknown, ", "))
+	var expIDs, wlNames []string
+	for _, e := range pathtrace.Experiments() {
+		expIDs = append(expIDs, e.Name)
+	}
+	for _, w := range pathtrace.Workloads() {
+		wlNames = append(wlNames, w.Name)
+	}
+	fmt.Fprintf(os.Stderr, "ntp: experiments: %s\n", strings.Join(expIDs, ", "))
+	fmt.Fprintf(os.Stderr, "ntp: workloads:   %s (plus \"hang\")\n", strings.Join(wlNames, ", "))
+	os.Exit(2)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func listExperiments() {

@@ -1,0 +1,37 @@
+package cc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathtrace/internal/asm"
+)
+
+// FuzzParse feeds arbitrary source to the PTC compiler: it must compile
+// or report an error, never panic. When it does compile, the emitted
+// assembly must assemble — a compile that produces unassemblable text
+// is a codegen bug, not a fuzz artifact.
+func FuzzParse(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "examples", "ptc", "*.ptc"))
+	for _, p := range paths {
+		if b, err := os.ReadFile(p); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Add("func main() { out(42); }")
+	f.Add("var g int;\nfunc main() { g = 1; while (g < 10) { g = g + g; } out(g); }")
+	f.Add("func f(x int) int { if (x < 2) { return x; } return f(x-1) + f(x-2); }\nfunc main() { out(f(10)); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<15 {
+			t.Skip("oversized input")
+		}
+		out, err := Compile(src)
+		if err != nil {
+			return
+		}
+		if _, aerr := asm.Assemble(out); aerr != nil {
+			t.Fatalf("compiled output does not assemble: %v\nsource:\n%s\nasm:\n%s", aerr, src, out)
+		}
+	})
+}

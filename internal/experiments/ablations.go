@@ -15,7 +15,7 @@ import (
 // rates plus a MEAN row.
 func ablationTable(opt Options, title string, configs []struct {
 	Name string
-	Make func() predictor.NextTracePredictor
+	Make func() (predictor.NextTracePredictor, error)
 }) (*Result, *stats.Table, error) {
 	ws, err := opt.workloads()
 	if err != nil {
@@ -32,14 +32,17 @@ func ablationTable(opt Options, title string, configs []struct {
 		preds := make([]predictor.NextTracePredictor, len(configs))
 		var consumers []func(*trace.Trace)
 		for i, c := range configs {
-			p := c.Make()
+			p, err := c.Make()
+			if err != nil {
+				return nil, nil, err
+			}
 			preds[i] = p
 			consumers = append(consumers, func(tr *trace.Trace) {
 				p.Predict()
 				p.Update(tr)
 			})
 		}
-		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
 			return nil, nil, err
 		}
 		row := []any{w.Name}
@@ -66,8 +69,8 @@ func baseCfg() predictor.Config {
 	return predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true}
 }
 
-func mk(cfg predictor.Config) func() predictor.NextTracePredictor {
-	return func() predictor.NextTracePredictor { return predictor.MustNew(cfg) }
+func mk(cfg predictor.Config) func() (predictor.NextTracePredictor, error) {
+	return func() (predictor.NextTracePredictor, error) { return predictor.New(cfg) }
 }
 
 // ablationCounter compares the paper's increment-by-1/decrement-by-2
@@ -85,7 +88,7 @@ func ablationCounter(opt Options) (*Result, error) {
 		"Ablation: correlated counter policy (2^16 hybrid+RHS, depth 7), misprediction %",
 		[]struct {
 			Name string
-			Make func() predictor.NextTracePredictor
+			Make func() (predictor.NextTracePredictor, error)
 		}{
 			{"inc1/dec2 (paper)", mk(inc1dec2)},
 			{"conventional 2-bit", mk(conv2)},
@@ -112,7 +115,7 @@ func ablationHybrid(opt Options) (*Result, error) {
 		"Ablation: hybrid mechanisms (2^16, depth 7), misprediction %",
 		[]struct {
 			Name string
-			Make func() predictor.NextTracePredictor
+			Make func() (predictor.NextTracePredictor, error)
 		}{
 			{"hybrid+filter (paper)", mk(full)},
 			{"hybrid, no filter", mk(noFilter)},
@@ -140,7 +143,7 @@ func ablationRHS(opt Options) (*Result, error) {
 		"Ablation: Return History Stack (2^16 hybrid, depth 7), misprediction %",
 		[]struct {
 			Name string
-			Make func() predictor.NextTracePredictor
+			Make func() (predictor.NextTracePredictor, error)
 		}{
 			{"RHS-16 (paper)", mk(on)},
 			{"no RHS", mk(off)},
@@ -173,7 +176,7 @@ func ablationDOLC(opt Options) (*Result, error) {
 		"Ablation: index generation (2^16 hybrid+RHS, depth 7), misprediction %",
 		[]struct {
 			Name string
-			Make func() predictor.NextTracePredictor
+			Make func() (predictor.NextTracePredictor, error)
 		}{
 			{"DOLC " + history.StandardDOLC(16, maxDepth).String() + " (tuned)", mk(tuned)},
 			{"narrow 7-4-6-6", mk(narrow)},
@@ -212,8 +215,15 @@ func ablationSelect(opt Options) (*Result, error) {
 	for _, w := range ws {
 		row := []any{w.Name}
 		for _, sc := range selCfgs {
-			p := predictor.MustNew(baseCfg())
-			cpu, err := sim.New(w.Program())
+			p, err := predictor.New(baseCfg())
+			if err != nil {
+				return nil, err
+			}
+			prog, err := w.ProgramErr()
+			if err != nil {
+				return nil, err
+			}
+			cpu, err := sim.New(prog)
 			if err != nil {
 				return nil, err
 			}
@@ -224,7 +234,7 @@ func ablationSelect(opt Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := cpu.Run(opt.limit(), sel.Feed); err != nil {
+			if err := cpu.RunContext(opt.Ctx, opt.limit(), sel.Feed); err != nil {
 				return nil, err
 			}
 			sel.Flush()

@@ -27,11 +27,14 @@ func confidence(opt Options) (*Result, error) {
 			fmt.Sprintf("Confidence (resetting 4-bit counters, threshold %d), 2^16 hybrid+RHS depth 7", thr),
 			"benchmark", "coverage %", "high-conf acc %", "low-conf acc %", "overall acc %")
 		for _, w := range ws {
-			c := predictor.MustNewConfident(predictor.ConfidentConfig{
+			c, err := predictor.NewConfident(predictor.ConfidentConfig{
 				Predictor: predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true},
 				Threshold: thr,
 			})
-			if _, _, err := StreamTraces(w, opt.limit(), func(tr *trace.Trace) {
+			if err != nil {
+				return nil, err
+			}
+			if _, _, err := opt.Stream(w, func(tr *trace.Trace) {
 				c.Predict()
 				c.Update(tr)
 			}); err != nil {

@@ -28,10 +28,19 @@ func costReduced(opt Options) (*Result, error) {
 	// 10-bit tag (+36-bit alternate); reduced stores 10-bit hashes.
 	const fullBits, reducedBits = 36 + 2 + 10, 10 + 2 + 10
 	for _, w := range ws {
-		full := predictor.MustNew(cfgFull)
-		red := predictor.MustNew(cfgRed)
-		tc := tracecache.MustNew(tracecache.DefaultConfig())
-		if _, _, err := StreamTraces(w, opt.limit(),
+		full, err := predictor.New(cfgFull)
+		if err != nil {
+			return nil, err
+		}
+		red, err := predictor.New(cfgRed)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := tracecache.New(tracecache.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := opt.Stream(w,
 			func(tr *trace.Trace) {
 				full.Predict()
 				full.Update(tr)

@@ -6,9 +6,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"pathtrace/internal/faults"
 	"pathtrace/internal/sim"
 	"pathtrace/internal/trace"
 	"pathtrace/internal/workload"
@@ -25,6 +27,14 @@ type Options struct {
 	Limit uint64
 	// Workloads restricts the benchmark set (all six if empty).
 	Workloads []string
+	// Ctx, when non-nil, cancels the run: the simulator checks it every
+	// few thousand instructions (the instruction-step watchdog), so a
+	// deadline or cancellation stops even a runaway workload promptly.
+	Ctx context.Context
+	// Faults, when non-nil, is the fault-injection plan. The `faults`
+	// experiment sweeps scaled versions of it; other experiments run
+	// clean regardless (their exhibits reproduce the paper).
+	Faults *faults.Config
 }
 
 func (o Options) limit() uint64 {
@@ -67,6 +77,11 @@ type Experiment struct {
 	Title string // paper exhibit it regenerates
 	Desc  string
 	Run   func(Options) (*Result, error)
+
+	// Global marks experiments that do not iterate workloads (table3's
+	// DOLC listing); the harness gives them a single cell instead of
+	// one per workload.
+	Global bool
 }
 
 var registry []Experiment
@@ -79,6 +94,12 @@ func register(e Experiment) {
 	}
 	registry = append(registry, e)
 }
+
+// Register adds an experiment to the registry at runtime — the hook
+// for extensions and for harness tests that need synthetic (failing,
+// panicking, hanging) experiments. Like init-time registration it
+// panics on a duplicate id.
+func Register(e Experiment) { register(e) }
 
 // canonicalOrder lists experiment ids in the paper's presentation
 // order; unlisted experiments follow in registration order.
@@ -131,7 +152,25 @@ func Names() []string {
 // each selected trace to every consumer in turn. It returns the
 // instruction and trace counts.
 func StreamTraces(w *workload.Workload, limit uint64, consumers ...func(*trace.Trace)) (instrs, traces uint64, err error) {
-	cpu, err := sim.New(w.Program())
+	return Options{Limit: limit}.Stream(w, consumers...)
+}
+
+// Stream runs a workload under the options' instruction budget and
+// context, feeding each selected trace to every consumer in turn. It
+// returns the instruction and trace counts. Every experiment streams
+// through here, which is what gives the harness a single place to
+// enforce deadlines.
+func (o Options) Stream(w *workload.Workload, consumers ...func(*trace.Trace)) (instrs, traces uint64, err error) {
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
+		}
+	}
+	prog, err := w.ProgramErr()
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
+	}
+	cpu, err := sim.New(prog)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -143,7 +182,7 @@ func StreamTraces(w *workload.Workload, limit uint64, consumers ...func(*trace.T
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := cpu.Run(limit, sel.Feed); err != nil {
+	if err := cpu.RunContext(o.Ctx, o.limit(), sel.Feed); err != nil {
 		return 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
 	}
 	sel.Flush()

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+	"pathtrace/internal/tracecache"
+)
+
+// faultMultipliers scales the base injection plan into a sweep: x0 is
+// the clean baseline, then increasing rate multiples. Because the
+// injectors' fire streams are rate-coupled (see internal/faults), the
+// fault set at each point is a superset of the previous point's, so the
+// degradation curve is monotone by construction — a non-monotone curve
+// means a real bug, not sampling noise.
+var faultMultipliers = []int{0, 1, 4, 16, 64}
+
+// faultsExp measures graceful degradation: the depth-7 2^16 hybrid+RHS
+// predictor's misprediction rate as the fault-injection rate scales up.
+// The predictor is a hint structure — corrupted tables, history or
+// trace-cache lines can never break program correctness — so the whole
+// effect of a fault shows up here, as lost accuracy.
+func faultsExp(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	base := faults.Config{Table: 1e-4}
+	if opt.Faults != nil {
+		if opt.Faults.Enabled() {
+			base = *opt.Faults
+		} else {
+			base.Seed = opt.Faults.Seed
+		}
+	}
+
+	res := newResult("faults")
+	xs := make([]float64, len(faultMultipliers))
+	for i, m := range faultMultipliers {
+		xs[i] = float64(m)
+	}
+	var sections []string
+	meanCurve := make([]float64, len(faultMultipliers))
+	meanHit := make([]float64, len(faultMultipliers))
+	withTC := base.TraceCache > 0
+
+	for _, w := range ws {
+		preds := make([]predictor.NextTracePredictor, len(faultMultipliers))
+		injs := make([]*faults.Injector, len(faultMultipliers))
+		caches := make([]*tracecache.Cache, len(faultMultipliers))
+		var consumers []func(*trace.Trace)
+		for i, m := range faultMultipliers {
+			inj := faults.New(base.Scale(float64(m)))
+			injs[i] = inj
+			p, err := predictor.New(predictor.Config{
+				Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
+				Faults: inj,
+			})
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+			consumers = append(consumers, func(tr *trace.Trace) {
+				p.Predict()
+				p.Update(tr)
+			})
+			if withTC {
+				tc, err := tracecache.New(tracecache.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				tc.SetFaultHook(inj.TraceCacheHook())
+				caches[i] = tc
+				consumers = append(consumers, func(tr *trace.Trace) { tc.Access(tr.ID) })
+			}
+		}
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
+			return nil, err
+		}
+
+		fig := &stats.Figure{
+			Title:  fmt.Sprintf("Degradation (%s): misprediction %% vs fault-rate multiplier (base %s)", w.Name, base.String()),
+			XLabel: "rate multiplier",
+			X:      xs,
+		}
+		y := make([]float64, len(faultMultipliers))
+		var faultLines []string
+		for i, m := range faultMultipliers {
+			y[i] = preds[i].Stats().MissRate()
+			meanCurve[i] += y[i]
+			res.Values[fmt.Sprintf("%s.x%d", w.Name, m)] = y[i]
+			st := injs[i].Stats()
+			res.Values[fmt.Sprintf("%s.x%d.faults", w.Name, m)] =
+				float64(st.TableFaults + st.SecFaults + st.HistoryFaults + st.TCacheFaults)
+			faultLines = append(faultLines, fmt.Sprintf("  x%-3d %s", m, st.Describe()))
+			if withTC {
+				hit := caches[i].Stats().HitRate()
+				meanHit[i] += hit
+				res.Values[fmt.Sprintf("%s.x%d.tc_hit", w.Name, m)] = hit
+			}
+		}
+		fig.Add("misprediction %", y)
+		sections = append(sections, fig.String(),
+			"injected faults per point:\n"+joinLines(faultLines))
+	}
+
+	n := float64(len(ws))
+	fig := &stats.Figure{
+		Title:  fmt.Sprintf("Degradation (MEAN): misprediction %% vs fault-rate multiplier (base %s, seed %d)", base.String(), base.Seed),
+		XLabel: "rate multiplier",
+		X:      xs,
+	}
+	y := make([]float64, len(faultMultipliers))
+	for i, m := range faultMultipliers {
+		y[i] = meanCurve[i] / n
+		res.Values[fmt.Sprintf("mean.x%d", m)] = y[i]
+	}
+	fig.Add("misprediction %", y)
+	if withTC {
+		hits := make([]float64, len(faultMultipliers))
+		for i, m := range faultMultipliers {
+			hits[i] = meanHit[i] / n
+			res.Values[fmt.Sprintf("mean.x%d.tc_hit", m)] = hits[i]
+		}
+		fig.Add("trace cache hit %", hits)
+	}
+	sections = append(sections, fig.String(), fmt.Sprintf(
+		"graceful degradation: accuracy lost at x%d vs clean baseline: %.2f points "+
+			"(hint structure — faults cost accuracy, never correctness)",
+		faultMultipliers[len(faultMultipliers)-1], y[len(y)-1]-y[0]))
+	res.Text = joinSections(sections...)
+	return res, nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n"
+		}
+		out += l
+	}
+	return out
+}
+
+func init() {
+	register(Experiment{
+		Name:  "faults",
+		Title: "Robustness: graceful degradation under fault injection",
+		Desc:  "Misprediction vs deterministic fault-injection rate (table/secondary/history/tcache).",
+		Run:   faultsExp,
+	})
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"pathtrace/internal/faults"
+)
+
+// TestFaultsExperiment checks the two robustness invariants the faults
+// experiment is built around: bit-for-bit reproducibility under a fixed
+// seed, and (graceful, monotone) degradation as the injection rate
+// scales — the fault sets are nested by construction, so the curve may
+// flatten but must not improve.
+func TestFaultsExperiment(t *testing.T) {
+	opt := Options{
+		Limit:     120_000,
+		Workloads: []string{"compress"},
+		Faults:    &faults.Config{Table: 5e-3, History: 5e-4, Seed: 7},
+	}
+	r1, err := faultsExp(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := faultsExp(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Values) == 0 {
+		t.Fatal("faults experiment produced no values")
+	}
+	for k, v := range r1.Values {
+		if r2.Values[k] != v {
+			t.Errorf("same-seed runs differ at %s: %g vs %g", k, v, r2.Values[k])
+		}
+	}
+	if r1.Text != r2.Text {
+		t.Error("same-seed runs rendered different text")
+	}
+
+	// Monotone degradation across the multiplier sweep. The coupled fire
+	// stream makes the fault set at each point a superset of the one
+	// before, so accuracy can only get worse; a tiny epsilon absorbs the
+	// rare fault that happens to help.
+	const eps = 0.05
+	prev := r1.Values["mean.x0"]
+	for _, m := range faultMultipliers[1:] {
+		cur, ok := r1.Values[fmt.Sprintf("mean.x%d", m)]
+		if !ok {
+			t.Fatalf("missing mean.x%d", m)
+		}
+		if cur+eps < prev {
+			t.Errorf("degradation not monotone: mean.x%d = %g below previous %g", m, cur, prev)
+		}
+		prev = cur
+	}
+	clean := r1.Values["mean.x0"]
+	worst := r1.Values[fmt.Sprintf("mean.x%d", faultMultipliers[len(faultMultipliers)-1])]
+	if worst <= clean {
+		t.Errorf("no measurable degradation: clean %g, x%d %g",
+			clean, faultMultipliers[len(faultMultipliers)-1], worst)
+	}
+
+	// A different seed must produce a different fault pattern somewhere
+	// in the sweep (at these rates thousands of faults fire).
+	opt.Faults = &faults.Config{Table: 5e-3, History: 5e-4, Seed: 8}
+	r3, err := faultsExp(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k, v := range r1.Values {
+		if r3.Values[k] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical metrics")
+	}
+}
+
+// TestFaultsExperimentCleanBaseline: with injection disabled the x0 and
+// x1 points coincide with a fault-free predictor (Scale(0) and a nil
+// injector must agree).
+func TestFaultsExperimentDefaults(t *testing.T) {
+	opt := Options{Limit: 60_000, Workloads: []string{"compress"}}
+	res, err := faultsExp(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Values["mean.x0"]; !ok {
+		t.Fatal("default run missing mean.x0")
+	}
+	if res.Values["compress.x0.faults"] != 0 {
+		t.Errorf("x0 injected %g faults, want 0", res.Values["compress.x0.faults"])
+	}
+}

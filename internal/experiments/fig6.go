@@ -33,16 +33,16 @@ func fig6(opt Options) (*Result, error) {
 	res := newResult("fig6")
 	variants := []struct {
 		key string
-		mk  func(depth int) predictor.NextTracePredictor
+		mk  func(depth int) (predictor.NextTracePredictor, error)
 	}{
-		{"correlated", func(d int) predictor.NextTracePredictor {
-			return predictor.MustNewUnbounded(predictor.UnboundedConfig{Depth: d})
+		{"correlated", func(d int) (predictor.NextTracePredictor, error) {
+			return predictor.NewUnbounded(predictor.UnboundedConfig{Depth: d})
 		}},
-		{"hybrid", func(d int) predictor.NextTracePredictor {
-			return predictor.MustNewUnbounded(predictor.UnboundedConfig{Depth: d, Hybrid: true})
+		{"hybrid", func(d int) (predictor.NextTracePredictor, error) {
+			return predictor.NewUnbounded(predictor.UnboundedConfig{Depth: d, Hybrid: true})
 		}},
-		{"hybrid+rhs", func(d int) predictor.NextTracePredictor {
-			return predictor.MustNewUnbounded(predictor.UnboundedConfig{Depth: d, Hybrid: true, UseRHS: true})
+		{"hybrid+rhs", func(d int) (predictor.NextTracePredictor, error) {
+			return predictor.NewUnbounded(predictor.UnboundedConfig{Depth: d, Hybrid: true, UseRHS: true})
 		}},
 	}
 
@@ -59,7 +59,10 @@ func fig6(opt Options) (*Result, error) {
 		for vi, v := range variants {
 			preds[vi] = make([]predictor.NextTracePredictor, maxDepth+1)
 			for d := 0; d <= maxDepth; d++ {
-				p := v.mk(d)
+				p, err := v.mk(d)
+				if err != nil {
+					return nil, err
+				}
 				preds[vi][d] = p
 				consumers = append(consumers, func(tr *trace.Trace) {
 					p.Predict()
@@ -67,10 +70,13 @@ func fig6(opt Options) (*Result, error) {
 				})
 			}
 		}
-		seq := branchpred.MustNewSequential(branchpred.SequentialConfig{})
+		seq, err := branchpred.NewSequential(branchpred.SequentialConfig{})
+		if err != nil {
+			return nil, err
+		}
 		consumers = append(consumers, func(tr *trace.Trace) { seq.ObserveTrace(tr) })
 
-		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
 			return nil, err
 		}
 

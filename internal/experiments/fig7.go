@@ -38,9 +38,12 @@ func fig7(opt Options) (*Result, error) {
 		for _, sz := range fig7Sizes {
 			row := make([]predictor.NextTracePredictor, maxDepth+1)
 			for d := 0; d <= maxDepth; d++ {
-				p := predictor.MustNew(predictor.Config{
+				p, err := predictor.New(predictor.Config{
 					Depth: d, IndexBits: sz, Hybrid: true, UseRHS: true,
 				})
+				if err != nil {
+					return nil, err
+				}
 				row[d] = p
 				consumers = append(consumers, func(tr *trace.Trace) {
 					p.Predict()
@@ -49,10 +52,13 @@ func fig7(opt Options) (*Result, error) {
 			}
 			preds[sz] = row
 		}
-		seq := branchpred.MustNewSequential(branchpred.SequentialConfig{})
+		seq, err := branchpred.NewSequential(branchpred.SequentialConfig{})
+		if err != nil {
+			return nil, err
+		}
 		consumers = append(consumers, func(tr *trace.Trace) { seq.ObserveTrace(tr) })
 
-		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
 			return nil, err
 		}
 

@@ -28,16 +28,19 @@ func fig8(opt Options) (*Result, error) {
 		preds := make([]predictor.NextTracePredictor, maxDepth+1)
 		var consumers []func(*trace.Trace)
 		for d := 0; d <= maxDepth; d++ {
-			p := predictor.MustNew(predictor.Config{
+			p, err := predictor.New(predictor.Config{
 				Depth: d, IndexBits: 16, Hybrid: true, UseRHS: true,
 			})
+			if err != nil {
+				return nil, err
+			}
 			preds[d] = p
 			consumers = append(consumers, func(tr *trace.Trace) {
 				p.Predict()
 				p.Update(tr)
 			})
 		}
-		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
 			return nil, err
 		}
 		fig := &stats.Figure{

@@ -49,13 +49,20 @@ func frontend(opt Options) (*Result, error) {
 				return nil, err
 			}
 			cfg := engine.DefaultConfig()
-			cfg.TraceCache = tracecache.MustNew(tracecache.DefaultConfig())
+			cfg.TraceCache, err = tracecache.New(tracecache.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
 			cfg.Oracle = v.oracle
 			cfg.AltRecovery = v.alt
 			if v.mem {
 				// The paper's full engine: 4KB I-cache and 4KB D-cache.
-				cfg.ICache = cache.MustNew(cache.ICache4K())
-				cfg.DCache = cache.MustNew(cache.DCache4K())
+				if cfg.ICache, err = cache.New(cache.ICache4K()); err != nil {
+					return nil, err
+				}
+				if cfg.DCache, err = cache.New(cache.DCache4K()); err != nil {
+					return nil, err
+				}
 			}
 			e, err := engine.New(cfg, p)
 			if err != nil {
@@ -64,7 +71,7 @@ func frontend(opt Options) (*Result, error) {
 			engines[i] = e
 			consumers = append(consumers, func(tr *trace.Trace) { e.Feed(tr) })
 		}
-		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
 			return nil, err
 		}
 		results := make([]engine.Result, len(variants))

@@ -47,9 +47,12 @@ func ablationHash(opt Options) (*Result, error) {
 		preds := make([]predictor.NextTracePredictor, len(hashes))
 		var consumers []func(*trace.Trace)
 		for i, h := range hashes {
-			p := predictor.MustNew(predictor.Config{
+			p, err := predictor.New(predictor.Config{
 				Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
 			})
+			if err != nil {
+				return nil, err
+			}
 			preds[i] = p
 			fn := h.fn
 			consumers = append(consumers, func(tr *trace.Trace) {
@@ -61,7 +64,7 @@ func ablationHash(opt Options) (*Result, error) {
 				p.Update(&cp)
 			})
 		}
-		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
 			return nil, err
 		}
 		row := []any{w.Name}

@@ -26,10 +26,19 @@ func headline(opt Options) (*Result, error) {
 	var seqs, bounded, unbounded []float64
 	cfgB := predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true}
 	for _, w := range ws {
-		seq := branchpred.MustNewSequential(branchpred.SequentialConfig{})
-		pb := predictor.MustNew(cfgB)
-		pu := predictor.MustNewUnbounded(predictor.UnboundedConfig{Depth: maxDepth, Hybrid: true, UseRHS: true})
-		if _, _, err := StreamTraces(w, opt.limit(),
+		seq, err := branchpred.NewSequential(branchpred.SequentialConfig{})
+		if err != nil {
+			return nil, err
+		}
+		pb, err := predictor.New(cfgB)
+		if err != nil {
+			return nil, err
+		}
+		pu, err := predictor.NewUnbounded(predictor.UnboundedConfig{Depth: maxDepth, Hybrid: true, UseRHS: true})
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := opt.Stream(w,
 			func(tr *trace.Trace) { seq.ObserveTrace(tr) },
 			func(tr *trace.Trace) {
 				pb.Predict()

@@ -39,11 +39,17 @@ func multibranch(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		seq := branchpred.MustNewSequential(branchpred.SequentialConfig{})
-		path := predictor.MustNew(predictor.Config{
+		seq, err := branchpred.NewSequential(branchpred.SequentialConfig{})
+		if err != nil {
+			return nil, err
+		}
+		path, err := predictor.New(predictor.Config{
 			Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
 		})
-		if _, _, err := StreamTraces(w, opt.limit(),
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := opt.Stream(w,
 			func(tr *trace.Trace) { hg.ObserveTrace(tr) },
 			func(tr *trace.Trace) { hp.ObserveTrace(tr) },
 			func(tr *trace.Trace) { seq.ObserveTrace(tr) },

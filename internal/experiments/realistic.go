@@ -23,14 +23,23 @@ func realistic(opt Options) (*Result, error) {
 		"benchmark", "seq perfect BTB/RAS", "seq real BTB+RAS-16", "return misp %", "path 2^16 d7")
 	var sums [3]float64
 	for _, w := range ws {
-		ideal := branchpred.MustNewSequential(branchpred.SequentialConfig{})
-		real := branchpred.MustNewSequential(branchpred.SequentialConfig{
+		ideal, err := branchpred.NewSequential(branchpred.SequentialConfig{})
+		if err != nil {
+			return nil, err
+		}
+		real, err := branchpred.NewSequential(branchpred.SequentialConfig{
 			RealRAS: 16, RealBTB: 12,
 		})
-		path := predictor.MustNew(predictor.Config{
+		if err != nil {
+			return nil, err
+		}
+		path, err := predictor.New(predictor.Config{
 			Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
 		})
-		if _, _, err := StreamTraces(w, opt.limit(),
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := opt.Stream(w,
 			func(tr *trace.Trace) { ideal.ObserveTrace(tr) },
 			func(tr *trace.Trace) { real.ObserveTrace(tr) },
 			func(tr *trace.Trace) {

@@ -22,7 +22,7 @@ func table1(opt Options) (*Result, error) {
 	for _, w := range ws {
 		static := make(map[trace.ID]struct{})
 		var branches uint64
-		instrs, traces, err := StreamTraces(w, opt.limit(), func(tr *trace.Trace) {
+		instrs, traces, err := opt.Stream(w, func(tr *trace.Trace) {
 			static[tr.ID] = struct{}{}
 			branches += uint64(tr.NumBr)
 		})

@@ -20,8 +20,11 @@ func table2(opt Options) (*Result, error) {
 		"benchmark", "gshare branch misp %", "branches/trace", "trace misp %", "indirect misp %")
 	var missRates []float64
 	for _, w := range ws {
-		seq := branchpred.MustNewSequential(branchpred.SequentialConfig{})
-		if _, _, err := StreamTraces(w, opt.limit(), func(tr *trace.Trace) {
+		seq, err := branchpred.NewSequential(branchpred.SequentialConfig{})
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := opt.Stream(w, func(tr *trace.Trace) {
 			seq.ObserveTrace(tr)
 		}); err != nil {
 			return nil, err

@@ -35,5 +35,8 @@ func init() {
 		Title: "Table 3: DOLC index generation configurations",
 		Desc:  "The D-O-L-C parameters used for 14/15/16-bit indexes at each history depth.",
 		Run:   table3,
+		// table3 renders the DOLC parameter listing; it never touches a
+		// workload, so the harness gives it a single cell.
+		Global: true,
 	})
 }

@@ -21,13 +21,19 @@ func table4(opt Options) (*Result, error) {
 		"benchmark", "misp % ideal updates", "misp % real updates", "delta", "engine IPC")
 	cfg := predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true}
 	for _, w := range ws {
-		ideal := predictor.MustNew(cfg)
+		ideal, err := predictor.New(cfg)
+		if err != nil {
+			return nil, err
+		}
 		real, err := predictor.NewHybrid(cfg)
 		if err != nil {
 			return nil, err
 		}
-		eng := engine.MustNew(engine.DefaultConfig(), real)
-		if _, _, err := StreamTraces(w, opt.limit(),
+		eng, err := engine.New(engine.DefaultConfig(), real)
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := opt.Stream(w,
 			func(tr *trace.Trace) {
 				ideal.Predict()
 				ideal.Update(tr)

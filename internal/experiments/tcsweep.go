@@ -34,11 +34,14 @@ func ablationTraceCache(opt Options) (*Result, error) {
 		caches := make([]*tracecache.Cache, len(geoms))
 		var consumers []func(*trace.Trace)
 		for i, g := range geoms {
-			c := tracecache.MustNew(g)
+			c, err := tracecache.New(g)
+			if err != nil {
+				return nil, err
+			}
 			caches[i] = c
 			consumers = append(consumers, func(tr *trace.Trace) { c.Access(tr.ID) })
 		}
-		if _, _, err := StreamTraces(w, opt.limit(), consumers...); err != nil {
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
 			return nil, err
 		}
 		row := []any{w.Name}

@@ -1,0 +1,446 @@
+// Package faults provides deterministic, seed-driven fault injection
+// for the predictor's hardware structures. The paper's predictor is a
+// hint mechanism — corrupted state can never break correctness, only
+// accuracy — which makes graceful degradation under faults a measurable
+// property. This package supplies the injectors; the structures under
+// test (internal/predictor tables, the internal/history register, the
+// internal/tracecache lines) call the hooks at configurable intervals.
+//
+// Determinism: all randomness comes from two private splitmix64 streams
+// seeded from Config.Seed — one for *whether* a fault fires, one for
+// *what* it does. The fire stream consumes exactly one draw per
+// opportunity per fault class regardless of rate, so two sweeps that
+// differ only in rate see nested (coupled) fault sets: every fault
+// injected at rate r also fires at any rate r' > r. That coupling is
+// what makes the degradation curves of the `faults` experiment
+// monotone rather than noise-dominated.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pathtrace/internal/history"
+	"pathtrace/internal/trace"
+	"pathtrace/internal/tracecache"
+)
+
+// Config describes a fault-injection plan. Rates are per-opportunity
+// probabilities: one opportunity per predictor table update, one per
+// history-register push, one per trace-cache access.
+type Config struct {
+	// Seed drives both PRNG streams. Two runs with equal Config produce
+	// bit-for-bit identical injections.
+	Seed uint64
+
+	// Bits is the number of bits flipped per corruption event (>= 1).
+	Bits int
+
+	// Interval decimates opportunities: only every Interval-th
+	// opportunity of each class may fire (default 1 = every one).
+	Interval uint64
+
+	// Table is the per-update probability of corrupting a correlated
+	// prediction-table entry (value, alternate, tag or counter bits).
+	Table float64
+
+	// Secondary is the per-update probability of corrupting a
+	// secondary-table entry.
+	Secondary float64
+
+	// History is the per-push probability of corrupting one hashed
+	// identifier in the path history register.
+	History float64
+
+	// TraceCache is the per-access probability of invalidating or
+	// corrupting a trace-cache line.
+	TraceCache float64
+
+	// StuckZero forces every counter write to zero (stuck-at-zero
+	// counters): the confidence mechanism is disabled and entries are
+	// always replaceable.
+	StuckZero bool
+}
+
+// specKinds maps -inject spec keys to config fields, in canonical
+// rendering order.
+var specKinds = []string{"table", "sec", "history", "tcache", "stuck", "bits", "interval"}
+
+// ParseSpec parses a fault specification of the form
+//
+//	kind:rate[,kind:rate...]
+//
+// with kinds table, sec, history, tcache (probabilities in [0,1]),
+// the flag stuck (no rate), and the modifiers bits:<n> and
+// interval:<n>. Example: "table:1e-4,history:1e-5,stuck,bits:2".
+// The zero-valued parts of the returned Config keep their defaults
+// (Bits 1, Interval 1, Seed 0 — set the seed separately).
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, ":")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "stuck":
+			if hasVal && val != "" && val != "1" && val != "true" {
+				return c, fmt.Errorf("faults: stuck takes no rate (got %q)", part)
+			}
+			c.StuckZero = true
+			continue
+		case "bits", "interval":
+			if !hasVal {
+				return c, fmt.Errorf("faults: %s needs a value (e.g. %s:2)", key, key)
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return c, fmt.Errorf("faults: bad %s value %q", key, val)
+			}
+			if key == "bits" {
+				c.Bits = n
+			} else {
+				c.Interval = uint64(n)
+			}
+			continue
+		}
+		if !hasVal {
+			return c, fmt.Errorf("faults: %q needs a rate (e.g. table:1e-4); kinds are %s",
+				part, strings.Join(specKinds, ", "))
+		}
+		rate, err := strconv.ParseFloat(val, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return c, fmt.Errorf("faults: bad rate %q in %q (want a probability in [0,1])", val, part)
+		}
+		switch key {
+		case "table":
+			c.Table = rate
+		case "sec", "secondary":
+			c.Secondary = rate
+		case "history":
+			c.History = rate
+		case "tcache", "tracecache":
+			c.TraceCache = rate
+		default:
+			return c, fmt.Errorf("faults: unknown kind %q; kinds are %s",
+				key, strings.Join(specKinds, ", "))
+		}
+	}
+	return c, nil
+}
+
+// String renders the config as a canonical spec string (parseable by
+// ParseSpec; Seed is rendered separately by callers).
+func (c Config) String() string {
+	var parts []string
+	add := func(k string, r float64) {
+		if r > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%g", k, r))
+		}
+	}
+	add("table", c.Table)
+	add("sec", c.Secondary)
+	add("history", c.History)
+	add("tcache", c.TraceCache)
+	if c.StuckZero {
+		parts = append(parts, "stuck")
+	}
+	if c.Bits > 1 {
+		parts = append(parts, fmt.Sprintf("bits:%d", c.Bits))
+	}
+	if c.Interval > 1 {
+		parts = append(parts, fmt.Sprintf("interval:%d", c.Interval))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (c Config) Enabled() bool {
+	return c.Table > 0 || c.Secondary > 0 || c.History > 0 || c.TraceCache > 0 || c.StuckZero
+}
+
+// Scale multiplies every rate by f (capping at 1). StuckZero is kept
+// only for f > 0, so Scale(0) is a clean baseline.
+func (c Config) Scale(f float64) Config {
+	s := c
+	cap1 := func(r float64) float64 {
+		if r > 1 {
+			return 1
+		}
+		return r
+	}
+	s.Table = cap1(c.Table * f)
+	s.Secondary = cap1(c.Secondary * f)
+	s.History = cap1(c.History * f)
+	s.TraceCache = cap1(c.TraceCache * f)
+	s.StuckZero = c.StuckZero && f > 0
+	return s
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bits == 0 {
+		c.Bits = 1
+	}
+	if c.Interval == 0 {
+		c.Interval = 1
+	}
+	return c
+}
+
+// Stats counts injected faults per class.
+type Stats struct {
+	Opportunities uint64 // fire-stream draws consumed
+	TableFaults   uint64
+	SecFaults     uint64
+	HistoryFaults uint64
+	TCacheFaults  uint64
+}
+
+// splitmix64 is the PRNG behind both streams: tiny, fast, and fully
+// deterministic across platforms (unlike math/rand sources, its output
+// is pinned by this file alone).
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *splitmix64) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0, n).
+func (r *splitmix64) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Injector is one deterministic fault source. It is NOT safe for
+// concurrent use; give each predictor/cache its own injector (the
+// harness runs cells concurrently, each cell with its own injectors).
+type Injector struct {
+	cfg   Config
+	fire  splitmix64 // whether a fault fires (rate-coupled stream)
+	eff   splitmix64 // what the fault does (entry, slot, bits)
+	ticks [4]uint64  // per-class opportunity counters (interval gating)
+	stats Stats
+}
+
+// Fault classes, indexing Injector.ticks.
+const (
+	classTable = iota
+	classSec
+	classHistory
+	classTCache
+)
+
+// New builds an injector for the plan.
+func New(cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	return &Injector{
+		cfg: cfg,
+		// Distinct, seed-derived stream origins. The +1 keeps seed 0 and
+		// the xor constant from colliding.
+		fire: splitmix64{s: cfg.Seed*0x9e3779b97f4a7c15 + 1},
+		eff:  splitmix64{s: cfg.Seed ^ 0xd1b54a32d192ed03},
+	}
+}
+
+// Config returns the plan the injector was built with.
+func (i *Injector) Config() Config { return i.cfg }
+
+// Stats returns the counts of injected faults so far.
+func (i *Injector) Stats() Stats { return i.stats }
+
+// StuckZero reports whether counters are stuck at zero under this plan.
+func (i *Injector) StuckZero() bool { return i != nil && i.cfg.StuckZero }
+
+// fires burns one fire-stream draw and reports whether a fault of the
+// class fires. The draw is consumed even when the rate is zero so that
+// plans differing only in rate share a fire stream (nested fault sets).
+func (i *Injector) fires(class int, rate float64) bool {
+	i.ticks[class]++
+	if (i.ticks[class]-1)%i.cfg.Interval != 0 {
+		return false
+	}
+	i.stats.Opportunities++
+	return i.fire.float64() < rate
+}
+
+// mask returns cfg.Bits random bit flips within a field of the given
+// width (at least one bit, even if duplicates collapse).
+func (i *Injector) mask(width int) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	var m uint64
+	for b := 0; b < i.cfg.Bits; b++ {
+		m |= 1 << uint(i.eff.intn(width))
+	}
+	return m
+}
+
+// Slot identifies which field of a table entry a fault targets.
+type Slot int
+
+const (
+	SlotValue   Slot = iota // the stored (predicted) identifier
+	SlotAlt                 // the alternate identifier
+	SlotTag                 // the entry tag (correlated table only)
+	SlotCounter             // the saturating counter
+)
+
+func (s Slot) String() string {
+	switch s {
+	case SlotValue:
+		return "value"
+	case SlotAlt:
+		return "alt"
+	case SlotTag:
+		return "tag"
+	case SlotCounter:
+		return "counter"
+	}
+	return fmt.Sprintf("slot(%d)", int(s))
+}
+
+// TableFault is one table-corruption decision.
+type TableFault struct {
+	Fire  bool
+	Index int    // entry index in [0, entries)
+	Slot  Slot   // field to corrupt
+	Mask  uint64 // bits to XOR into the field
+}
+
+// tableFault draws a corruption decision for a table of the given
+// geometry. tagBits 0 means the table has no tags (basic predictor,
+// secondary table); altBits 0 means no alternate field.
+func (i *Injector) tableFault(class int, rate float64, entries, valBits, altBits, tagBits, ctrBits int) TableFault {
+	if !i.fires(class, rate) {
+		return TableFault{}
+	}
+	f := TableFault{Fire: true, Index: i.eff.intn(entries)}
+	// Slot weights: the stored value is the likeliest victim (it has
+	// the most bits in a real SRAM array), then alternate/tag/counter.
+	roll := i.eff.intn(10)
+	switch {
+	case roll < 5:
+		f.Slot = SlotValue
+	case roll < 7 && altBits > 0:
+		f.Slot = SlotAlt
+	case roll < 9 && tagBits > 0:
+		f.Slot = SlotTag
+	default:
+		f.Slot = SlotCounter
+	}
+	switch f.Slot {
+	case SlotValue:
+		f.Mask = i.mask(valBits)
+	case SlotAlt:
+		f.Mask = i.mask(altBits)
+	case SlotTag:
+		f.Mask = i.mask(tagBits)
+	case SlotCounter:
+		f.Mask = i.mask(ctrBits)
+	}
+	if class == classTable {
+		i.stats.TableFaults++
+	} else {
+		i.stats.SecFaults++
+	}
+	return f
+}
+
+// CorrFault draws a corruption decision for the correlated table.
+// Call exactly once per predictor update.
+func (i *Injector) CorrFault(entries, valBits, tagBits, ctrBits int) TableFault {
+	if i == nil {
+		return TableFault{}
+	}
+	return i.tableFault(classTable, i.cfg.Table, entries, valBits, valBits, tagBits, ctrBits)
+}
+
+// SecFault draws a corruption decision for the secondary table.
+// Call exactly once per hybrid update.
+func (i *Injector) SecFault(entries, valBits, ctrBits int) TableFault {
+	if i == nil {
+		return TableFault{}
+	}
+	return i.tableFault(classSec, i.cfg.Secondary, entries, valBits, 0, 0, ctrBits)
+}
+
+// OnPush implements history.PushHook: after each push the injector may
+// corrupt one hashed identifier at a random position. Install with
+// reg.SetFaultHook(injector).
+func (i *Injector) OnPush(r *history.Reg) {
+	if !i.fires(classHistory, i.cfg.History) {
+		return
+	}
+	pos := i.eff.intn(r.Size())
+	mask := trace.HashedID(i.mask(trace.HashBits))
+	if mask == 0 {
+		mask = 1
+	}
+	r.CorruptAt(pos, mask)
+	i.stats.HistoryFaults++
+}
+
+// TraceCacheHook returns a hook for tracecache.Cache.SetFaultHook: on
+// each access it may invalidate a random line or flip bits in its
+// stored identifier (so the tag check rejects the next probe).
+func (i *Injector) TraceCacheHook() func(*tracecache.Cache) {
+	return func(c *tracecache.Cache) {
+		if !i.fires(classTCache, i.cfg.TraceCache) {
+			return
+		}
+		sets, ways := c.Geometry()
+		set, way := i.eff.intn(sets), i.eff.intn(ways)
+		if i.eff.intn(2) == 0 {
+			c.InvalidateWay(set, way)
+		} else {
+			c.CorruptWay(set, way, i.mask(trace.IDBits))
+		}
+		i.stats.TCacheFaults++
+	}
+}
+
+// Describe renders the stats as a deterministic one-line summary.
+func (s Stats) Describe() string {
+	kv := map[string]uint64{
+		"table": s.TableFaults, "sec": s.SecFaults,
+		"history": s.HistoryFaults, "tcache": s.TCacheFaults,
+	}
+	keys := make([]string, 0, len(kv))
+	for k, v := range kv {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return "no faults injected"
+	}
+	parts := make([]string, len(keys))
+	for j, k := range keys {
+		parts[j] = fmt.Sprintf("%s:%d", k, kv[k])
+	}
+	return strings.Join(parts, " ")
+}

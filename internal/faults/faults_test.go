@@ -1,0 +1,247 @@
+package faults
+
+import (
+	"testing"
+
+	"pathtrace/internal/history"
+	"pathtrace/internal/trace"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Config
+	}{
+		{"", Config{}},
+		{"table:1e-4", Config{Table: 1e-4}},
+		{"sec:0.5", Config{Secondary: 0.5}},
+		{"secondary:0.5", Config{Secondary: 0.5}},
+		{"tracecache:0.25", Config{TraceCache: 0.25}},
+		{"stuck", Config{StuckZero: true}},
+		{
+			"table:1e-4,sec:1e-3,history:1e-5,tcache:0.25,stuck,bits:2,interval:8",
+			Config{Table: 1e-4, Secondary: 1e-3, History: 1e-5, TraceCache: 0.25,
+				StuckZero: true, Bits: 2, Interval: 8},
+		},
+		{" table:0.1 , history:0.2 ", Config{Table: 0.1, History: 0.2}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q) error: %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus:1", "table", "table:2", "table:-0.1", "table:xyz",
+		"bits:0", "bits", "interval:-1", "stuck:0.5",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"table:0.0001", "table:0.5,sec:0.25,history:0.125,tcache:1,stuck,bits:3,interval:16",
+	} {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		back, err := ParseSpec(cfg.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String()=%q): %v", cfg.String(), err)
+		}
+		if back != cfg {
+			t.Errorf("round trip %q -> %+v -> %q -> %+v", spec, cfg, cfg.String(), back)
+		}
+	}
+	if got := (Config{}).String(); got != "none" {
+		t.Errorf("empty config String() = %q, want none", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := Config{Table: 0.1, Secondary: 0.2, History: 0.3, TraceCache: 0.4, StuckZero: true}
+	z := c.Scale(0)
+	if z.Enabled() {
+		t.Errorf("Scale(0) still enabled: %+v", z)
+	}
+	up := c.Scale(10)
+	if up.Table != 1 || up.Secondary != 1 || up.History != 1 || up.TraceCache != 1 {
+		t.Errorf("Scale(10) did not cap rates at 1: %+v", up)
+	}
+	if !up.StuckZero {
+		t.Error("Scale(10) dropped StuckZero")
+	}
+	half := c.Scale(0.5)
+	if half.Table != 0.05 {
+		t.Errorf("Scale(0.5).Table = %g, want 0.05", half.Table)
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var i *Injector
+	if i.StuckZero() {
+		t.Error("nil injector StuckZero() = true")
+	}
+	if f := i.CorrFault(1024, 36, 10, 2); f.Fire {
+		t.Error("nil injector CorrFault fired")
+	}
+	if f := i.SecFault(1024, 36, 4); f.Fire {
+		t.Error("nil injector SecFault fired")
+	}
+}
+
+// TestDeterminism: equal configs give bit-identical fault sequences.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Table: 0.3, Secondary: 0.2, History: 0.1}
+	a, b := New(cfg), New(cfg)
+	for n := 0; n < 5000; n++ {
+		fa, fb := a.CorrFault(1<<16, 36, 10, 2), b.CorrFault(1<<16, 36, 10, 2)
+		if fa != fb {
+			t.Fatalf("draw %d: CorrFault diverged: %+v vs %+v", n, fa, fb)
+		}
+		sa, sb := a.SecFault(1<<16, 36, 4), b.SecFault(1<<16, 36, 4)
+		if sa != sb {
+			t.Fatalf("draw %d: SecFault diverged: %+v vs %+v", n, sa, sb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().TableFaults == 0 || a.Stats().SecFaults == 0 {
+		t.Errorf("no faults fired at high rates: %+v", a.Stats())
+	}
+
+	other := New(Config{Seed: 43, Table: 0.3})
+	diverged := false
+	for n := 0; n < 5000; n++ {
+		if other.CorrFault(1<<16, 36, 10, 2) != New(cfg).CorrFault(1<<16, 36, 10, 2) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+// TestNestedFireSets: the fire stream consumes one draw per opportunity
+// regardless of rate, so every fault that fires at rate r also fires at
+// any higher rate — the property that makes degradation curves monotone.
+func TestNestedFireSets(t *testing.T) {
+	lo := New(Config{Seed: 7, Table: 0.05})
+	hi := New(Config{Seed: 7, Table: 0.20})
+	var loFires, hiFires int
+	for n := 0; n < 20000; n++ {
+		fl := lo.CorrFault(1<<16, 36, 10, 2)
+		fh := hi.CorrFault(1<<16, 36, 10, 2)
+		if fl.Fire {
+			loFires++
+			if !fh.Fire {
+				t.Fatalf("draw %d: fired at rate 0.05 but not at 0.20", n)
+			}
+		}
+		if fh.Fire {
+			hiFires++
+		}
+	}
+	if loFires == 0 {
+		t.Fatal("no faults fired at rate 0.05 in 20000 draws")
+	}
+	if hiFires <= loFires {
+		t.Errorf("fires at 0.20 (%d) not above fires at 0.05 (%d)", hiFires, loFires)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	inj := New(Config{Seed: 1, Table: 1, Interval: 4})
+	fires := 0
+	for n := 0; n < 100; n++ {
+		if inj.CorrFault(16, 36, 10, 2).Fire {
+			fires++
+		}
+	}
+	if fires != 25 {
+		t.Errorf("rate 1 with interval 4: %d fires in 100 draws, want 25", fires)
+	}
+}
+
+func TestTableFaultFields(t *testing.T) {
+	inj := New(Config{Seed: 3, Table: 1, Bits: 2})
+	for n := 0; n < 1000; n++ {
+		f := inj.CorrFault(64, 36, 10, 2)
+		if !f.Fire {
+			t.Fatalf("rate-1 fault did not fire at draw %d", n)
+		}
+		if f.Index < 0 || f.Index >= 64 {
+			t.Fatalf("index %d out of range", f.Index)
+		}
+		if f.Mask == 0 {
+			t.Fatalf("zero mask for slot %v", f.Slot)
+		}
+		var width uint64
+		switch f.Slot {
+		case SlotValue, SlotAlt:
+			width = 36
+		case SlotTag:
+			width = 10
+		case SlotCounter:
+			width = 2
+		default:
+			t.Fatalf("unknown slot %v", f.Slot)
+		}
+		if f.Mask >= 1<<width {
+			t.Fatalf("mask %#x exceeds %d-bit field (slot %v)", f.Mask, width, f.Slot)
+		}
+	}
+	// A table with no tags must never target the tag slot.
+	inj = New(Config{Seed: 4, Secondary: 1})
+	for n := 0; n < 1000; n++ {
+		if f := inj.SecFault(64, 36, 4); f.Slot == SlotTag || f.Slot == SlotAlt {
+			t.Fatalf("secondary fault targeted %v", f.Slot)
+		}
+	}
+}
+
+func TestOnPushCorruptsHistory(t *testing.T) {
+	inj := New(Config{Seed: 9, History: 1})
+	reg := history.MustNewReg(8)
+	reg.SetFaultHook(inj)
+	clean := history.MustNewReg(8)
+	for i := 0; i < 32; i++ {
+		reg.Push(trace.HashedID(i & 0x3ff))
+		clean.Push(trace.HashedID(i & 0x3ff))
+	}
+	if inj.Stats().HistoryFaults == 0 {
+		t.Fatal("rate-1 history faults never fired")
+	}
+	same := true
+	for i := 0; i < 8; i++ {
+		if reg.At(i) != clean.At(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("history register unchanged despite rate-1 corruption")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := (Stats{}).Describe(); got != "no faults injected" {
+		t.Errorf("empty stats Describe() = %q", got)
+	}
+	s := Stats{TableFaults: 2, HistoryFaults: 1}
+	if got := s.Describe(); got != "history:1 table:2" {
+		t.Errorf("Describe() = %q, want \"history:1 table:2\"", got)
+	}
+}

@@ -1,0 +1,322 @@
+// Package harness runs experiment sweeps as isolated cells — one
+// (experiment, workload) pair per cell — each with its own deadline and
+// panic recovery, so one broken or hanging cell cannot take down the
+// whole sweep. Failures are captured as structured RunErrors; the
+// report keeps every completed cell's result alongside the failures.
+//
+// Two layers of protection bound a cell:
+//
+//   - the instruction-step watchdog in sim.RunContext observes the
+//     cell's context every few thousand simulated instructions, so a
+//     deadline or cancellation stops a runaway *simulation* promptly
+//     and without leaking goroutines;
+//   - a grace timer after the deadline catches cells stuck *outside*
+//     simulated code (a blocked program generator, a wedged consumer);
+//     such a cell's goroutine is abandoned and the sweep moves on.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	"pathtrace/internal/experiments"
+	"pathtrace/internal/workload"
+)
+
+// Config controls a harness run.
+type Config struct {
+	// Options is the base experiment configuration. Options.Ctx, when
+	// non-nil, is the parent context of every cell: canceling it stops
+	// the sweep promptly (running cells are interrupted by the
+	// simulator watchdog, queued cells are marked skipped).
+	Options experiments.Options
+
+	// Timeout is the per-cell deadline (0 = none).
+	Timeout time.Duration
+
+	// Grace is how long after a cell's deadline the harness waits for
+	// the cell goroutine to notice before abandoning it (default 1s).
+	// Only cells blocked outside simulated code ever hit this.
+	Grace time.Duration
+
+	// KeepGoing continues the sweep past failed cells. When false, the
+	// first failure cancels the remaining cells (reported as skipped).
+	KeepGoing bool
+
+	// Parallel is the number of cells run concurrently (default 1).
+	// Results are reported in sweep order regardless.
+	Parallel int
+
+	// PerWorkload splits each experiment into one cell per workload so
+	// a single pathological workload only costs its own cells.
+	// Experiments marked Global always get exactly one cell.
+	PerWorkload bool
+}
+
+// Cell names one unit of work: an experiment, optionally pinned to a
+// single workload.
+type Cell struct {
+	Experiment string
+	Workload   string // empty for whole-experiment (or Global) cells
+}
+
+func (c Cell) String() string {
+	if c.Workload == "" {
+		return c.Experiment
+	}
+	return c.Experiment + "/" + c.Workload
+}
+
+// RunError describes one failed cell.
+type RunError struct {
+	Cell       Cell
+	Err        error         // underlying error (ctx.Err() for timeouts)
+	Panicked   bool          // the cell panicked
+	PanicValue any           // value recovered from the panic
+	Stack      string        // goroutine stack at the panic
+	TimedOut   bool          // the cell's deadline expired
+	Abandoned  bool          // cell goroutine never returned; left behind
+	Duration   time.Duration // wall time spent in the cell
+}
+
+// Error renders a deterministic description (no durations, so harness
+// output is stable across runs).
+func (e *RunError) Error() string {
+	switch {
+	case e.Panicked:
+		return fmt.Sprintf("%s: panicked: %v", e.Cell, e.PanicValue)
+	case e.Abandoned:
+		return fmt.Sprintf("%s: deadline exceeded; cell unresponsive, abandoned", e.Cell)
+	case e.TimedOut:
+		return fmt.Sprintf("%s: deadline exceeded: %v", e.Cell, e.Err)
+	default:
+		return fmt.Sprintf("%s: %v", e.Cell, e.Err)
+	}
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// CellResult is one cell's outcome: exactly one of Result, Err, or
+// Skipped is meaningful.
+type CellResult struct {
+	Cell     Cell
+	Result   *experiments.Result
+	Err      *RunError
+	Skipped  bool // never started: an earlier failure or cancellation
+	Duration time.Duration
+}
+
+// Report is the outcome of a sweep, cells in deterministic sweep order.
+type Report struct {
+	Cells []CellResult
+}
+
+// Failures returns the failed cells, in sweep order.
+func (r *Report) Failures() []*RunError {
+	var out []*RunError
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			out = append(out, c.Err)
+		}
+	}
+	return out
+}
+
+// OK reports whether every cell completed successfully.
+func (r *Report) OK() bool {
+	for _, c := range r.Cells {
+		if c.Err != nil || c.Skipped {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders a deterministic failure report: counts plus one line
+// per failed cell.
+func (r *Report) Summary() string {
+	var ok, failed, skipped int
+	var lines []string
+	for _, c := range r.Cells {
+		switch {
+		case c.Skipped:
+			skipped++
+		case c.Err != nil:
+			failed++
+			lines = append(lines, "  FAIL "+c.Err.Error())
+		default:
+			ok++
+		}
+	}
+	head := fmt.Sprintf("harness: %d ok, %d failed, %d skipped (of %d cells)",
+		ok, failed, skipped, len(r.Cells))
+	return strings.Join(append([]string{head}, lines...), "\n")
+}
+
+// Cells expands the experiment list into the sweep's cell list, in
+// deterministic order (experiments in given order, workloads in
+// registry order or the order given in Options.Workloads).
+func (cfg Config) Cells(exps []experiments.Experiment) []Cell {
+	var names []string
+	if cfg.PerWorkload {
+		if len(cfg.Options.Workloads) > 0 {
+			names = cfg.Options.Workloads
+		} else {
+			for _, w := range workload.All() {
+				names = append(names, w.Name)
+			}
+		}
+	}
+	var cells []Cell
+	for _, e := range exps {
+		if e.Global || !cfg.PerWorkload || len(names) == 0 {
+			cells = append(cells, Cell{Experiment: e.Name})
+			continue
+		}
+		for _, n := range names {
+			cells = append(cells, Cell{Experiment: e.Name, Workload: n})
+		}
+	}
+	return cells
+}
+
+// Run sweeps the experiments cell by cell and returns the full report.
+// The returned error is reserved for setup problems; per-cell failures
+// live in the report.
+func Run(cfg Config, exps []experiments.Experiment) (*Report, error) {
+	if len(exps) == 0 {
+		return nil, errors.New("harness: no experiments to run")
+	}
+	parent := cfg.Options.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	runCtx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	cells := cfg.Cells(exps)
+	results := make([]CellResult, len(cells))
+
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	idx := make(chan int, len(cells))
+	for i := range cells {
+		idx <- i
+	}
+	close(idx)
+
+	var wg sync.WaitGroup
+	var failOnce sync.Once
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if runCtx.Err() != nil {
+					results[i] = CellResult{Cell: cells[i], Skipped: true}
+					continue
+				}
+				res := cfg.runCell(runCtx, cells[i])
+				results[i] = res
+				if res.Err != nil && !cfg.KeepGoing {
+					failOnce.Do(cancel)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return &Report{Cells: results}, nil
+}
+
+// runCell executes one cell under its deadline, recovering panics and
+// abandoning the goroutine if it outlives the deadline by the grace
+// period.
+func (cfg Config) runCell(parent context.Context, c Cell) CellResult {
+	start := time.Now()
+	ctx := parent
+	cancel := context.CancelFunc(func() {})
+	if cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(parent, cfg.Timeout)
+	}
+	defer cancel()
+
+	opt := cfg.Options
+	opt.Ctx = ctx
+	if c.Workload != "" {
+		opt.Workloads = []string{c.Workload}
+	}
+
+	type outcome struct {
+		res *experiments.Result
+		err *RunError
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				done <- outcome{err: &RunError{
+					Cell:       c,
+					Err:        fmt.Errorf("panic: %v", v),
+					Panicked:   true,
+					PanicValue: v,
+					Stack:      string(debug.Stack()),
+				}}
+			}
+		}()
+		e, ok := experiments.ByName(c.Experiment)
+		if !ok {
+			done <- outcome{err: &RunError{Cell: c, Err: fmt.Errorf("unknown experiment %q", c.Experiment)}}
+			return
+		}
+		res, err := e.Run(opt)
+		if err != nil {
+			done <- outcome{err: &RunError{Cell: c, Err: err}}
+			return
+		}
+		done <- outcome{res: res}
+	}()
+
+	grace := cfg.Grace
+	if grace <= 0 {
+		grace = time.Second
+	}
+	var out outcome
+	select {
+	case out = <-done:
+	case <-ctx.Done():
+		// The simulator watchdog usually surfaces the cancellation as an
+		// ordinary error within a few thousand instructions; wait the
+		// grace period for that, then write the cell off as stuck
+		// outside simulated code and leave its goroutine behind.
+		select {
+		case out = <-done:
+		case <-time.After(grace):
+			out = outcome{err: &RunError{
+				Cell:      c,
+				Err:       ctx.Err(),
+				TimedOut:  errors.Is(ctx.Err(), context.DeadlineExceeded),
+				Abandoned: true,
+			}}
+		}
+	}
+
+	dur := time.Since(start)
+	if out.err != nil {
+		out.err.Duration = dur
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			out.err.TimedOut = true
+		}
+		return CellResult{Cell: c, Err: out.err, Duration: dur}
+	}
+	return CellResult{Cell: c, Result: out.res, Duration: dur}
+}

@@ -1,0 +1,312 @@
+package harness_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathtrace/internal/asm"
+	"pathtrace/internal/experiments"
+	"pathtrace/internal/faults"
+	"pathtrace/internal/harness"
+	"pathtrace/internal/sim"
+	"pathtrace/internal/workload"
+)
+
+// Synthetic experiments exercising the harness failure paths. Registered
+// once for the whole test binary (the registry rejects duplicates).
+var registerOnce sync.Once
+
+func testExperiments(t *testing.T) {
+	t.Helper()
+	registerOnce.Do(func() {
+		experiments.Register(experiments.Experiment{
+			Name: "test-ok", Title: "always succeeds", Global: true,
+			Run: func(opt experiments.Options) (*experiments.Result, error) {
+				return &experiments.Result{Name: "test-ok", Text: "fine\n",
+					Values: map[string]float64{"v": 1}}, nil
+			},
+		})
+		experiments.Register(experiments.Experiment{
+			Name: "test-fail", Title: "always errors", Global: true,
+			Run: func(opt experiments.Options) (*experiments.Result, error) {
+				return nil, errors.New("synthetic failure")
+			},
+		})
+		experiments.Register(experiments.Experiment{
+			Name: "test-panic", Title: "always panics", Global: true,
+			Run: func(opt experiments.Options) (*experiments.Result, error) {
+				panic("synthetic panic")
+			},
+		})
+		// test-spin simulates an endless loop with no instruction limit:
+		// only the instruction-step watchdog in sim.RunContext can stop
+		// it. This is the cooperative-deadline path (no goroutine leak).
+		experiments.Register(experiments.Experiment{
+			Name: "test-spin", Title: "spins until the watchdog fires", Global: true,
+			Run: func(opt experiments.Options) (*experiments.Result, error) {
+				cpu, err := sim.New(asm.MustAssemble("main: j main"))
+				if err != nil {
+					return nil, err
+				}
+				if err := cpu.RunContext(opt.Ctx, 0, nil); err != nil {
+					return nil, err
+				}
+				return &experiments.Result{Name: "test-spin"}, nil
+			},
+		})
+	})
+}
+
+func mustExp(t *testing.T, name string) experiments.Experiment {
+	t.Helper()
+	e, ok := experiments.ByName(name)
+	if !ok {
+		t.Fatalf("experiment %q not registered", name)
+	}
+	return e
+}
+
+func TestPanicRecovered(t *testing.T) {
+	testExperiments(t)
+	rep, err := harness.Run(harness.Config{KeepGoing: true},
+		[]experiments.Experiment{mustExp(t, "test-panic"), mustExp(t, "test-ok")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(rep.Cells))
+	}
+	re := rep.Cells[0].Err
+	if re == nil {
+		t.Fatal("panicking cell reported no error")
+	}
+	if !re.Panicked || re.PanicValue != "synthetic panic" {
+		t.Errorf("RunError = %+v, want Panicked with value \"synthetic panic\"", re)
+	}
+	if re.Stack == "" {
+		t.Error("panic RunError has no stack")
+	}
+	if re.Cell.Experiment != "test-panic" {
+		t.Errorf("RunError cell = %q, want test-panic", re.Cell)
+	}
+	if !strings.Contains(re.Error(), "test-panic") || !strings.Contains(re.Error(), "synthetic panic") {
+		t.Errorf("Error() = %q, want cell name and panic value", re.Error())
+	}
+	if rep.Cells[1].Err != nil || rep.Cells[1].Result == nil {
+		t.Errorf("keep-going did not run the healthy cell: %+v", rep.Cells[1])
+	}
+}
+
+// TestWatchdogDeadline: a cell spinning inside the simulator is stopped
+// by the instruction-step watchdog at the deadline (cooperatively — the
+// cell goroutine returns, nothing is abandoned).
+func TestWatchdogDeadline(t *testing.T) {
+	testExperiments(t)
+	start := time.Now()
+	rep, err := harness.Run(harness.Config{
+		Timeout: 100 * time.Millisecond,
+		Grace:   5 * time.Second, // only the watchdog should end this cell
+	}, []experiments.Experiment{mustExp(t, "test-spin")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := rep.Cells[0].Err
+	if re == nil {
+		t.Fatal("spinning cell reported no error")
+	}
+	if !re.TimedOut {
+		t.Errorf("RunError = %+v, want TimedOut", re)
+	}
+	if re.Abandoned {
+		t.Errorf("watchdog path abandoned the cell: %+v", re)
+	}
+	if !errors.Is(re, context.DeadlineExceeded) {
+		t.Errorf("RunError does not unwrap to DeadlineExceeded: %v", re)
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Errorf("watchdog took %v to stop a 100ms-deadline cell", el)
+	}
+}
+
+// TestHangAbandoned: a cell blocked outside simulated code (the hang
+// workload's program generator never returns) is abandoned after the
+// grace period; other workloads' cells still complete.
+func TestHangAbandoned(t *testing.T) {
+	testExperiments(t)
+	workload.Hang()
+	rep, err := harness.Run(harness.Config{
+		Options: experiments.Options{
+			Limit:     50_000,
+			Workloads: []string{workload.HangName, "compress"},
+		},
+		Timeout:     300 * time.Millisecond,
+		Grace:       200 * time.Millisecond,
+		KeepGoing:   true,
+		PerWorkload: true,
+	}, []experiments.Experiment{mustExp(t, "table2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(rep.Cells))
+	}
+	hang, healthy := rep.Cells[0], rep.Cells[1]
+	if hang.Cell.Workload != workload.HangName {
+		t.Fatalf("cell order: %v", rep.Cells)
+	}
+	if hang.Err == nil || !hang.Err.TimedOut || !hang.Err.Abandoned {
+		t.Errorf("hang cell = %+v, want TimedOut+Abandoned", hang.Err)
+	}
+	if healthy.Err != nil || healthy.Result == nil {
+		t.Errorf("healthy cell failed alongside the hang: %+v", healthy)
+	}
+	if rep.OK() {
+		t.Error("report claims OK despite a failed cell")
+	}
+	if s := rep.Summary(); !strings.Contains(s, "1 ok, 1 failed") {
+		t.Errorf("Summary() = %q", s)
+	}
+}
+
+// TestCanceledContextStops: canceling the parent context skips queued
+// cells and interrupts the running one promptly.
+func TestCanceledContextStops(t *testing.T) {
+	testExperiments(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep, err := harness.Run(harness.Config{
+		Options:   experiments.Options{Ctx: ctx},
+		KeepGoing: true,
+	}, []experiments.Experiment{
+		mustExp(t, "test-spin"), mustExp(t, "test-ok"), mustExp(t, "test-ok"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Errorf("cancellation took %v to stop the sweep", el)
+	}
+	first := rep.Cells[0].Err
+	if first == nil || !errors.Is(first, context.Canceled) {
+		t.Errorf("running cell error = %v, want context.Canceled", first)
+	}
+	for _, c := range rep.Cells[1:] {
+		if !c.Skipped {
+			t.Errorf("queued cell %s not skipped after cancel: %+v", c.Cell, c)
+		}
+	}
+}
+
+// TestStopOnFirstFailure: without KeepGoing the first failed cell
+// cancels the rest of the sweep.
+func TestStopOnFirstFailure(t *testing.T) {
+	testExperiments(t)
+	rep, err := harness.Run(harness.Config{},
+		[]experiments.Experiment{mustExp(t, "test-fail"), mustExp(t, "test-ok")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0].Err == nil {
+		t.Fatal("failing cell reported no error")
+	}
+	if !rep.Cells[1].Skipped {
+		t.Errorf("cell after failure not skipped: %+v", rep.Cells[1])
+	}
+	if len(rep.Failures()) != 1 {
+		t.Errorf("Failures() = %v, want exactly one", rep.Failures())
+	}
+}
+
+// TestSameSeedReproduces: two harness runs of the faults experiment with
+// the same seed produce identical metrics, cell for cell and key for key.
+func TestSameSeedReproduces(t *testing.T) {
+	testExperiments(t)
+	cfg := harness.Config{
+		Options: experiments.Options{
+			Limit:     60_000,
+			Workloads: []string{"compress"},
+			Faults:    &faults.Config{Table: 1e-2, History: 1e-3, Seed: 7},
+		},
+		Timeout:     time.Minute,
+		PerWorkload: true,
+	}
+	run := func() map[string]float64 {
+		rep, err := harness.Run(cfg, []experiments.Experiment{mustExp(t, "faults")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Cells) != 1 || rep.Cells[0].Err != nil {
+			t.Fatalf("faults cell failed: %+v", rep.Cells)
+		}
+		return rep.Cells[0].Result.Values
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("faults experiment produced no values")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("same-seed mismatch at %s: %g vs %g", k, v, b[k])
+		}
+	}
+}
+
+// TestParallelCells: cells run concurrently and the report still comes
+// back in sweep order with every cell accounted for. Run under -race
+// this is the harness's concurrency check.
+func TestParallelCells(t *testing.T) {
+	testExperiments(t)
+	cfg := harness.Config{
+		Options: experiments.Options{
+			Limit:     40_000,
+			Workloads: []string{"compress", "jpeg"},
+		},
+		Parallel:    4,
+		KeepGoing:   true,
+		PerWorkload: true,
+	}
+	exps := []experiments.Experiment{mustExp(t, "table2"), mustExp(t, "headline")}
+	rep, err := harness.Run(cfg, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"table2/compress", "table2/jpeg", "headline/compress", "headline/jpeg"}
+	if len(rep.Cells) != len(want) {
+		t.Fatalf("got %d cells, want %d", len(rep.Cells), len(want))
+	}
+	for i, c := range rep.Cells {
+		if c.Cell.String() != want[i] {
+			t.Errorf("cell %d = %s, want %s (order must be deterministic)", i, c.Cell, want[i])
+		}
+		if c.Err != nil || c.Result == nil {
+			t.Errorf("cell %s failed: %+v", c.Cell, c.Err)
+		}
+	}
+}
+
+func TestCellsExpansion(t *testing.T) {
+	testExperiments(t)
+	cfg := harness.Config{
+		Options:     experiments.Options{Workloads: []string{"compress", "gcc"}},
+		PerWorkload: true,
+	}
+	cells := cfg.Cells([]experiments.Experiment{mustExp(t, "table2"), mustExp(t, "test-ok")})
+	// test-ok is Global: one cell regardless of PerWorkload.
+	want := []string{"table2/compress", "table2/gcc", "test-ok"}
+	if len(cells) != len(want) {
+		t.Fatalf("cells = %v, want %v", cells, want)
+	}
+	for i := range cells {
+		if cells[i].String() != want[i] {
+			t.Errorf("cell %d = %s, want %s", i, cells[i], want[i])
+		}
+	}
+}

@@ -26,6 +26,19 @@ type Reg struct {
 	ids  [MaxSize]trace.HashedID
 	size int // identifiers tracked (depth+1)
 	n    int // identifiers pushed so far, capped at size
+
+	// hook, when set, runs after every Push. It exists for fault
+	// injection (package faults corrupts identifiers through it) and is
+	// carried along by checkpoints, so restored histories stay under
+	// the same injection plan. It is an interface (not a func) so Reg
+	// stays comparable; implementations must be pointer-backed.
+	hook PushHook
+}
+
+// PushHook observes — and may corrupt — a register after each Push.
+// Implementations must not call Push re-entrantly.
+type PushHook interface {
+	OnPush(*Reg)
 }
 
 // NewReg returns a history register tracking size identifiers
@@ -53,6 +66,23 @@ func (r *Reg) Push(h trace.HashedID) {
 	if r.n < r.size {
 		r.n++
 	}
+	if r.hook != nil {
+		r.hook.OnPush(r)
+	}
+}
+
+// SetFaultHook installs a hook invoked after every Push (nil removes
+// it). Used by fault injection.
+func (r *Reg) SetFaultHook(h PushHook) { r.hook = h }
+
+// CorruptAt XORs mask into the i-th most recent identifier. It is the
+// mutation primitive for fault injection; out-of-range positions are
+// ignored.
+func (r *Reg) CorruptAt(i int, mask trace.HashedID) {
+	if i < 0 || i >= r.size {
+		return
+	}
+	r.ids[i] ^= mask & (1<<trace.HashBits - 1)
 }
 
 // At returns the i-th most recent identifier (0 = current). Positions

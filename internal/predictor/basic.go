@@ -1,6 +1,7 @@
 package predictor
 
 import (
+	"pathtrace/internal/faults"
 	"pathtrace/internal/history"
 	"pathtrace/internal/trace"
 )
@@ -37,11 +38,43 @@ func newBasic(cfg Config) (*basic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &basic{
+	b := &basic{
 		cfg:   cfg,
 		hist:  h,
 		table: make([]basicEntry, 1<<cfg.IndexBits),
-	}, nil
+	}
+	if cfg.Faults != nil {
+		b.hist.SetFaultHook(cfg.Faults)
+	}
+	return b, nil
+}
+
+// valBits is the stored-identifier width: the full trace ID, or its
+// hash when cost-reduced.
+func (cfg *Config) valBits() int {
+	if cfg.CostReduced {
+		return trace.HashBits
+	}
+	return trace.IDBits
+}
+
+// injectFaults applies one fault-injection opportunity to the table.
+// Called once per update so rate-coupled injection streams stay
+// aligned across configurations.
+func (b *basic) injectFaults() {
+	f := b.cfg.Faults.CorrFault(len(b.table), b.cfg.valBits(), 0, b.cfg.CounterBits)
+	if !f.Fire {
+		return
+	}
+	e := &b.table[f.Index]
+	switch f.Slot {
+	case faults.SlotValue:
+		e.val ^= f.Mask
+	case faults.SlotAlt:
+		e.alt ^= f.Mask
+	case faults.SlotCounter:
+		e.ctr ^= uint8(f.Mask)
+	}
 }
 
 // storedVal converts a trace to the value representation the table
@@ -82,6 +115,9 @@ func (b *basic) Predict() Prediction {
 }
 
 func (b *basic) Update(actual *trace.Trace) {
+	if b.cfg.Faults != nil {
+		b.injectFaults()
+	}
 	tok := b.tok
 	actualVal := b.cfg.storedVal(actual)
 
@@ -119,6 +155,9 @@ func (b *basic) Update(actual *trace.Trace) {
 		e.ctr = satDec(e.ctr, b.cfg.CounterDec)
 		e.alt = actualVal
 		e.altValid = true
+	}
+	if b.cfg.Faults.StuckZero() {
+		e.ctr = 0
 	}
 
 	b.hist.Push(actual.Hash)

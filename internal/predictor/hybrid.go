@@ -1,6 +1,7 @@
 package predictor
 
 import (
+	"pathtrace/internal/faults"
 	"pathtrace/internal/history"
 	"pathtrace/internal/trace"
 )
@@ -83,7 +84,40 @@ func newHybrid(cfg Config) (*Hybrid, error) {
 		}
 		p.rhs = rhs
 	}
+	if cfg.Faults != nil {
+		p.hist.SetFaultHook(cfg.Faults)
+	}
 	return p, nil
+}
+
+// injectFaults applies one fault-injection opportunity to each table.
+// Called once per CommitUpdate — before the update logic and before
+// the secondary-filter early return — so the injection streams consume
+// the same draws in every configuration and at every rate.
+func (p *Hybrid) injectFaults() {
+	inj := p.cfg.Faults
+	if f := inj.CorrFault(len(p.corr), p.cfg.valBits(), p.cfg.TagBits, p.cfg.CounterBits); f.Fire {
+		e := &p.corr[f.Index]
+		switch f.Slot {
+		case faults.SlotValue:
+			e.val ^= f.Mask
+		case faults.SlotAlt:
+			e.alt ^= f.Mask
+		case faults.SlotTag:
+			e.tag ^= uint16(f.Mask)
+		case faults.SlotCounter:
+			e.ctr ^= uint8(f.Mask)
+		}
+	}
+	if f := inj.SecFault(len(p.sec), p.cfg.valBits(), p.cfg.SecCounterBits); f.Fire {
+		e := &p.sec[f.Index]
+		switch f.Slot {
+		case faults.SlotValue:
+			e.val ^= f.Mask
+		case faults.SlotCounter:
+			e.ctr ^= uint8(f.Mask)
+		}
+	}
 }
 
 // NewHybrid builds a hybrid predictor directly, for callers that need
@@ -140,6 +174,9 @@ func (p *Hybrid) Lookup() (Prediction, Token) {
 // given the trace that actually followed. It does not touch the path
 // history; pair it with Advance.
 func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
+	if p.cfg.Faults != nil {
+		p.injectFaults()
+	}
 	actualVal := p.cfg.storedVal(actual)
 
 	p.stats.Predictions++
@@ -176,6 +213,9 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 	default:
 		se.ctr = satDec(se.ctr, p.cfg.SecCounterDec)
 	}
+	if p.cfg.Faults.StuckZero() {
+		se.ctr = 0
+	}
 
 	// Correlated table update — filtered when a saturated secondary was
 	// correct, so single-successor traces do not pollute it.
@@ -197,6 +237,9 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 		ce.ctr = satDec(ce.ctr, p.cfg.CounterDec)
 		ce.alt = actualVal
 		ce.altValid = true
+	}
+	if p.cfg.Faults.StuckZero() {
+		ce.ctr = 0
 	}
 }
 

@@ -10,6 +10,7 @@ package predictor
 import (
 	"fmt"
 
+	"pathtrace/internal/faults"
 	"pathtrace/internal/history"
 	"pathtrace/internal/trace"
 )
@@ -132,6 +133,14 @@ type Config struct {
 	// correct the correlated table is not updated (§3.3). Default true
 	// for hybrids; settable to false for ablation.
 	SecondaryFilter *bool
+
+	// Faults, when non-nil, injects deterministic faults into the
+	// prediction tables, the path history register and (via stuck-at-
+	// zero mode) the counters. Wrong table contents can only cost
+	// accuracy, never correctness — the predictor is a hint structure —
+	// so injection is safe to enable on any run. Each predictor needs
+	// its own injector; injectors are not concurrency-safe.
+	Faults *faults.Injector
 }
 
 // withDefaults materialises unset fields.

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pathtrace/internal/asm"
+)
+
+// TestRunContextDeadline: the instruction-step watchdog stops an
+// unbounded spin loop at the context deadline without help from an
+// instruction limit.
+func TestRunContextDeadline(t *testing.T) {
+	c := MustNew(asm.MustAssemble("main: j main"))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.RunContext(ctx, 0, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Errorf("watchdog took %v to honour a 50ms deadline", el)
+	}
+	if c.InstrCount == 0 {
+		t.Error("no instructions retired before the deadline")
+	}
+}
+
+// TestRunContextCanceled: an already-canceled context aborts before any
+// instruction retires.
+func TestRunContextCanceled(t *testing.T) {
+	c := MustNew(asm.MustAssemble("main: j main"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.RunContext(ctx, 1000, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want Canceled", err)
+	}
+	if c.InstrCount != 0 {
+		t.Errorf("retired %d instructions under a canceled context", c.InstrCount)
+	}
+}
+
+// TestRunContextNil: a nil context disables the watchdog; the limit
+// still bounds the run.
+func TestRunContextNil(t *testing.T) {
+	c := MustNew(asm.MustAssemble("main: j main"))
+	if err := c.RunContext(nil, 500, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.InstrCount != 500 {
+		t.Errorf("InstrCount = %d, want 500", c.InstrCount)
+	}
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -341,7 +342,31 @@ func (c *CPU) Step() (Retired, error) {
 // for each retired instruction. It returns nil when the program halts
 // or the limit is reached, and the fault otherwise.
 func (c *CPU) Run(limit uint64, visit func(Retired)) error {
+	return c.RunContext(nil, limit, visit)
+}
+
+// watchdogStride is how many instructions retire between context
+// checks in RunContext — the instruction-step watchdog granularity.
+// Small enough that a deadline stops a runaway workload within
+// microseconds, large enough that the check is free.
+const watchdogStride = 4096
+
+// RunContext is Run with an instruction-step watchdog: every
+// watchdogStride retired instructions it checks ctx, and aborts with a
+// wrapped ctx.Err() when the context is done. A nil ctx disables the
+// watchdog. This is what lets the experiment harness put a hard
+// deadline on a runaway (or merely oversized) workload without leaking
+// the goroutine that runs it.
+func (c *CPU) RunContext(ctx context.Context, limit uint64, visit func(Retired)) error {
+	check := uint64(0) // instructions until the next watchdog poll
 	for limit == 0 || c.InstrCount < limit {
+		if ctx != nil && check == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run aborted at %d instructions: %w", c.InstrCount, err)
+			}
+			check = watchdogStride
+		}
+		check--
 		r, err := c.Step()
 		if err != nil {
 			if errors.Is(err, ErrHalted) {

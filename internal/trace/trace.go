@@ -34,6 +34,10 @@ type ID uint64
 // idBranchBits is the number of branch-outcome bits in an ID.
 const idBranchBits = 6
 
+// IDBits is the total width of a trace identifier (30 PC bits plus
+// idBranchBits outcome bits).
+const IDBits = 30 + idBranchBits
+
 // MakeID builds a trace identifier from a starting PC and the packed
 // branch outcomes.
 func MakeID(startPC uint32, outcomes uint8) ID {

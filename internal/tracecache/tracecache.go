@@ -54,6 +54,10 @@ type Cache struct {
 	setMask uint32
 	clock   uint64
 	stats   Stats
+
+	// hook, when set, runs before every Access; fault injection uses it
+	// to invalidate or corrupt lines. It must not call Access.
+	hook func(*Cache)
 }
 
 // New builds a trace cache. Lines/Assoc must divide into a power-of-two
@@ -87,9 +91,42 @@ func (c *Cache) set(id trace.ID) []line {
 	return c.sets[uint32(id.Hash())&c.setMask]
 }
 
+// SetFaultHook installs a hook invoked before every Access (nil
+// removes it). Used by fault injection.
+func (c *Cache) SetFaultHook(fn func(*Cache)) { c.hook = fn }
+
+// Geometry returns the number of sets and ways.
+func (c *Cache) Geometry() (sets, ways int) {
+	return len(c.sets), len(c.sets[0])
+}
+
+// InvalidateWay clears one line (fault-injection primitive; a harmless
+// hint-structure fault — the next access to that trace simply misses).
+func (c *Cache) InvalidateWay(set, way int) {
+	if set < 0 || set >= len(c.sets) || way < 0 || way >= len(c.sets[set]) {
+		return
+	}
+	c.sets[set][way] = line{}
+}
+
+// CorruptWay XORs mask into the stored identifier of one line, so the
+// full-ID tag check rejects (or, for a colliding trace, misdirects)
+// later probes. Invalid lines are left untouched.
+func (c *Cache) CorruptWay(set, way int, mask uint64) {
+	if set < 0 || set >= len(c.sets) || way < 0 || way >= len(c.sets[set]) {
+		return
+	}
+	if l := &c.sets[set][way]; l.valid {
+		l.id ^= trace.ID(mask)
+	}
+}
+
 // Access probes the cache for a trace and fills it on a miss. It
 // returns whether the probe hit.
 func (c *Cache) Access(id trace.ID) bool {
+	if c.hook != nil {
+		c.hook(c)
+	}
 	c.clock++
 	c.stats.Accesses++
 	set := c.set(id)

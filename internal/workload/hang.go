@@ -1,0 +1,32 @@
+package workload
+
+import "sync"
+
+// HangName is the name of the deliberately hanging synthetic workload.
+const HangName = "hang"
+
+var hangOnce sync.Once
+
+// Hang registers (on first call) and returns the deliberately hanging
+// synthetic workload: its program generator blocks forever, so any
+// cell that runs it exercises the harness's deadline watchdog. It is
+// NOT part of All() unless Hang has been called — callers opt in by
+// naming it (e.g. `ntp -workloads compress,hang`).
+//
+// The goroutine that first touches the workload leaks (parked on a
+// channel that is never written); that is the point — the harness must
+// survive a cell that never comes back.
+func Hang() *Workload {
+	hangOnce.Do(func() {
+		register(&Workload{
+			Name:        HangName,
+			PaperInput:  "n/a (synthetic)",
+			Description: "synthetic workload whose program generation blocks forever; exercises harness deadlines",
+			source: func() string {
+				select {} // block forever, without burning CPU
+			},
+		})
+	})
+	w, _ := ByName(HangName)
+	return w
+}

@@ -43,28 +43,52 @@ type Workload struct {
 	// standard configuration; smaller fractions of work are not
 	// meaningful — programs run until the harness's instruction limit.
 	source func() string
+
+	// Program generation is cached per workload (not behind one global
+	// lock): a workload whose generator misbehaves — the synthetic
+	// hanging workload does so on purpose — must not block every other
+	// workload's assembly.
+	once    sync.Once
+	prog    *asm.Program
+	progErr error
 }
 
-// Program assembles the workload (cached; programs are deterministic).
+// ProgramErr generates and assembles the workload once (cached;
+// programs are deterministic) and reports generation failures as
+// errors, including panics inside the source generator.
+func (w *Workload) ProgramErr() (p *asm.Program, err error) {
+	w.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				w.progErr = fmt.Errorf("workload %s: program generation panicked: %v", w.Name, r)
+			}
+		}()
+		w.prog, w.progErr = asm.Assemble(w.source())
+		if w.progErr != nil {
+			w.progErr = fmt.Errorf("workload %s: %w", w.Name, w.progErr)
+		}
+	})
+	return w.prog, w.progErr
+}
+
+// Program is ProgramErr for the known-good benchmarks; it panics on
+// generation failure.
 func (w *Workload) Program() *asm.Program {
-	progMu.Lock()
-	defer progMu.Unlock()
-	if p, ok := progCache[w.Name]; ok {
-		return p
+	p, err := w.ProgramErr()
+	if err != nil {
+		panic(err)
 	}
-	p := asm.MustAssemble(w.source())
-	progCache[w.Name] = p
 	return p
 }
 
 var (
-	progMu    sync.Mutex
-	progCache = map[string]*asm.Program{}
+	regMu    sync.RWMutex
+	registry = map[string]*Workload{}
 )
 
-var registry = map[string]*Workload{}
-
 func register(w *Workload) {
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[w.Name]; dup {
 		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
 	}
@@ -78,6 +102,8 @@ func Names() []string {
 
 // All returns all registered workloads in the paper's order.
 func All() []*Workload {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	var out []*Workload
 	for _, n := range Names() {
 		if w, ok := registry[n]; ok {
@@ -108,6 +134,8 @@ func All() []*Workload {
 
 // ByName looks up a workload.
 func ByName(name string) (*Workload, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
 	w, ok := registry[name]
 	return w, ok
 }

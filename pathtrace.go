@@ -40,6 +40,8 @@ import (
 	"pathtrace/internal/cc"
 	"pathtrace/internal/engine"
 	"pathtrace/internal/experiments"
+	"pathtrace/internal/faults"
+	"pathtrace/internal/harness"
 	"pathtrace/internal/history"
 	"pathtrace/internal/predictor"
 	"pathtrace/internal/sim"
@@ -125,6 +127,28 @@ type (
 	ExperimentOptions = experiments.Options
 	// ExperimentResult is rendered text plus key metrics.
 	ExperimentResult = experiments.Result
+)
+
+// Robustness: fault injection and the hardened harness.
+type (
+	// FaultConfig is a deterministic fault-injection plan.
+	FaultConfig = faults.Config
+	// FaultInjector draws faults from a plan; give each predictor its
+	// own injector (they are not safe for concurrent use).
+	FaultInjector = faults.Injector
+	// FaultStats counts injected faults per class.
+	FaultStats = faults.Stats
+	// HarnessConfig controls a hardened sweep (deadlines, panic
+	// recovery, keep-going, per-workload cells).
+	HarnessConfig = harness.Config
+	// HarnessReport is a sweep's outcome, cell by cell.
+	HarnessReport = harness.Report
+	// HarnessCell names one (experiment, workload) unit of work.
+	HarnessCell = harness.Cell
+	// HarnessCellResult is one cell's outcome.
+	HarnessCellResult = harness.CellResult
+	// RunError is a structured per-cell failure.
+	RunError = harness.RunError
 )
 
 // NewPredictor builds the predictor variant selected by cfg.
@@ -215,6 +239,27 @@ func WorkloadByName(name string) (*Workload, bool) { return workload.ByName(name
 func RunWorkload(w *Workload, limit uint64, consumers ...func(*Trace)) (instrs, traces uint64, err error) {
 	return experiments.StreamTraces(w, limit, consumers...)
 }
+
+// ParseFaultSpec parses an -inject style fault specification such as
+// "table:1e-4,history:1e-5,stuck,bits:2".
+func ParseFaultSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
+
+// NewFaultInjector builds a deterministic injector for the plan.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.New(cfg) }
+
+// RunHarness sweeps experiments as isolated, deadline-bounded cells and
+// returns the full report (partial results plus structured failures).
+func RunHarness(cfg HarnessConfig, exps []Experiment) (*HarnessReport, error) {
+	return harness.Run(cfg, exps)
+}
+
+// RegisterExperiment adds an experiment at runtime (panics on a
+// duplicate id), the hook for extensions and harness tests.
+func RegisterExperiment(e Experiment) { experiments.Register(e) }
+
+// HangWorkload registers (on first call) and returns the deliberately
+// hanging synthetic workload used to exercise harness deadlines.
+func HangWorkload() *Workload { return workload.Hang() }
 
 // Experiments lists every registered experiment (tables, figures,
 // ablations) in paper order.
