@@ -42,8 +42,60 @@ func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8", pathtrace.Experi
 func BenchmarkCostReduced(b *testing.B) {
 	benchExperiment(b, "costreduced", pathtrace.ExperimentOptions{})
 }
+
+// BenchmarkHeadline covers the headline exhibit at two grains:
+// "experiment" regenerates the whole table per iteration (capture +
+// replay through every configuration), while "predict" isolates the
+// steady-state replay→predict hot path — one trace through the
+// sequential baseline, the bounded hybrid, and the unbounded predictor
+// per iteration — which must run allocation-free.
 func BenchmarkHeadline(b *testing.B) {
-	benchExperiment(b, "headline", pathtrace.ExperimentOptions{})
+	b.Run("experiment", func(b *testing.B) {
+		benchExperiment(b, "headline", pathtrace.ExperimentOptions{})
+	})
+	b.Run("predict", func(b *testing.B) {
+		w, ok := pathtrace.WorkloadByName("go")
+		if !ok {
+			b.Fatal("workload go missing")
+		}
+		s, err := pathtrace.CaptureTraceStream(w, benchLimit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, err := pathtrace.NewSequentialBaseline(pathtrace.SequentialConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hybrid := pathtrace.MustNewPredictor(pathtrace.PredictorConfig{
+			Depth: 7, IndexBits: 16, Hybrid: true, UseRHS: true,
+		})
+		ub, err := pathtrace.NewUnboundedPredictor(pathtrace.UnboundedConfig{
+			Depth: 7, Hybrid: true, UseRHS: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// One full warm pass so the unbounded predictor's maps hold every
+		// path before measurement: steady state is hit-and-update.
+		step := func(tr *pathtrace.Trace) {
+			seq.ObserveTrace(tr)
+			hybrid.Predict()
+			hybrid.Update(tr)
+			ub.Predict()
+			ub.Update(tr)
+		}
+		if _, _, err := s.Replay(nil, step); err != nil {
+			b.Fatal(err)
+		}
+		n := s.Len()
+		var tr pathtrace.Trace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.At(i%n, &tr)
+			step(&tr)
+		}
+	})
 }
 
 // Ablation benchmarks (DESIGN.md §5).

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"pathtrace"
+)
+
+// benchRecord is one benchmarked unit in the BENCH_<date>.json output.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchFile is the full JSON document, with enough provenance to make
+// two files comparable.
+type benchFile struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	Limit     uint64        `json:"limit"`
+	Results   []benchRecord `json:"results"`
+}
+
+// runBench measures every requested experiment (one full regeneration
+// per iteration, stream cache warm) plus the raw replay→predict loop,
+// and writes the records as JSON.
+func runBench(ids []string, opt pathtrace.ExperimentOptions, outPath string) int {
+	if opt.Limit == 0 {
+		opt.Limit = 200_000 // match bench_test.go's benchLimit
+	}
+	if outPath == "" {
+		outPath = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+	out := benchFile{
+		Date:      time.Now().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Limit:     opt.Limit,
+	}
+
+	for _, id := range ids {
+		id := id
+		// Warm the stream cache (and predictor code paths) outside the
+		// measured region so every iteration measures replay, not capture.
+		if _, err := pathtrace.RunExperiment(id, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "ntp: bench %s: %v\n", id, err)
+			return 1
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pathtrace.RunExperiment(id, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec := benchRecord{
+			Name:        id,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		out.Results = append(out.Results, rec)
+		fmt.Fprintf(os.Stderr, "ntp: bench %-20s %12.0f ns/op %8d allocs/op\n",
+			id, rec.NsPerOp, rec.AllocsPerOp)
+	}
+
+	if rec, err := benchPredictLoop(opt.Limit); err != nil {
+		fmt.Fprintf(os.Stderr, "ntp: bench predict-loop: %v\n", err)
+		return 1
+	} else {
+		out.Results = append(out.Results, rec)
+		fmt.Fprintf(os.Stderr, "ntp: bench %-20s %12.0f ns/op %8d allocs/op\n",
+			rec.Name, rec.NsPerOp, rec.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntp: bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ntp: bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "ntp: wrote %s\n", outPath)
+	return 0
+}
+
+// benchPredictLoop measures the steady-state replay→predict hot path
+// (sequential baseline + bounded hybrid + unbounded per trace), the
+// same loop BenchmarkHeadline/predict covers in the test suite. It must
+// report zero allocations per operation.
+func benchPredictLoop(limit uint64) (benchRecord, error) {
+	w, ok := pathtrace.WorkloadByName("go")
+	if !ok {
+		return benchRecord{}, fmt.Errorf("workload go missing")
+	}
+	s, err := pathtrace.CaptureTraceStream(w, limit)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	seq, err := pathtrace.NewSequentialBaseline(pathtrace.SequentialConfig{})
+	if err != nil {
+		return benchRecord{}, err
+	}
+	hybrid := pathtrace.MustNewPredictor(pathtrace.PredictorConfig{
+		Depth: 7, IndexBits: 16, Hybrid: true, UseRHS: true,
+	})
+	ub, err := pathtrace.NewUnboundedPredictor(pathtrace.UnboundedConfig{
+		Depth: 7, Hybrid: true, UseRHS: true,
+	})
+	if err != nil {
+		return benchRecord{}, err
+	}
+	step := func(tr *pathtrace.Trace) {
+		seq.ObserveTrace(tr)
+		hybrid.Predict()
+		hybrid.Update(tr)
+		ub.Predict()
+		ub.Update(tr)
+	}
+	if _, _, err := s.Replay(nil, step); err != nil { // warm pass
+		return benchRecord{}, err
+	}
+	n := s.Len()
+	var tr pathtrace.Trace
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.At(i%n, &tr)
+			step(&tr)
+		}
+	})
+	return benchRecord{
+		Name:        "predict-loop",
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}

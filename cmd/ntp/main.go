@@ -15,10 +15,28 @@
 //	ntp -run faults -inject table:1e-4,history:1e-5 -seed 7
 //	ntp -run all -parallel 4 -timeout 30s -keep-going
 //
+// Performance:
+//
+//	ntp -run all -cpuprofile cpu.pprof
+//	ntp -run table2 -memprofile mem.pprof
+//	ntp -bench
+//	ntp -bench -benchout BENCH_custom.json
+//	ntp -run all -nocache
+//	ntp -run all -streams .streams
+//
 // Each experiment streams the six benchmark workloads (or the subset
 // given with -workloads) through the trace selector and prints the
 // regenerated exhibit. -len scales the per-workload instruction budget;
 // the paper used >= 100M instructions per benchmark.
+//
+// Each (workload, limit, selection) trace stream is simulated once and
+// recorded in a process-wide cache; every experiment replays the
+// recording (see internal/stream). -nocache disables this and
+// re-simulates per cell, trading wall-clock for a flat memory profile.
+// -streams names a directory of stream files: cache misses load the
+// key's file instead of simulating, and fresh captures are saved back,
+// so repeated sweeps skip simulation entirely (the paper's own
+// capture-once, sweep-many methodology made persistent).
 //
 // -timeout bounds each (experiment, workload) cell; -keep-going
 // continues past failed cells, reporting them at the end; -parallel
@@ -29,6 +47,11 @@
 // program generator that blocks forever) is available by naming it in
 // -workloads, to exercise the deadline machinery.
 //
+// -cpuprofile / -memprofile write pprof profiles covering the run.
+// -bench measures every experiment (plus the raw predict loop) with
+// the testing package's benchmark driver and writes a BENCH_<date>.json
+// record of ns/op, allocs/op and B/op for regression tracking.
+//
 // All experiment output goes to stdout and is bit-for-bit reproducible
 // for a fixed flag set; timing goes to stderr.
 package main
@@ -36,6 +59,8 @@ package main
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -45,31 +70,48 @@ import (
 	"pathtrace"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so deferred cleanup (profile stop,
+// profile write) runs before the process exits.
+func run() int {
 	var (
-		list      = flag.Bool("list", false, "list available experiments and exit")
-		run       = flag.String("run", "", "comma-separated experiment ids to run, or \"all\"")
-		length    = flag.Uint64("len", 0, "instructions per workload (default 2000000)")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default all six; add \"hang\" for the hanging synthetic)")
-		values    = flag.Bool("values", false, "also print the experiment's key metrics as CSV (key,value)")
-		timeout   = flag.Duration("timeout", 0, "per-cell deadline, e.g. 5s (0 = none)")
-		inject    = flag.String("inject", "", "fault-injection spec, e.g. table:1e-4,history:1e-5,stuck,bits:2")
-		seed      = flag.Uint64("seed", 0, "fault-injection PRNG seed")
-		keepGoing = flag.Bool("keep-going", false, "continue past failed cells; report failures at the end")
-		parallel  = flag.Int("parallel", 1, "cells to run concurrently")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		runIDs     = flag.String("run", "", "comma-separated experiment ids to run, or \"all\"")
+		length     = flag.Uint64("len", 0, "instructions per workload (default 2000000)")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default all six; add \"hang\" for the hanging synthetic)")
+		values     = flag.Bool("values", false, "also print the experiment's key metrics as CSV (key,value)")
+		timeout    = flag.Duration("timeout", 0, "per-cell deadline, e.g. 5s (0 = none)")
+		inject     = flag.String("inject", "", "fault-injection spec, e.g. table:1e-4,history:1e-5,stuck,bits:2")
+		seed       = flag.Uint64("seed", 0, "fault-injection PRNG seed")
+		keepGoing  = flag.Bool("keep-going", false, "continue past failed cells; report failures at the end")
+		parallel   = flag.Int("parallel", 1, "cells to run concurrently")
+		nocache    = flag.Bool("nocache", false, "disable the trace-stream cache; re-simulate every cell")
+		streams    = flag.String("streams", "", "stream directory: load captured trace streams from (and save new ones to) this dir")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		bench      = flag.Bool("bench", false, "benchmark the experiments instead of printing exhibits")
+		benchout   = flag.String("benchout", "", "benchmark JSON output path (default BENCH_<date>.json)")
 	)
 	flag.Parse()
 
-	if *list || *run == "" {
+	if *list || *runIDs == "" && !*bench {
 		listExperiments()
-		if *run == "" && !*list {
-			fmt.Fprintln(os.Stderr, "\nuse -run <id> to run an experiment")
-			os.Exit(2)
+		if *runIDs == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nuse -run <id> to run an experiment, or -bench to benchmark")
+			return 2
 		}
-		return
+		return 0
 	}
 
-	opt := pathtrace.ExperimentOptions{Limit: *length}
+	opt := pathtrace.ExperimentOptions{Limit: *length, NoStreamCache: *nocache}
+	if *streams != "" {
+		if *nocache {
+			fmt.Fprintln(os.Stderr, "ntp: -streams requires the stream cache; drop -nocache")
+			return 2
+		}
+		pathtrace.SharedStreamCache().SetDir(*streams)
+	}
 	if *workloads != "" {
 		opt.Workloads = splitList(*workloads)
 	}
@@ -77,24 +119,63 @@ func main() {
 		fcfg, err := pathtrace.ParseFaultSpec(*inject)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ntp: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		fcfg.Seed = *seed
 		opt.Faults = &fcfg
 	}
 
 	var ids []string
-	if *run == "all" {
+	if *runIDs == "all" || *runIDs == "" && *bench {
 		for _, e := range pathtrace.Experiments() {
 			ids = append(ids, e.Name)
 		}
 	} else {
-		ids = splitList(*run)
+		ids = splitList(*runIDs)
 	}
 
 	// Validate everything up front: a long sweep should not die on a
 	// typo after an hour of simulation.
-	validate(ids, opt.Workloads)
+	if code := validate(ids, opt.Workloads); code != 0 {
+		return code
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntp: cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ntp: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "ntp: wrote CPU profile to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ntp: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ntp: memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ntp: wrote heap profile to %s\n", *memprofile)
+		}()
+	}
+
+	if *bench {
+		return runBench(ids, opt, *benchout)
+	}
 
 	exps := make([]pathtrace.Experiment, len(ids))
 	for i, id := range ids {
@@ -114,7 +195,7 @@ func main() {
 	report, err := pathtrace.RunHarness(cfg, exps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ntp: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	failed := false
@@ -143,15 +224,25 @@ func main() {
 	if failed || !report.OK() {
 		fmt.Println(report.Summary())
 	}
+	if !*nocache {
+		st := pathtrace.SharedStreamCache().Stats()
+		disk := ""
+		if *streams != "" {
+			disk = fmt.Sprintf(", %d loaded/%d saved to %s", st.Loads, st.Saves, *streams)
+		}
+		fmt.Fprintf(os.Stderr, "ntp: stream cache: %d captured, %d replayed, %d failed, %.1f MB%s\n",
+			st.Captures, st.Hits, st.Failures, float64(st.Bytes)/(1<<20), disk)
+	}
 	fmt.Fprintf(os.Stderr, "ntp: total %.1fs\n", time.Since(start).Seconds())
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // validate checks experiment ids and workload names before any cell
-// runs, exiting with status 2 and the full list of unknowns.
-func validate(ids, workloadNames []string) {
+// runs, returning status 2 and the full list of unknowns on error.
+func validate(ids, workloadNames []string) int {
 	var unknown []string
 	for _, id := range ids {
 		if _, ok := pathtrace.ExperimentByName(id); !ok {
@@ -168,7 +259,7 @@ func validate(ids, workloadNames []string) {
 		}
 	}
 	if len(unknown) == 0 {
-		return
+		return 0
 	}
 	fmt.Fprintf(os.Stderr, "ntp: unknown %s\n", strings.Join(unknown, ", "))
 	var expIDs, wlNames []string
@@ -180,7 +271,7 @@ func validate(ids, workloadNames []string) {
 	}
 	fmt.Fprintf(os.Stderr, "ntp: experiments: %s\n", strings.Join(expIDs, ", "))
 	fmt.Fprintf(os.Stderr, "ntp: workloads:   %s (plus \"hang\")\n", strings.Join(wlNames, ", "))
-	os.Exit(2)
+	return 2
 }
 
 func splitList(s string) []string {

@@ -114,8 +114,15 @@ type Engine struct {
 
 	cycle      uint64
 	lastRetire uint64
-	window     []inflight // fetched, not yet retired (ordered)
-	occupancy  int        // instructions in the window
+
+	// window is a ring buffer of fetched-but-not-retired traces (in
+	// order): head indexes the oldest, count is the live length. A ring
+	// (rather than window = window[1:] per retirement) keeps the backing
+	// array stable once warm, so steady-state Feed allocates nothing.
+	window    []inflight
+	head      int
+	count     int
+	occupancy int // instructions in the window
 
 	// Speculation state for the prediction of the NEXT trace.
 	next    predictor.Prediction
@@ -160,14 +167,32 @@ func MustNew(cfg Config, p *predictor.Hybrid) *Engine {
 // drainRetirements applies table updates for every trace whose retire
 // cycle has passed.
 func (e *Engine) drainRetirements(now uint64) {
-	for len(e.window) > 0 && e.window[0].retire <= now {
-		f := e.window[0]
-		e.window = e.window[1:]
+	for e.count > 0 && e.window[e.head].retire <= now {
+		f := &e.window[e.head]
 		e.occupancy -= f.len
 		e.pred.CommitUpdate(f.tok, &f.tr)
 		e.res.Traces++
 		e.res.Instrs += uint64(f.tr.Len)
+		*f = inflight{} // drop references until the slot is reused
+		e.head = (e.head + 1) % len(e.window)
+		e.count--
 	}
+}
+
+// pushInflight appends to the ring, growing (and linearising) the
+// backing array only when full — amortised to zero once the window has
+// reached its steady-state depth.
+func (e *Engine) pushInflight(f inflight) {
+	if e.count == len(e.window) {
+		grown := make([]inflight, 2*len(e.window)+4)
+		for i := 0; i < e.count; i++ {
+			grown[i] = e.window[(e.head+i)%len(e.window)]
+		}
+		e.window = grown
+		e.head = 0
+	}
+	e.window[(e.head+e.count)%len(e.window)] = f
+	e.count++
 }
 
 // Feed processes the next trace of the actual (correct-path) stream.
@@ -180,8 +205,8 @@ func (e *Engine) Feed(actual *trace.Trace) {
 	}
 
 	// Stall fetch until the window has room for this trace.
-	for e.occupancy+actual.Len > e.cfg.Window && len(e.window) > 0 {
-		headRetire := e.window[0].retire
+	for e.occupancy+actual.Len > e.cfg.Window && e.count > 0 {
+		headRetire := e.window[e.head].retire
 		if e.cycle < headRetire {
 			e.cycle = headRetire
 		}
@@ -229,7 +254,7 @@ func (e *Engine) Feed(actual *trace.Trace) {
 	cp := *actual
 	cp.Branches = nil // the selector reuses these slices; retirement
 	cp.Mems = nil     // only needs the identifier and metadata
-	e.window = append(e.window, inflight{tok: e.nextTok, tr: cp, retire: retire, len: actual.Len})
+	e.pushInflight(inflight{tok: e.nextTok, tr: cp, retire: retire, len: actual.Len})
 	e.occupancy += actual.Len
 
 	correct := e.cfg.Oracle || e.next.Valid && e.next.ID == actual.ID

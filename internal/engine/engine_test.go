@@ -172,8 +172,8 @@ func TestFinishRetiresEverything(t *testing.T) {
 	if res.Stats.Predictions != 10 {
 		t.Errorf("predictions %d, want 10", res.Stats.Predictions)
 	}
-	if len(e.window) != 0 {
-		t.Errorf("window not drained: %d", len(e.window))
+	if e.count != 0 {
+		t.Errorf("window not drained: %d", e.count)
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 
 	"pathtrace/internal/history"
 	"pathtrace/internal/predictor"
-	"pathtrace/internal/sim"
 	"pathtrace/internal/stats"
 	"pathtrace/internal/trace"
 )
@@ -219,27 +218,15 @@ func ablationSelect(opt Options) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			prog, err := w.ProgramErr()
-			if err != nil {
-				return nil, err
-			}
-			cpu, err := sim.New(prog)
-			if err != nil {
-				return nil, err
-			}
-			sel, err := trace.NewSelector(sc.cfg, func(tr *trace.Trace) {
+			instrs, traces, err := opt.StreamSelect(w, sc.cfg, func(tr *trace.Trace) {
 				p.Predict()
 				p.Update(tr)
 			})
 			if err != nil {
 				return nil, err
 			}
-			if err := cpu.RunContext(opt.Ctx, opt.limit(), sel.Feed); err != nil {
-				return nil, err
-			}
-			sel.Flush()
 			rate := p.Stats().MissRate()
-			avgLen := float64(sel.Instrs()) / float64(sel.Traces())
+			avgLen := float64(instrs) / float64(traces)
 			row = append(row, rate, avgLen)
 			res.Values[fmt.Sprintf("%s.%s", w.Name, sc.name)] = rate
 		}

@@ -12,6 +12,7 @@ import (
 
 	"pathtrace/internal/faults"
 	"pathtrace/internal/sim"
+	"pathtrace/internal/stream"
 	"pathtrace/internal/trace"
 	"pathtrace/internal/workload"
 )
@@ -33,8 +34,22 @@ type Options struct {
 	Ctx context.Context
 	// Faults, when non-nil, is the fault-injection plan. The `faults`
 	// experiment sweeps scaled versions of it; other experiments run
-	// clean regardless (their exhibits reproduce the paper).
+	// clean regardless (their exhibits reproduce the paper). Faults are
+	// injected downstream of trace selection (predictor tables, history
+	// registers, trace-cache lines), so they compose freely with the
+	// stream cache: injected runs replay the same recording as clean
+	// ones.
 	Faults *faults.Config
+
+	// Streams overrides the trace-stream cache used by Stream (nil =
+	// the process-wide DefaultStreamCache). Tests use a private cache
+	// for isolation.
+	Streams *stream.Cache
+
+	// NoStreamCache bypasses capture/replay entirely and re-simulates
+	// the workload for this run — the pre-cache behaviour, kept for
+	// equivalence testing and for memory-constrained one-shot runs.
+	NoStreamCache bool
 }
 
 func (o Options) limit() uint64 {
@@ -155,17 +170,59 @@ func StreamTraces(w *workload.Workload, limit uint64, consumers ...func(*trace.T
 	return Options{Limit: limit}.Stream(w, consumers...)
 }
 
+// DefaultStreamCache is the process-wide trace-stream cache shared by
+// every experiment run that does not supply its own (Options.Streams).
+// Streams are keyed by (workload, limit, selection config), so a full
+// multi-experiment sweep simulates each workload once and replays the
+// recording everywhere else.
+var DefaultStreamCache = stream.NewCache()
+
 // Stream runs a workload under the options' instruction budget and
-// context, feeding each selected trace to every consumer in turn. It
-// returns the instruction and trace counts. Every experiment streams
-// through here, which is what gives the harness a single place to
-// enforce deadlines.
+// context, feeding each selected trace to every consumer in turn, with
+// the paper's default trace-selection limits. It returns the
+// instruction and trace counts. Every experiment streams through here
+// (or StreamSelect), which is what gives the harness a single place to
+// enforce deadlines and the stream cache a single place to intercept
+// re-simulation.
 func (o Options) Stream(w *workload.Workload, consumers ...func(*trace.Trace)) (instrs, traces uint64, err error) {
+	return o.StreamSelect(w, trace.DefaultConfig(), consumers...)
+}
+
+// StreamSelect is Stream with an explicit trace-selection
+// configuration (the trace-selection ablation sweeps these). The first
+// run for a (workload, limit, selection) triple simulates and records
+// the trace sequence; every later run replays the recording.
+func (o Options) StreamSelect(w *workload.Workload, sel trace.Config, consumers ...func(*trace.Trace)) (instrs, traces uint64, err error) {
 	if o.Ctx != nil {
 		if err := o.Ctx.Err(); err != nil {
 			return 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
 		}
 	}
+	if o.NoStreamCache {
+		return o.simulate(w, sel, consumers...)
+	}
+	c := o.Streams
+	if c == nil {
+		c = DefaultStreamCache
+	}
+	s, err := c.Get(o.Ctx, w, o.limit(), sel)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
+	}
+	// Fan each consumer out to its own goroutine: experiment consumers
+	// are independent by contract (each closure owns its predictor,
+	// baseline, cache or engine), so a k-consumer experiment costs one
+	// replay of wall-clock instead of k.
+	instrs, traces, err = s.ReplayParallel(o.Ctx, consumers...)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
+	}
+	return instrs, traces, nil
+}
+
+// simulate is the direct (uncached) path: simulate the workload and
+// feed the selector's traces straight to the consumers.
+func (o Options) simulate(w *workload.Workload, selCfg trace.Config, consumers ...func(*trace.Trace)) (instrs, traces uint64, err error) {
 	prog, err := w.ProgramErr()
 	if err != nil {
 		return 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
@@ -174,7 +231,7 @@ func (o Options) Stream(w *workload.Workload, consumers ...func(*trace.Trace)) (
 	if err != nil {
 		return 0, 0, err
 	}
-	sel, err := trace.NewSelector(trace.DefaultConfig(), func(tr *trace.Trace) {
+	sel, err := trace.NewSelector(selCfg, func(tr *trace.Trace) {
 		for _, fn := range consumers {
 			fn(tr)
 		}

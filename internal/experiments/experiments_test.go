@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"pathtrace/internal/faults"
+	"pathtrace/internal/stream"
 	"pathtrace/internal/trace"
 	"pathtrace/internal/workload"
 )
@@ -100,6 +102,76 @@ func TestStreamTracesMultipleConsumersSeeSameStream(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("streams diverge at %d", i)
 		}
+	}
+}
+
+// equalValues compares two result Value maps exactly (replay must be
+// bit-identical to a fresh simulation, so no tolerance is allowed).
+func equalValues(t *testing.T, name string, cached, fresh map[string]float64) {
+	t.Helper()
+	if len(cached) != len(fresh) {
+		t.Errorf("%s: value count differs: cached %d fresh %d", name, len(cached), len(fresh))
+	}
+	for k, v := range fresh {
+		if cv, ok := cached[k]; !ok || cv != v {
+			t.Errorf("%s: %s: cached %v fresh %v", name, k, cached[k], v)
+		}
+	}
+}
+
+// TestStreamCacheEquivalence runs experiments once through the stream
+// cache and once with NoStreamCache (direct simulation) and requires
+// bit-identical results — the cache must be a pure perf optimisation.
+func TestStreamCacheEquivalence(t *testing.T) {
+	for _, name := range []string{"table2", "fig6", "ablation-select"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			opt := Options{Limit: 100_000, Workloads: []string{"compress", "go"}}
+			opt.Streams = stream.NewCache()
+			cached := run(t, name, opt)
+			opt.Streams = nil
+			opt.NoStreamCache = true
+			fresh := run(t, name, opt)
+			equalValues(t, name, cached.Values, fresh.Values)
+		})
+	}
+}
+
+// TestStreamCacheEquivalenceUnderFaults repeats the equivalence check
+// for the fault-injection experiment with a fixed seed: faults are
+// injected downstream of trace selection, so replayed and fresh runs
+// must corrupt identically.
+func TestStreamCacheEquivalenceUnderFaults(t *testing.T) {
+	mkOpt := func() Options {
+		return Options{
+			Limit:     100_000,
+			Workloads: []string{"compress"},
+			Faults:    &faults.Config{Table: 1e-3, History: 1e-4, Seed: 7},
+		}
+	}
+	opt := mkOpt()
+	opt.Streams = stream.NewCache()
+	cached := run(t, "faults", opt)
+	opt = mkOpt()
+	opt.NoStreamCache = true
+	fresh := run(t, "faults", opt)
+	equalValues(t, "faults", cached.Values, fresh.Values)
+}
+
+// TestStreamCacheReuse checks a multi-experiment sweep hits the cache
+// rather than re-capturing: each (workload, limit, selection) triple is
+// simulated once.
+func TestStreamCacheReuse(t *testing.T) {
+	c := stream.NewCache()
+	opt := Options{Limit: 100_000, Workloads: []string{"compress", "go"}, Streams: c}
+	run(t, "table2", opt)
+	run(t, "fig6", opt)
+	st := c.Stats()
+	if st.Captures != 2 {
+		t.Errorf("captures = %d, want 2 (one per workload)", st.Captures)
+	}
+	if st.Hits == 0 {
+		t.Error("second experiment did not hit the stream cache")
 	}
 }
 

@@ -63,10 +63,6 @@ func faultsExp(opt Options) (*Result, error) {
 				return nil, err
 			}
 			preds[i] = p
-			consumers = append(consumers, func(tr *trace.Trace) {
-				p.Predict()
-				p.Update(tr)
-			})
 			if withTC {
 				tc, err := tracecache.New(tracecache.DefaultConfig())
 				if err != nil {
@@ -74,7 +70,19 @@ func faultsExp(opt Options) (*Result, error) {
 				}
 				tc.SetFaultHook(inj.TraceCacheHook())
 				caches[i] = tc
-				consumers = append(consumers, func(tr *trace.Trace) { tc.Access(tr.ID) })
+				// One consumer for the predictor AND its trace cache:
+				// both draw from the same injector, whose PRNG streams
+				// are sequenced — they must stay on one replay goroutine.
+				consumers = append(consumers, func(tr *trace.Trace) {
+					p.Predict()
+					p.Update(tr)
+					tc.Access(tr.ID)
+				})
+			} else {
+				consumers = append(consumers, func(tr *trace.Trace) {
+					p.Predict()
+					p.Update(tr)
+				})
 			}
 		}
 		if _, _, err := opt.Stream(w, consumers...); err != nil {

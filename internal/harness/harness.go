@@ -13,6 +13,17 @@
 //   - a grace timer after the deadline catches cells stuck *outside*
 //     simulated code (a blocked program generator, a wedged consumer);
 //     such a cell's goroutine is abandoned and the sweep moves on.
+//
+// Cells share the trace-stream cache (internal/stream) through
+// Options: the first cell to need a (workload, limit, selection)
+// stream captures it under that cell's own deadline, and every later
+// cell — including parallel cells blocked on the same in-flight
+// capture — replays the recording. A capture aborted by one cell's
+// deadline is not stored; the next cell that needs the stream retries
+// the capture under its own deadline, so a single short-fused cell
+// cannot poison the sweep. Waiting cells observe their own context
+// while blocked, which keeps per-cell deadlines meaningful even when
+// the capturing cell has been abandoned.
 package harness
 
 import (

@@ -76,6 +76,8 @@ type ubToken struct {
 	pred         Prediction
 	predVal      trace.ID
 	altVal       trace.ID
+	corrEntry    ubEntry // entry read by Predict, reused by Update
+	secEntry     ubEntry
 	corrExists   bool
 	secExists    bool
 	secPredVal   trace.ID
@@ -140,16 +142,23 @@ func (u *Unbounded) key() pathKey {
 	return pathKey(k)
 }
 
-// Predict implements NextTracePredictor.
+// Predict implements NextTracePredictor. The token (including the map
+// entries just read) is built in place through the receiver so Update
+// can reuse the lookups — under the Predict/Update protocol the tables
+// cannot change in between, and the redundant map reads were the
+// hottest part of the unbounded experiments.
 func (u *Unbounded) Predict() Prediction {
-	tok := ubToken{key: u.key(), secKey: u.ids[0]}
+	tok := &u.tok
+	*tok = ubToken{key: u.key(), secKey: u.ids[0]}
 	ce, corrOK := u.corr[tok.key]
+	tok.corrEntry = ce
 	tok.corrExists = corrOK
 
 	var se ubEntry
 	var secOK bool
 	if u.cfg.Hybrid {
 		se, secOK = u.sec[tok.secKey]
+		tok.secEntry = se
 		tok.secExists = secOK
 		tok.secPredVal = se.val
 		tok.secSaturated = secOK && int(se.ctr) == ctrMax(u.cfg.SecCounterBits)
@@ -172,13 +181,12 @@ func (u *Unbounded) Predict() Prediction {
 		}
 	}
 	tok.pred = pred
-	u.tok = tok
 	return pred
 }
 
 // Update implements NextTracePredictor.
 func (u *Unbounded) Update(actual *trace.Trace) {
-	tok := u.tok
+	tok := &u.tok
 	actualVal := actual.ID
 
 	u.stats.Predictions++
@@ -199,9 +207,9 @@ func (u *Unbounded) Update(actual *trace.Trace) {
 		u.stats.FromSecondary++
 	}
 
-	// Secondary update.
+	// Secondary update, from the entry Predict already read.
 	if u.cfg.Hybrid {
-		se, ok := u.sec[tok.secKey]
+		se, ok := tok.secEntry, tok.secExists
 		secMax := ctrMax(u.cfg.SecCounterBits)
 		switch {
 		case !ok:
@@ -218,7 +226,7 @@ func (u *Unbounded) Update(actual *trace.Trace) {
 
 	// Correlated update, with the saturated-secondary filter.
 	if !(u.cfg.Hybrid && u.filter && tok.secSaturated && tok.secPredVal == actualVal) {
-		ce, ok := u.corr[tok.key]
+		ce, ok := tok.corrEntry, tok.corrExists
 		max := ctrMax(u.cfg.CounterBits)
 		switch {
 		case !ok:

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"pathtrace/internal/asm"
 	"pathtrace/internal/isa"
@@ -68,19 +69,39 @@ type CPU struct {
 	halted bool
 }
 
-// New creates a CPU with the program loaded and architectural state
-// initialised: PC at the entry point, sp just below the stack top, gp at
-// the data base.
-func New(p *asm.Program) (*CPU, error) {
-	c := &CPU{prog: p}
-	c.text = make([]isa.Instr, len(p.Text))
+// textCache shares predecoded text segments between CPUs running the
+// same program (keyed by *asm.Program identity). Decoded text is
+// read-only after construction, so sharing is safe; re-running each
+// workload for every experiment previously re-decoded its whole text
+// segment each time.
+var textCache sync.Map // *asm.Program -> []isa.Instr
+
+func decodeText(p *asm.Program) ([]isa.Instr, error) {
+	if text, ok := textCache.Load(p); ok {
+		return text.([]isa.Instr), nil
+	}
+	text := make([]isa.Instr, len(p.Text))
 	for i, w := range p.Text {
 		in, err := isa.Decode(w)
 		if err != nil {
 			return nil, fmt.Errorf("sim: text[%d]: %w", i, err)
 		}
-		c.text[i] = in
+		text[i] = in
 	}
+	actual, _ := textCache.LoadOrStore(p, text)
+	return actual.([]isa.Instr), nil
+}
+
+// New creates a CPU with the program loaded and architectural state
+// initialised: PC at the entry point, sp just below the stack top, gp at
+// the data base.
+func New(p *asm.Program) (*CPU, error) {
+	c := &CPU{prog: p}
+	text, err := decodeText(p)
+	if err != nil {
+		return nil, err
+	}
+	c.text = text
 	c.mem = make([]byte, p.StackTop)
 	copy(c.mem[p.DataBase:], p.Data)
 	c.Reset()

@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"context"
+	"sync"
+
+	"pathtrace/internal/trace"
+	"pathtrace/internal/workload"
+)
+
+// Cache is a keyed, concurrency-safe store of captured streams. The
+// first request for a key runs the capture (under the requester's
+// context); concurrent requests for the same key block until that
+// capture finishes and then share the stored stream, so a parallel
+// sweep never simulates the same (workload, limit, selection) twice.
+//
+// Failed captures are not stored: a capture aborted by one cell's
+// deadline must not poison every later cell, so each blocked waiter
+// retries the capture under its own context. Waiters always respect
+// their own context while blocked, which keeps harness deadlines
+// meaningful even when the capturing goroutine has been abandoned.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	stats   CacheStats
+	dir     string
+}
+
+type entry struct {
+	done chan struct{} // closed when the capture finishes
+	s    *Stream
+	err  error
+}
+
+// CacheStats describes a cache's activity and footprint.
+type CacheStats struct {
+	Captures uint64 // streams simulated and stored
+	Hits     uint64 // requests served from a stored stream
+	Failures uint64 // captures that returned an error (not stored)
+	Loads    uint64 // streams loaded from the stream directory
+	Saves    uint64 // captured streams saved to the stream directory
+	Streams  int    // streams currently stored
+	Bytes    int64  // approximate footprint of stored streams
+}
+
+// NewCache returns an empty stream cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[Key]*entry{}}
+}
+
+// SetDir gives the cache a stream directory: a miss first tries to load
+// the key's stream file from dir, and a fresh capture is saved back, so
+// later processes skip simulation entirely. A load that fails for any
+// reason other than a missing file (corruption, key mismatch) falls
+// back to capturing — the directory is a cache of recomputable data,
+// never a source of errors. Empty disables disk access.
+func (c *Cache) SetDir(dir string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dir = dir
+}
+
+// acquire produces the stream for key, from the stream directory when
+// one is configured and holds the key, otherwise by capturing (and then
+// saving, best-effort). Runs outside the cache lock.
+func (c *Cache) acquire(ctx context.Context, w *workload.Workload, key Key) (s *Stream, fromDisk, saved bool, err error) {
+	c.mu.Lock()
+	dir := c.dir
+	c.mu.Unlock()
+	if dir != "" {
+		if s, err := LoadKey(dir, key); err == nil {
+			return s, true, false, nil
+		}
+	}
+	s, err = Capture(ctx, w, key.Limit, key.Sel)
+	if err == nil && dir != "" {
+		if _, serr := s.Save(dir); serr == nil {
+			saved = true
+		}
+	}
+	return s, false, saved, err
+}
+
+// Get returns the stream for (w, limit, sel), capturing it on first
+// request. ctx bounds both a capture this call performs and any wait
+// for another goroutine's in-flight capture; nil disables both checks.
+func (c *Cache) Get(ctx context.Context, w *workload.Workload, limit uint64, sel trace.Config) (*Stream, error) {
+	key := Key{Workload: w.Name, Limit: limit, Sel: sel}
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &entry{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			var fromDisk, saved bool
+			e.s, fromDisk, saved, e.err = c.acquire(ctx, w, key)
+			c.mu.Lock()
+			// Guard against a concurrent Reset having replaced the map:
+			// only account for (or remove) the entry if it is still ours.
+			if c.entries[key] == e {
+				if e.err != nil {
+					delete(c.entries, key)
+					c.stats.Failures++
+				} else {
+					if fromDisk {
+						c.stats.Loads++
+					} else {
+						c.stats.Captures++
+					}
+					if saved {
+						c.stats.Saves++
+					}
+					c.stats.Streams++
+					c.stats.Bytes += e.s.SizeBytes()
+				}
+			}
+			c.mu.Unlock()
+			close(e.done)
+			return e.s, e.err
+		}
+		c.mu.Unlock()
+
+		var cancel <-chan struct{}
+		if ctx != nil {
+			cancel = ctx.Done()
+		}
+		select {
+		case <-e.done:
+			if e.err != nil {
+				// The capture failed (and removed its entry); retry under
+				// our own context — the failure may have been the other
+				// cell's deadline, not anything deterministic.
+				continue
+			}
+			c.mu.Lock()
+			c.stats.Hits++
+			c.mu.Unlock()
+			return e.s, nil
+		case <-cancel:
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset drops every stored stream (in-flight captures finish but are
+// not stored). Counters other than Streams/Bytes are preserved.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[Key]*entry{}
+	c.stats.Streams = 0
+	c.stats.Bytes = 0
+}

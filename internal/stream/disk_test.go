@@ -1,0 +1,156 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pathtrace/internal/trace"
+	"pathtrace/internal/workload"
+)
+
+const diskTestLimit = 50_000
+
+func captureForTest(t *testing.T, name string) *Stream {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	s, err := Capture(nil, w, diskTestLimit, trace.DefaultConfig())
+	if err != nil {
+		t.Fatalf("Capture(%s): %v", name, err)
+	}
+	return s
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	for _, w := range workload.All() {
+		s := captureForTest(t, w.Name)
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("%s: Encode: %v", w.Name, err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", w.Name, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("%s: decoded stream differs from captured", w.Name)
+		}
+	}
+}
+
+func TestDiskSaveLoadKey(t *testing.T) {
+	dir := t.TempDir()
+	s := captureForTest(t, "compress")
+	path, err := s.Save(dir)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if filepath.Base(path) != s.Key().Filename() {
+		t.Errorf("saved as %s, want %s", filepath.Base(path), s.Key().Filename())
+	}
+	got, err := LoadKey(dir, s.Key())
+	if err != nil {
+		t.Fatalf("LoadKey: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Error("loaded stream differs from saved")
+	}
+
+	// A different key must not resolve to this file.
+	if _, err := LoadKey(dir, Key{Workload: "compress", Limit: diskTestLimit + 1, Sel: trace.DefaultConfig()}); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("LoadKey(wrong limit) = %v, want ErrNotExist", err)
+	}
+
+	// A file renamed over another key's name is rejected by the header
+	// check, not silently accepted.
+	other := Key{Workload: "compress", Limit: diskTestLimit * 2, Sel: trace.DefaultConfig()}
+	if err := os.Rename(path, filepath.Join(dir, other.Filename())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadKey(dir, other); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("LoadKey(renamed file) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDiskCorruptionRejected(t *testing.T) {
+	s := captureForTest(t, "compress")
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	flip := func(b []byte, i int) []byte {
+		out := append([]byte(nil), b...)
+		out[i] ^= 0x40
+		return out
+	}
+	cases := map[string][]byte{
+		"bad magic":      flip(good, 0),
+		"flipped header": flip(good, 12),
+		"flipped body":   flip(good, len(good)/2),
+		"flipped crc":    flip(good, len(good)-1),
+		"truncated":      good[:len(good)-5],
+		"empty":          nil,
+	}
+	for name, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: Decode = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestCacheStreamDir(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := workload.ByName("compress")
+	sel := trace.DefaultConfig()
+
+	c1 := NewCache()
+	c1.SetDir(dir)
+	s1, err := c1.Get(nil, w, diskTestLimit, sel)
+	if err != nil {
+		t.Fatalf("first Get: %v", err)
+	}
+	if st := c1.Stats(); st.Captures != 1 || st.Loads != 0 || st.Saves != 1 {
+		t.Errorf("first cache stats = %+v, want 1 capture, 0 loads, 1 save", st)
+	}
+
+	// A second cache (a later process) loads the file instead of
+	// simulating, and the stream is identical.
+	c2 := NewCache()
+	c2.SetDir(dir)
+	s2, err := c2.Get(nil, w, diskTestLimit, sel)
+	if err != nil {
+		t.Fatalf("second Get: %v", err)
+	}
+	if st := c2.Stats(); st.Captures != 0 || st.Loads != 1 || st.Saves != 0 {
+		t.Errorf("second cache stats = %+v, want 0 captures, 1 load, 0 saves", st)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("loaded stream differs from captured")
+	}
+
+	// A corrupt file falls back to capture and is rewritten.
+	path := filepath.Join(dir, Key{Workload: w.Name, Limit: diskTestLimit, Sel: sel}.Filename())
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3 := NewCache()
+	c3.SetDir(dir)
+	s3, err := c3.Get(nil, w, diskTestLimit, sel)
+	if err != nil {
+		t.Fatalf("Get over corrupt file: %v", err)
+	}
+	if st := c3.Stats(); st.Captures != 1 || st.Loads != 0 || st.Saves != 1 {
+		t.Errorf("corrupt-fallback stats = %+v, want 1 capture, 0 loads, 1 save", st)
+	}
+	if !reflect.DeepEqual(s1, s3) {
+		t.Error("re-captured stream differs")
+	}
+}

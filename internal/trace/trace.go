@@ -13,6 +13,7 @@ package trace
 
 import (
 	"fmt"
+	"strconv"
 
 	"pathtrace/internal/isa"
 	"pathtrace/internal/sim"
@@ -50,17 +51,26 @@ func (id ID) StartPC() uint32 { return uint32(id>>idBranchBits) << 2 }
 // Outcomes recovers the packed conditional branch outcomes.
 func (id ID) Outcomes() uint8 { return uint8(id) & 0x3f }
 
-// String renders the ID as "pc:TNT..." with one letter per outcome bit.
+// String renders the ID as "pc:TNT..." with one letter per outcome
+// bit. It formats into a stack buffer (one allocation, for the
+// returned string, instead of the escaping []byte plus fmt state a
+// Sprintf-based rendering costs); even so it is for error paths and
+// diagnostics only — hot paths work with the raw ID.
 func (id ID) String() string {
-	out := make([]byte, idBranchBits)
+	// "0x" + up to 8 hex digits + ":" + idBranchBits outcome letters.
+	var buf [2 + 8 + 1 + idBranchBits]byte
+	b := append(buf[:0], '0', 'x')
+	b = strconv.AppendUint(b, uint64(id.StartPC()), 16)
+	b = append(b, ':')
+	out := id.Outcomes()
 	for i := 0; i < idBranchBits; i++ {
-		if id.Outcomes()>>i&1 == 1 {
-			out[i] = 'T'
+		if out>>i&1 == 1 {
+			b = append(b, 'T')
 		} else {
-			out[i] = 'N'
+			b = append(b, 'N')
 		}
 	}
-	return fmt.Sprintf("%#x:%s", id.StartPC(), out)
+	return string(b)
 }
 
 // HashBits is the width of a hashed trace identifier. The paper uses

@@ -23,6 +23,18 @@ func TestIDRoundTrip(t *testing.T) {
 	}
 }
 
+func TestIDStringSingleAlloc(t *testing.T) {
+	// The formatting buffer must stay on the stack: the only allocation
+	// allowed is the returned string itself.
+	id := MakeID(0xfffffffc, 0b111111)
+	var sink string
+	allocs := testing.AllocsPerRun(100, func() { sink = id.String() })
+	if allocs > 1 {
+		t.Errorf("ID.String allocates %v times, want <= 1", allocs)
+	}
+	_ = sink
+}
+
 func TestIDIgnoresHighPCBits(t *testing.T) {
 	// Only 30 bits of word address are kept (32-bit byte PC).
 	a := MakeID(0xfffffffc, 0)

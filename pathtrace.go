@@ -45,6 +45,7 @@ import (
 	"pathtrace/internal/history"
 	"pathtrace/internal/predictor"
 	"pathtrace/internal/sim"
+	"pathtrace/internal/stream"
 	"pathtrace/internal/trace"
 	"pathtrace/internal/tracecache"
 	"pathtrace/internal/workload"
@@ -239,6 +240,37 @@ func WorkloadByName(name string) (*Workload, bool) { return workload.ByName(name
 func RunWorkload(w *Workload, limit uint64, consumers ...func(*Trace)) (instrs, traces uint64, err error) {
 	return experiments.StreamTraces(w, limit, consumers...)
 }
+
+// Trace-stream capture and replay.
+type (
+	// TraceStream is a workload's captured selected-trace sequence:
+	// simulate once, replay through any number of predictor
+	// configurations (allocation-free at steady state).
+	TraceStream = stream.Stream
+	// TraceStreamKey identifies a captured stream: workload, instruction
+	// limit, and trace-selection config.
+	TraceStreamKey = stream.Key
+	// StreamCache is a keyed, concurrency-safe store of captured
+	// streams with single-flight capture per key.
+	StreamCache = stream.Cache
+	// StreamCacheStats describes a cache's activity and footprint.
+	StreamCacheStats = stream.CacheStats
+)
+
+// CaptureTraceStream simulates the workload for up to limit
+// instructions under the default trace-selection limits and records the
+// selected-trace sequence for replay.
+func CaptureTraceStream(w *Workload, limit uint64) (*TraceStream, error) {
+	return stream.Capture(nil, w, limit, trace.DefaultConfig())
+}
+
+// NewStreamCache returns an empty trace-stream cache.
+func NewStreamCache() *StreamCache { return stream.NewCache() }
+
+// SharedStreamCache returns the process-wide stream cache used by
+// every experiment run that does not supply its own — useful for
+// inspecting footprint (Stats) or dropping recordings (Reset).
+func SharedStreamCache() *StreamCache { return experiments.DefaultStreamCache }
 
 // ParseFaultSpec parses an -inject style fault specification such as
 // "table:1e-4,history:1e-5,stuck,bits:2".
