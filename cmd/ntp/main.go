@@ -110,7 +110,10 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "ntp: -streams requires the stream cache; drop -nocache")
 			return 2
 		}
-		pathtrace.SharedStreamCache().SetDir(*streams)
+		if err := pathtrace.SharedStreamCache().SetDir(*streams); err != nil {
+			fmt.Fprintf(os.Stderr, "ntp: -streams: %v\n", err)
+			return 2
+		}
 	}
 	if *workloads != "" {
 		opt.Workloads = splitList(*workloads)

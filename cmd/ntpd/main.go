@@ -1,0 +1,205 @@
+// Command ntpd serves path-based next-trace prediction over TCP and
+// doubles as the protocol's load generator.
+//
+// Serve (the default mode):
+//
+//	ntpd -addr 127.0.0.1:9191 -admin 127.0.0.1:9192
+//	ntpd -addr 127.0.0.1:0 -portfile /tmp/ntpd.port
+//	ntpd -shards 4 -queue 2048 -depth 7 -indexbits 16
+//	ntpd -inject table:1e-4 -seed 7          # degraded-mode serving
+//
+// The server hosts -shards predictor shards; sessions are hashed to
+// shards and every session owns a predictor built from the -depth /
+// -indexbits / -basic / -norhs flags. SIGINT/SIGTERM trigger a
+// graceful drain: in-flight requests finish, new ones are refused with
+// the draining status, then the process exits 0. The admin listener
+// (when -admin is set) serves /healthz, /statsz (JSON) and /varz.
+// -portfile writes the bound data-plane port to a file, for scripts
+// that start ntpd on port 0.
+//
+// Load generation:
+//
+//	ntpd -loadgen -addr 127.0.0.1:9191 -stream .streams/compress_2000000_16-6.ntps
+//	ntpd -loadgen -addr ... -workload compress -len 2000000
+//	ntpd -loadgen -addr ... -stream f.ntps -conns 4 -sessions 8 -batch 512 -verify
+//
+// -loadgen replays a recorded .ntps trace stream (from -stream, or
+// captured in process from -workload/-len) through the server: every
+// session replays the full stream, batched -batch traces per request,
+// and the run reports sustained throughput plus p50/p90/p99 round-trip
+// latency. -verify additionally replays the stream in process with the
+// same predictor flags and requires each session's server-side stats
+// to be bit-identical — the end-to-end correctness anchor for the
+// whole serving path. The predictor flags must match the server's, and
+// the session ids must be ones the server has never seen (server-side
+// predictor state survives the connection, so a repeated run against
+// the same server needs -sessionbase to step past the ids an earlier
+// run already trained).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/serve"
+	"pathtrace/internal/stream"
+	"pathtrace/internal/trace"
+	"pathtrace/internal/workload"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9191", "serve: listen address; loadgen: server address")
+		admin    = flag.String("admin", "", "admin HTTP listen address (empty = disabled)")
+		shards   = flag.Int("shards", 0, "predictor shards (default GOMAXPROCS)")
+		queue    = flag.Int("queue", 1024, "per-shard request queue bound")
+		portfile = flag.String("portfile", "", "write the bound data-plane port to this file once listening")
+		drainT   = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
+
+		depth     = flag.Int("depth", 7, "predictor path-history depth")
+		indexBits = flag.Int("indexbits", 16, "correlated table index bits")
+		basic     = flag.Bool("basic", false, "basic correlated predictor instead of the hybrid")
+		noRHS     = flag.Bool("norhs", false, "disable the Return History Stack")
+		inject    = flag.String("inject", "", "fault-injection spec for per-session injectors, e.g. table:1e-4")
+		seed      = flag.Uint64("seed", 0, "fault-injection PRNG seed")
+
+		loadgen    = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		streamPath = flag.String("stream", "", "loadgen: .ntps stream file to replay")
+		wl         = flag.String("workload", "", "loadgen: capture this workload in process instead of -stream")
+		length     = flag.Uint64("len", 2_000_000, "loadgen: instructions to capture with -workload")
+		conns      = flag.Int("conns", 1, "loadgen: TCP connections")
+		sessions   = flag.Int("sessions", 0, "loadgen: sessions (default = conns)")
+		batch      = flag.Int("batch", 256, "loadgen: traces per Update request")
+		verify     = flag.Bool("verify", false, "loadgen: require server stats bit-identical to an in-process replay")
+		sessBase   = flag.Uint64("sessionbase", 1, "loadgen: first session id (pick fresh ids when reusing a server)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ntpd: unexpected arguments: %v\n", flag.Args())
+		return 2
+	}
+
+	pcfg := predictor.Config{Depth: *depth, IndexBits: *indexBits, Hybrid: !*basic, UseRHS: !*basic && !*noRHS}
+	var fcfg *faults.Config
+	if *inject != "" || *seed != 0 {
+		c, err := faults.ParseSpec(*inject)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntpd: %v\n", err)
+			return 2
+		}
+		c.Seed = *seed
+		fcfg = &c
+	}
+
+	if *loadgen {
+		return runLoadgen(loadgenArgs{
+			addr: *addr, streamPath: *streamPath, workload: *wl, length: *length,
+			conns: *conns, sessions: *sessions, batch: *batch, verify: *verify,
+			sessBase: *sessBase, pcfg: pcfg, fcfg: fcfg,
+		})
+	}
+	return runServe(*addr, *admin, *shards, *queue, *portfile, *drainT, pcfg, fcfg)
+}
+
+func runServe(addr, admin string, shards, queue int, portfile string, drain time.Duration, pcfg predictor.Config, fcfg *faults.Config) int {
+	srv, err := serve.NewServer(serve.Config{
+		Addr: addr, AdminAddr: admin, Shards: shards, QueueLen: queue,
+		Predictor: pcfg, Faults: fcfg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntpd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "ntpd: listening on %s", srv.Addr())
+	if a := srv.AdminAddr(); a != nil {
+		fmt.Fprintf(os.Stderr, " (admin %s)", a)
+	}
+	fmt.Fprintln(os.Stderr)
+	if portfile != "" {
+		port := srv.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(portfile, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ntpd: portfile: %v\n", err)
+			srv.Close()
+			return 1
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "ntpd: %v: draining (deadline %s)\n", got, drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ntpd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "ntpd: drained, bye")
+	return 0
+}
+
+type loadgenArgs struct {
+	addr, streamPath, workload string
+	length                     uint64
+	conns, sessions, batch     int
+	sessBase                   uint64
+	verify                     bool
+	pcfg                       predictor.Config
+	fcfg                       *faults.Config
+}
+
+func runLoadgen(a loadgenArgs) int {
+	var s *stream.Stream
+	switch {
+	case a.streamPath != "" && a.workload != "":
+		fmt.Fprintln(os.Stderr, "ntpd: -stream and -workload are mutually exclusive")
+		return 2
+	case a.streamPath != "":
+		var err error
+		s, err = stream.Load(a.streamPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntpd: %v\n", err)
+			return 1
+		}
+	case a.workload != "":
+		w, ok := workload.ByName(a.workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ntpd: unknown workload %q\n", a.workload)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "ntpd: capturing %s for %d instructions...\n", a.workload, a.length)
+		var err error
+		s, err = stream.Capture(nil, w, a.length, trace.DefaultConfig())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntpd: %v\n", err)
+			return 1
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "ntpd: -loadgen needs -stream <file> or -workload <name>")
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "ntpd: replaying %d traces (%s) against %s\n", s.Len(), s.Key(), a.addr)
+
+	rep, err := serve.RunLoadgen(context.Background(), serve.LoadgenConfig{
+		Addr: a.addr, Stream: s,
+		Conns: a.conns, Sessions: a.sessions, Batch: a.batch,
+		Verify: a.verify, Predictor: a.pcfg, Faults: a.fcfg,
+		SessionBase: a.sessBase,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntpd: loadgen: %v\n", err)
+		return 1
+	}
+	fmt.Println(rep)
+	return 0
+}

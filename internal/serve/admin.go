@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"pathtrace/internal/predictor"
+)
+
+// adminServer is the sidecar HTTP listener: liveness, JSON stats and
+// expvar-style counters, kept off the data-plane port so operational
+// probes never compete with prediction traffic for the protocol
+// decoder.
+type adminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+func newAdminServer(addr string, s *Server) (*adminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: admin listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats())
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, r *http.Request) {
+		// expvar-style flat counter map, one JSON object of numbers.
+		st := s.Stats()
+		vars := map[string]any{
+			"uptime_sec":     st.UptimeSec,
+			"conns.accepted": st.Conns.Accepted,
+			"conns.active":   st.Conns.Active,
+			"requests":       st.Requests,
+			"bad_frames":     st.BadFrames,
+			"drain_rejects":  st.DrainRejects,
+			"batches":        st.Batches,
+			"traces":         st.Traces,
+			"overloads":      st.Overloads,
+			"sessions":       st.Sessions,
+			"predictions":    st.Predictor.Predictions,
+			"mispredictions": st.Predictor.Mispredictions(),
+			"miss_rate_pct":  st.MissRatePct,
+			"draining":       st.Draining,
+		}
+		for _, sh := range st.Shard {
+			prefix := fmt.Sprintf("shard.%d.", sh.ID)
+			vars[prefix+"requests"] = sh.Requests
+			vars[prefix+"batches"] = sh.Batches
+			vars[prefix+"traces"] = sh.Traces
+			vars[prefix+"queue_depth"] = sh.QueueDepth
+			vars[prefix+"overloads"] = sh.Overloads
+			vars[prefix+"sessions"] = sh.Sessions
+			vars[prefix+"miss_rate_pct"] = sh.MissRatePct
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(vars)
+	})
+	a := &adminServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go a.srv.Serve(ln)
+	return a, nil
+}
+
+func (a *adminServer) close() {
+	a.srv.Close()
+	a.ln.Close()
+}
+
+// ShardStats is one shard's externally visible state.
+type ShardStats struct {
+	ID          int             `json:"id"`
+	Sessions    int             `json:"sessions"`
+	Requests    uint64          `json:"requests"`
+	Batches     uint64          `json:"batches"`
+	Traces      uint64          `json:"traces"`
+	QueueDepth  int             `json:"queue_depth"`
+	QueueCap    int             `json:"queue_cap"`
+	Overloads   uint64          `json:"overloads"`
+	Predictor   predictor.Stats `json:"predictor"`
+	MissRatePct float64         `json:"miss_rate_pct"`
+}
+
+// ServerStats is the /statsz document: server-wide counters plus one
+// entry per shard.
+type ServerStats struct {
+	Addr      string  `json:"addr"`
+	UptimeSec float64 `json:"uptime_sec"`
+	Draining  bool    `json:"draining"`
+	Shards    int     `json:"shards"`
+
+	Conns struct {
+		Accepted uint64 `json:"accepted"`
+		Active   int64  `json:"active"`
+	} `json:"conns"`
+	Requests     uint64 `json:"requests"`
+	BadFrames    uint64 `json:"bad_frames"`
+	DrainRejects uint64 `json:"drain_rejects"`
+
+	Batches   uint64 `json:"batches"`
+	Traces    uint64 `json:"traces"`
+	Overloads uint64 `json:"overloads"`
+	Sessions  int    `json:"sessions"`
+
+	Predictor   predictor.Stats `json:"predictor"`
+	MissRatePct float64         `json:"miss_rate_pct"`
+
+	Shard []ShardStats `json:"shard"`
+}
+
+// Stats snapshots the server: connection and frame counters, per-shard
+// load, and aggregated predictor accuracy. Predictor numbers come from
+// each shard's published snapshot, so this never blocks on a shard
+// queue.
+func (s *Server) Stats() ServerStats {
+	var st ServerStats
+	st.Addr = s.ln.Addr().String()
+	st.UptimeSec = time.Since(s.start).Seconds()
+	st.Draining = s.draining.Load()
+	st.Shards = len(s.shards)
+	st.Conns.Accepted = s.counters.Accepted.Load()
+	st.Conns.Active = s.counters.Active.Load()
+	st.Requests = s.counters.Requests.Load()
+	st.BadFrames = s.counters.BadFrames.Load()
+	st.DrainRejects = s.counters.DrainRejects.Load()
+
+	for _, sh := range s.shards {
+		agg, sessions := sh.snapshot()
+		ss := ShardStats{
+			ID:          sh.id,
+			Sessions:    sessions,
+			Requests:    sh.counters.Requests.Load(),
+			Batches:     sh.counters.Batches.Load(),
+			Traces:      sh.counters.Traces.Load(),
+			QueueDepth:  len(sh.queue),
+			QueueCap:    cap(sh.queue),
+			Overloads:   sh.counters.Overloads.Load(),
+			Predictor:   agg,
+			MissRatePct: agg.MissRate(),
+		}
+		st.Batches += ss.Batches
+		st.Traces += ss.Traces
+		st.Overloads += ss.Overloads
+		st.Sessions += ss.Sessions
+		st.Predictor = st.Predictor.Add(agg)
+		st.Shard = append(st.Shard, ss)
+	}
+	st.MissRatePct = st.Predictor.MissRate()
+	return st
+}

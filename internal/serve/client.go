@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/trace"
+)
+
+// Client speaks the ntpd wire protocol over one TCP connection. Calls
+// are synchronous round trips and safe for concurrent use (a mutex
+// serialises the connection); run one Client per connection and
+// multiple Clients for parallelism.
+type Client struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	reqID uint32
+	buf   []byte // request frame scratch, reused
+	ubuf  []byte // update body scratch, reused
+	rbuf  []byte // response scratch, reused
+}
+
+// Dial connects to an ntpd server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a dial deadline.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // round-trip latency matters more than packet count
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request frame and reads its response, returning
+// the response body. Must be called with c.mu held.
+func (c *Client) roundTrip(op uint8, session uint64, body []byte) ([]byte, error) {
+	c.reqID++
+	id := c.reqID
+	c.buf = c.buf[:0]
+	var hdr [reqHeaderBytes]byte
+	hdr[0] = op
+	le.PutUint32(hdr[1:], id)
+	le.PutUint64(hdr[5:], session)
+	c.buf = append(c.buf, hdr[:]...)
+	c.buf = append(c.buf, body...)
+	if err := writeFrame(c.bw, c.buf); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(c.br, c.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	c.rbuf = payload
+	if len(payload) < respHeaderBytes {
+		return nil, fmt.Errorf("%w: response %d bytes", ErrFrame, len(payload))
+	}
+	if payload[0] != op|respBit {
+		return nil, fmt.Errorf("%w: response op 0x%02x for request 0x%02x", ErrFrame, payload[0], op)
+	}
+	if got := le.Uint32(payload[1:]); got != id {
+		return nil, fmt.Errorf("%w: response id %d, want %d", ErrFrame, got, id)
+	}
+	if err := statusErr(payload[5]); err != nil {
+		return nil, err
+	}
+	return payload[respHeaderBytes:], nil
+}
+
+// Open creates (or re-attaches to) a session and returns the shard it
+// is pinned to.
+func (c *Client) Open(session uint64) (shard uint32, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(OpOpen, session, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 4 {
+		return 0, fmt.Errorf("%w: open response %d bytes", ErrFrame, len(body))
+	}
+	return le.Uint32(body), nil
+}
+
+// Predict returns the session predictor's prediction for the next
+// trace on its current path, without advancing any state.
+func (c *Client) Predict(session uint64) (predictor.Prediction, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(OpPredict, session, nil)
+	if err != nil {
+		return predictor.Prediction{}, err
+	}
+	if len(body) != predictionBytes {
+		return predictor.Prediction{}, fmt.Errorf("%w: predict response %d bytes", ErrFrame, len(body))
+	}
+	return getPrediction(body), nil
+}
+
+// Update reveals a batch of actual traces to the session's predictor,
+// in order; the server runs the strict Predict/Update alternation for
+// each. It returns how many traces were applied and how many of the
+// server's predictions for them were correct.
+func (c *Client) Update(session uint64, traces []trace.Trace) (applied, correct uint32, err error) {
+	if len(traces) > MaxBatch {
+		return 0, 0, fmt.Errorf("serve: batch %d exceeds MaxBatch %d", len(traces), MaxBatch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	need := 4 + len(traces)*wireTraceBytes
+	if cap(c.ubuf) < need {
+		c.ubuf = make([]byte, need)
+	}
+	body := c.ubuf[:need]
+	le.PutUint32(body, uint32(len(traces)))
+	for i := range traces {
+		putTrace(body[4+i*wireTraceBytes:], &traces[i])
+	}
+	resp, err := c.roundTrip(OpUpdate, session, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(resp) != 8 {
+		return 0, 0, fmt.Errorf("%w: update response %d bytes", ErrFrame, len(resp))
+	}
+	return le.Uint32(resp), le.Uint32(resp[4:]), nil
+}
+
+// SessionStats is the OpStats answer: where the session lives and the
+// predictor counters for the session and its whole shard.
+type SessionStats struct {
+	Shard    uint32
+	Sessions uint32 // sessions resident on that shard
+	Session  predictor.Stats
+	ShardAgg predictor.Stats
+}
+
+// Stats fetches the session's predictor counters. The snapshot is
+// taken on the shard goroutine, strictly ordered with the session's
+// updates, so after the last Update of a stream it is the stream's
+// final, exact state.
+func (c *Client) Stats(session uint64) (SessionStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(OpStats, session, nil)
+	if err != nil {
+		return SessionStats{}, err
+	}
+	if len(body) != 8+2*statsBytes {
+		return SessionStats{}, fmt.Errorf("%w: stats response %d bytes", ErrFrame, len(body))
+	}
+	return SessionStats{
+		Shard:    le.Uint32(body),
+		Sessions: le.Uint32(body[4:]),
+		Session:  getStats(body[8:]),
+		ShardAgg: getStats(body[8+statsBytes:]),
+	}, nil
+}

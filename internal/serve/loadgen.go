@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stream"
+	"pathtrace/internal/trace"
+)
+
+// LoadgenConfig drives one load-generation run: every session replays
+// the full stream through the server, batch by batch.
+type LoadgenConfig struct {
+	Addr     string         // server address
+	Stream   *stream.Stream // the recorded trace stream to replay
+	Conns    int            // TCP connections (default 1)
+	Sessions int            // sessions, spread round-robin over conns (default = Conns)
+	Batch    int            // traces per Update request (default 256, max MaxBatch)
+
+	// Verify replays the stream once in process with the same predictor
+	// configuration and requires every session's server-side stats to
+	// be bit-identical to that replay.
+	Verify bool
+
+	// Predictor must match the server's configuration for Verify to
+	// mean anything; it is only used for the in-process reference.
+	Predictor predictor.Config
+
+	// Faults mirrors the server's fault plan for the in-process
+	// reference replay (nil for clean runs).
+	Faults *faults.Config
+
+	// SessionBase offsets session IDs, so repeated runs against one
+	// server use fresh sessions (default 1).
+	SessionBase uint64
+}
+
+func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
+	if c.Stream == nil {
+		return c, errors.New("serve: loadgen needs a stream")
+	}
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = c.Conns
+	}
+	if c.Batch <= 0 {
+		c.Batch = 256
+	}
+	if c.Batch > MaxBatch {
+		return c, fmt.Errorf("serve: batch %d exceeds MaxBatch %d", c.Batch, MaxBatch)
+	}
+	if c.SessionBase == 0 {
+		c.SessionBase = 1
+	}
+	return c, nil
+}
+
+// LoadgenReport is a run's outcome: volume, throughput, per-request
+// latency percentiles, and the verification verdict.
+type LoadgenReport struct {
+	Sessions           int
+	Conns              int
+	Batch              int
+	Traces             uint64        // traces delivered (all sessions)
+	Requests           uint64        // Update round trips
+	Retries            uint64        // overload retries
+	Correct            uint64        // server-reported correct predictions
+	Duration           time.Duration // wall clock for the replay phase
+	TracesPerSec       float64
+	P50, P90, P99, Max time.Duration // Update round-trip latency
+	Verified           bool          // stats checked bit-identical (when Verify)
+}
+
+func (r *LoadgenReport) String() string {
+	s := fmt.Sprintf(
+		"loadgen: %d traces in %.2fs over %d sessions / %d conns (batch %d)\n"+
+			"  throughput: %.0f traces/sec (%.0f req/sec, %d overload retries)\n"+
+			"  latency:    p50 %s  p90 %s  p99 %s  max %s\n"+
+			"  accuracy:   %.2f%% of server predictions correct",
+		r.Traces, r.Duration.Seconds(), r.Sessions, r.Conns, r.Batch,
+		r.TracesPerSec, float64(r.Requests)/r.Duration.Seconds(), r.Retries,
+		r.P50, r.P90, r.P99, r.Max,
+		100*float64(r.Correct)/float64(max64(r.Traces, 1)))
+	if r.Verified {
+		s += "\n  verify:     server stats bit-identical to in-process replay"
+	}
+	return s
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lgSession is one session's replay state on a connection worker.
+type lgSession struct {
+	id     uint64
+	cursor *stream.Cursor
+	batch  []trace.Trace
+}
+
+// RunLoadgen replays cfg.Stream through the server from cfg.Sessions
+// sessions over cfg.Conns connections and reports throughput, latency
+// percentiles and (optionally) the bit-identical-stats verification.
+//
+// Each connection worker round-robins its sessions one batch at a
+// time, so all sessions progress together and the server sees
+// concurrent mixed-session traffic rather than one session at a time.
+func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// Partition sessions across connections.
+	clients := make([]*Client, cfg.Conns)
+	for i := range clients {
+		c, err := Dial(cfg.Addr)
+		if err != nil {
+			closeAll(clients[:i])
+			return nil, err
+		}
+		clients[i] = c
+	}
+	defer closeAll(clients)
+
+	perConn := make([][]*lgSession, cfg.Conns)
+	for i := 0; i < cfg.Sessions; i++ {
+		id := cfg.SessionBase + uint64(i)
+		conn := i % cfg.Conns
+		if _, err := clients[conn].Open(id); err != nil {
+			return nil, fmt.Errorf("open session %d: %w", id, err)
+		}
+		perConn[conn] = append(perConn[conn], &lgSession{
+			id:     id,
+			cursor: cfg.Stream.Cursor(),
+			batch:  make([]trace.Trace, 0, cfg.Batch),
+		})
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		traces    uint64
+		requests  uint64
+		retries   uint64
+		correct   uint64
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci, cl := range clients {
+		sessions := perConn[ci]
+		if len(sessions) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(cl *Client, sessions []*lgSession) {
+			defer wg.Done()
+			var lats []time.Duration
+			var nTraces, nReq, nRetry, nCorrect uint64
+			live := sessions
+			for len(live) > 0 {
+				if ctx != nil && ctx.Err() != nil {
+					fail(ctx.Err())
+					break
+				}
+				next := live[:0]
+				for _, s := range live {
+					// Refill the batch from the session's cursor. Traces
+					// must be deep-copied out of the cursor's scratch: the
+					// wire encoder reads them after the next cursor step.
+					s.batch = s.batch[:0]
+					var tr trace.Trace
+					for len(s.batch) < cfg.Batch && s.cursor.Next(&tr) {
+						s.batch = append(s.batch, tr)
+					}
+					if len(s.batch) == 0 {
+						continue // session done
+					}
+					t0 := time.Now()
+					applied, corr, err := cl.Update(s.id, s.batch)
+					for errors.Is(err, ErrOverloaded) {
+						// Backpressure: the shard queue was full. Back off
+						// briefly and resend the same batch — the server
+						// rejected it before touching the predictor, so
+						// the retry preserves exact stream order.
+						nRetry++
+						time.Sleep(200 * time.Microsecond)
+						applied, corr, err = cl.Update(s.id, s.batch)
+					}
+					lats = append(lats, time.Since(t0))
+					nReq++
+					if err != nil {
+						fail(fmt.Errorf("session %d: update: %w", s.id, err))
+						return
+					}
+					if int(applied) != len(s.batch) {
+						fail(fmt.Errorf("session %d: applied %d of %d", s.id, applied, len(s.batch)))
+						return
+					}
+					nTraces += uint64(applied)
+					nCorrect += uint64(corr)
+					next = append(next, s)
+				}
+				live = next
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			traces += nTraces
+			requests += nReq
+			retries += nRetry
+			correct += nCorrect
+			mu.Unlock()
+		}(cl, sessions)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &LoadgenReport{
+		Sessions: cfg.Sessions,
+		Conns:    cfg.Conns,
+		Batch:    cfg.Batch,
+		Traces:   traces,
+		Requests: requests,
+		Retries:  retries,
+		Correct:  correct,
+		Duration: elapsed,
+	}
+	if elapsed > 0 {
+		rep.TracesPerSec = float64(traces) / elapsed.Seconds()
+	}
+	rep.P50, rep.P90, rep.P99, rep.Max = percentiles(latencies)
+
+	if cfg.Verify {
+		want, err := referenceStats(cfg)
+		if err != nil {
+			return rep, err
+		}
+		for i := 0; i < cfg.Sessions; i++ {
+			id := cfg.SessionBase + uint64(i)
+			st, err := clients[i%cfg.Conns].Stats(id)
+			if err != nil {
+				return rep, fmt.Errorf("stats for session %d: %w", id, err)
+			}
+			if !st.Session.Equal(want) {
+				return rep, fmt.Errorf(
+					"session %d: server stats %+v differ from in-process replay %+v",
+					id, st.Session, want)
+			}
+		}
+		rep.Verified = true
+	}
+	return rep, nil
+}
+
+// referenceStats replays the stream once in process under the same
+// predictor (and fault) configuration and returns the exact stats a
+// served session must reproduce.
+func referenceStats(cfg LoadgenConfig) (predictor.Stats, error) {
+	pcfg := cfg.Predictor
+	pcfg.Faults = nil
+	if cfg.Faults != nil {
+		pcfg.Faults = faults.New(*cfg.Faults)
+	}
+	p, err := predictor.New(pcfg)
+	if err != nil {
+		return predictor.Stats{}, err
+	}
+	if _, _, err := cfg.Stream.Replay(nil, func(tr *trace.Trace) {
+		p.Predict()
+		p.Update(tr)
+	}); err != nil {
+		return predictor.Stats{}, err
+	}
+	return p.Stats(), nil
+}
+
+// percentiles computes p50/p90/p99/max over the recorded round-trip
+// latencies (zeros when none were recorded).
+func percentiles(lats []time.Duration) (p50, p90, p99, max time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
+	}
+	return at(0.50), at(0.90), at(0.99), lats[len(lats)-1]
+}
+
+func closeAll(clients []*Client) {
+	for _, c := range clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package serve turns the single-process next-trace predictor into a
+// network service: a TCP server hosting N predictor shards, a binary
+// wire protocol with batched operations, and a load generator that
+// replays recorded trace streams (internal/stream) as wire traffic.
+//
+// The design goal is that serving must not change prediction: a session
+// is pinned to one shard, every session owns its own predictor, and a
+// shard processes its queue on a single goroutine, so the trace order a
+// session's predictor observes over the network is exactly the order of
+// the replayed stream. Server-side predictor stats for a session are
+// therefore bit-identical to an in-process Stream.Replay of the same
+// stream — the property the load generator's -verify mode asserts.
+//
+// # Wire format
+//
+// Every frame is a little-endian length-prefixed payload on a plain TCP
+// stream:
+//
+//	frame    := u32 payloadLen | payload            (payloadLen <= MaxFrame)
+//	request  := u8 op | u32 reqID | u64 sessionID | body
+//	response := u8 op|0x80 | u32 reqID | u8 status | body
+//
+// Operations and their bodies:
+//
+//	OpOpen    req:  (empty)
+//	          resp: u32 shard
+//	OpPredict req:  (empty)
+//	          resp: u8 flags | u64 id | u64 alt | u16 hashed
+//	OpUpdate  req:  u32 count | count * trace (24 bytes each, see below)
+//	          resp: u32 applied | u32 correct
+//	OpStats   req:  (empty)
+//	          resp: u32 shard | u32 sessions | session Stats | shard Stats
+//	                (each Stats is 6 * u64: predictions, correct, cold,
+//	                fromSecondary, altCorrect, altPresent)
+//
+// A trace on the wire carries exactly the fields the predictor consumes
+// (identifier, hashed identifier, and the call/return metadata the
+// Return History Stack needs), 24 bytes each:
+//
+//	u64 id | u16 hash | u32 startPC | u32 nextPC |
+//	u16 len | u16 calls | u8 numBr | u8 flags (bit0 endsInRet, bit1 endsHalt)
+//
+// Responses carry a status byte; non-OK statuses map to the typed
+// errors ErrOverloaded, ErrDraining, ErrUnknownSession, ErrBadRequest.
+// Overload is the backpressure signal: the session's shard queue was
+// full, and the client is expected to back off and retry.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/trace"
+)
+
+// Ops. The response op is the request op with the high bit set.
+const (
+	OpOpen    = 0x01
+	OpPredict = 0x02
+	OpUpdate  = 0x03
+	OpStats   = 0x04
+
+	respBit = 0x80
+)
+
+// Status codes.
+const (
+	StatusOK             = 0x00
+	StatusOverloaded     = 0x01
+	StatusDraining       = 0x02
+	StatusUnknownSession = 0x03
+	StatusBadRequest     = 0x04
+)
+
+// Typed protocol errors, one per non-OK status.
+var (
+	// ErrOverloaded reports that the session's shard queue was full —
+	// the server's backpressure signal. Retryable after backoff.
+	ErrOverloaded = errors.New("serve: shard overloaded")
+	// ErrDraining reports that the server is shutting down and no
+	// longer accepts work. Not retryable on this connection.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrUnknownSession reports an op on a session that was never
+	// opened (or was opened on a different server instance).
+	ErrUnknownSession = errors.New("serve: unknown session")
+	// ErrBadRequest reports a structurally invalid request.
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// statusErr maps a wire status to its typed error (nil for StatusOK).
+func statusErr(status uint8) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusOverloaded:
+		return ErrOverloaded
+	case StatusDraining:
+		return ErrDraining
+	case StatusUnknownSession:
+		return ErrUnknownSession
+	case StatusBadRequest:
+		return ErrBadRequest
+	default:
+		return fmt.Errorf("serve: unknown status 0x%02x", status)
+	}
+}
+
+// statusOf maps a shard error back to its wire status.
+func statusOf(err error) uint8 {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, ErrOverloaded):
+		return StatusOverloaded
+	case errors.Is(err, ErrDraining):
+		return StatusDraining
+	case errors.Is(err, ErrUnknownSession):
+		return StatusUnknownSession
+	default:
+		return StatusBadRequest
+	}
+}
+
+// Frame and batch bounds. A decoder rejects anything larger before
+// allocating: streams cross machines now, so frames are untrusted.
+const (
+	// MaxBatch bounds the traces in one Update request.
+	MaxBatch = 8192
+	// MaxFrame bounds a frame payload: the largest legal request is an
+	// Update of MaxBatch traces plus the request header.
+	MaxFrame = reqHeaderBytes + 4 + MaxBatch*wireTraceBytes
+)
+
+const (
+	reqHeaderBytes  = 1 + 4 + 8 // op, reqID, sessionID
+	respHeaderBytes = 1 + 4 + 1 // op|respBit, reqID, status
+	wireTraceBytes  = 24
+	statsBytes      = 6 * 8
+)
+
+// ErrFrame reports a malformed or oversized frame; connections that
+// produce one are closed (the stream can no longer be trusted to be
+// frame-aligned).
+var ErrFrame = errors.New("serve: malformed frame")
+
+var le = binary.LittleEndian
+
+// writeFrame writes one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	le.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload into buf (grown as
+// needed) and returns the payload slice. io.EOF is returned unwrapped
+// when the stream ends cleanly between frames.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: short header: %v", ErrFrame, err)
+	}
+	n := le.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: payload %d exceeds %d", ErrFrame, n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: short payload: %v", ErrFrame, err)
+	}
+	return buf, nil
+}
+
+// putTrace encodes the predictor-relevant fields of tr into buf
+// (wireTraceBytes long).
+func putTrace(buf []byte, tr *trace.Trace) {
+	le.PutUint64(buf[0:], uint64(tr.ID))
+	le.PutUint16(buf[8:], uint16(tr.Hash))
+	le.PutUint32(buf[10:], tr.StartPC)
+	le.PutUint32(buf[14:], tr.NextPC)
+	le.PutUint16(buf[18:], uint16(tr.Len))
+	le.PutUint16(buf[20:], uint16(tr.Calls))
+	buf[22] = uint8(tr.NumBr)
+	var flags uint8
+	if tr.EndsInRet {
+		flags |= 1
+	}
+	if tr.EndsHalt {
+		flags |= 2
+	}
+	buf[23] = flags
+}
+
+// getTrace decodes one wire trace into dst. Branches and Mems are nil:
+// the predictor does not consume them, and the wire format omits them.
+func getTrace(buf []byte, dst *trace.Trace) {
+	*dst = trace.Trace{
+		ID:        trace.ID(le.Uint64(buf[0:])),
+		Hash:      trace.HashedID(le.Uint16(buf[8:])),
+		StartPC:   le.Uint32(buf[10:]),
+		NextPC:    le.Uint32(buf[14:]),
+		Len:       int(le.Uint16(buf[18:])),
+		Calls:     int(le.Uint16(buf[20:])),
+		NumBr:     int(buf[22]),
+		EndsInRet: buf[23]&1 != 0,
+		EndsHalt:  buf[23]&2 != 0,
+	}
+}
+
+// putStats encodes predictor stats (6 u64 counters) into buf.
+func putStats(buf []byte, s predictor.Stats) {
+	le.PutUint64(buf[0:], s.Predictions)
+	le.PutUint64(buf[8:], s.Correct)
+	le.PutUint64(buf[16:], s.Cold)
+	le.PutUint64(buf[24:], s.FromSecondary)
+	le.PutUint64(buf[32:], s.AltCorrect)
+	le.PutUint64(buf[40:], s.AltPresent)
+}
+
+// getStats decodes predictor stats from buf.
+func getStats(buf []byte) predictor.Stats {
+	return predictor.Stats{
+		Predictions:   le.Uint64(buf[0:]),
+		Correct:       le.Uint64(buf[8:]),
+		Cold:          le.Uint64(buf[16:]),
+		FromSecondary: le.Uint64(buf[24:]),
+		AltCorrect:    le.Uint64(buf[32:]),
+		AltPresent:    le.Uint64(buf[40:]),
+	}
+}
+
+// putPrediction encodes a prediction (flags, id, alt, hashed).
+func putPrediction(buf []byte, p predictor.Prediction) {
+	var flags uint8
+	if p.Valid {
+		flags |= 1
+	}
+	if p.AltValid {
+		flags |= 2
+	}
+	if p.FromSecondary {
+		flags |= 4
+	}
+	buf[0] = flags
+	le.PutUint64(buf[1:], uint64(p.ID))
+	le.PutUint64(buf[9:], uint64(p.Alt))
+	le.PutUint16(buf[17:], uint16(p.Hashed))
+}
+
+const predictionBytes = 1 + 8 + 8 + 2
+
+// getPrediction decodes a prediction.
+func getPrediction(buf []byte) predictor.Prediction {
+	return predictor.Prediction{
+		Valid:         buf[0]&1 != 0,
+		AltValid:      buf[0]&2 != 0,
+		FromSecondary: buf[0]&4 != 0,
+		ID:            trace.ID(le.Uint64(buf[1:])),
+		Alt:           trace.ID(le.Uint64(buf[9:])),
+		Hashed:        trace.HashedID(le.Uint16(buf[17:])),
+	}
+}
+
+// request is a decoded request frame. Traces alias the connection's
+// read buffer only until the dispatcher copies them; the shard owns the
+// copy.
+type request struct {
+	op      uint8
+	reqID   uint32
+	session uint64
+	traces  []trace.Trace // OpUpdate only
+}
+
+// parseRequest decodes a request payload. The returned request's traces
+// slice is freshly allocated (the payload buffer is reused per
+// connection, and the shard consumes traces asynchronously).
+func parseRequest(payload []byte) (request, error) {
+	if len(payload) < reqHeaderBytes {
+		return request{}, fmt.Errorf("%w: request %d bytes", ErrFrame, len(payload))
+	}
+	req := request{
+		op:      payload[0],
+		reqID:   le.Uint32(payload[1:]),
+		session: le.Uint64(payload[5:]),
+	}
+	body := payload[reqHeaderBytes:]
+	switch req.op {
+	case OpOpen, OpPredict, OpStats:
+		if len(body) != 0 {
+			return request{}, fmt.Errorf("%w: op 0x%02x with %d-byte body", ErrFrame, req.op, len(body))
+		}
+	case OpUpdate:
+		if len(body) < 4 {
+			return request{}, fmt.Errorf("%w: update body %d bytes", ErrFrame, len(body))
+		}
+		count := le.Uint32(body)
+		if count > MaxBatch {
+			return request{}, fmt.Errorf("%w: batch %d exceeds %d", ErrFrame, count, MaxBatch)
+		}
+		if len(body) != 4+int(count)*wireTraceBytes {
+			return request{}, fmt.Errorf("%w: batch %d in %d-byte body", ErrFrame, count, len(body))
+		}
+		req.traces = make([]trace.Trace, count)
+		for i := range req.traces {
+			getTrace(body[4+i*wireTraceBytes:], &req.traces[i])
+		}
+	default:
+		return request{}, fmt.Errorf("%w: unknown op 0x%02x", ErrFrame, req.op)
+	}
+	return req, nil
+}
+
+// appendResponseHeader appends a response header for req with status.
+func appendResponseHeader(buf []byte, op uint8, reqID uint32, status uint8) []byte {
+	var hdr [respHeaderBytes]byte
+	hdr[0] = op | respBit
+	le.PutUint32(hdr[1:], reqID)
+	hdr[5] = status
+	return append(buf, hdr[:]...)
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/trace"
+)
+
+func TestTraceWireRoundTrip(t *testing.T) {
+	in := trace.Trace{
+		ID:        trace.MakeID(0x1234, 0x2b),
+		StartPC:   0x1234,
+		NextPC:    0x5678,
+		Len:       16,
+		NumBr:     5,
+		Calls:     2,
+		EndsInRet: true,
+		EndsHalt:  false,
+	}
+	in.Hash = in.ID.Hash()
+	var buf [wireTraceBytes]byte
+	putTrace(buf[:], &in)
+	var out trace.Trace
+	getTrace(buf[:], &out)
+	if !reflect.DeepEqual(out, in) {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestStatsWireRoundTrip(t *testing.T) {
+	in := predictor.Stats{
+		Predictions: 100, Correct: 90, Cold: 3,
+		FromSecondary: 11, AltCorrect: 2, AltPresent: 7,
+	}
+	var buf [statsBytes]byte
+	putStats(buf[:], in)
+	if out := getStats(buf[:]); out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestPredictionWireRoundTrip(t *testing.T) {
+	cases := []predictor.Prediction{
+		{},
+		{Valid: true, ID: trace.MakeID(0x40, 1), Hashed: 0x3ff},
+		{Valid: true, AltValid: true, FromSecondary: true,
+			ID: trace.MakeID(0x80, 2), Alt: trace.MakeID(0x84, 0)},
+	}
+	for i, in := range cases {
+		var buf [predictionBytes]byte
+		putPrediction(buf[:], in)
+		if out := getPrediction(buf[:]); out != in {
+			t.Errorf("case %d: got %+v, want %+v", i, out, in)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{1, 2, 3}, {}, bytes.Repeat([]byte{0xab}, 1000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := readFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		scratch = got
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: got %x, want %x", i, got, want)
+		}
+	}
+	if _, err := readFrame(&buf, scratch); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	le.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := readFrame(&buf, nil); !errors.Is(err, ErrFrame) {
+		t.Errorf("oversize frame: err = %v, want ErrFrame", err)
+	}
+}
+
+func TestParseRequestRejectsMalformed(t *testing.T) {
+	okUpdate := func(count uint32, extra int) []byte {
+		body := make([]byte, reqHeaderBytes+4+int(count)*wireTraceBytes+extra)
+		body[0] = OpUpdate
+		le.PutUint32(body[reqHeaderBytes:], count)
+		return body
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": {OpOpen, 0, 0},
+		"unknown op":   make([]byte, reqHeaderBytes), // op 0x00
+		"open with body": func() []byte {
+			b := make([]byte, reqHeaderBytes+1)
+			b[0] = OpOpen
+			return b
+		}(),
+		"update short body":    okUpdate(2, -wireTraceBytes),
+		"update long body":     okUpdate(2, 3),
+		"update no count":      func() []byte { b := make([]byte, reqHeaderBytes); b[0] = OpUpdate; return b }(),
+		"update batch too big": okUpdate(MaxBatch+1, 0),
+	}
+	for name, payload := range cases {
+		if _, err := parseRequest(payload); !errors.Is(err, ErrFrame) {
+			t.Errorf("%s: err = %v, want ErrFrame", name, err)
+		}
+	}
+
+	// And a well-formed update parses.
+	good := okUpdate(2, 0)
+	req, err := parseRequest(good)
+	if err != nil {
+		t.Fatalf("good update: %v", err)
+	}
+	if req.op != OpUpdate || len(req.traces) != 2 {
+		t.Errorf("good update: parsed %+v", req)
+	}
+}
+
+func TestStatusErrRoundTrip(t *testing.T) {
+	for _, err := range []error{nil, ErrOverloaded, ErrDraining, ErrUnknownSession, ErrBadRequest} {
+		if got := statusErr(statusOf(err)); !errors.Is(got, err) {
+			t.Errorf("statusErr(statusOf(%v)) = %v", err, got)
+		}
+	}
+	// Unmapped shard errors surface as bad request.
+	if got := statusErr(statusOf(errors.New("boom"))); !errors.Is(got, ErrBadRequest) {
+		t.Errorf("unmapped error -> %v, want ErrBadRequest", got)
+	}
+}

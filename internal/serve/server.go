@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
+)
+
+// Config sizes a prediction server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:9191". Port 0
+	// picks a free port; Server.Addr reports the bound address.
+	Addr string
+
+	// AdminAddr, when non-empty, starts the sidecar admin HTTP listener
+	// (/healthz, /statsz, /varz) on this address.
+	AdminAddr string
+
+	// Shards is the number of predictor shards (default: GOMAXPROCS).
+	// Sessions are hashed to shards; each shard processes its queue on
+	// one goroutine.
+	Shards int
+
+	// QueueLen bounds each shard's request queue (default 1024). A full
+	// queue overloads: the request is rejected immediately with
+	// ErrOverloaded rather than queued unboundedly.
+	QueueLen int
+
+	// Predictor configures the per-session predictors. The zero value
+	// defaults (inside predictor.New) to the basic correlated predictor;
+	// servers usually want the paper's headline hybrid.
+	Predictor predictor.Config
+
+	// Faults, when non-nil, gives every session's predictor its own
+	// deterministic injector built from this plan — the server-side
+	// analogue of ntp -inject, for degraded-mode testing.
+	Faults *faults.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	// The session predictor config must not carry a shared injector:
+	// injectors are stateful and not concurrency-safe, so they are
+	// created per session from c.Faults instead.
+	c.Predictor.Faults = nil
+	return c
+}
+
+// Server hosts predictor shards behind a TCP listener.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	shards []*shard
+	admin  *adminServer
+	start  time.Time
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // unfinished shard tasks
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	counters serverCounters
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// serverCounters are the server-wide expvar-style counters.
+type serverCounters struct {
+	Accepted     atomic.Uint64 // connections accepted
+	Active       atomic.Int64  // connections currently open
+	Requests     atomic.Uint64 // frames parsed into requests
+	BadFrames    atomic.Uint64 // connections dropped on malformed frames
+	DrainRejects atomic.Uint64 // requests rejected while draining
+}
+
+// NewServer binds the listener(s) and starts the shard goroutines and
+// accept loop. It returns once the server is serving.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		conns: map[net.Conn]struct{}{},
+		start: time.Now(),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := newShard(i, cfg.Predictor, cfg.Faults, cfg.QueueLen)
+		sh.start()
+		s.shards = append(s.shards, sh)
+	}
+	if cfg.AdminAddr != "" {
+		admin, err := newAdminServer(cfg.AdminAddr, s)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.admin = admin
+	}
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound service address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// AdminAddr returns the bound admin address, or nil when disabled.
+func (s *Server) AdminAddr() net.Addr {
+	if s.admin == nil {
+		return nil
+	}
+	return s.admin.ln.Addr()
+}
+
+// shardFor maps a session to its shard. Stable for a fixed shard
+// count, so a session keeps its predictor across reconnects.
+func (s *Server) shardFor(session uint64) *shard {
+	return s.shards[splitmix64(session)%uint64(len(s.shards))]
+}
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.counters.Accepted.Add(1)
+		s.counters.Active.Add(1)
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.connWG.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn runs one connection: a reader loop that parses frames and
+// dispatches them to shards, plus a writer goroutine that serialises
+// response frames. Responses may interleave across sessions; the
+// request ID ties them back. Per-session order is preserved end to
+// end: the reader dispatches in arrival order and each shard's queue
+// is FIFO on a single goroutine.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		s.counters.Active.Add(-1)
+	}()
+
+	out := make(chan []byte, 64)
+	var pending sync.WaitGroup // shard callbacks not yet delivered to out
+
+	// Writer: drains out until closed. Write errors are ignored — the
+	// reader will observe the dead connection and stop; pending shard
+	// callbacks must still be consumed so shards never block on a dead
+	// connection.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(conn, 1<<16)
+		for payload := range out {
+			if writeFrame(bw, payload) != nil {
+				continue
+			}
+			// Flush when the channel momentarily empties, so pipelined
+			// responses batch into few syscalls without extra latency.
+			if len(out) == 0 {
+				bw.Flush()
+			}
+		}
+		bw.Flush()
+	}()
+
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var buf []byte
+	for {
+		payload, err := readFrame(br, buf)
+		if err != nil {
+			if errors.Is(err, ErrFrame) {
+				s.counters.BadFrames.Add(1)
+			}
+			break
+		}
+		buf = payload // keep the grown buffer
+		req, err := parseRequest(payload)
+		if err != nil {
+			s.counters.BadFrames.Add(1)
+			break // framing no longer trustworthy
+		}
+		s.counters.Requests.Add(1)
+		s.dispatch(req, out, &pending)
+	}
+
+	conn.Close() // unblocks any in-flight write
+	pending.Wait()
+	close(out)
+	<-writerDone
+}
+
+// dispatch routes one request to its shard, or answers it immediately
+// with a typed failure (draining, overload).
+func (s *Server) dispatch(req request, out chan []byte, pending *sync.WaitGroup) {
+	if s.draining.Load() {
+		s.counters.DrainRejects.Add(1)
+		out <- encodeResponse(req, shardResp{err: ErrDraining})
+		return
+	}
+	sh := s.shardFor(req.session)
+	pending.Add(1)
+	s.inflight.Add(1)
+	t := task{req: req, done: func(resp shardResp) {
+		out <- encodeResponse(req, resp)
+		pending.Done()
+		s.inflight.Done()
+	}}
+	if !sh.enqueue(t) {
+		pending.Done()
+		s.inflight.Done()
+		out <- encodeResponse(req, shardResp{err: ErrOverloaded})
+	}
+}
+
+// encodeResponse renders a shard response as a wire frame payload.
+func encodeResponse(req request, resp shardResp) []byte {
+	buf := appendResponseHeader(nil, req.op, req.reqID, statusOf(resp.err))
+	if resp.err != nil {
+		return buf
+	}
+	switch req.op {
+	case OpOpen:
+		var b [4]byte
+		le.PutUint32(b[:], resp.shard)
+		buf = append(buf, b[:]...)
+	case OpPredict:
+		var b [predictionBytes]byte
+		putPrediction(b[:], resp.pred)
+		buf = append(buf, b[:]...)
+	case OpUpdate:
+		var b [8]byte
+		le.PutUint32(b[:], resp.applied)
+		le.PutUint32(b[4:], resp.correct)
+		buf = append(buf, b[:]...)
+	case OpStats:
+		var b [8 + 2*statsBytes]byte
+		le.PutUint32(b[:], resp.shard)
+		le.PutUint32(b[4:], resp.sessions)
+		putStats(b[8:], resp.sess)
+		putStats(b[8+statsBytes:], resp.agg)
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+// Shutdown drains the server gracefully: stop accepting connections,
+// reject new requests with ErrDraining, let every already-enqueued
+// request finish, then close connections and stop the shards. ctx
+// bounds the drain; on expiry the remaining work is abandoned and
+// Shutdown falls through to Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.ln.Close()
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = fmt.Errorf("serve: drain aborted: %w", ctx.Err())
+	}
+	s.Close()
+	return err
+}
+
+// Close tears the server down immediately: listener, connections,
+// shard goroutines, admin listener. Safe to call more than once and
+// after Shutdown.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.closeErr = s.ln.Close()
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+		s.connWG.Wait() // all dispatchers gone: shards see no new tasks
+		for _, sh := range s.shards {
+			sh.stop()
+		}
+		if s.admin != nil {
+			s.admin.close()
+		}
+	})
+	return s.closeErr
+}

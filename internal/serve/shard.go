@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
+)
+
+// session is one client prediction stream: a predictor of the server's
+// configuration, owned by exactly one shard and touched only on that
+// shard's goroutine. Per-session predictors are what make serving
+// transparent to prediction: a session's predictor sees exactly the
+// trace sequence the client sent, in order, with no cross-session
+// interleaving, so its stats are bit-identical to an in-process replay.
+type session struct {
+	id uint64
+	p  predictor.NextTracePredictor
+}
+
+// task is one unit of shard work: a parsed request plus the completion
+// callback that delivers the shard's answer back to the connection.
+// done is invoked exactly once, on the shard goroutine.
+type task struct {
+	req  request
+	done func(resp shardResp)
+}
+
+// shardResp is a shard's answer to one request.
+type shardResp struct {
+	err      error  // nil, or a typed protocol error
+	shard    uint32 // OpOpen, OpStats
+	sessions uint32 // OpStats
+	pred     predictor.Prediction
+	applied  uint32          // OpUpdate
+	correct  uint32          // OpUpdate
+	sess     predictor.Stats // OpStats: this session's counters
+	agg      predictor.Stats // OpStats: shard-wide aggregate
+}
+
+// shardCounters are the shard's externally visible load counters,
+// updated atomically so the admin listener never touches predictor
+// state.
+type shardCounters struct {
+	Requests  atomic.Uint64
+	Batches   atomic.Uint64
+	Traces    atomic.Uint64
+	Overloads atomic.Uint64
+}
+
+// shard owns a set of sessions and processes their requests strictly
+// in arrival order on a single goroutine. The queue is the unit of
+// backpressure: enqueue never blocks — a full queue is an immediate
+// typed overload, pushed back to the client.
+type shard struct {
+	id       int
+	cfg      predictor.Config
+	fcfg     *faults.Config // per-session injector template, optional
+	queue    chan task
+	sessions map[uint64]*session
+	counters shardCounters
+
+	// snap mirrors the shard's aggregate predictor stats and session
+	// count for the admin listener, which must not wait on the queue.
+	// Written only by the shard goroutine, after each task.
+	snapMu   sync.Mutex
+	snapAgg  predictor.Stats
+	snapSess int
+
+	wg sync.WaitGroup
+}
+
+func newShard(id int, cfg predictor.Config, fcfg *faults.Config, queueLen int) *shard {
+	return &shard{
+		id:       id,
+		cfg:      cfg,
+		fcfg:     fcfg,
+		queue:    make(chan task, queueLen),
+		sessions: make(map[uint64]*session),
+	}
+}
+
+// start launches the shard goroutine. The shard runs until its queue is
+// closed, then finishes whatever was enqueued — the drain guarantee.
+func (sh *shard) start() {
+	sh.wg.Add(1)
+	go func() {
+		defer sh.wg.Done()
+		for t := range sh.queue {
+			t.done(sh.process(t.req))
+			sh.publishSnapshot()
+		}
+	}()
+}
+
+// stop closes the queue and waits for the shard goroutine to finish the
+// backlog. Callers must guarantee no further enqueue attempts.
+func (sh *shard) stop() {
+	close(sh.queue)
+	sh.wg.Wait()
+}
+
+// enqueue offers a task to the shard without blocking. A full queue is
+// the overload condition; the caller replies ErrOverloaded.
+func (sh *shard) enqueue(t task) bool {
+	select {
+	case sh.queue <- t:
+		return true
+	default:
+		sh.counters.Overloads.Add(1)
+		return false
+	}
+}
+
+// process executes one request on the shard goroutine.
+func (sh *shard) process(req request) shardResp {
+	sh.counters.Requests.Add(1)
+	switch req.op {
+	case OpOpen:
+		return sh.open(req.session)
+	case OpPredict:
+		s, ok := sh.sessions[req.session]
+		if !ok {
+			return shardResp{err: ErrUnknownSession}
+		}
+		return shardResp{pred: s.p.Predict()}
+	case OpUpdate:
+		s, ok := sh.sessions[req.session]
+		if !ok {
+			return shardResp{err: ErrUnknownSession}
+		}
+		return sh.update(s, req)
+	case OpStats:
+		s, ok := sh.sessions[req.session]
+		if !ok {
+			return shardResp{err: ErrUnknownSession}
+		}
+		return shardResp{
+			shard:    uint32(sh.id),
+			sessions: uint32(len(sh.sessions)),
+			sess:     s.p.Stats(),
+			agg:      sh.aggregate(),
+		}
+	default:
+		return shardResp{err: ErrBadRequest}
+	}
+}
+
+// open creates the session's predictor (idempotent: reopening an
+// existing session is not an error and does not reset it, so a client
+// reconnect cannot silently discard trained state).
+func (sh *shard) open(id uint64) shardResp {
+	if _, ok := sh.sessions[id]; !ok {
+		cfg := sh.cfg
+		if sh.fcfg != nil {
+			// Injectors are not concurrency-safe and their draw streams
+			// are stateful; every predictor gets its own, seeded
+			// identically, so a served session degrades exactly like an
+			// in-process replay under the same fault plan.
+			cfg.Faults = faults.New(*sh.fcfg)
+		}
+		p, err := predictor.New(cfg)
+		if err != nil {
+			return shardResp{err: ErrBadRequest}
+		}
+		sh.sessions[id] = &session{id: id, p: p}
+	}
+	return shardResp{shard: uint32(sh.id)}
+}
+
+// update runs the strict Predict/Update alternation for each trace in
+// the batch — the immediate-update regime of the paper (§4.1), exactly
+// as Stream.Replay drives it in process. The batch's correct count is
+// read off the predictor's own counters, so it is authoritative for
+// every variant (including cost-reduced, where the full ID is not
+// stored and an ID comparison would always miss).
+func (sh *shard) update(s *session, req request) shardResp {
+	before := s.p.Stats().Correct
+	for i := range req.traces {
+		s.p.Predict()
+		s.p.Update(&req.traces[i])
+	}
+	sh.counters.Batches.Add(1)
+	sh.counters.Traces.Add(uint64(len(req.traces)))
+	return shardResp{
+		applied: uint32(len(req.traces)),
+		correct: uint32(s.p.Stats().Correct - before),
+	}
+}
+
+// aggregate sums predictor stats across the shard's sessions.
+func (sh *shard) aggregate() predictor.Stats {
+	var agg predictor.Stats
+	for _, s := range sh.sessions {
+		agg = agg.Add(s.p.Stats())
+	}
+	return agg
+}
+
+// publishSnapshot refreshes the admin-visible copy of the shard's
+// predictor aggregate. Runs on the shard goroutine.
+func (sh *shard) publishSnapshot() {
+	agg := sh.aggregate()
+	n := len(sh.sessions)
+	sh.snapMu.Lock()
+	sh.snapAgg = agg
+	sh.snapSess = n
+	sh.snapMu.Unlock()
+}
+
+// snapshot returns the last published aggregate without touching
+// predictor state.
+func (sh *shard) snapshot() (agg predictor.Stats, sessions int) {
+	sh.snapMu.Lock()
+	defer sh.snapMu.Unlock()
+	return sh.snapAgg, sh.snapSess
+}
+
+// splitmix64 is the session-to-shard hash: cheap, well mixed, and
+// stable across runs (the same session always lands on the same shard
+// for a given shard count).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"pathtrace/internal/trace"
@@ -24,6 +25,7 @@ type Cache struct {
 	entries map[Key]*entry
 	stats   CacheStats
 	dir     string
+	used    bool // set by the first Get; freezes dir
 }
 
 type entry struct {
@@ -48,16 +50,31 @@ func NewCache() *Cache {
 	return &Cache{entries: map[Key]*entry{}}
 }
 
+// ErrDirInUse reports a SetDir call after the cache has served its
+// first Get.
+var ErrDirInUse = errors.New("stream: SetDir after first Get")
+
 // SetDir gives the cache a stream directory: a miss first tries to load
 // the key's stream file from dir, and a fresh capture is saved back, so
 // later processes skip simulation entirely. A load that fails for any
 // reason other than a missing file (corruption, key mismatch) falls
 // back to capturing — the directory is a cache of recomputable data,
 // never a source of errors. Empty disables disk access.
-func (c *Cache) SetDir(dir string) {
+//
+// Contract: SetDir must be called before the cache's first Get and
+// returns ErrDirInUse afterwards. Streams already resident would never
+// be re-loaded from (or saved to) a late-arriving directory, so a
+// mid-flight change would silently apply to an arbitrary subset of
+// keys; configure the directory up front instead. Reset does not lift
+// the restriction (counters and in-flight captures still span it).
+func (c *Cache) SetDir(dir string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.used {
+		return ErrDirInUse
+	}
 	c.dir = dir
+	return nil
 }
 
 // acquire produces the stream for key, from the stream directory when
@@ -88,6 +105,7 @@ func (c *Cache) Get(ctx context.Context, w *workload.Workload, limit uint64, sel
 	key := Key{Workload: w.Name, Limit: limit, Sel: sel}
 	for {
 		c.mu.Lock()
+		c.used = true
 		e, ok := c.entries[key]
 		if !ok {
 			e = &entry{done: make(chan struct{})}

@@ -1,0 +1,101 @@
+package stream
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pathtrace/internal/trace"
+	"pathtrace/internal/workload"
+)
+
+// TestSetDirAfterFirstGet pins the SetDir contract: the stream
+// directory is part of the cache's identity from the first Get on, so
+// a later SetDir must fail loudly instead of applying to an arbitrary
+// subset of keys.
+func TestSetDirAfterFirstGet(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := workload.ByName("compress")
+	c := NewCache()
+
+	// Before any Get: allowed, repeatedly.
+	if err := c.SetDir(dir); err != nil {
+		t.Fatalf("SetDir before Get: %v", err)
+	}
+	if err := c.SetDir(""); err != nil {
+		t.Fatalf("second SetDir before Get: %v", err)
+	}
+
+	if _, err := c.Get(nil, w, 10_000, trace.DefaultConfig()); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+
+	// After the first Get: refused with the typed error...
+	if err := c.SetDir(dir); !errors.Is(err, ErrDirInUse) {
+		t.Errorf("SetDir after Get = %v, want ErrDirInUse", err)
+	}
+	// ...even after Reset (counters and semantics span a Reset).
+	c.Reset()
+	if err := c.SetDir(dir); !errors.Is(err, ErrDirInUse) {
+		t.Errorf("SetDir after Reset = %v, want ErrDirInUse", err)
+	}
+
+	// The refused SetDir must not have taken effect: a second Get for
+	// the same key re-captures (cache was Reset) rather than saving to
+	// or loading from dir.
+	if _, err := c.Get(nil, w, 10_000, trace.DefaultConfig()); err != nil {
+		t.Fatalf("Get after Reset: %v", err)
+	}
+	if st := c.Stats(); st.Loads != 0 || st.Saves != 0 {
+		t.Errorf("stats = %+v, want no disk traffic", st)
+	}
+}
+
+// TestCursor covers the exported iteration helper against the Replay
+// baseline: same traces, same order, independent cursors.
+func TestCursor(t *testing.T) {
+	w, _ := workload.ByName("compress")
+	s, err := Capture(nil, w, 20_000, trace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var viaReplay []trace.ID
+	if _, _, err := s.Replay(nil, func(tr *trace.Trace) {
+		viaReplay = append(viaReplay, tr.ID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cur := s.Cursor()
+	if cur.Remaining() != s.Len() {
+		t.Errorf("Remaining = %d, want %d", cur.Remaining(), s.Len())
+	}
+	var viaCursor []trace.ID
+	var tr trace.Trace
+	for cur.Next(&tr) {
+		viaCursor = append(viaCursor, tr.ID)
+	}
+	if !reflect.DeepEqual(viaCursor, viaReplay) {
+		t.Error("cursor order differs from replay order")
+	}
+	if cur.Remaining() != 0 {
+		t.Errorf("Remaining after exhaustion = %d", cur.Remaining())
+	}
+	if cur.Next(&tr) {
+		t.Error("Next after exhaustion returned true")
+	}
+
+	// Reset rewinds; two cursors do not interfere.
+	cur.Reset()
+	other := s.Cursor()
+	var a, b trace.Trace
+	for i := 0; i < 10 && cur.Next(&a); i++ {
+		if !other.Next(&b) {
+			t.Fatal("second cursor exhausted early")
+		}
+		if a.ID != b.ID {
+			t.Fatalf("cursors diverge at %d: %v vs %v", i, a.ID, b.ID)
+		}
+	}
+}

@@ -46,6 +46,13 @@ const (
 // validation.
 var ErrCorrupt = errors.New("stream: corrupt stream file")
 
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // Filename returns the file name a stream with this key is saved under:
 // workload, limit and selection are all spelled out so a directory of
 // streams is self-describing and distinct keys never collide.
@@ -184,11 +191,17 @@ func Decode(r io.Reader) (*Stream, error) {
 	if nRecs > maxElems || nBranches > maxElems || nMems > maxElems {
 		return nil, fmt.Errorf("%w: implausible element counts %d/%d/%d", ErrCorrupt, nRecs, nBranches, nMems)
 	}
-	s.recs = make([]record, nRecs)
-	for i := range s.recs {
+	// Grow the arrays as elements are actually read instead of trusting
+	// the count fields with one huge make: every element costs input
+	// bytes, so a lying header fails at the first short read having
+	// allocated at most ~2x the bytes the attacker really sent.
+	const chunkElems = 1 << 16
+	s.recs = make([]record, 0, minInt(nRecs, chunkElems))
+	for i := 0; i < nRecs; i++ {
 		if err := readFull(buf[:diskRecordBytes], "record"); err != nil {
 			return nil, err
 		}
+		s.recs = append(s.recs, record{})
 		rec := &s.recs[i]
 		rec.id = trace.ID(le.Uint64(buf[:]))
 		rec.hash = trace.HashedID(le.Uint16(buf[8:]))
@@ -206,24 +219,24 @@ func Decode(r io.Reader) (*Stream, error) {
 			return nil, fmt.Errorf("%w: record %d offsets out of range", ErrCorrupt, i)
 		}
 	}
-	s.branches = make([]trace.Branch, nBranches)
-	for i := range s.branches {
+	s.branches = make([]trace.Branch, 0, minInt(nBranches, chunkElems))
+	for i := 0; i < nBranches; i++ {
 		if err := readFull(buf[:diskBranchBytes], "branch"); err != nil {
 			return nil, err
 		}
-		s.branches[i] = trace.Branch{
+		s.branches = append(s.branches, trace.Branch{
 			PC:     le.Uint32(buf[:]),
 			Target: le.Uint32(buf[4:]),
 			Ctrl:   isa.CtrlClass(buf[8]),
 			Taken:  buf[9]&1 != 0,
-		}
+		})
 	}
-	s.mems = make([]trace.MemRef, nMems)
-	for i := range s.mems {
+	s.mems = make([]trace.MemRef, 0, minInt(nMems, chunkElems))
+	for i := 0; i < nMems; i++ {
 		if err := readFull(buf[:diskMemBytes], "mem"); err != nil {
 			return nil, err
 		}
-		s.mems[i] = trace.MemRef{Addr: le.Uint32(buf[:]), Store: buf[4]&1 != 0}
+		s.mems = append(s.mems, trace.MemRef{Addr: le.Uint32(buf[:]), Store: buf[4]&1 != 0})
 	}
 	sum := crc.Sum32() // the trailer itself is not part of the checksum
 	if _, err := io.ReadFull(br, buf[:4]); err != nil {

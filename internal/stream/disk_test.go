@@ -112,7 +112,9 @@ func TestCacheStreamDir(t *testing.T) {
 	sel := trace.DefaultConfig()
 
 	c1 := NewCache()
-	c1.SetDir(dir)
+	if err := c1.SetDir(dir); err != nil {
+		t.Fatalf("SetDir: %v", err)
+	}
 	s1, err := c1.Get(nil, w, diskTestLimit, sel)
 	if err != nil {
 		t.Fatalf("first Get: %v", err)
@@ -124,7 +126,9 @@ func TestCacheStreamDir(t *testing.T) {
 	// A second cache (a later process) loads the file instead of
 	// simulating, and the stream is identical.
 	c2 := NewCache()
-	c2.SetDir(dir)
+	if err := c2.SetDir(dir); err != nil {
+		t.Fatalf("SetDir: %v", err)
+	}
 	s2, err := c2.Get(nil, w, diskTestLimit, sel)
 	if err != nil {
 		t.Fatalf("second Get: %v", err)
@@ -142,7 +146,9 @@ func TestCacheStreamDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	c3 := NewCache()
-	c3.SetDir(dir)
+	if err := c3.SetDir(dir); err != nil {
+		t.Fatalf("SetDir: %v", err)
+	}
 	s3, err := c3.Get(nil, w, diskTestLimit, sel)
 	if err != nil {
 		t.Fatalf("Get over corrupt file: %v", err)

@@ -1,0 +1,35 @@
+package stream
+
+import "pathtrace/internal/trace"
+
+// Cursor is an exported, resumable iterator over a stream's traces, for
+// consumers that pull traces in chunks rather than accepting a Replay
+// callback — the serving load generator batches traces onto the wire
+// this way. Each Cursor owns its position and scratch, so any number of
+// cursors can walk the same stream concurrently.
+type Cursor struct {
+	s *Stream
+	i int
+}
+
+// Cursor returns an iterator positioned at the stream's first trace.
+func (s *Stream) Cursor() *Cursor { return &Cursor{s: s} }
+
+// Next materialises the next trace into dst and advances, returning
+// false when the stream is exhausted. dst's Branches and Mems alias the
+// stream's shared arrays, under the same no-mutate, copy-to-retain
+// contract as Stream.At.
+func (c *Cursor) Next(dst *trace.Trace) bool {
+	if c.i >= len(c.s.recs) {
+		return false
+	}
+	c.s.At(c.i, dst)
+	c.i++
+	return true
+}
+
+// Remaining returns how many traces are left.
+func (c *Cursor) Remaining() int { return len(c.s.recs) - c.i }
+
+// Reset rewinds the cursor to the first trace.
+func (c *Cursor) Reset() { c.i = 0 }
