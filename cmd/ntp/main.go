@@ -23,6 +23,7 @@
 //	ntp -bench -benchout BENCH_custom.json
 //	ntp -run all -nocache
 //	ntp -run all -streams .streams
+//	ntp -run all -metricsout metrics.prom
 //
 // Each experiment streams the six benchmark workloads (or the subset
 // given with -workloads) through the trace selector and prints the
@@ -46,6 +47,11 @@
 // rates into a degradation curve. The synthetic `hang` workload (a
 // program generator that blocks forever) is available by naming it in
 // -workloads, to exercise the deadline machinery.
+//
+// -metricsout writes a Prometheus-text snapshot of the run at exit:
+// per-cell wall-time histogram, per-outcome cell counts, fault-trip
+// counters and the stream-cache activity counters (see internal/metrics
+// and the harness_* / ntp_stream_* metric families).
 //
 // -cpuprofile / -memprofile write pprof profiles covering the run.
 // -bench measures every experiment (plus the raw predict loop) with
@@ -92,6 +98,7 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		bench      = flag.Bool("bench", false, "benchmark the experiments instead of printing exhibits")
 		benchout   = flag.String("benchout", "", "benchmark JSON output path (default BENCH_<date>.json)")
+		metricsout = flag.String("metricsout", "", "write run metrics (Prometheus text) to this file at exit")
 	)
 	flag.Parse()
 
@@ -193,6 +200,24 @@ func run() int {
 		Parallel:    *parallel,
 		PerWorkload: hardened,
 	}
+	if *metricsout != "" {
+		cfg.Metrics = pathtrace.NewMetricsRegistry()
+		// Stream-cache counters ride along as render-time reads, so the
+		// written snapshot ties cell wall time to capture/replay traffic.
+		cache := pathtrace.SharedStreamCache()
+		for name, read := range map[string]func(s pathtrace.StreamCacheStats) uint64{
+			"ntp_stream_captures_total":  func(s pathtrace.StreamCacheStats) uint64 { return s.Captures },
+			"ntp_stream_hits_total":      func(s pathtrace.StreamCacheStats) uint64 { return s.Hits },
+			"ntp_stream_failures_total":  func(s pathtrace.StreamCacheStats) uint64 { return s.Failures },
+			"ntp_stream_loads_total":     func(s pathtrace.StreamCacheStats) uint64 { return s.Loads },
+			"ntp_stream_bad_loads_total": func(s pathtrace.StreamCacheStats) uint64 { return s.BadLoads },
+			"ntp_stream_saves_total":     func(s pathtrace.StreamCacheStats) uint64 { return s.Saves },
+		} {
+			read := read
+			cfg.Metrics.CounterFunc(name, "Trace-stream cache activity.", nil,
+				func() uint64 { return read(cache.Stats()) })
+		}
+	}
 
 	start := time.Now()
 	report, err := pathtrace.RunHarness(cfg, exps)
@@ -208,7 +233,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "ntp: skipped %s\n", cell.Cell)
 		case cell.Err != nil:
 			failed = true
-			fmt.Fprintf(os.Stderr, "ntp: FAIL %v\n", cell.Err)
+			fmt.Fprintf(os.Stderr, "ntp: FAIL %v (%.1fs)\n", cell.Err, cell.Err.Duration.Seconds())
 		default:
 			fmt.Printf("==== %s ====\n%s\n", cell.Cell, cell.Result.Text)
 			fmt.Fprintf(os.Stderr, "ntp: %s done in %.1fs\n", cell.Cell, cell.Duration.Seconds())
@@ -231,15 +256,39 @@ func run() int {
 		st := pathtrace.SharedStreamCache().Stats()
 		disk := ""
 		if *streams != "" {
-			disk = fmt.Sprintf(", %d loaded/%d saved to %s", st.Loads, st.Saves, *streams)
+			disk = fmt.Sprintf(", %d loaded (%d bad)/%d saved to %s", st.Loads, st.BadLoads, st.Saves, *streams)
 		}
 		fmt.Fprintf(os.Stderr, "ntp: stream cache: %d captured, %d replayed, %d failed, %.1f MB%s\n",
 			st.Captures, st.Hits, st.Failures, float64(st.Bytes)/(1<<20), disk)
 	}
 	fmt.Fprintf(os.Stderr, "ntp: total %.1fs\n", time.Since(start).Seconds())
+	if cfg.Metrics != nil {
+		if code := writeMetrics(*metricsout, cfg.Metrics); code != 0 {
+			return code
+		}
+	}
 	if failed {
 		return 1
 	}
+	return 0
+}
+
+// writeMetrics renders the run's registry as Prometheus text.
+func writeMetrics(path string, reg *pathtrace.MetricsRegistry) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntp: metricsout: %v\n", err)
+		return 1
+	}
+	rerr := reg.Render(f)
+	if cerr := f.Close(); rerr == nil {
+		rerr = cerr
+	}
+	if rerr != nil {
+		fmt.Fprintf(os.Stderr, "ntp: metricsout: %v\n", rerr)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "ntp: wrote metrics to %s\n", path)
 	return 0
 }
 

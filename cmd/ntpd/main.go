@@ -13,9 +13,13 @@
 // -indexbits / -basic / -norhs flags. SIGINT/SIGTERM trigger a
 // graceful drain: in-flight requests finish, new ones are refused with
 // the draining status, then the process exits 0. The admin listener
-// (when -admin is set) serves /healthz, /statsz (JSON) and /varz.
-// -portfile writes the bound data-plane port to a file, for scripts
-// that start ntpd on port 0.
+// (when -admin is set) serves /healthz, /statsz (JSON), /varz and
+// /metrics (Prometheus text: server counters, per-shard queue depth
+// and op-latency histograms, and live predictor hit/miss/replacement
+// counters). -portfile writes the bound data-plane port to a file, for
+// scripts that start ntpd on port 0; -adminportfile does the same for
+// the admin port, so a scrape of http://127.0.0.1:$(cat f)/metrics
+// needs no address parsing.
 //
 // Load generation:
 //
@@ -64,6 +68,7 @@ func run() int {
 		shards   = flag.Int("shards", 0, "predictor shards (default GOMAXPROCS)")
 		queue    = flag.Int("queue", 1024, "per-shard request queue bound")
 		portfile = flag.String("portfile", "", "write the bound data-plane port to this file once listening")
+		adminPF  = flag.String("adminportfile", "", "write the bound admin port to this file once listening")
 		drainT   = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
 
 		depth     = flag.Int("depth", 7, "predictor path-history depth")
@@ -108,10 +113,10 @@ func run() int {
 			sessBase: *sessBase, pcfg: pcfg, fcfg: fcfg,
 		})
 	}
-	return runServe(*addr, *admin, *shards, *queue, *portfile, *drainT, pcfg, fcfg)
+	return runServe(*addr, *admin, *shards, *queue, *portfile, *adminPF, *drainT, pcfg, fcfg)
 }
 
-func runServe(addr, admin string, shards, queue int, portfile string, drain time.Duration, pcfg predictor.Config, fcfg *faults.Config) int {
+func runServe(addr, admin string, shards, queue int, portfile, adminPF string, drain time.Duration, pcfg predictor.Config, fcfg *faults.Config) int {
 	srv, err := serve.NewServer(serve.Config{
 		Addr: addr, AdminAddr: admin, Shards: shards, QueueLen: queue,
 		Predictor: pcfg, Faults: fcfg,
@@ -125,13 +130,24 @@ func runServe(addr, admin string, shards, queue int, portfile string, drain time
 		fmt.Fprintf(os.Stderr, " (admin %s)", a)
 	}
 	fmt.Fprintln(os.Stderr)
-	if portfile != "" {
-		port := srv.Addr().(*net.TCPAddr).Port
-		if err := os.WriteFile(portfile, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "ntpd: portfile: %v\n", err)
-			srv.Close()
-			return 1
+	writePort := func(path string, a net.Addr) bool {
+		if path == "" {
+			return true
 		}
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "ntpd: -adminportfile needs -admin\n")
+			return false
+		}
+		port := a.(*net.TCPAddr).Port
+		if err := os.WriteFile(path, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ntpd: portfile %s: %v\n", path, err)
+			return false
+		}
+		return true
+	}
+	if !writePort(portfile, srv.Addr()) || !writePort(adminPF, srv.AdminAddr()) {
+		srv.Close()
+		return 1
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"pathtrace/internal/experiments"
+	"pathtrace/internal/metrics"
 	"pathtrace/internal/workload"
 )
 
@@ -67,6 +68,14 @@ type Config struct {
 	// a single pathological workload only costs its own cells.
 	// Experiments marked Global always get exactly one cell.
 	PerWorkload bool
+
+	// Metrics, when non-nil, receives the sweep's observability series:
+	// harness_cell_seconds (wall time of every finished cell),
+	// harness_cells_total{outcome="ok"|"failed"|"skipped"} and
+	// harness_fault_trips_total{kind="panic"|"timeout"|"abandoned"} —
+	// one trip per protection layer that fired, so a run that both
+	// timed out and was abandoned counts under both kinds.
+	Metrics *metrics.Registry
 }
 
 // Cell names one unit of work: an experiment, optionally pinned to a
@@ -148,8 +157,37 @@ func (r *Report) OK() bool {
 	return true
 }
 
-// Summary renders a deterministic failure report: counts plus one line
-// per failed cell.
+// FaultTrips counts which protection layers fired across the sweep.
+// A single cell can trip more than one layer (a deadline expiry whose
+// goroutine then never returns counts as timeout AND abandoned).
+type FaultTrips struct {
+	Panics    int
+	Timeouts  int
+	Abandoned int
+}
+
+// FaultTrips tallies the report's failed cells by protection layer.
+func (r *Report) FaultTrips() FaultTrips {
+	var ft FaultTrips
+	for _, c := range r.Cells {
+		if c.Err == nil {
+			continue
+		}
+		if c.Err.Panicked {
+			ft.Panics++
+		}
+		if c.Err.TimedOut {
+			ft.Timeouts++
+		}
+		if c.Err.Abandoned {
+			ft.Abandoned++
+		}
+	}
+	return ft
+}
+
+// Summary renders a deterministic failure report: counts, the fault
+// trips when any protection layer fired, and one line per failed cell.
 func (r *Report) Summary() string {
 	var ok, failed, skipped int
 	var lines []string
@@ -166,7 +204,12 @@ func (r *Report) Summary() string {
 	}
 	head := fmt.Sprintf("harness: %d ok, %d failed, %d skipped (of %d cells)",
 		ok, failed, skipped, len(r.Cells))
-	return strings.Join(append([]string{head}, lines...), "\n")
+	out := []string{head}
+	if ft := r.FaultTrips(); ft != (FaultTrips{}) {
+		out = append(out, fmt.Sprintf("  trips: %d panics, %d timeouts, %d abandoned",
+			ft.Panics, ft.Timeouts, ft.Abandoned))
+	}
+	return strings.Join(append(out, lines...), "\n")
 }
 
 // Cells expands the experiment list into the sweep's cell list, in
@@ -235,10 +278,12 @@ func Run(cfg Config, exps []experiments.Experiment) (*Report, error) {
 			for i := range idx {
 				if runCtx.Err() != nil {
 					results[i] = CellResult{Cell: cells[i], Skipped: true}
+					cfg.recordCell(results[i])
 					continue
 				}
 				res := cfg.runCell(runCtx, cells[i])
 				results[i] = res
+				cfg.recordCell(res)
 				if res.Err != nil && !cfg.KeepGoing {
 					failOnce.Do(cancel)
 				}
@@ -247,6 +292,45 @@ func Run(cfg Config, exps []experiments.Experiment) (*Report, error) {
 	}
 	wg.Wait()
 	return &Report{Cells: results}, nil
+}
+
+// recordCell publishes one cell's outcome to cfg.Metrics (no-op when
+// the sweep is not instrumented). Registration is idempotent, so the
+// per-cell cost is a map lookup under the registry lock — irrelevant
+// next to a cell's simulation time.
+func (cfg Config) recordCell(res CellResult) {
+	reg := cfg.Metrics
+	if reg == nil {
+		return
+	}
+	outcome := "ok"
+	switch {
+	case res.Skipped:
+		outcome = "skipped"
+	case res.Err != nil:
+		outcome = "failed"
+	}
+	reg.Counter("harness_cells_total", "Sweep cells by outcome.",
+		metrics.Labels{"outcome": outcome}).Inc()
+	if !res.Skipped {
+		reg.Histogram("harness_cell_seconds", "Wall time per finished cell.",
+			1e-9, nil).ObserveDuration(res.Duration)
+	}
+	if res.Err != nil {
+		trip := func(kind string) {
+			reg.Counter("harness_fault_trips_total", "Cell protection layers fired.",
+				metrics.Labels{"kind": kind}).Inc()
+		}
+		if res.Err.Panicked {
+			trip("panic")
+		}
+		if res.Err.TimedOut {
+			trip("timeout")
+		}
+		if res.Err.Abandoned {
+			trip("abandoned")
+		}
+	}
 }
 
 // runCell executes one cell under its deadline, recovering panics and
@@ -308,10 +392,16 @@ func (cfg Config) runCell(parent context.Context, c Cell) CellResult {
 		// The simulator watchdog usually surfaces the cancellation as an
 		// ordinary error within a few thousand instructions; wait the
 		// grace period for that, then write the cell off as stuck
-		// outside simulated code and leave its goroutine behind.
+		// outside simulated code and leave its goroutine behind. The
+		// timer is stopped explicitly: time.After would pin its channel
+		// (and, under a long grace, the runCell frame) until expiry even
+		// after the cell answered, which a parallel sweep of thousands
+		// of cells turns into real memory held for no reason.
+		graceTimer := time.NewTimer(grace)
 		select {
 		case out = <-done:
-		case <-time.After(grace):
+			graceTimer.Stop()
+		case <-graceTimer.C:
 			out = outcome{err: &RunError{
 				Cell:      c,
 				Err:       ctx.Err(),

@@ -1,0 +1,130 @@
+package harness_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pathtrace/internal/experiments"
+	"pathtrace/internal/harness"
+	"pathtrace/internal/metrics"
+)
+
+// TestHarnessMetrics: an instrumented sweep publishes per-outcome cell
+// counts, fault-trip counters and the cell wall-time histogram, and the
+// Summary carries the same trip counts deterministically.
+func TestHarnessMetrics(t *testing.T) {
+	testExperiments(t)
+	reg := metrics.NewRegistry()
+	rep, err := harness.Run(harness.Config{KeepGoing: true, Metrics: reg},
+		[]experiments.Experiment{
+			mustExp(t, "test-ok"), mustExp(t, "test-fail"), mustExp(t, "test-panic"),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(rep.Cells))
+	}
+
+	var b strings.Builder
+	if err := reg.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		`harness_cells_total{outcome="failed"} 2`,
+		`harness_cells_total{outcome="ok"} 1`,
+		`harness_fault_trips_total{kind="panic"} 1`,
+		`harness_cell_seconds_count 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if ft := rep.FaultTrips(); ft != (harness.FaultTrips{Panics: 1}) {
+		t.Errorf("FaultTrips() = %+v, want exactly one panic", ft)
+	}
+	if s := rep.Summary(); !strings.Contains(s, "trips: 1 panics, 0 timeouts, 0 abandoned") {
+		t.Errorf("Summary() missing trips line: %q", s)
+	}
+
+	// Skipped cells are counted too: a non-KeepGoing sweep skips the
+	// cell after the failure.
+	reg2 := metrics.NewRegistry()
+	if _, err := harness.Run(harness.Config{Metrics: reg2},
+		[]experiments.Experiment{mustExp(t, "test-fail"), mustExp(t, "test-ok")}); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := reg2.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `harness_cells_total{outcome="skipped"} 1`) {
+		t.Errorf("skipped cell not counted:\n%s", b.String())
+	}
+}
+
+// TestPanicReleasesCellContext: the per-cell timeout context must be
+// canceled once a panicked cell's recovery is processed — otherwise
+// every panicked cell pins a timer until its full deadline — and the
+// sweep must not leak goroutines. Run under -race this also checks the
+// recovery path for data races.
+func TestPanicReleasesCellContext(t *testing.T) {
+	testExperiments(t)
+	cellCtxMu.Lock()
+	cellCtxs = nil
+	cellCtxMu.Unlock()
+	before := runtime.NumGoroutine()
+
+	rep, err := harness.Run(harness.Config{
+		Timeout:   time.Minute, // real WithTimeout ctx: a leak would pin its timer
+		KeepGoing: true,
+		Parallel:  2,
+	}, []experiments.Experiment{
+		mustExp(t, "test-ctx-panic"), mustExp(t, "test-ctx-panic"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if c.Err == nil || !c.Err.Panicked {
+			t.Fatalf("probe cell did not report a panic: %+v", c)
+		}
+		if c.Err.Duration <= 0 {
+			t.Errorf("panicked cell has no wall time: %+v", c.Err)
+		}
+	}
+
+	cellCtxMu.Lock()
+	ctxs := append([]context.Context(nil), cellCtxs...)
+	cellCtxMu.Unlock()
+	if len(ctxs) != 2 {
+		t.Fatalf("probe recorded %d contexts, want 2", len(ctxs))
+	}
+	for i, ctx := range ctxs {
+		select {
+		case <-ctx.Done():
+		default:
+			t.Errorf("cell %d context still live after panic recovery — its timer is leaked", i)
+		}
+	}
+
+	// Goroutine count settles back to (about) where it started: the
+	// panicked cells' goroutines are gone, nothing was abandoned.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines grew from %d to %d after panicked sweep",
+				before, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -20,6 +20,12 @@ import (
 // once for the whole test binary (the registry rejects duplicates).
 var registerOnce sync.Once
 
+// cellCtxs collects the contexts handed to test-ctx-panic cells.
+var (
+	cellCtxMu sync.Mutex
+	cellCtxs  []context.Context
+)
+
 func testExperiments(t *testing.T) {
 	t.Helper()
 	registerOnce.Do(func() {
@@ -40,6 +46,17 @@ func testExperiments(t *testing.T) {
 			Name: "test-panic", Title: "always panics", Global: true,
 			Run: func(opt experiments.Options) (*experiments.Result, error) {
 				panic("synthetic panic")
+			},
+		})
+		// test-ctx-panic records the cell context it was handed, then
+		// panics — the probe behind TestPanicReleasesCellContext.
+		experiments.Register(experiments.Experiment{
+			Name: "test-ctx-panic", Title: "records its context, then panics", Global: true,
+			Run: func(opt experiments.Options) (*experiments.Result, error) {
+				cellCtxMu.Lock()
+				cellCtxs = append(cellCtxs, opt.Ctx)
+				cellCtxMu.Unlock()
+				panic("ctx probe panic")
 			},
 		})
 		// test-spin simulates an endless loop with no instruction limit:

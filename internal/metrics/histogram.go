@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values 0..15 get one exact bucket each;
+// above that, every power-of-two octave is split into 8 log-linear
+// sub-buckets, so relative resolution is bounded by 2^-3 (12.5%)
+// everywhere. 496 buckets cover the full uint64 range — for latencies
+// recorded in nanoseconds that spans sub-nanosecond to ~585 years —
+// with no configuration, so every histogram in the process shares one
+// shape and two histograms can always be compared bucket for bucket.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits       // sub-buckets per octave
+	histLinear  = 1 << (histSubBits + 1) // exact buckets for 0..15
+	numBuckets  = histLinear + (64-histSubBits-1)*histSub
+)
+
+// bucketIndex maps a value to its bucket. Monotone: v <= w implies
+// bucketIndex(v) <= bucketIndex(w).
+func bucketIndex(v uint64) int {
+	if v < histLinear {
+		return int(v)
+	}
+	e := bits.Len64(v) // >= histSubBits+2
+	sub := int(v>>(uint(e)-histSubBits-1)) & (histSub - 1)
+	return histLinear + (e-histSubBits-2)*histSub + sub
+}
+
+// bucketUpper returns the largest value that lands in bucket i.
+func bucketUpper(i int) uint64 {
+	if i < histLinear {
+		return uint64(i)
+	}
+	o := (i - histLinear) / histSub
+	s := uint64((i-histLinear)%histSub) + 1
+	e := uint(o + histSubBits + 2) // bits.Len64 of values in this octave
+	lo := uint64(1) << (e - 1)
+	width := uint64(1) << (e - histSubBits - 1)
+	if s == histSub && e == 64 {
+		return math.MaxUint64 // lo + 8*width overflows in the top octave
+	}
+	return lo + s*width - 1
+}
+
+// Histogram is a fixed-bucket log-scale histogram of non-negative
+// integer values (typically nanoseconds). The zero value is ready to
+// use. Observe is wait-free (a handful of atomic adds, no allocation);
+// readers (Quantile, Count, Sum, Max, Buckets) may run concurrently
+// with writers and see a consistent-enough snapshot — counters only
+// grow, so a racing quantile is at worst one in-flight sample stale.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	var u uint64
+	if v > 0 {
+		u = uint64(v)
+	}
+	h.buckets[bucketIndex(u)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest observed value, exactly (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Quantile returns the q-quantile (0 <= q <= 1) by the nearest-rank
+// definition: the smallest observed-bucket upper bound whose cumulative
+// count reaches ceil(q*n). The result never under-reports: it is an
+// upper bound of the bucket holding the rank-selected sample, clamped
+// to the exact observed maximum — so for tiny samples (n = 1, 2) the
+// tail quantiles report the large sample, not the small one, and p100
+// is exact. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			ub := bucketUpper(i)
+			// The global max lives in the topmost non-empty bucket, so
+			// clamping can only tighten, never cross a bucket below it.
+			if m := h.max.Load(); ub > m {
+				ub = m
+			}
+			return ub
+		}
+	}
+	return h.max.Load() // racing writers; best effort
+}
+
+// QuantileDuration is Quantile for nanosecond histograms.
+func (h *Histogram) QuantileDuration(q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
+}
+
+// Buckets calls f for every non-empty bucket in increasing order with
+// the bucket's inclusive upper bound and (non-cumulative) count.
+func (h *Histogram) Buckets(f func(upper uint64, count uint64)) {
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c != 0 {
+			f(bucketUpper(i), c)
+		}
+	}
+}

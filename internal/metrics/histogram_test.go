@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketMapping pins the bucket geometry: the index is monotone,
+// every value lands at or below its bucket's upper bound, and the
+// relative bucket width is bounded by 2^-histSubBits.
+func TestBucketMapping(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint64/2 + 1, math.MaxUint64} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Errorf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		ub := bucketUpper(i)
+		if v > ub {
+			t.Errorf("value %d above its bucket upper bound %d", v, ub)
+		}
+		if v >= histLinear && ub != math.MaxUint64 {
+			if float64(ub) > float64(v)*(1+1.0/histSub)+1 {
+				t.Errorf("bucket of %d too wide: upper %d", v, ub)
+			}
+		}
+	}
+	// Exhaustive round trip over every bucket boundary.
+	for i := 0; i < numBuckets; i++ {
+		ub := bucketUpper(i)
+		if got := bucketIndex(ub); got != i {
+			t.Fatalf("bucketIndex(bucketUpper(%d)=%d) = %d", i, ub, got)
+		}
+		if ub != math.MaxUint64 {
+			if got := bucketIndex(ub + 1); got != i+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", ub+1, got, i+1)
+			}
+		}
+	}
+}
+
+// TestQuantileTinySamples is the regression test for the loadgen's old
+// sort-based estimator, whose truncating rank (int(q*(n-1))) reported
+// the MINIMUM as p99 on a 2-sample run and indexed nothing useful on
+// empty input.
+func TestQuantileTinySamples(t *testing.T) {
+	// n = 0: everything is zero, nothing panics.
+	var h0 Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h0.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	if h0.Max() != 0 || h0.Count() != 0 {
+		t.Errorf("empty histogram max/count = %d/%d", h0.Max(), h0.Count())
+	}
+
+	// n = 1: every quantile is the single sample, exactly (the bucket
+	// upper bound clamps to the exact max).
+	var h1 Histogram
+	h1.Observe(100)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got := h1.Quantile(q); got != 100 {
+			t.Errorf("n=1 Quantile(%g) = %d, want 100", q, got)
+		}
+	}
+
+	// n = 2: p99 must report the LARGER sample (rank ceil(0.99*2)=2),
+	// not the smaller one the truncating estimator returned.
+	var h2 Histogram
+	h2.Observe(1)
+	h2.Observe(1000)
+	if got := h2.Quantile(0.99); got != 1000 {
+		t.Errorf("n=2 Quantile(0.99) = %d, want 1000", got)
+	}
+	if got := h2.Quantile(0.50); got != 1 {
+		t.Errorf("n=2 Quantile(0.50) = %d, want 1", got)
+	}
+	if got := h2.Max(); got != 1000 {
+		t.Errorf("n=2 Max = %d, want 1000", got)
+	}
+}
+
+// TestQuantileExactRanks: for values below histLinear the buckets are
+// exact, so nearest-rank quantiles must match the textbook sorted-rank
+// definition exactly.
+func TestQuantileExactRanks(t *testing.T) {
+	var h Histogram
+	vals := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3} // n = 10
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		want := uint64(sorted[rank-1])
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %d, want %d (nearest rank %d)", q, got, want, rank)
+		}
+	}
+}
+
+// TestQuantileWithinOneBucket: for arbitrary values the quantile must
+// bracket the true nearest-rank sample within one bucket (never below
+// it, at most one bucket width above).
+func TestQuantileWithinOneBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var vals []uint64
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(int64(10 * time.Millisecond)))
+		vals = append(vals, v)
+		h.Observe(int64(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q * float64(len(vals))))
+		exact := vals[rank-1]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Errorf("Quantile(%g) = %d under-reports exact %d", q, got, exact)
+		}
+		if got > bucketUpper(bucketIndex(exact)) {
+			t.Errorf("Quantile(%g) = %d beyond the bucket of exact %d (upper %d)",
+				q, got, exact, bucketUpper(bucketIndex(exact)))
+		}
+	}
+	if h.Quantile(1) != vals[len(vals)-1] {
+		t.Errorf("p100 = %d, want exact max %d", h.Quantile(1), vals[len(vals)-1])
+	}
+}
+
+// TestObserveNegativeAndSum: negatives clamp to zero; count/sum track.
+func TestObserveNegativeAndSum(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	h.Observe(7)
+	if h.Count() != 2 || h.Sum() != 7 {
+		t.Errorf("count/sum = %d/%d, want 2/7", h.Count(), h.Sum())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("min quantile = %d, want 0 (clamped negative)", got)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// meaningful under -race, and the totals must balance.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var cum uint64
+	h.Buckets(func(_, c uint64) { cum += c })
+	if cum != h.Count() {
+		t.Errorf("bucket sum %d != count %d", cum, h.Count())
+	}
+}

@@ -1,0 +1,53 @@
+// Package metrics is the repo's small, dependency-free observability
+// layer: atomic counters and gauges, a fixed-bucket log-scale latency
+// histogram with exact nearest-rank quantile extraction (no sorting,
+// no per-sample allocation), and a registry that renders everything in
+// the Prometheus text exposition format.
+//
+// The paper's entire argument is measurement-driven — misprediction
+// rates per predictor configuration (§4) — and the serving and replay
+// stack around the reproduction needs the same discipline: every layer
+// (predictor, shard, server, load generator, experiment harness)
+// reports through this one package, so a number seen on `/metrics`, in
+// a loadgen report and in a harness summary is computed the same way.
+//
+// Design constraints, in order:
+//
+//   - hot-path cheap: Observe/Inc/Add are single atomic RMWs; nothing
+//     on the instrumentation path allocates, locks, or formats;
+//   - exact where it matters: quantiles are nearest-rank over fixed
+//     log-scale buckets (resolution 2^-3 ≈ 12.5% per bucket) and the
+//     maximum is tracked exactly, so small-sample percentiles cannot
+//     under-report the tail the way a truncating sort-rank estimator
+//     does;
+//   - deterministic rendering: families and series render in sorted
+//     order, so output is golden-file testable.
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ContentType is the HTTP Content-Type for Render output (the
+// Prometheus text exposition format, version 0.0.4).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Labels are a series' constant label set. Label values are escaped at
+// registration; keys must be valid Prometheus label names.
+type Labels map[string]string
+
+// Kind is a metric family's type.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (family, label set) time series.
+type series struct {
+	labels string // rendered label pairs, sorted, no braces; "" when unlabeled
+	obj    any    // *Counter, *Gauge or *Histogram for re-registration
+	value  func() string
+	hist   *Histogram
+	scale  float64 // histogram only: raw units -> rendered units
+}
+
+type family struct {
+	name, help string
+	kind       Kind
+	series     map[string]*series
+}
+
+// Registry holds named metric families and renders them as Prometheus
+// text. Registration is idempotent: registering the same (name, labels)
+// pair again returns the existing collector, so components can re-wire
+// a shared registry without double counting. Registering one name with
+// two kinds panics — that is a programming error, caught at startup.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register adds (or finds) the series; returns it and whether it
+// already existed.
+func (r *Registry) register(name, help string, kind Kind, l Labels) (*series, bool) {
+	fam, ok := r.fams[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.fams[name] = fam
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, fam.kind, kind))
+	}
+	ls := renderLabels(l)
+	if s, ok := fam.series[ls]; ok {
+		return s, true
+	}
+	s := &series{labels: ls}
+	fam.series[ls] = s
+	return s, false
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, l Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, existed := r.register(name, help, KindCounter, l)
+	if existed {
+		return s.obj.(*Counter)
+	}
+	c := &Counter{}
+	s.obj = c
+	s.value = func() string { return strconv.FormatUint(c.Load(), 10) }
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time — for wiring pre-existing atomic counters into the registry
+// without touching their hot paths. Re-registration replaces fn.
+func (r *Registry) CounterFunc(name, help string, l Labels, fn func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.register(name, help, KindCounter, l)
+	s.value = func() string { return strconv.FormatUint(fn(), 10) }
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, l Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, existed := r.register(name, help, KindGauge, l)
+	if existed {
+		return s.obj.(*Gauge)
+	}
+	g := &Gauge{}
+	s.obj = g
+	s.value = func() string { return strconv.FormatInt(g.Load(), 10) }
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at render
+// time. Re-registration replaces fn.
+func (r *Registry) GaugeFunc(name, help string, l Labels, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.register(name, help, KindGauge, l)
+	s.value = func() string { return formatFloat(fn()) }
+}
+
+// Histogram registers (or returns the existing) histogram series.
+// scale multiplies raw observed units into rendered units — a
+// nanosecond histogram rendered in Prometheus-conventional seconds
+// passes 1e-9. Observations are unscaled; only rendering scales.
+func (r *Registry) Histogram(name, help string, scale float64, l Labels) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, existed := r.register(name, help, KindHistogram, l)
+	if existed {
+		return s.obj.(*Histogram)
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	h := &Histogram{}
+	s.obj = h
+	s.hist = h
+	s.scale = scale
+	return h
+}
+
+func formatFloat(v float64) string {
+	// 12 significant digits: enough for any counter or latency we
+	// render, few enough to hide binary-float noise (3*1e-9 would
+	// otherwise print as 3.0000000000000004e-09).
+	return strconv.FormatFloat(v, 'g', 12, 64)
+}
+
+// Render writes every family in the Prometheus text exposition format,
+// families sorted by name and series by label set, so output is
+// deterministic for a fixed set of values.
+func (r *Registry) Render(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fam := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", fam.name, fam.help, fam.name, fam.kind)
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := fam.series[k]
+			if fam.kind == KindHistogram {
+				renderHistogram(&b, fam.name, s)
+				continue
+			}
+			if s.value == nil {
+				continue
+			}
+			b.WriteString(fam.name)
+			if s.labels != "" {
+				b.WriteByte('{')
+				b.WriteString(s.labels)
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(s.value())
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderHistogram writes the _bucket/_sum/_count triplet for one
+// series. Only non-empty buckets are rendered (cumulatively, so the
+// sparse output is still a valid Prometheus histogram) plus +Inf.
+func renderHistogram(b *strings.Builder, name string, s *series) {
+	withLabel := func(extra string) string {
+		switch {
+		case s.labels == "" && extra == "":
+			return ""
+		case s.labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + s.labels + "}"
+		}
+		return "{" + s.labels + "," + extra + "}"
+	}
+	var cum uint64
+	s.hist.Buckets(func(upper, count uint64) {
+		cum += count
+		le := formatFloat(float64(upper) * s.scale)
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(`le="`+le+`"`), cum)
+	})
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(`le="+Inf"`), s.hist.Count())
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, withLabel(""), formatFloat(float64(s.hist.Sum())*s.scale))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, withLabel(""), s.hist.Count())
+}

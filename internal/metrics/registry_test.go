@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildTestRegistry assembles one of every collector kind with fixed
+// values, so rendering is fully deterministic.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Requests handled.", nil)
+	c.Add(42)
+	for shard, n := range []uint64{7, 11} {
+		sc := r.Counter("app_shard_requests_total", "Requests per shard.",
+			Labels{"shard": []string{"0", "1"}[shard]})
+		sc.Add(n)
+	}
+	g := r.Gauge("app_queue_depth", "Tasks queued.", Labels{"shard": "0"})
+	g.Set(3)
+	r.GaugeFunc("app_uptime_seconds", "Seconds since boot.", nil, func() float64 { return 12.5 })
+	r.CounterFunc("app_frames_total", "Frames parsed.", nil, func() uint64 { return 9001 })
+
+	h := r.Histogram("app_op_seconds", "Op latency.", 1e-9, Labels{"op": "update"})
+	for _, ns := range []int64{3, 3, 900, 1500, 250_000} {
+		h.Observe(ns)
+	}
+	return r
+}
+
+// TestRenderGolden locks the exact Prometheus text rendering.
+func TestRenderGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/render.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("rendering drifted from golden:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestRenderWellFormed: every non-comment line must match the text
+// exposition grammar, and histogram buckets must be cumulative.
+func TestRenderWellFormed(t *testing.T) {
+	var b strings.Builder
+	if err := buildTestRegistry().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	line := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? \S+$`)
+	var lastBucket uint64 = 0
+	inBuckets := false
+	for _, l := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		if !line.MatchString(l) {
+			t.Errorf("malformed exposition line: %q", l)
+		}
+		if strings.Contains(l, "_bucket{") {
+			var v uint64
+			if _, err := fmtSscan(l, &v); err != nil {
+				t.Errorf("unparseable bucket line %q: %v", l, err)
+				continue
+			}
+			if inBuckets && v < lastBucket {
+				t.Errorf("bucket counts not cumulative at %q", l)
+			}
+			lastBucket, inBuckets = v, true
+		} else {
+			inBuckets = false
+		}
+	}
+}
+
+// fmtSscan pulls the trailing integer off an exposition line.
+func fmtSscan(line string, v *uint64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*v, err = parseUint(line[i+1:])
+	if err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+func parseUint(s string) (uint64, error) {
+	var v uint64
+	for _, c := range []byte(s) {
+		if c < '0' || c > '9' {
+			return 0, errNotInt
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, nil
+}
+
+var errNotInt = errDummy("not an integer")
+
+type errDummy string
+
+func (e errDummy) Error() string { return string(e) }
+
+// TestRegistryIdempotent: re-registering returns the same collector
+// (no double counting), and a kind clash panics.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", Labels{"k": "v"})
+	b := r.Counter("x_total", "x", Labels{"k": "v"})
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	a.Inc()
+	if b.Load() != 1 {
+		t.Error("re-registered counter does not share state")
+	}
+	if c := r.Counter("x_total", "x", Labels{"k": "w"}); c == a {
+		t.Error("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("h_seconds", "h", 1e-9, nil)
+	h2 := r.Histogram("h_seconds", "h", 1e-9, nil)
+	if h1 != h2 {
+		t.Error("same histogram series returned distinct histograms")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x", nil)
+}

@@ -121,13 +121,16 @@ func (b *basic) Update(actual *trace.Trace) {
 	tok := b.tok
 	actualVal := b.cfg.storedVal(actual)
 
+	var ev Event
 	b.stats.Predictions++
 	correct := tok.pred.Valid && tok.predVal == actualVal
 	if correct {
 		b.stats.Correct++
+		ev |= EvCorrect
 	} else {
 		if !tok.pred.Valid {
 			b.stats.Cold++
+			ev |= EvCold
 		}
 		if tok.pred.AltValid {
 			b.stats.AltPresent++
@@ -151,6 +154,7 @@ func (b *basic) Update(actual *trace.Trace) {
 		e.alt = e.val
 		e.altValid = true
 		e.val = actualVal
+		ev |= EvReplaced
 	default:
 		e.ctr = satDec(e.ctr, b.cfg.CounterDec)
 		e.alt = actualVal
@@ -161,6 +165,9 @@ func (b *basic) Update(actual *trace.Trace) {
 	}
 
 	b.hist.Push(actual.Hash)
+	if b.cfg.Recorder != nil {
+		b.cfg.Recorder.Record(ev)
+	}
 }
 
 func (b *basic) Stats() Stats { return b.stats }

@@ -179,13 +179,16 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 	}
 	actualVal := p.cfg.storedVal(actual)
 
+	var ev Event
 	p.stats.Predictions++
 	correct := tok.Pred.Valid && tok.predVal == actualVal
 	if correct {
 		p.stats.Correct++
+		ev |= EvCorrect
 	} else {
 		if !tok.Pred.Valid {
 			p.stats.Cold++
+			ev |= EvCold
 		}
 		if tok.Pred.AltValid {
 			p.stats.AltPresent++
@@ -196,6 +199,7 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 	}
 	if tok.Pred.FromSecondary {
 		p.stats.FromSecondary++
+		ev |= EvFromSecondary
 	}
 
 	// Secondary table update.
@@ -210,6 +214,7 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 		se.ctr = satInc(se.ctr, 1, secMax)
 	case se.ctr == 0:
 		se.val = actualVal
+		ev |= EvReplaced
 	default:
 		se.ctr = satDec(se.ctr, p.cfg.SecCounterDec)
 	}
@@ -220,12 +225,18 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 	// Correlated table update — filtered when a saturated secondary was
 	// correct, so single-successor traces do not pollute it.
 	if p.secFilter && tok.secSaturated && tok.secPredVal == actualVal {
+		if p.cfg.Recorder != nil {
+			p.cfg.Recorder.Record(ev)
+		}
 		return
 	}
 	ce := &p.corr[tok.CorrIdx]
 	max := ctrMax(p.cfg.CounterBits)
 	switch {
 	case !ce.valid || ce.tag != tok.Tag:
+		if ce.valid {
+			ev |= EvReplaced
+		}
 		*ce = corrEntry{tag: tok.Tag, val: actualVal, valid: true}
 	case ce.val == actualVal:
 		ce.ctr = satInc(ce.ctr, p.cfg.CounterInc, max)
@@ -233,6 +244,7 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 		ce.alt = ce.val
 		ce.altValid = true
 		ce.val = actualVal
+		ev |= EvReplaced
 	default:
 		ce.ctr = satDec(ce.ctr, p.cfg.CounterDec)
 		ce.alt = actualVal
@@ -240,6 +252,9 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 	}
 	if p.cfg.Faults.StuckZero() {
 		ce.ctr = 0
+	}
+	if p.cfg.Recorder != nil {
+		p.cfg.Recorder.Record(ev)
 	}
 }
 

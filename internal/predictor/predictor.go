@@ -115,6 +115,35 @@ func (s Stats) AltMissRate() float64 {
 	return 100 * float64(both) / float64(s.Predictions)
 }
 
+// Event is a bitmask describing one Predict/Update round, delivered to
+// an attached Recorder after the tables have been trained.
+type Event uint8
+
+const (
+	// EvCorrect: the prediction matched the actual trace.
+	EvCorrect Event = 1 << iota
+	// EvCold: the path had no valid entry (the prediction was invalid).
+	EvCold
+	// EvFromSecondary: the hybrid's secondary table supplied the
+	// prediction.
+	EvFromSecondary
+	// EvReplaced: training displaced a trained (valid) entry's value in
+	// the correlated or secondary table — the table-churn signal.
+	EvReplaced
+)
+
+// Recorder receives one Event per Predict/Update round, for live
+// instrumentation of served predictors (hit/miss/cold/replacement
+// counters). The hot path guards the single interface call with a nil
+// check, so an unset Recorder costs one predicted branch and the
+// attached case must not allocate: implementations should do nothing
+// heavier than atomic counter updates. Stats() remains the
+// authoritative accuracy record; a Recorder only mirrors it into an
+// external metrics sink without snapshotting.
+type Recorder interface {
+	Record(Event)
+}
+
 // Config selects and sizes a predictor variant.
 type Config struct {
 	// Depth is the path history depth: the number of traces besides the
@@ -163,6 +192,10 @@ type Config struct {
 	// correct the correlated table is not updated (§3.3). Default true
 	// for hybrids; settable to false for ablation.
 	SecondaryFilter *bool
+
+	// Recorder, when non-nil, receives one Event per Predict/Update
+	// round. Nil (the default) is free on the hot path.
+	Recorder Recorder
 
 	// Faults, when non-nil, injects deterministic faults into the
 	// prediction tables, the path history register and (via stuck-at-

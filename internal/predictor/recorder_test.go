@@ -1,0 +1,112 @@
+package predictor
+
+import (
+	"testing"
+
+	"pathtrace/internal/trace"
+)
+
+// countingRecorder tallies events the way the serving layer's metrics
+// adapter does.
+type countingRecorder struct {
+	rounds, correct, cold, fromSec, replaced uint64
+}
+
+func (r *countingRecorder) Record(ev Event) {
+	r.rounds++
+	if ev&EvCorrect != 0 {
+		r.correct++
+	}
+	if ev&EvCold != 0 {
+		r.cold++
+	}
+	if ev&EvFromSecondary != 0 {
+		r.fromSec++
+	}
+	if ev&EvReplaced != 0 {
+		r.replaced++
+	}
+}
+
+// recorderSeq is a cyclic program with one noisy branch point, so a run
+// exercises correct, cold, and replacement rounds.
+func recorderSeq(i int) *trace.Trace {
+	if i%13 == 0 {
+		return tr(uint32(0x9000+16*(i%3)), uint8(i%4))
+	}
+	return tr(uint32(0x1000+16*(i%7)), 0)
+}
+
+// driveRecorder runs the deterministic sequence through a predictor
+// built from cfg and returns its Stats.
+func driveRecorder(t *testing.T, cfg Config, n int) Stats {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		p.Predict()
+		p.Update(recorderSeq(i))
+	}
+	return p.Stats()
+}
+
+// TestRecorderMirrorsStats: every Update round delivers exactly one
+// event, and the event counts agree with the predictor's own counters.
+func TestRecorderMirrorsStats(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"basic", Config{Depth: 3, IndexBits: 10}},
+		{"hybrid", Config{Depth: 3, IndexBits: 10, Hybrid: true}},
+		{"hybrid-nofilter", Config{Depth: 3, IndexBits: 10, Hybrid: true, SecondaryFilter: NoFilter()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var rec countingRecorder
+			cfg := tc.cfg
+			cfg.Recorder = &rec
+			st := driveRecorder(t, cfg, 500)
+			if st.Predictions != 500 {
+				t.Fatalf("Predictions = %d, want 500", st.Predictions)
+			}
+			if rec.rounds != st.Predictions {
+				t.Errorf("rounds = %d, want one event per prediction (%d)", rec.rounds, st.Predictions)
+			}
+			if rec.correct != st.Correct {
+				t.Errorf("EvCorrect count = %d, want Stats.Correct = %d", rec.correct, st.Correct)
+			}
+			if rec.cold != st.Cold {
+				t.Errorf("EvCold count = %d, want Stats.Cold = %d", rec.cold, st.Cold)
+			}
+			if rec.fromSec != st.FromSecondary {
+				t.Errorf("EvFromSecondary count = %d, want Stats.FromSecondary = %d", rec.fromSec, st.FromSecondary)
+			}
+			// The noisy branch point guarantees table churn: replacement
+			// events must fire on this sequence.
+			if rec.replaced == 0 {
+				t.Error("no EvReplaced events on a sequence with forced churn")
+			}
+		})
+	}
+}
+
+// TestRecorderNilIsSafe: the default (no recorder) path must not panic
+// and attaching one must not change accuracy.
+func TestRecorderNilIsSafe(t *testing.T) {
+	base := Config{Depth: 3, IndexBits: 10, Hybrid: true}
+	plain := driveRecorder(t, base, 300)
+
+	withCfg := base
+	var rec countingRecorder
+	withCfg.Recorder = &rec
+	instrumented := driveRecorder(t, withCfg, 300)
+
+	if !plain.Equal(instrumented) {
+		t.Errorf("attaching a recorder changed predictor behaviour: %+v vs %+v", instrumented, plain)
+	}
+	if rec.rounds != 300 {
+		t.Errorf("recorder saw %d rounds, want 300", rec.rounds)
+	}
+}

@@ -7,13 +7,14 @@ import (
 	"net/http"
 	"time"
 
+	"pathtrace/internal/metrics"
 	"pathtrace/internal/predictor"
 )
 
-// adminServer is the sidecar HTTP listener: liveness, JSON stats and
-// expvar-style counters, kept off the data-plane port so operational
-// probes never compete with prediction traffic for the protocol
-// decoder.
+// adminServer is the sidecar HTTP listener: liveness, JSON stats,
+// expvar-style counters and the Prometheus exposition, kept off the
+// data-plane port so operational probes never compete with prediction
+// traffic for the protocol decoder.
 type adminServer struct {
 	ln  net.Listener
 	srv *http.Server
@@ -71,6 +72,10 @@ func newAdminServer(addr string, s *Server) (*adminServer, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(vars)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metrics.ContentType)
+		s.reg.Render(w)
 	})
 	a := &adminServer{ln: ln, srv: &http.Server{Handler: mux}}
 	go a.srv.Serve(ln)

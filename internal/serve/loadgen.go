@@ -4,11 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
 	"pathtrace/internal/faults"
+	"pathtrace/internal/metrics"
 	"pathtrace/internal/predictor"
 	"pathtrace/internal/stream"
 	"pathtrace/internal/trace"
@@ -39,6 +39,11 @@ type LoadgenConfig struct {
 	// SessionBase offsets session IDs, so repeated runs against one
 	// server use fresh sessions (default 1).
 	SessionBase uint64
+
+	// Metrics, when non-nil, registers the run's round-trip latency
+	// histogram as loadgen_rtt_seconds, so an embedding process can
+	// export loadgen latency alongside its own series.
+	Metrics *metrics.Registry
 }
 
 func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
@@ -64,7 +69,15 @@ func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
 }
 
 // LoadgenReport is a run's outcome: volume, throughput, per-request
-// latency percentiles, and the verification verdict.
+// latency quantiles, and the verification verdict.
+//
+// Quantiles are nearest-rank reads from a fixed-bucket histogram:
+// never below the true sample quantile, and at most one bucket (12.5%
+// relative) above it. Max is exact. The previous implementation sorted
+// the raw samples and indexed int(q*(n-1)) — a truncating estimator
+// that under-reports tail quantiles (for 100 samples, "p99" was the
+// 99th of 100, and for 2 samples p99 was the MINIMUM); it also sorted
+// the shared slice in place.
 type LoadgenReport struct {
 	Sessions           int
 	Conns              int
@@ -75,8 +88,9 @@ type LoadgenReport struct {
 	Correct            uint64        // server-reported correct predictions
 	Duration           time.Duration // wall clock for the replay phase
 	TracesPerSec       float64
-	P50, P90, P99, Max time.Duration // Update round-trip latency
-	Verified           bool          // stats checked bit-identical (when Verify)
+	P50, P90, P99, Max time.Duration      // Update round-trip latency
+	Latency            *metrics.Histogram // full RTT distribution (ns)
+	Verified           bool               // stats checked bit-identical (when Verify)
 }
 
 func (r *LoadgenReport) String() string {
@@ -148,14 +162,21 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 		})
 	}
 
+	// The shared histogram replaces the old per-worker latency slices:
+	// Observe is wait-free, so workers record directly with no mutex
+	// and no per-sample allocation.
+	rtt := &metrics.Histogram{}
+	if cfg.Metrics != nil {
+		rtt = cfg.Metrics.Histogram("loadgen_rtt_seconds",
+			"Update round-trip latency as seen by the load generator.", 1e-9, nil)
+	}
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		traces    uint64
-		requests  uint64
-		retries   uint64
-		correct   uint64
-		firstErr  error
+		mu       sync.Mutex
+		traces   uint64
+		requests uint64
+		retries  uint64
+		correct  uint64
+		firstErr error
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -175,7 +196,6 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 		wg.Add(1)
 		go func(cl *Client, sessions []*lgSession) {
 			defer wg.Done()
-			var lats []time.Duration
 			var nTraces, nReq, nRetry, nCorrect uint64
 			live := sessions
 			for len(live) > 0 {
@@ -207,7 +227,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 						time.Sleep(200 * time.Microsecond)
 						applied, corr, err = cl.Update(s.id, s.batch)
 					}
-					lats = append(lats, time.Since(t0))
+					rtt.ObserveDuration(time.Since(t0))
 					nReq++
 					if err != nil {
 						fail(fmt.Errorf("session %d: update: %w", s.id, err))
@@ -224,7 +244,6 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 				live = next
 			}
 			mu.Lock()
-			latencies = append(latencies, lats...)
 			traces += nTraces
 			requests += nReq
 			retries += nRetry
@@ -251,7 +270,11 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 	if elapsed > 0 {
 		rep.TracesPerSec = float64(traces) / elapsed.Seconds()
 	}
-	rep.P50, rep.P90, rep.P99, rep.Max = percentiles(latencies)
+	rep.Latency = rtt
+	rep.P50 = rtt.QuantileDuration(0.50)
+	rep.P90 = rtt.QuantileDuration(0.90)
+	rep.P99 = rtt.QuantileDuration(0.99)
+	rep.Max = time.Duration(rtt.Max())
 
 	if cfg.Verify {
 		want, err := referenceStats(cfg)
@@ -295,20 +318,6 @@ func referenceStats(cfg LoadgenConfig) (predictor.Stats, error) {
 		return predictor.Stats{}, err
 	}
 	return p.Stats(), nil
-}
-
-// percentiles computes p50/p90/p99/max over the recorded round-trip
-// latencies (zeros when none were recorded).
-func percentiles(lats []time.Duration) (p50, p90, p99, max time.Duration) {
-	if len(lats) == 0 {
-		return
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	at := func(q float64) time.Duration {
-		i := int(q * float64(len(lats)-1))
-		return lats[i]
-	}
-	return at(0.50), at(0.90), at(0.99), lats[len(lats)-1]
 }
 
 func closeAll(clients []*Client) {

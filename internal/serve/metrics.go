@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"strconv"
+	"time"
+
+	"pathtrace/internal/metrics"
+	"pathtrace/internal/predictor"
+)
+
+// predRecorder adapts a shard's predictor event stream onto registry
+// counters. One recorder is shared by every session on the shard — the
+// shard goroutine is the only writer, and the counters are atomics, so
+// the admin listener reads them without coordination. Record is a
+// handful of atomic adds: nothing allocates, keeping the per-trace cost
+// of instrumentation below the noise floor of the predict loop.
+type predRecorder struct {
+	rounds    *metrics.Counter
+	correct   *metrics.Counter
+	misses    *metrics.Counter
+	cold      *metrics.Counter
+	secondary *metrics.Counter
+	replaced  *metrics.Counter
+}
+
+func (r *predRecorder) Record(ev predictor.Event) {
+	r.rounds.Inc()
+	if ev&predictor.EvCorrect != 0 {
+		r.correct.Inc()
+	} else {
+		r.misses.Inc()
+	}
+	if ev&predictor.EvCold != 0 {
+		r.cold.Inc()
+	}
+	if ev&predictor.EvFromSecondary != 0 {
+		r.secondary.Inc()
+	}
+	if ev&predictor.EvReplaced != 0 {
+		r.replaced.Inc()
+	}
+}
+
+// shardMetrics is the per-shard instrumentation bundle: one latency
+// histogram per request op plus the predictor event recorder. Built at
+// server startup; the shard loop only touches pre-registered atomics.
+type shardMetrics struct {
+	opSeconds [OpStats + 1]*metrics.Histogram // indexed by op byte
+	rec       predRecorder
+}
+
+// opNames maps request op bytes to their metric label values.
+var opNames = [OpStats + 1]string{
+	OpOpen:    "open",
+	OpPredict: "predict",
+	OpUpdate:  "update",
+	OpStats:   "stats",
+}
+
+func newShardMetrics(reg *metrics.Registry, shardID int) *shardMetrics {
+	shard := strconv.Itoa(shardID)
+	m := &shardMetrics{}
+	for op, name := range opNames {
+		if name == "" {
+			continue
+		}
+		m.opSeconds[op] = reg.Histogram("ntpd_shard_op_seconds",
+			"Shard-side request processing latency by op.", 1e-9,
+			metrics.Labels{"shard": shard, "op": name})
+	}
+	l := metrics.Labels{"shard": shard}
+	m.rec = predRecorder{
+		rounds:    reg.Counter("ntpd_predictor_rounds_total", "Predict/Update rounds served.", l),
+		correct:   reg.Counter("ntpd_predictor_correct_total", "Correct predictions served.", l),
+		misses:    reg.Counter("ntpd_predictor_miss_total", "Mispredictions served (incl. cold).", l),
+		cold:      reg.Counter("ntpd_predictor_cold_total", "Rounds with no valid prediction.", l),
+		secondary: reg.Counter("ntpd_predictor_secondary_total", "Predictions supplied by the hybrid secondary table.", l),
+		replaced:  reg.Counter("ntpd_predictor_replacements_total", "Trained table entries displaced during training.", l),
+	}
+	return m
+}
+
+// observe records one request's shard-side processing time.
+func (m *shardMetrics) observe(op uint8, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if int(op) < len(m.opSeconds) && m.opSeconds[op] != nil {
+		m.opSeconds[op].ObserveDuration(d)
+	}
+}
+
+// registerMetrics wires the server's pre-existing atomic counters into
+// the registry as render-time reads, so /metrics and /varz always agree
+// and the data plane is untouched.
+func (s *Server) registerMetrics() {
+	reg := s.reg
+	reg.GaugeFunc("ntpd_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("ntpd_draining", "1 while the server is draining, else 0.", nil,
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("ntpd_connections_accepted_total", "TCP connections accepted.", nil,
+		func() uint64 { return s.counters.Accepted.Load() })
+	reg.GaugeFunc("ntpd_connections_active", "TCP connections currently open.", nil,
+		func() float64 { return float64(s.counters.Active.Load()) })
+	reg.CounterFunc("ntpd_requests_total", "Frames parsed into requests.", nil,
+		func() uint64 { return s.counters.Requests.Load() })
+	reg.CounterFunc("ntpd_bad_frames_total", "Connections dropped on malformed frames.", nil,
+		func() uint64 { return s.counters.BadFrames.Load() })
+	reg.CounterFunc("ntpd_drain_rejects_total", "Requests rejected with ErrDraining.", nil,
+		func() uint64 { return s.counters.DrainRejects.Load() })
+
+	for _, sh := range s.shards {
+		sh := sh
+		l := metrics.Labels{"shard": strconv.Itoa(sh.id)}
+		reg.CounterFunc("ntpd_shard_requests_total", "Requests processed per shard.", l,
+			func() uint64 { return sh.counters.Requests.Load() })
+		reg.CounterFunc("ntpd_shard_batches_total", "Update batches processed per shard.", l,
+			func() uint64 { return sh.counters.Batches.Load() })
+		reg.CounterFunc("ntpd_shard_traces_total", "Traces applied per shard.", l,
+			func() uint64 { return sh.counters.Traces.Load() })
+		reg.CounterFunc("ntpd_shard_overload_rejects_total", "Requests rejected with ErrOverloaded per shard.", l,
+			func() uint64 { return sh.counters.Overloads.Load() })
+		reg.GaugeFunc("ntpd_shard_queue_depth", "Tasks waiting in the shard queue.", l,
+			func() float64 { return float64(len(sh.queue)) })
+		reg.GaugeFunc("ntpd_shard_sessions", "Sessions owned by the shard.", l,
+			func() float64 {
+				_, n := sh.snapshot()
+				return float64(n)
+			})
+	}
+}

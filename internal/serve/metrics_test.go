@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pathtrace/internal/metrics"
+	"pathtrace/internal/trace"
+)
+
+// scrape fetches /metrics and returns the body.
+func scrape(t *testing.T, srv *Server) string {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.AdminAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Errorf("/metrics Content-Type = %q, want %q", ct, metrics.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the value of the first sample line matching the
+// series prefix (name plus any label subset, e.g. `ntpd_requests_total`
+// or `ntpd_shard_traces_total{shard="0"}`).
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, l := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(l, series) {
+			continue
+		}
+		i := strings.LastIndexByte(l, ' ')
+		v, err := strconv.ParseFloat(l[i+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", l, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found in /metrics output:\n%s", series, body)
+	return 0
+}
+
+// TestMetricsEndpoint drives real traffic through a served session and
+// asserts that /metrics exposes a well-formed Prometheus document whose
+// counters and per-shard op histograms reflect the traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	s := captureTestStream(t)
+	srv := newTestServer(t, Config{AdminAddr: "127.0.0.1:0", Shards: 2})
+
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	shardID, err := cl.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]trace.Trace, 0, 500)
+	cur := s.Cursor()
+	var tr trace.Trace
+	for len(batch) < cap(batch) && cur.Next(&tr) {
+		batch = append(batch, tr)
+	}
+	if _, _, err := cl.Update(1, batch); err != nil {
+		t.Fatal(err)
+	}
+	// The shard publishes its snapshot after completing each task, and
+	// Update's response is sent from the task callback, so by the time
+	// the client returns the counters below are already final.
+	body := scrape(t, srv)
+
+	// Structure: every sample line matches the exposition grammar.
+	line := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? \S+$`)
+	for _, l := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(l, "#") {
+			continue
+		}
+		if !line.MatchString(l) {
+			t.Errorf("malformed exposition line: %q", l)
+		}
+	}
+
+	shard := strconv.Itoa(int(shardID))
+	if v := metricValue(t, body, `ntpd_shard_traces_total{shard="`+shard+`"}`); v != float64(len(batch)) {
+		t.Errorf("shard traces = %v, want %d", v, len(batch))
+	}
+	if v := metricValue(t, body, `ntpd_predictor_rounds_total{shard="`+shard+`"}`); v != float64(len(batch)) {
+		t.Errorf("predictor rounds = %v, want %d", v, len(batch))
+	}
+	correct := metricValue(t, body, `ntpd_predictor_correct_total{shard="`+shard+`"}`)
+	misses := metricValue(t, body, `ntpd_predictor_miss_total{shard="`+shard+`"}`)
+	if correct+misses != float64(len(batch)) {
+		t.Errorf("correct (%v) + misses (%v) != rounds (%d)", correct, misses, len(batch))
+	}
+	// The Recorder mirrors the predictor's own counters exactly.
+	st, err := cl.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(correct) != st.Session.Correct {
+		t.Errorf("/metrics correct = %v, OpStats says %d", correct, st.Session.Correct)
+	}
+
+	// Per-shard, per-op latency histograms. Re-scrape so the stats op
+	// issued just above is included.
+	body = scrape(t, srv)
+	for _, op := range []string{"open", "update", "stats"} {
+		series := `ntpd_shard_op_seconds_count{op="` + op + `",shard="` + shard + `"}`
+		if v := metricValue(t, body, series); v < 1 {
+			t.Errorf("%s = %v, want >= 1", series, v)
+		}
+	}
+	if sum := metricValue(t, body, `ntpd_shard_op_seconds_sum{op="update",shard="`+shard+`"}`); sum <= 0 {
+		t.Errorf("update op latency sum = %v, want > 0", sum)
+	}
+
+	// Request counters moved: open + update + stats = 3 frames.
+	if v := metricValue(t, body, "ntpd_requests_total"); v < 3 {
+		t.Errorf("ntpd_requests_total = %v, want >= 3", v)
+	}
+}
+
+// TestLoadgenHistogramReport runs a real loadgen pass and pins the
+// regression the histogram rewrite fixes: quantiles must be ordered,
+// within one bucket above the true samples (in particular p99 can no
+// longer come back below p50 on small request counts), and the report's
+// counters must agree with the histogram.
+func TestLoadgenHistogramReport(t *testing.T) {
+	s := captureTestStream(t)
+	srv := newTestServer(t, Config{Shards: 2})
+
+	reg := metrics.NewRegistry()
+	rep, err := RunLoadgen(nil, LoadgenConfig{
+		Addr:      srv.Addr().String(),
+		Stream:    s,
+		Conns:     2,
+		Sessions:  4,
+		Batch:     256,
+		Verify:    true,
+		Predictor: headlineConfig(),
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatalf("RunLoadgen: %v", err)
+	}
+	if !rep.Verified {
+		t.Error("loadgen did not verify server stats")
+	}
+	if rep.Latency == nil || rep.Latency.Count() != rep.Requests {
+		t.Fatalf("latency histogram count = %v, want one sample per request (%d)",
+			rep.Latency.Count(), rep.Requests)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("loadgen made no requests")
+	}
+	if !(rep.P50 <= rep.P90 && rep.P90 <= rep.P99 && rep.P99 <= rep.Max) {
+		t.Errorf("quantiles not ordered: p50 %v p90 %v p99 %v max %v",
+			rep.P50, rep.P90, rep.P99, rep.Max)
+	}
+	if rep.P50 <= 0 || rep.Max <= 0 {
+		t.Errorf("degenerate latency report: p50 %v max %v", rep.P50, rep.Max)
+	}
+	// Max is tracked exactly, and nearest-rank quantiles never exceed it.
+	if rep.Max != time.Duration(rep.Latency.Max()) {
+		t.Errorf("report max %v != histogram max %v", rep.Max, time.Duration(rep.Latency.Max()))
+	}
+
+	// The run's histogram is also registered for export.
+	var b strings.Builder
+	if err := reg.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if v := metricValue(t, b.String(), "loadgen_rtt_seconds_count"); v != float64(rep.Requests) {
+		t.Errorf("exported loadgen_rtt_seconds_count = %v, want %d", v, rep.Requests)
+	}
+}

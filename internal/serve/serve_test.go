@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -317,7 +318,7 @@ func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v 
 // requests get ErrDraining, in-flight requests complete, and Shutdown
 // returns cleanly.
 func TestServeDrain(t *testing.T) {
-	srv := newTestServer(t, Config{Shards: 1})
+	srv := newTestServer(t, Config{Shards: 1, AdminAddr: "127.0.0.1:0"})
 	cl, err := Dial(srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -326,6 +327,42 @@ func TestServeDrain(t *testing.T) {
 	if _, err := cl.Open(1); err != nil {
 		t.Fatal(err)
 	}
+
+	// Force the draining state while the connection is still open: the
+	// request must come back as a typed ErrDraining, and the reject must
+	// be visible in every stats surface (Stats, /varz, /metrics) — the
+	// counter used to be tracked but the drain path went unasserted.
+	srv.draining.Store(true)
+	if _, err := cl.Open(2); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Open while draining = %v, want ErrDraining", err)
+	}
+	if got := srv.Stats().DrainRejects; got != 1 {
+		t.Errorf("Stats().DrainRejects = %d, want 1", got)
+	}
+	adminGet := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.AdminAddr().String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		buf, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return buf
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(adminGet("/varz"), &vars); err != nil {
+		t.Fatalf("/varz JSON: %v", err)
+	}
+	if v, ok := vars["drain_rejects"].(float64); !ok || v != 1 {
+		t.Errorf("/varz drain_rejects = %v, want 1", vars["drain_rejects"])
+	}
+	if body := string(adminGet("/metrics")); !strings.Contains(body, "ntpd_drain_rejects_total 1") {
+		t.Errorf("/metrics missing ntpd_drain_rejects_total 1:\n%s", body)
+	}
+	srv.draining.Store(false)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

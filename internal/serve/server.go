@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pathtrace/internal/faults"
+	"pathtrace/internal/metrics"
 	"pathtrace/internal/predictor"
 )
 
@@ -66,6 +67,7 @@ type Server struct {
 	ln     net.Listener
 	shards []*shard
 	admin  *adminServer
+	reg    *metrics.Registry
 	start  time.Time
 
 	draining atomic.Bool
@@ -102,13 +104,15 @@ func NewServer(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		ln:    ln,
 		conns: map[net.Conn]struct{}{},
+		reg:   metrics.NewRegistry(),
 		start: time.Now(),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh := newShard(i, cfg.Predictor, cfg.Faults, cfg.QueueLen)
+		sh := newShard(i, cfg.Predictor, cfg.Faults, cfg.QueueLen, newShardMetrics(s.reg, i))
 		sh.start()
 		s.shards = append(s.shards, sh)
 	}
+	s.registerMetrics()
 	if cfg.AdminAddr != "" {
 		admin, err := newAdminServer(cfg.AdminAddr, s)
 		if err != nil {
@@ -124,6 +128,10 @@ func NewServer(cfg Config) (*Server, error) {
 
 // Addr returns the bound service address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Metrics returns the server's metric registry — the source behind the
+// admin listener's /metrics endpoint, exposed for in-process embedding.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // AdminAddr returns the bound admin address, or nil when disabled.
 func (s *Server) AdminAddr() net.Addr {

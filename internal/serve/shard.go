@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pathtrace/internal/faults"
 	"pathtrace/internal/predictor"
@@ -60,6 +61,7 @@ type shard struct {
 	queue    chan task
 	sessions map[uint64]*session
 	counters shardCounters
+	metrics  *shardMetrics // nil only in tests that build shards directly
 
 	// snap mirrors the shard's aggregate predictor stats and session
 	// count for the admin listener, which must not wait on the queue.
@@ -71,13 +73,14 @@ type shard struct {
 	wg sync.WaitGroup
 }
 
-func newShard(id int, cfg predictor.Config, fcfg *faults.Config, queueLen int) *shard {
+func newShard(id int, cfg predictor.Config, fcfg *faults.Config, queueLen int, m *shardMetrics) *shard {
 	return &shard{
 		id:       id,
 		cfg:      cfg,
 		fcfg:     fcfg,
 		queue:    make(chan task, queueLen),
 		sessions: make(map[uint64]*session),
+		metrics:  m,
 	}
 }
 
@@ -88,7 +91,10 @@ func (sh *shard) start() {
 	go func() {
 		defer sh.wg.Done()
 		for t := range sh.queue {
-			t.done(sh.process(t.req))
+			t0 := time.Now()
+			resp := sh.process(t.req)
+			sh.metrics.observe(t.req.op, time.Since(t0))
+			t.done(resp)
 			sh.publishSnapshot()
 		}
 	}()
@@ -153,6 +159,12 @@ func (sh *shard) process(req request) shardResp {
 func (sh *shard) open(id uint64) shardResp {
 	if _, ok := sh.sessions[id]; !ok {
 		cfg := sh.cfg
+		if sh.metrics != nil {
+			// Every session on the shard reports into the shard's event
+			// counters; the rollup is what operators watch, and the
+			// per-session split stays available via OpStats.
+			cfg.Recorder = &sh.metrics.rec
+		}
 		if sh.fcfg != nil {
 			// Injectors are not concurrency-safe and their draw streams
 			// are stateful; every predictor gets its own, seeded

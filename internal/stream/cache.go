@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"errors"
+	"os"
 	"sync"
 
 	"pathtrace/internal/trace"
@@ -40,6 +41,7 @@ type CacheStats struct {
 	Hits     uint64 // requests served from a stored stream
 	Failures uint64 // captures that returned an error (not stored)
 	Loads    uint64 // streams loaded from the stream directory
+	BadLoads uint64 // stream-directory loads rejected (corrupt, key mismatch)
 	Saves    uint64 // captured streams saved to the stream directory
 	Streams  int    // streams currently stored
 	Bytes    int64  // approximate footprint of stored streams
@@ -79,23 +81,32 @@ func (c *Cache) SetDir(dir string) error {
 
 // acquire produces the stream for key, from the stream directory when
 // one is configured and holds the key, otherwise by capturing (and then
-// saving, best-effort). Runs outside the cache lock.
-func (c *Cache) acquire(ctx context.Context, w *workload.Workload, key Key) (s *Stream, fromDisk, saved bool, err error) {
+// saving, best-effort). Runs outside the cache lock. badLoad reports a
+// stream file that existed but could not be used (corruption, key
+// mismatch) — the fallback capture both hides and, via the save,
+// repairs it, but the event itself must stay countable: a recurring
+// BadLoads stream is an operator's only signal that a stream directory
+// is being re-simulated instead of read.
+func (c *Cache) acquire(ctx context.Context, w *workload.Workload, key Key) (s *Stream, fromDisk, saved, badLoad bool, err error) {
 	c.mu.Lock()
 	dir := c.dir
 	c.mu.Unlock()
 	if dir != "" {
-		if s, err := LoadKey(dir, key); err == nil {
-			return s, true, false, nil
+		s, lerr := LoadKey(dir, key)
+		if lerr == nil {
+			return s, true, false, false, nil
 		}
+		badLoad = !errors.Is(lerr, os.ErrNotExist)
 	}
 	s, err = Capture(ctx, w, key.Limit, key.Sel)
 	if err == nil && dir != "" {
+		// Save overwrites atomically, so a bad stream file is repaired in
+		// place and the next process loads it cleanly.
 		if _, serr := s.Save(dir); serr == nil {
 			saved = true
 		}
 	}
-	return s, false, saved, err
+	return s, false, saved, badLoad, err
 }
 
 // Get returns the stream for (w, limit, sel), capturing it on first
@@ -111,9 +122,12 @@ func (c *Cache) Get(ctx context.Context, w *workload.Workload, limit uint64, sel
 			e = &entry{done: make(chan struct{})}
 			c.entries[key] = e
 			c.mu.Unlock()
-			var fromDisk, saved bool
-			e.s, fromDisk, saved, e.err = c.acquire(ctx, w, key)
+			var fromDisk, saved, badLoad bool
+			e.s, fromDisk, saved, badLoad, e.err = c.acquire(ctx, w, key)
 			c.mu.Lock()
+			if badLoad {
+				c.stats.BadLoads++
+			}
 			// Guard against a concurrent Reset having replaced the map:
 			// only account for (or remove) the entry if it is still ours.
 			if c.entries[key] == e {

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -153,10 +154,72 @@ func TestCacheStreamDir(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Get over corrupt file: %v", err)
 	}
-	if st := c3.Stats(); st.Captures != 1 || st.Loads != 0 || st.Saves != 1 {
-		t.Errorf("corrupt-fallback stats = %+v, want 1 capture, 0 loads, 1 save", st)
+	if st := c3.Stats(); st.Captures != 1 || st.Loads != 0 || st.Saves != 1 || st.BadLoads != 1 {
+		t.Errorf("corrupt-fallback stats = %+v, want 1 capture, 0 loads, 1 save, 1 bad load", st)
 	}
 	if !reflect.DeepEqual(s1, s3) {
 		t.Error("re-captured stream differs")
+	}
+
+	// The fallback save repaired the file: a fresh cache loads it.
+	c4 := NewCache()
+	if err := c4.SetDir(dir); err != nil {
+		t.Fatalf("SetDir: %v", err)
+	}
+	if _, err := c4.Get(nil, w, diskTestLimit, sel); err != nil {
+		t.Fatalf("Get after repair: %v", err)
+	}
+	if st := c4.Stats(); st.Loads != 1 || st.BadLoads != 0 || st.Captures != 0 {
+		t.Errorf("post-repair stats = %+v, want a clean load", st)
+	}
+}
+
+// TestCacheCorruptLoadNotPermanent pins the failure-retry contract in
+// the presence of a bad stream file: when the fallback capture also
+// fails (here: an already-expired context), the error must surface to
+// the caller, be counted, and NOT be cached — a later Get under a live
+// context must recover by re-capturing and repairing the file.
+func TestCacheCorruptLoadNotPermanent(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := workload.ByName("compress")
+	sel := trace.DefaultConfig()
+
+	// Seed a corrupt stream file under the key's name.
+	path := filepath.Join(dir, Key{Workload: w.Name, Limit: diskTestLimit, Sel: sel}.Filename())
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	if err := c.SetDir(dir); err != nil {
+		t.Fatalf("SetDir: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the load fails on corruption, then the capture on ctx
+	if _, err := c.Get(ctx, w, diskTestLimit, sel); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get(corrupt file, dead ctx) = %v, want context.Canceled", err)
+	}
+	if st := c.Stats(); st.Failures != 1 || st.BadLoads != 1 || st.Streams != 0 {
+		t.Errorf("failed-get stats = %+v, want 1 failure, 1 bad load, 0 streams", st)
+	}
+
+	// The failure was not negatively cached: the same cache, asked again
+	// under a live context, re-reads disk, falls back, and repairs.
+	s, err := c.Get(nil, w, diskTestLimit, sel)
+	if err != nil {
+		t.Fatalf("retry Get: %v", err)
+	}
+	st := c.Stats()
+	if st.Captures != 1 || st.BadLoads != 2 || st.Saves != 1 || st.Streams != 1 {
+		t.Errorf("retry stats = %+v, want 1 capture, 2 bad loads, 1 save, 1 stream", st)
+	}
+
+	// And the save genuinely repaired the file on disk.
+	got, err := LoadKey(dir, s.Key())
+	if err != nil {
+		t.Fatalf("LoadKey after repair: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Error("repaired file differs from captured stream")
 	}
 }

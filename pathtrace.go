@@ -43,6 +43,7 @@ import (
 	"pathtrace/internal/faults"
 	"pathtrace/internal/harness"
 	"pathtrace/internal/history"
+	"pathtrace/internal/metrics"
 	"pathtrace/internal/predictor"
 	"pathtrace/internal/sim"
 	"pathtrace/internal/stream"
@@ -151,6 +152,26 @@ type (
 	// RunError is a structured per-cell failure.
 	RunError = harness.RunError
 )
+
+// Observability.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms and
+	// renders the Prometheus text exposition format. Give one to
+	// HarnessConfig.Metrics (or serve it from ntpd's admin listener) to
+	// export live counters.
+	MetricsRegistry = metrics.Registry
+	// MetricsHistogram is a fixed-bucket log-scale latency histogram
+	// with exact max tracking and nearest-rank quantile reads.
+	MetricsHistogram = metrics.Histogram
+	// MetricsLabels are a series' constant labels.
+	MetricsLabels = metrics.Labels
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricsContentType is the HTTP Content-Type for rendered metrics.
+const MetricsContentType = metrics.ContentType
 
 // NewPredictor builds the predictor variant selected by cfg.
 func NewPredictor(cfg PredictorConfig) (Predictor, error) { return predictor.New(cfg) }
