@@ -21,6 +21,23 @@
 // the admin port, so a scrape of http://127.0.0.1:$(cat f)/metrics
 // needs no address parsing.
 //
+// Crash safety:
+//
+//	ntpd -addr ... -checkpoint-dir /var/lib/ntpd   # periodic snapshots + warm restart
+//	ntpd -addr ... -handoff peer:9191              # drain streams sessions to the peer
+//
+// With -checkpoint-dir, every session is periodically snapshotted
+// (versioned, checksummed frames; atomic rename) and a restarting
+// server reloads them before accepting traffic. On SIGTERM the drain
+// additionally snapshots every live session's final state and streams
+// it to the -handoff peer (retrying with backoff, spilling to the
+// checkpoint dir on failure) so a planned restart loses nothing.
+// The loadgen's -failover flag exercises the client half: a retrying
+// client with per-op deadlines, reconnect backoff with jitter, an
+// address failover list (-failover-addrs), and snapshot-per-ack
+// session recovery, which keeps -verify bit-identical across a server
+// kill.
+//
 // Load generation:
 //
 //	ntpd -loadgen -addr 127.0.0.1:9191 -stream .streams/compress_2000000_16-6.ntps
@@ -48,6 +65,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -70,6 +88,9 @@ func run() int {
 		portfile = flag.String("portfile", "", "write the bound data-plane port to this file once listening")
 		adminPF  = flag.String("adminportfile", "", "write the bound admin port to this file once listening")
 		drainT   = flag.Duration("drain", 10*time.Second, "graceful drain deadline on SIGTERM")
+		ckptDir  = flag.String("checkpoint-dir", "", "persist session snapshots here and warm-restart from them")
+		ckptEach = flag.Duration("checkpoint-every", 2*time.Second, "periodic checkpoint sweep interval")
+		handoff  = flag.String("handoff", "", "peer ntpd address to stream live sessions to at drain")
 
 		depth     = flag.Int("depth", 7, "predictor path-history depth")
 		indexBits = flag.Int("indexbits", 16, "correlated table index bits")
@@ -87,6 +108,8 @@ func run() int {
 		batch      = flag.Int("batch", 256, "loadgen: traces per Update request")
 		verify     = flag.Bool("verify", false, "loadgen: require server stats bit-identical to an in-process replay")
 		sessBase   = flag.Uint64("sessionbase", 1, "loadgen: first session id (pick fresh ids when reusing a server)")
+		failover   = flag.Bool("failover", false, "loadgen: retrying client that rides out server restarts (snapshot-per-ack recovery)")
+		failAddrs  = flag.String("failover-addrs", "", "loadgen: comma-separated server list for -failover (default: -addr)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -111,16 +134,18 @@ func run() int {
 			addr: *addr, streamPath: *streamPath, workload: *wl, length: *length,
 			conns: *conns, sessions: *sessions, batch: *batch, verify: *verify,
 			sessBase: *sessBase, pcfg: pcfg, fcfg: fcfg,
+			failover: *failover || *failAddrs != "", failAddrs: *failAddrs,
 		})
 	}
-	return runServe(*addr, *admin, *shards, *queue, *portfile, *adminPF, *drainT, pcfg, fcfg)
+	return runServe(serve.Config{
+		Addr: *addr, AdminAddr: *admin, Shards: *shards, QueueLen: *queue,
+		Predictor: pcfg, Faults: fcfg,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEach, HandoffAddr: *handoff,
+	}, *portfile, *adminPF, *drainT)
 }
 
-func runServe(addr, admin string, shards, queue int, portfile, adminPF string, drain time.Duration, pcfg predictor.Config, fcfg *faults.Config) int {
-	srv, err := serve.NewServer(serve.Config{
-		Addr: addr, AdminAddr: admin, Shards: shards, QueueLen: queue,
-		Predictor: pcfg, Faults: fcfg,
-	})
+func runServe(scfg serve.Config, portfile, adminPF string, drain time.Duration) int {
+	srv, err := serve.NewServer(scfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ntpd: %v\n", err)
 		return 1
@@ -170,6 +195,8 @@ type loadgenArgs struct {
 	conns, sessions, batch     int
 	sessBase                   uint64
 	verify                     bool
+	failover                   bool
+	failAddrs                  string
 	pcfg                       predictor.Config
 	fcfg                       *faults.Config
 }
@@ -206,12 +233,22 @@ func runLoadgen(a loadgenArgs) int {
 	}
 	fmt.Fprintf(os.Stderr, "ntpd: replaying %d traces (%s) against %s\n", s.Len(), s.Key(), a.addr)
 
-	rep, err := serve.RunLoadgen(context.Background(), serve.LoadgenConfig{
+	lcfg := serve.LoadgenConfig{
 		Addr: a.addr, Stream: s,
 		Conns: a.conns, Sessions: a.sessions, Batch: a.batch,
 		Verify: a.verify, Predictor: a.pcfg, Faults: a.fcfg,
 		SessionBase: a.sessBase,
-	})
+	}
+	if a.failover {
+		// Snapshot after every acked batch: recovery from a server kill
+		// is then exact, which is what -verify demands.
+		rcfg := serve.RetryConfig{SnapshotEvery: 1, Seed: 1}
+		if a.failAddrs != "" {
+			rcfg.Addrs = strings.Split(a.failAddrs, ",")
+		}
+		lcfg.Failover = &rcfg
+	}
+	rep, err := serve.RunLoadgen(context.Background(), lcfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ntpd: loadgen: %v\n", err)
 		return 1

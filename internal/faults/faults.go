@@ -267,6 +267,42 @@ func New(cfg Config) *Injector {
 // Config returns the plan the injector was built with.
 func (i *Injector) Config() Config { return i.cfg }
 
+// InjectorState is the complete serializable state of an injector: the
+// plan plus both PRNG stream positions, the per-class opportunity
+// counters and the fault tallies. An injector rebuilt via FromState
+// produces exactly the draw sequence the original would have produced
+// next — the property that lets a fault-injected predictor session be
+// snapshotted and resumed bit-identically elsewhere.
+type InjectorState struct {
+	Config Config
+	Fire   uint64 // fire-stream PRNG position
+	Eff    uint64 // effect-stream PRNG position
+	Ticks  [4]uint64
+	Stats  Stats
+}
+
+// State captures the injector for serialization.
+func (i *Injector) State() InjectorState {
+	return InjectorState{
+		Config: i.cfg,
+		Fire:   i.fire.s,
+		Eff:    i.eff.s,
+		Ticks:  i.ticks,
+		Stats:  i.stats,
+	}
+}
+
+// FromState rebuilds an injector mid-stream from a serialized state.
+func FromState(st InjectorState) *Injector {
+	return &Injector{
+		cfg:   st.Config.withDefaults(),
+		fire:  splitmix64{s: st.Fire},
+		eff:   splitmix64{s: st.Eff},
+		ticks: st.Ticks,
+		stats: st.Stats,
+	}
+}
+
 // Stats returns the counts of injected faults so far.
 func (i *Injector) Stats() Stats { return i.stats }
 

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"errors"
+	"io"
+)
+
+// Wire/storage fault injectors: deterministic corruptions of byte
+// streams and at-rest frames, for proving that decoders reject — and
+// never act on — torn, truncated or bit-flipped input. Unlike the
+// table/history injectors above (which model soft errors inside a hint
+// structure, where corruption may only cost accuracy), these model
+// failures of the serialization boundary, where corruption MUST be
+// detected: a snapshot restored from a torn write is a correctness bug.
+//
+// All corruption decisions derive from a caller-supplied seed through
+// the same splitmix64 PRNG the rest of the package uses, so a failing
+// case reproduces from its seed alone.
+
+// ErrTornWrite is the error a TornWriter returns once its budget is
+// exhausted — the io layer's analogue of a crash mid-write.
+var ErrTornWrite = errors.New("faults: torn write")
+
+// TornWriter passes through at most N bytes to W, then fails every
+// subsequent write: the classic power-cut torn frame. A write that
+// straddles the boundary is partially applied (short write), exactly
+// like a kernel buffer cut off mid-flush.
+type TornWriter struct {
+	W io.Writer
+	N int // bytes to pass through before tearing
+}
+
+// Write implements io.Writer.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	if t.N <= 0 {
+		return 0, ErrTornWrite
+	}
+	if len(p) <= t.N {
+		n, err := t.W.Write(p)
+		t.N -= n
+		return n, err
+	}
+	n, err := t.W.Write(p[:t.N])
+	t.N -= n
+	if err == nil {
+		err = ErrTornWrite
+	}
+	return n, err
+}
+
+// FlipBits returns a copy of b with nbits bit positions XOR-flipped,
+// chosen deterministically from seed. Duplicate draws may collapse, but
+// at least one bit always flips for non-empty input — the caller is
+// guaranteed a frame that differs from the original.
+func FlipBits(b []byte, seed uint64, nbits int) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	if len(out) == 0 || nbits < 1 {
+		return out
+	}
+	rng := splitmix64{s: seed ^ 0xc2b2ae3d27d4eb4f}
+	for i := 0; i < nbits; i++ {
+		pos := rng.intn(len(out) * 8)
+		out[pos/8] ^= 1 << uint(pos%8)
+	}
+	return out
+}
+
+// Truncate returns a prefix of b whose length is drawn deterministically
+// from seed in [0, len(b)): a short read / short write of the frame.
+func Truncate(b []byte, seed uint64) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	rng := splitmix64{s: seed ^ 0x9e3779b97f4a7c15}
+	n := rng.intn(len(b))
+	out := make([]byte, n)
+	copy(out, b[:n])
+	return out
+}

@@ -1,0 +1,70 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestTornWriterBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := &TornWriter{W: &buf, N: 10}
+
+	n, err := w.Write([]byte("12345"))
+	if n != 5 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// Straddles the boundary: 5 remaining, 8 offered -> short write.
+	n, err = w.Write([]byte("abcdefgh"))
+	if n != 5 || !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("straddling write: n=%d err=%v", n, err)
+	}
+	// Budget exhausted: every subsequent write fails outright.
+	n, err = w.Write([]byte("x"))
+	if n != 0 || !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("post-tear write: n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "12345abcde" {
+		t.Fatalf("written %q, want %q", got, "12345abcde")
+	}
+}
+
+func TestFlipBitsDeterministicAndDiffers(t *testing.T) {
+	orig := bytes.Repeat([]byte{0xA5}, 64)
+	a := FlipBits(orig, 42, 3)
+	b := FlipBits(orig, 42, 3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruptions")
+	}
+	if bytes.Equal(a, orig) {
+		t.Fatal("FlipBits returned an unmodified frame")
+	}
+	if c := FlipBits(orig, 43, 3); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical corruptions")
+	}
+	// Input must not be mutated.
+	if !bytes.Equal(orig, bytes.Repeat([]byte{0xA5}, 64)) {
+		t.Fatal("FlipBits mutated its input")
+	}
+	if got := FlipBits(nil, 1, 3); len(got) != 0 {
+		t.Fatalf("FlipBits(nil) = %v", got)
+	}
+}
+
+func TestTruncateDeterministicProperPrefix(t *testing.T) {
+	orig := bytes.Repeat([]byte{0x5A}, 64)
+	a := Truncate(orig, 9)
+	b := Truncate(orig, 9)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different truncations")
+	}
+	if len(a) >= len(orig) {
+		t.Fatalf("Truncate returned %d bytes, want a proper prefix of %d", len(a), len(orig))
+	}
+	if !bytes.Equal(a, orig[:len(a)]) {
+		t.Fatal("Truncate result is not a prefix of the input")
+	}
+	if got := Truncate(nil, 1); got != nil {
+		t.Fatalf("Truncate(nil) = %v", got)
+	}
+}

@@ -101,6 +101,38 @@ func (r *Reg) Size() int { return r.size }
 // Size); it distinguishes a cold register from one holding real zeros.
 func (r *Reg) Len() int { return r.n }
 
+// RegState is the exported, serializable state of a history register:
+// everything Push/At observe, without the fault hook (hooks are process
+// state and must be re-installed by whoever restores the register).
+type RegState struct {
+	IDs  [MaxSize]trace.HashedID
+	Size int
+	N    int
+}
+
+// State captures the register for serialization (session snapshots).
+func (r *Reg) State() RegState {
+	return RegState{IDs: r.ids, Size: r.size, N: r.n}
+}
+
+// RegFromState rebuilds a register from a serialized state, validating
+// the same invariants NewReg enforces plus the fill count. The restored
+// register carries no fault hook.
+func RegFromState(st RegState) (Reg, error) {
+	if st.Size < 1 || st.Size > MaxSize {
+		return Reg{}, fmt.Errorf("history: restored size %d outside [1, %d]", st.Size, MaxSize)
+	}
+	if st.N < 0 || st.N > st.Size {
+		return Reg{}, fmt.Errorf("history: restored fill %d outside [0, %d]", st.N, st.Size)
+	}
+	for i, id := range st.IDs {
+		if id >= 1<<trace.HashBits {
+			return Reg{}, fmt.Errorf("history: restored id[%d] = %#x exceeds %d bits", i, id, trace.HashBits)
+		}
+	}
+	return Reg{ids: st.IDs, size: st.Size, n: st.N}, nil
+}
+
 // PathKey is a comparable value identifying the exact contents of a
 // history register. It is used by the unbounded-table predictor, where
 // each unique path must map to its own entry.

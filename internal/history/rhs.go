@@ -96,6 +96,42 @@ func (s *ReturnStack) Restore(from *ReturnStack) {
 	s.max = from.max
 }
 
+// StackState is the exported, serializable state of a Return History
+// Stack: its capacity and the saved registers, deepest first.
+type StackState struct {
+	Max  int
+	Regs []RegState
+}
+
+// State captures the stack for serialization (session snapshots).
+func (s *ReturnStack) State() StackState {
+	st := StackState{Max: s.max, Regs: make([]RegState, len(s.stack))}
+	for i := range s.stack {
+		st.Regs[i] = s.stack[i].State()
+	}
+	return st
+}
+
+// StackFromState rebuilds a Return History Stack from a serialized
+// state, validating capacity and every saved register.
+func StackFromState(st StackState) (*ReturnStack, error) {
+	if st.Max < 1 {
+		return nil, fmt.Errorf("history: restored return stack depth %d < 1", st.Max)
+	}
+	if len(st.Regs) > st.Max {
+		return nil, fmt.Errorf("history: restored return stack holds %d > max %d entries", len(st.Regs), st.Max)
+	}
+	s := &ReturnStack{stack: make([]Reg, len(st.Regs), st.Max), max: st.Max}
+	for i, rs := range st.Regs {
+		r, err := RegFromState(rs)
+		if err != nil {
+			return nil, err
+		}
+		s.stack[i] = r
+	}
+	return s, nil
+}
+
 func (s *ReturnStack) push(h Reg) {
 	if len(s.stack) >= s.max {
 		// Discard the deepest (oldest) snapshot.

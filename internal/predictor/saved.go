@@ -1,0 +1,387 @@
+package predictor
+
+import (
+	"errors"
+	"fmt"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/history"
+)
+
+// This file implements full-state save/restore for the table-bounded
+// predictor variants. The paper's predictor is pure state — tables, the
+// path history register, the Return History Stack and (here) the fault
+// injector's PRNG positions — so a live predictor can be serialized and
+// resumed bit-identically on another machine: every subsequent
+// Predict/Update round produces exactly the output the original would
+// have produced. That property is what turns a serving drain into a
+// zero-loss session handoff (internal/snapshot + internal/serve).
+//
+// Save captures state at a round boundary: the token of an outstanding
+// Predict is NOT part of the state, so callers must snapshot between
+// Update and the next Predict (the serving layer's request boundaries
+// satisfy this by construction).
+
+// Typed errors for the save/restore layer.
+var (
+	// ErrNotSnapshottable reports a predictor variant without full-state
+	// save support (the unbounded study variants).
+	ErrNotSnapshottable = errors.New("predictor: variant not snapshottable")
+	// ErrStateMismatch reports a saved state whose geometry differs from
+	// the restoring configuration — restoring it would silently change
+	// what the session predicts, so it is refused.
+	ErrStateMismatch = errors.New("predictor: saved state incompatible with config")
+	// ErrBadState reports a structurally invalid saved state (index out
+	// of range, counter overflow, malformed history).
+	ErrBadState = errors.New("predictor: invalid saved state")
+)
+
+// SavedKind identifies the predictor variant a SavedState came from.
+type SavedKind uint8
+
+const (
+	// SavedBasic is the single-table correlated predictor (§3.2).
+	SavedBasic SavedKind = 1
+	// SavedHybrid is the hybrid predictor with secondary table and
+	// optional RHS (§3.3–§3.4).
+	SavedHybrid SavedKind = 2
+)
+
+// SavedEntry is one valid correlated-table (or basic-table) entry.
+type SavedEntry struct {
+	Index    uint32
+	Tag      uint16 // zero for the untagged basic table
+	Val      uint64
+	Alt      uint64
+	Ctr      uint8
+	AltValid bool
+}
+
+// SavedSecEntry is one valid secondary-table entry.
+type SavedSecEntry struct {
+	Index uint32
+	Val   uint64
+	Ctr   uint8
+}
+
+// SavedState is the complete state of a basic or hybrid predictor:
+// geometry (so a restore can verify it matches), accuracy counters,
+// path history, RHS, fault-injector state, and the valid table entries
+// in ascending index order (tables are usually sparse, so only valid
+// entries are carried).
+type SavedState struct {
+	Kind SavedKind
+
+	// Geometry, mirroring Config after defaults.
+	Depth, IndexBits             int
+	DOLC                         history.DOLC
+	SecondaryBits, TagBits       int
+	RHSDepth                     int
+	CounterBits, CounterInc      int
+	CounterDec                   int
+	SecCounterBits, SecCounterDec int
+	UseRHS, CostReduced          bool
+	SecondaryFilter              bool
+
+	Stats  Stats
+	Hist   history.RegState
+	RHS    *history.StackState    // nil unless UseRHS
+	Faults *faults.InjectorState  // nil unless fault injection active
+
+	Corr []SavedEntry
+	Sec  []SavedSecEntry // hybrid only
+}
+
+// Save captures the predictor's complete state. It fails with
+// ErrNotSnapshottable for variants without save support.
+func Save(p NextTracePredictor) (*SavedState, error) {
+	switch v := p.(type) {
+	case *Hybrid:
+		return v.saveState(), nil
+	case *basic:
+		return v.saveState(), nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrNotSnapshottable, p)
+	}
+}
+
+func (p *Hybrid) saveState() *SavedState {
+	cfg := p.cfg
+	st := &SavedState{
+		Kind:            SavedHybrid,
+		Depth:           cfg.Depth,
+		IndexBits:       cfg.IndexBits,
+		DOLC:            cfg.DOLC,
+		SecondaryBits:   cfg.SecondaryBits,
+		TagBits:         cfg.TagBits,
+		RHSDepth:        cfg.RHSDepth,
+		CounterBits:     cfg.CounterBits,
+		CounterInc:      cfg.CounterInc,
+		CounterDec:      cfg.CounterDec,
+		SecCounterBits:  cfg.SecCounterBits,
+		SecCounterDec:   cfg.SecCounterDec,
+		UseRHS:          p.rhs != nil,
+		CostReduced:     cfg.CostReduced,
+		SecondaryFilter: p.secFilter,
+		Stats:           p.stats,
+		Hist:            p.hist.State(),
+	}
+	if p.rhs != nil {
+		s := p.rhs.State()
+		st.RHS = &s
+	}
+	if cfg.Faults != nil {
+		fs := cfg.Faults.State()
+		st.Faults = &fs
+	}
+	for i := range p.corr {
+		e := &p.corr[i]
+		if !e.valid {
+			continue
+		}
+		st.Corr = append(st.Corr, SavedEntry{
+			Index: uint32(i), Tag: e.tag, Val: e.val, Alt: e.alt,
+			Ctr: e.ctr, AltValid: e.altValid,
+		})
+	}
+	for i := range p.sec {
+		e := &p.sec[i]
+		if !e.valid {
+			continue
+		}
+		st.Sec = append(st.Sec, SavedSecEntry{Index: uint32(i), Val: e.val, Ctr: e.ctr})
+	}
+	return st
+}
+
+func (b *basic) saveState() *SavedState {
+	cfg := b.cfg
+	st := &SavedState{
+		Kind:            SavedBasic,
+		Depth:           cfg.Depth,
+		IndexBits:       cfg.IndexBits,
+		DOLC:            cfg.DOLC,
+		SecondaryBits:   cfg.SecondaryBits,
+		TagBits:         cfg.TagBits,
+		RHSDepth:        cfg.RHSDepth,
+		CounterBits:     cfg.CounterBits,
+		CounterInc:      cfg.CounterInc,
+		CounterDec:      cfg.CounterDec,
+		SecCounterBits:  cfg.SecCounterBits,
+		SecCounterDec:   cfg.SecCounterDec,
+		CostReduced:     cfg.CostReduced,
+		SecondaryFilter: *cfg.SecondaryFilter,
+		Stats:           b.stats,
+		Hist:            b.hist.State(),
+	}
+	if cfg.Faults != nil {
+		fs := cfg.Faults.State()
+		st.Faults = &fs
+	}
+	for i := range b.table {
+		e := &b.table[i]
+		if !e.valid {
+			continue
+		}
+		st.Corr = append(st.Corr, SavedEntry{
+			Index: uint32(i), Val: e.val, Alt: e.alt,
+			Ctr: e.ctr, AltValid: e.altValid,
+		})
+	}
+	return st
+}
+
+// compatibleWith verifies that the saved geometry matches a normalized
+// configuration field for field, so a restore can never silently change
+// what a session predicts (or how big its tables are).
+func (st *SavedState) compatibleWith(full Config) error {
+	mism := func(field string, got, want any) error {
+		return fmt.Errorf("%w: %s saved %v vs config %v", ErrStateMismatch, field, got, want)
+	}
+	wantKind := SavedBasic
+	if full.Hybrid {
+		wantKind = SavedHybrid
+	}
+	if st.Kind != wantKind {
+		return mism("kind", st.Kind, wantKind)
+	}
+	if st.Depth != full.Depth {
+		return mism("depth", st.Depth, full.Depth)
+	}
+	if st.IndexBits != full.IndexBits {
+		return mism("index bits", st.IndexBits, full.IndexBits)
+	}
+	if st.DOLC != full.DOLC {
+		return mism("DOLC", st.DOLC, full.DOLC)
+	}
+	if st.CostReduced != full.CostReduced {
+		return mism("cost-reduced", st.CostReduced, full.CostReduced)
+	}
+	if st.CounterBits != full.CounterBits || st.CounterInc != full.CounterInc || st.CounterDec != full.CounterDec {
+		return mism("counter policy",
+			[3]int{st.CounterBits, st.CounterInc, st.CounterDec},
+			[3]int{full.CounterBits, full.CounterInc, full.CounterDec})
+	}
+	if !full.Hybrid {
+		if st.UseRHS {
+			return mism("RHS", true, false)
+		}
+		return nil
+	}
+	if st.SecondaryBits != full.SecondaryBits {
+		return mism("secondary bits", st.SecondaryBits, full.SecondaryBits)
+	}
+	if st.TagBits != full.TagBits {
+		return mism("tag bits", st.TagBits, full.TagBits)
+	}
+	if st.SecCounterBits != full.SecCounterBits || st.SecCounterDec != full.SecCounterDec {
+		return mism("secondary counter policy",
+			[2]int{st.SecCounterBits, st.SecCounterDec},
+			[2]int{full.SecCounterBits, full.SecCounterDec})
+	}
+	if st.SecondaryFilter != *full.SecondaryFilter {
+		return mism("secondary filter", st.SecondaryFilter, *full.SecondaryFilter)
+	}
+	if st.UseRHS != full.UseRHS {
+		return mism("RHS", st.UseRHS, full.UseRHS)
+	}
+	if full.UseRHS && st.RHSDepth != full.RHSDepth {
+		return mism("RHS depth", st.RHSDepth, full.RHSDepth)
+	}
+	return nil
+}
+
+// checkEntries validates saved table entries against a table geometry:
+// ascending unique indices in range, counters within width, values
+// within the stored-identifier width.
+func checkEntries(what string, ctrBits, valBits int, idx func(i int) uint32, ctr func(i int) uint8, vals func(i int) []uint64, size, count int) error {
+	prev := -1
+	maxCtr := uint8(ctrMax(ctrBits))
+	for i := 0; i < count; i++ {
+		ix := idx(i)
+		if int(ix) >= size {
+			return fmt.Errorf("%w: %s index %d outside table of %d", ErrBadState, what, ix, size)
+		}
+		if int(ix) <= prev {
+			return fmt.Errorf("%w: %s indices not strictly ascending at %d", ErrBadState, what, ix)
+		}
+		prev = int(ix)
+		if c := ctr(i); c > maxCtr {
+			return fmt.Errorf("%w: %s counter %d exceeds %d-bit max", ErrBadState, what, c, ctrBits)
+		}
+		for _, v := range vals(i) {
+			if valBits < 64 && v>>uint(valBits) != 0 {
+				return fmt.Errorf("%w: %s value %#x exceeds %d bits", ErrBadState, what, v, valBits)
+			}
+		}
+	}
+	return nil
+}
+
+// Restore builds a predictor of cfg's variant and loads st into it.
+// cfg supplies the process-local attachments (Recorder, and a fault
+// injector used only when st carries no injector state); geometry must
+// match st exactly or Restore fails with ErrStateMismatch. When st
+// carries injector state, the injector is rebuilt from it — mid-stream
+// PRNG positions included — so a fault-injected session resumes the
+// same fault sequence it would have seen uninterrupted.
+func Restore(st *SavedState, cfg Config) (NextTracePredictor, error) {
+	if st == nil {
+		return nil, fmt.Errorf("%w: nil state", ErrBadState)
+	}
+	cfg.Hybrid = st.Kind == SavedHybrid
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := st.compatibleWith(full); err != nil {
+		return nil, err
+	}
+	if st.Faults != nil {
+		full.Faults = faults.FromState(*st.Faults)
+	}
+	hist, err := history.RegFromState(st.Hist)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if hist.Size() != full.Depth+1 {
+		return nil, fmt.Errorf("%w: history size %d for depth %d", ErrBadState, hist.Size(), full.Depth)
+	}
+	valBits := full.valBits()
+
+	switch st.Kind {
+	case SavedHybrid:
+		if err := checkEntries("correlated", full.CounterBits, valBits,
+			func(i int) uint32 { return st.Corr[i].Index },
+			func(i int) uint8 { return st.Corr[i].Ctr },
+			func(i int) []uint64 { return []uint64{st.Corr[i].Val, st.Corr[i].Alt} },
+			1<<full.IndexBits, len(st.Corr)); err != nil {
+			return nil, err
+		}
+		if err := checkEntries("secondary", full.SecCounterBits, valBits,
+			func(i int) uint32 { return st.Sec[i].Index },
+			func(i int) uint8 { return st.Sec[i].Ctr },
+			func(i int) []uint64 { return []uint64{st.Sec[i].Val} },
+			1<<full.SecondaryBits, len(st.Sec)); err != nil {
+			return nil, err
+		}
+		if full.UseRHS && st.RHS == nil {
+			return nil, fmt.Errorf("%w: RHS enabled but no RHS state", ErrBadState)
+		}
+		p, err := newHybrid(full)
+		if err != nil {
+			return nil, err
+		}
+		p.hist = hist
+		if full.Faults != nil {
+			p.hist.SetFaultHook(full.Faults)
+		}
+		if st.RHS != nil {
+			rhs, err := history.StackFromState(*st.RHS)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadState, err)
+			}
+			p.rhs = rhs
+		}
+		p.stats = st.Stats
+		for _, e := range st.Corr {
+			p.corr[e.Index] = corrEntry{
+				tag: e.Tag, val: e.Val, alt: e.Alt, ctr: e.Ctr,
+				valid: true, altValid: e.AltValid,
+			}
+		}
+		for _, e := range st.Sec {
+			p.sec[e.Index] = secEntry{val: e.Val, ctr: e.Ctr, valid: true}
+		}
+		return p, nil
+
+	case SavedBasic:
+		if err := checkEntries("table", full.CounterBits, valBits,
+			func(i int) uint32 { return st.Corr[i].Index },
+			func(i int) uint8 { return st.Corr[i].Ctr },
+			func(i int) []uint64 { return []uint64{st.Corr[i].Val, st.Corr[i].Alt} },
+			1<<full.IndexBits, len(st.Corr)); err != nil {
+			return nil, err
+		}
+		if len(st.Sec) != 0 {
+			return nil, fmt.Errorf("%w: basic predictor with secondary entries", ErrBadState)
+		}
+		b, err := newBasic(full)
+		if err != nil {
+			return nil, err
+		}
+		b.hist = hist
+		if full.Faults != nil {
+			b.hist.SetFaultHook(full.Faults)
+		}
+		b.stats = st.Stats
+		for _, e := range st.Corr {
+			b.table[e.Index] = basicEntry{
+				val: e.Val, alt: e.Alt, ctr: e.Ctr,
+				valid: true, altValid: e.AltValid,
+			}
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("%w: unknown kind %d", ErrBadState, st.Kind)
+}

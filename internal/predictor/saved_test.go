@@ -1,0 +1,171 @@
+package predictor
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/trace"
+)
+
+// randStream generates a deterministic pseudo-random trace stream with
+// calls and returns, exercising the history register, the RHS and both
+// tables.
+func randStream(seed int64, n int) []*trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*trace.Trace, n)
+	for i := range out {
+		t := tr(0x1000+uint32(rng.Intn(256))*4, uint8(rng.Intn(64)))
+		t.Calls = rng.Intn(3)
+		t.EndsInRet = rng.Intn(4) == 0
+		out[i] = t
+	}
+	return out
+}
+
+// checkSaveRestore warms a predictor, saves it mid-stream, restores it
+// under restoreCfg, and asserts the original and the restored copy stay
+// bit-identical — same Prediction every round, same Stats — over a
+// fresh tail of the stream.
+func checkSaveRestore(t *testing.T, buildCfg, restoreCfg Config) {
+	t.Helper()
+	warm := randStream(11, 4000)
+	tail := randStream(13, 2000)
+
+	orig := MustNew(buildCfg)
+	for _, tc := range warm {
+		orig.Predict()
+		orig.Update(tc)
+	}
+	st, err := Save(orig)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := Restore(st, restoreCfg)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got, want := restored.Stats(), orig.Stats(); got != want {
+		t.Fatalf("restored stats %+v != original %+v", got, want)
+	}
+	for i, tc := range tail {
+		a, b := orig.Predict(), restored.Predict()
+		if a != b {
+			t.Fatalf("round %d: original predicted %+v, restored %+v", i, a, b)
+		}
+		orig.Update(tc)
+		restored.Update(tc)
+	}
+	if got, want := restored.Stats(), orig.Stats(); got != want {
+		t.Fatalf("after tail: restored stats %+v != original %+v", got, want)
+	}
+}
+
+func TestSaveRestoreBitIdentical(t *testing.T) {
+	cases := map[string]Config{
+		"basic":       {Depth: 3, IndexBits: 12},
+		"hybrid":      {Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true},
+		"hybridNoRHS": {Depth: 5, IndexBits: 12, Hybrid: true},
+		"costReduced": {Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true, CostReduced: true},
+	}
+	for name, cfg := range cases {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) { checkSaveRestore(t, cfg, cfg) })
+	}
+}
+
+// A fault-injected session must resume the exact fault sequence: the
+// saved state carries the injector's PRNG positions, so the restore
+// side needs no injector of its own.
+func TestSaveRestoreResumesFaultStream(t *testing.T) {
+	buildCfg := Config{
+		Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true,
+		Faults: faults.New(faults.Config{Seed: 7, Table: 0.02, Secondary: 0.02, History: 0.02, Bits: 2}),
+	}
+	restoreCfg := buildCfg
+	restoreCfg.Faults = nil
+	checkSaveRestore(t, buildCfg, restoreCfg)
+}
+
+func TestSaveUnboundedNotSnapshottable(t *testing.T) {
+	p := MustNewUnbounded(UnboundedConfig{Depth: 5, Hybrid: true, UseRHS: true})
+	if _, err := Save(p); !errors.Is(err, ErrNotSnapshottable) {
+		t.Fatalf("Save(unbounded) = %v, want ErrNotSnapshottable", err)
+	}
+}
+
+// warmState trains a predictor on a short stream and saves it.
+func warmState(t *testing.T, cfg Config) *SavedState {
+	t.Helper()
+	p := MustNew(cfg)
+	for _, tc := range randStream(5, 500) {
+		p.Predict()
+		p.Update(tc)
+	}
+	st, err := Save(p)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return st
+}
+
+func TestRestoreGeometryMismatch(t *testing.T) {
+	cfg := Config{Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true}
+	st := warmState(t, cfg)
+	cases := map[string]Config{
+		"indexBits":   {Depth: 7, IndexBits: 13, Hybrid: true, UseRHS: true},
+		"depth":       {Depth: 6, IndexBits: 12, Hybrid: true, UseRHS: true},
+		"noRHS":       {Depth: 7, IndexBits: 12, Hybrid: true},
+		"costReduced": {Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true, CostReduced: true},
+		"tagBits":     {Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true, TagBits: 8},
+	}
+	for name, c := range cases {
+		if _, err := Restore(st, c); !errors.Is(err, ErrStateMismatch) {
+			t.Errorf("%s: Restore = %v, want ErrStateMismatch", name, err)
+		}
+	}
+}
+
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	cfg := Config{Depth: 4, IndexBits: 10, Hybrid: true, UseRHS: true}
+	mutations := map[string]func(*SavedState){
+		"corr index out of range": func(st *SavedState) { st.Corr[0].Index = 1 << 30 },
+		"corr indices not ascending": func(st *SavedState) {
+			st.Corr[1].Index = st.Corr[0].Index
+		},
+		"corr counter overflow": func(st *SavedState) { st.Corr[0].Ctr = 0xFF },
+		"corr value overflow":   func(st *SavedState) { st.Corr[0].Val = 1 << 63 },
+		"sec index out of range": func(st *SavedState) {
+			st.Sec[0].Index = 1 << 30
+		},
+		"sec counter overflow": func(st *SavedState) { st.Sec[0].Ctr = 0xFF },
+		"history size":         func(st *SavedState) { st.Hist.Size = 0 },
+		"history fill":         func(st *SavedState) { st.Hist.N = 99 },
+		"missing RHS":          func(st *SavedState) { st.RHS = nil },
+		"rhs bad capacity":     func(st *SavedState) { st.RHS.Max = 0 },
+	}
+	for name, mut := range mutations {
+		st := warmState(t, cfg)
+		if len(st.Corr) < 2 || len(st.Sec) < 1 {
+			t.Fatalf("warm state too sparse for mutation %q (corr %d, sec %d)",
+				name, len(st.Corr), len(st.Sec))
+		}
+		mut(st)
+		if _, err := Restore(st, cfg); !errors.Is(err, ErrBadState) {
+			t.Errorf("%s: Restore = %v, want ErrBadState", name, err)
+		}
+	}
+	if _, err := Restore(nil, cfg); !errors.Is(err, ErrBadState) {
+		t.Errorf("Restore(nil) = %v, want ErrBadState", err)
+	}
+}
+
+func TestRestoreRejectsBasicWithSecondaryEntries(t *testing.T) {
+	cfg := Config{Depth: 3, IndexBits: 10}
+	st := warmState(t, cfg)
+	st.Sec = append(st.Sec, SavedSecEntry{Index: 0, Val: 1, Ctr: 0})
+	if _, err := Restore(st, cfg); !errors.Is(err, ErrBadState) {
+		t.Fatalf("Restore = %v, want ErrBadState", err)
+	}
+}

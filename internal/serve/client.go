@@ -16,14 +16,16 @@ import (
 // serialises the connection); run one Client per connection and
 // multiple Clients for parallelism.
 type Client struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	br    *bufio.Reader
-	bw    *bufio.Writer
-	reqID uint32
-	buf   []byte // request frame scratch, reused
-	ubuf  []byte // update body scratch, reused
-	rbuf  []byte // response scratch, reused
+	mu        sync.Mutex
+	conn      net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	reqID     uint32
+	opTimeout time.Duration     // per-op deadline, 0 = none
+	seqs      map[uint64]uint64 // per-session last acked update sequence
+	buf       []byte            // request frame scratch, reused
+	ubuf      []byte            // update body scratch, reused
+	rbuf      []byte            // response scratch, reused
 }
 
 // Dial connects to an ntpd server.
@@ -44,15 +46,28 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 1<<16),
 		bw:   bufio.NewWriterSize(conn, 1<<16),
+		seqs: map[uint64]uint64{},
 	}, nil
 }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetOpTimeout bounds every subsequent call's network round trip: the
+// connection deadline is rearmed per op, so a dead or wedged server
+// fails the call instead of hanging it. Zero restores blocking calls.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opTimeout = d
+}
+
 // roundTrip sends one request frame and reads its response, returning
 // the response body. Must be called with c.mu held.
 func (c *Client) roundTrip(op uint8, session uint64, body []byte) ([]byte, error) {
+	if c.opTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+	}
 	c.reqID++
 	id := c.reqID
 	c.buf = c.buf[:0]
@@ -88,19 +103,24 @@ func (c *Client) roundTrip(op uint8, session uint64, body []byte) ([]byte, error
 	return payload[respHeaderBytes:], nil
 }
 
-// Open creates (or re-attaches to) a session and returns the shard it
-// is pinned to.
-func (c *Client) Open(session uint64) (shard uint32, err error) {
+// Open creates (or re-attaches to) a session. It returns the shard the
+// session is pinned to and the session's last applied update sequence;
+// the client seeds its own sequence counter from it, so updates after a
+// reconnect neither collide with the server's duplicate detector nor
+// bypass it.
+func (c *Client) Open(session uint64) (shard uint32, lastSeq uint64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	body, err := c.roundTrip(OpOpen, session, nil)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if len(body) != 4 {
-		return 0, fmt.Errorf("%w: open response %d bytes", ErrFrame, len(body))
+	if len(body) != openRespBytes {
+		return 0, 0, fmt.Errorf("%w: open response %d bytes", ErrFrame, len(body))
 	}
-	return le.Uint32(body), nil
+	lastSeq = le.Uint64(body[4:])
+	c.seqs[session] = lastSeq
+	return le.Uint32(body), lastSeq, nil
 }
 
 // Predict returns the session predictor's prediction for the next
@@ -122,20 +142,48 @@ func (c *Client) Predict(session uint64) (predictor.Prediction, error) {
 // in order; the server runs the strict Predict/Update alternation for
 // each. It returns how many traces were applied and how many of the
 // server's predictions for them were correct.
+//
+// When the session was opened through this client, each Update carries
+// the next sequence number in the session's stream, advanced only on a
+// successful ack: a resend after a lost ack reuses the sequence and the
+// server answers it from cache instead of re-training. Sessions not
+// opened here send sequence 0 (no duplicate detection).
 func (c *Client) Update(session uint64, traces []trace.Trace) (applied, correct uint32, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var seq uint64
+	if last, ok := c.seqs[session]; ok {
+		seq = last + 1
+	}
+	applied, correct, err = c.updateSeq(session, seq, traces)
+	if err == nil && seq != 0 {
+		c.seqs[session] = seq
+	}
+	return applied, correct, err
+}
+
+// UpdateSeq is Update with an explicit sequence number, for callers
+// that manage their own sequence streams (the retrying client, tests).
+// Sequence 0 disables duplicate detection for this batch.
+func (c *Client) UpdateSeq(session, seq uint64, traces []trace.Trace) (applied, correct uint32, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updateSeq(session, seq, traces)
+}
+
+func (c *Client) updateSeq(session, seq uint64, traces []trace.Trace) (applied, correct uint32, err error) {
 	if len(traces) > MaxBatch {
 		return 0, 0, fmt.Errorf("serve: batch %d exceeds MaxBatch %d", len(traces), MaxBatch)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	need := 4 + len(traces)*wireTraceBytes
+	need := updateHeaderBytes + len(traces)*wireTraceBytes
 	if cap(c.ubuf) < need {
 		c.ubuf = make([]byte, need)
 	}
 	body := c.ubuf[:need]
-	le.PutUint32(body, uint32(len(traces)))
+	le.PutUint64(body, seq)
+	le.PutUint32(body[8:], uint32(len(traces)))
 	for i := range traces {
-		putTrace(body[4+i*wireTraceBytes:], &traces[i])
+		putTrace(body[updateHeaderBytes+i*wireTraceBytes:], &traces[i])
 	}
 	resp, err := c.roundTrip(OpUpdate, session, body)
 	if err != nil {
@@ -145,6 +193,37 @@ func (c *Client) Update(session uint64, traces []trace.Trace) (applied, correct 
 		return 0, 0, fmt.Errorf("%w: update response %d bytes", ErrFrame, len(resp))
 	}
 	return le.Uint32(resp), le.Uint32(resp[4:]), nil
+}
+
+// Snapshot fetches the session's complete state as a checksummed
+// internal/snapshot frame, suitable for Restore on this or another
+// server.
+func (c *Client) Snapshot(session uint64) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(OpSnapshot, session, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The body aliases the reused response buffer; the frame outlives
+	// the next call, so copy.
+	return append([]byte(nil), body...), nil
+}
+
+// Restore installs a snapshot frame as the session's state, replacing
+// whatever the server had for it. The returned shard is where the
+// session now lives.
+func (c *Client) Restore(session uint64, frame []byte) (shard uint32, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	body, err := c.roundTrip(OpRestore, session, frame)
+	if err != nil {
+		return 0, err
+	}
+	if len(body) != 4 {
+		return 0, fmt.Errorf("%w: restore response %d bytes", ErrFrame, len(body))
+	}
+	return le.Uint32(body), nil
 }
 
 // SessionStats is the OpStats answer: where the session lives and the

@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/snapshot"
+	"pathtrace/internal/stream"
+	"pathtrace/internal/trace"
+)
+
+// This file covers the crash-safety cycle end to end: snapshot a live
+// session over the wire, move it between servers, drain to disk and
+// warm-restart from it, hand sessions to a peer at drain, reject
+// corrupted checkpoints, answer duplicate updates from cache, and ride
+// a retrying client through a server kill — in every case requiring
+// the surviving predictor state to be bit-identical to an
+// uninterrupted run.
+
+// updater is the Update surface shared by Client and RetryClient.
+type updater interface {
+	Update(session uint64, traces []trace.Trace) (applied, correct uint32, err error)
+}
+
+// feedBatches streams up to n batches of batchSize traces from cur
+// into the session; n < 0 drains the cursor. Returns batches sent.
+func feedBatches(t *testing.T, u updater, session uint64, cur *stream.Cursor, batchSize, n int) int {
+	t.Helper()
+	var tr trace.Trace
+	batch := make([]trace.Trace, 0, batchSize)
+	sent := 0
+	for n < 0 || sent < n {
+		batch = batch[:0]
+		for len(batch) < batchSize && cur.Next(&tr) {
+			batch = append(batch, tr)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		applied, _, err := u.Update(session, batch)
+		if err != nil {
+			t.Fatalf("update session %d (batch %d): %v", session, sent, err)
+		}
+		if int(applied) != len(batch) {
+			t.Fatalf("update session %d: applied %d of %d", session, applied, len(batch))
+		}
+		sent++
+	}
+	return sent
+}
+
+// refStats is the uninterrupted in-process replay every crash cycle
+// must reproduce exactly.
+func refStats(t *testing.T, s *stream.Stream) predictor.Stats {
+	t.Helper()
+	p := predictor.MustNew(headlineConfig())
+	if _, _, err := s.Replay(nil, func(tr *trace.Trace) {
+		p.Predict()
+		p.Update(tr)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p.Stats()
+}
+
+func dialT(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestSnapshotMovesSessionBetweenServers: half the stream on server A,
+// OpSnapshot, OpRestore onto an unrelated server B (different shard
+// count), the other half on B — stats bit-identical to no move at all.
+func TestSnapshotMovesSessionBetweenServers(t *testing.T) {
+	s := captureTestStream(t)
+	want := refStats(t, s)
+	srvA := newTestServer(t, Config{Shards: 2})
+	srvB := newTestServer(t, Config{Shards: 3})
+
+	const session, batch = 7, 128
+	clA := dialT(t, srvA)
+	if _, _, err := clA.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Cursor()
+	half := int(s.Len()) / batch / 2
+	feedBatches(t, clA, session, cur, batch, half)
+
+	frame, err := clA.Snapshot(session)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	clB := dialT(t, srvB)
+	if _, err := clB.Restore(session, frame); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	feedBatches(t, clB, session, cur, batch, -1)
+
+	st, err := clB.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(want) {
+		t.Errorf("moved session stats %+v, want %+v", st.Session, want)
+	}
+	if got := srvA.shardFor(session).counters.Snapshots.Load(); got != 1 {
+		t.Errorf("server A snapshot ops = %d, want 1", got)
+	}
+	if got := srvB.shardFor(session).counters.Restores.Load(); got != 1 {
+		t.Errorf("server B restores = %d, want 1", got)
+	}
+}
+
+// TestDrainSpillAndWarmRestart: a drained server spills its live
+// session to the checkpoint dir; a fresh server on the same dir
+// restores it before accepting traffic, Open reports the session's
+// last applied sequence (so the client's dedup stream continues), and
+// finishing the stream yields bit-identical stats.
+func TestDrainSpillAndWarmRestart(t *testing.T) {
+	s := captureTestStream(t)
+	want := refStats(t, s)
+	dir := t.TempDir()
+
+	const session, batch = 9, 128
+	srvA := newTestServer(t, Config{Shards: 2, CheckpointDir: dir})
+	clA := dialT(t, srvA)
+	if _, _, err := clA.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Cursor()
+	half := int(s.Len()) / batch / 2
+	sent := feedBatches(t, clA, session, cur, batch, half)
+	clA.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srvA.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := srvA.counters.LostSessions.Load(); got != 0 {
+		t.Fatalf("drain lost %d sessions", got)
+	}
+
+	srvB := newTestServer(t, Config{Shards: 2, CheckpointDir: dir})
+	if got := srvB.counters.RestoredSessions.Load(); got != 1 {
+		t.Fatalf("warm restart restored %d sessions, want 1", got)
+	}
+	clB := dialT(t, srvB)
+	_, lastSeq, err := clB.Open(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != uint64(sent) {
+		t.Errorf("restored session lastSeq = %d, want %d", lastSeq, sent)
+	}
+	feedBatches(t, clB, session, cur, batch, -1)
+
+	st, err := clB.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(want) {
+		t.Errorf("restarted session stats %+v, want %+v", st.Session, want)
+	}
+}
+
+// TestDrainHandsSessionsToPeer: draining a server with a handoff peer
+// streams the session (state and sequence position) to the peer, where
+// the stream finishes bit-identically.
+func TestDrainHandsSessionsToPeer(t *testing.T) {
+	s := captureTestStream(t)
+	want := refStats(t, s)
+	srvB := newTestServer(t, Config{Shards: 2})
+	srvA := newTestServer(t, Config{Shards: 2, HandoffAddr: srvB.Addr().String()})
+
+	const session, batch = 5, 128
+	clA := dialT(t, srvA)
+	if _, _, err := clA.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Cursor()
+	half := int(s.Len()) / batch / 2
+	sent := feedBatches(t, clA, session, cur, batch, half)
+	clA.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srvA.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := srvA.counters.HandoffSessions.Load(); got != 1 {
+		t.Fatalf("handoff sessions = %d, want 1", got)
+	}
+
+	clB := dialT(t, srvB)
+	_, lastSeq, err := clB.Open(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != uint64(sent) {
+		t.Errorf("handed-off session lastSeq = %d, want %d", lastSeq, sent)
+	}
+	feedBatches(t, clB, session, cur, batch, -1)
+
+	st, err := clB.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(want) {
+		t.Errorf("handed-off session stats %+v, want %+v", st.Session, want)
+	}
+}
+
+// TestCorruptCheckpointsSkippedOnRestart: bit-flipped and truncated
+// checkpoint files are counted and skipped at startup — never
+// installed, never fatal.
+func TestCorruptCheckpointsSkippedOnRestart(t *testing.T) {
+	s := captureTestStream(t)
+	dir := t.TempDir()
+
+	const session, batch = 1, 128
+	srvA := newTestServer(t, Config{Shards: 1, CheckpointDir: dir})
+	clA := dialT(t, srvA)
+	if _, _, err := clA.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	feedBatches(t, clA, session, s.Cursor(), batch, 20)
+	clA.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srvA.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	good, err := os.ReadFile(snapshotPath(dir, session))
+	if err != nil {
+		t.Fatalf("read spilled checkpoint: %v", err)
+	}
+	// Session 1's file: a flipped bit somewhere in the frame. Session
+	// 2's file: a torn prefix, as a crashed write would leave on a
+	// filesystem that reordered the rename.
+	if err := os.WriteFile(snapshotPath(dir, session), faults.FlipBits(good, 99, 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapshotPath(dir, 2), faults.Truncate(good, 7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srvB := newTestServer(t, Config{Shards: 1, CheckpointDir: dir})
+	if got := srvB.counters.RestoredSessions.Load(); got != 0 {
+		t.Errorf("restored %d sessions from corrupt dir, want 0", got)
+	}
+	if got := srvB.counters.CorruptSnapshots.Load(); got != 2 {
+		t.Errorf("corrupt snapshots = %d, want 2", got)
+	}
+}
+
+// TestDuplicateUpdateAnsweredFromCache: resending the session's last
+// acked sequence returns the cached ack without touching the
+// predictor — the exactly-once guarantee a retrying client leans on.
+func TestDuplicateUpdateAnsweredFromCache(t *testing.T) {
+	s := captureTestStream(t)
+	srv := newTestServer(t, Config{Shards: 1})
+	cl := dialT(t, srv)
+
+	const session = 3
+	if _, _, err := cl.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	var tr trace.Trace
+	cur := s.Cursor()
+	batch := make([]trace.Trace, 0, 64)
+	for len(batch) < 64 && cur.Next(&tr) {
+		batch = append(batch, tr)
+	}
+
+	applied1, correct1, err := cl.UpdateSeq(session, 1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := cl.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	applied2, correct2, err := cl.UpdateSeq(session, 1, batch) // retry after a "lost ack"
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied2 != applied1 || correct2 != correct1 {
+		t.Errorf("duplicate ack (%d, %d) differs from original (%d, %d)",
+			applied2, correct2, applied1, correct1)
+	}
+	st2, err := cl.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Session.Equal(st1.Session) {
+		t.Errorf("duplicate update changed predictor stats: %+v -> %+v", st1.Session, st2.Session)
+	}
+	if got := srv.shardFor(session).counters.DupUpdates.Load(); got != 1 {
+		t.Errorf("dup updates = %d, want 1", got)
+	}
+
+	// A *new* sequence with the same payload must apply (dedup is exact
+	// sequence match, not content hashing).
+	if _, _, err := cl.UpdateSeq(session, 2, batch); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := cl.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Session.Equal(st2.Session) {
+		t.Error("next sequence did not advance the predictor")
+	}
+}
+
+// TestRetryClientSurvivesServerKill is the client half of zero-loss:
+// with snapshot-per-ack recovery and a failover list, an abrupt server
+// death mid-stream (no drain, no checkpoint dir — the sessions really
+// are gone) is invisible to the caller, and the stream's final stats
+// are bit-identical to an uninterrupted run.
+func TestRetryClientSurvivesServerKill(t *testing.T) {
+	s := captureTestStream(t)
+	want := refStats(t, s)
+	srvA := newTestServer(t, Config{Shards: 2})
+	srvB := newTestServer(t, Config{Shards: 2})
+
+	rc, err := NewRetryClient(RetryConfig{
+		Addrs:         []string{srvA.Addr().String(), srvB.Addr().String()},
+		SnapshotEvery: 1,
+		Seed:          42,
+		BaseBackoff:   2 * time.Millisecond,
+		MaxBackoff:    50 * time.Millisecond,
+		MaxElapsed:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const session, batch = 11, 128
+	if _, _, err := rc.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Cursor()
+	half := int(s.Len()) / batch / 2
+	feedBatches(t, rc, session, cur, batch, half)
+
+	srvA.Close() // hard kill: no drain, session state on A is lost
+
+	feedBatches(t, rc, session, cur, batch, -1)
+	st, err := rc.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(want) {
+		t.Errorf("post-failover stats %+v, want %+v", st.Session, want)
+	}
+	if got := srvB.shardFor(session).counters.Restores.Load(); got == 0 {
+		t.Error("survivor server saw no restore — failover path not exercised")
+	}
+}
+
+// TestPeriodicCheckpointWritesFiles: with a short sweep interval, dirty
+// sessions reach disk without any shutdown, and the files decode.
+func TestPeriodicCheckpointWritesFiles(t *testing.T) {
+	s := captureTestStream(t)
+	dir := t.TempDir()
+	srv := newTestServer(t, Config{Shards: 1, CheckpointDir: dir, CheckpointEvery: 10 * time.Millisecond})
+	cl := dialT(t, srv)
+	const session = 4
+	if _, _, err := cl.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	feedBatches(t, cl, session, s.Cursor(), 128, 10)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(snapshotPath(dir, session)); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			ents, _ := os.ReadDir(dir)
+			var names []string
+			for _, e := range ents {
+				names = append(names, e.Name())
+			}
+			t.Fatalf("no checkpoint for session %d after 5s; dir has %v", session, names)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.ckpt.written.Load() == 0 {
+		t.Error("checkpoint writer persisted no files")
+	}
+	// The file must be a valid frame for this session (atomic rename
+	// means we never observe a partial write).
+	b, err := os.ReadFile(snapshotPath(dir, session))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := snapshot.Decode(b)
+	if err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+	if sess.ID != session {
+		t.Errorf("checkpoint holds session %d, want %d", sess.ID, session)
+	}
+}

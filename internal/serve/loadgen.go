@@ -44,6 +44,13 @@ type LoadgenConfig struct {
 	// histogram as loadgen_rtt_seconds, so an embedding process can
 	// export loadgen latency alongside its own series.
 	Metrics *metrics.Registry
+
+	// Failover, when non-nil, replaces each plain connection with a
+	// RetryClient built from this config: the run then rides out server
+	// restarts, reconnecting with backoff and re-establishing sessions
+	// from acked snapshots. An empty Addrs defaults to [Addr]; the
+	// jitter seed is varied per connection so workers desynchronize.
+	Failover *RetryConfig
 }
 
 func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
@@ -116,6 +123,15 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
+// lgConn is what a loadgen worker needs from its connection; satisfied
+// by both Client and RetryClient.
+type lgConn interface {
+	Open(session uint64) (shard uint32, lastSeq uint64, err error)
+	Update(session uint64, traces []trace.Trace) (applied, correct uint32, err error)
+	Stats(session uint64) (SessionStats, error)
+	Close() error
+}
+
 // lgSession is one session's replay state on a connection worker.
 type lgSession struct {
 	id     uint64
@@ -137,9 +153,20 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 	}
 
 	// Partition sessions across connections.
-	clients := make([]*Client, cfg.Conns)
+	clients := make([]lgConn, cfg.Conns)
 	for i := range clients {
-		c, err := Dial(cfg.Addr)
+		var c lgConn
+		var err error
+		if cfg.Failover != nil {
+			rcfg := *cfg.Failover
+			if len(rcfg.Addrs) == 0 {
+				rcfg.Addrs = []string{cfg.Addr}
+			}
+			rcfg.Seed += uint64(i)
+			c, err = NewRetryClient(rcfg)
+		} else {
+			c, err = Dial(cfg.Addr)
+		}
 		if err != nil {
 			closeAll(clients[:i])
 			return nil, err
@@ -152,7 +179,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 	for i := 0; i < cfg.Sessions; i++ {
 		id := cfg.SessionBase + uint64(i)
 		conn := i % cfg.Conns
-		if _, err := clients[conn].Open(id); err != nil {
+		if _, _, err := clients[conn].Open(id); err != nil {
 			return nil, fmt.Errorf("open session %d: %w", id, err)
 		}
 		perConn[conn] = append(perConn[conn], &lgSession{
@@ -194,7 +221,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 			continue
 		}
 		wg.Add(1)
-		go func(cl *Client, sessions []*lgSession) {
+		go func(cl lgConn, sessions []*lgSession) {
 			defer wg.Done()
 			var nTraces, nReq, nRetry, nCorrect uint64
 			live := sessions
@@ -320,7 +347,7 @@ func referenceStats(cfg LoadgenConfig) (predictor.Stats, error) {
 	return p.Stats(), nil
 }
 
-func closeAll(clients []*Client) {
+func closeAll(clients []lgConn) {
 	for _, c := range clients {
 		if c != nil {
 			c.Close()

@@ -45,16 +45,20 @@ func (r *predRecorder) Record(ev predictor.Event) {
 // histogram per request op plus the predictor event recorder. Built at
 // server startup; the shard loop only touches pre-registered atomics.
 type shardMetrics struct {
-	opSeconds [OpStats + 1]*metrics.Histogram // indexed by op byte
+	opSeconds [OpRestore + 1]*metrics.Histogram // indexed by op byte
 	rec       predRecorder
 }
 
 // opNames maps request op bytes to their metric label values.
-var opNames = [OpStats + 1]string{
-	OpOpen:    "open",
-	OpPredict: "predict",
-	OpUpdate:  "update",
-	OpStats:   "stats",
+// (opCheckpoint is internal and unmeasured: it is bulk work on the
+// shard goroutine, not a request.)
+var opNames = [OpRestore + 1]string{
+	OpOpen:     "open",
+	OpPredict:  "predict",
+	OpUpdate:   "update",
+	OpStats:    "stats",
+	OpSnapshot: "snapshot",
+	OpRestore:  "restore",
 }
 
 func newShardMetrics(reg *metrics.Registry, shardID int) *shardMetrics {
@@ -115,6 +119,45 @@ func (s *Server) registerMetrics() {
 	reg.CounterFunc("ntpd_drain_rejects_total", "Requests rejected with ErrDraining.", nil,
 		func() uint64 { return s.counters.DrainRejects.Load() })
 
+	// Crash-safety counters. Registered unconditionally — even with no
+	// checkpoint directory or handoff peer they render as explicit
+	// zeros, so dashboards and smoke greps never miss them.
+	reg.GaugeFunc("ntpd_checkpoint_restored_sessions", "Sessions restored from checkpoints at startup.", nil,
+		func() float64 { return float64(s.counters.RestoredSessions.Load()) })
+	reg.CounterFunc("ntpd_checkpoint_corrupt_total", "Checkpoint files rejected as corrupt or incompatible.", nil,
+		func() uint64 { return s.counters.CorruptSnapshots.Load() })
+	reg.CounterFunc("ntpd_checkpoint_written_total", "Checkpoint files persisted.", nil,
+		func() uint64 {
+			if s.ckpt == nil {
+				return 0
+			}
+			return s.ckpt.written.Load()
+		})
+	reg.CounterFunc("ntpd_checkpoint_write_errors_total", "Checkpoint writes that failed.", nil,
+		func() uint64 {
+			if s.ckpt == nil {
+				return 0
+			}
+			return s.ckpt.writeErrs.Load()
+		})
+	reg.CounterFunc("ntpd_checkpoint_dropped_total", "Checkpoint frames dropped because the writer was behind.", nil,
+		func() uint64 {
+			if s.ckpt == nil {
+				return 0
+			}
+			return s.ckpt.dropped.Load()
+		})
+	reg.CounterFunc("ntpd_handoff_sessions_total", "Sessions streamed to the handoff peer at drain.", nil,
+		func() uint64 { return s.counters.HandoffSessions.Load() })
+	reg.CounterFunc("ntpd_handoff_retry_total", "Handoff attempts that had to be retried.", nil,
+		func() uint64 { return s.counters.HandoffRetries.Load() })
+	reg.CounterFunc("ntpd_handoff_failed_total", "Sessions the handoff peer never accepted.", nil,
+		func() uint64 { return s.counters.HandoffFailed.Load() })
+	reg.CounterFunc("ntpd_drain_spilled_sessions_total", "Sessions spilled to the checkpoint dir at drain.", nil,
+		func() uint64 { return s.counters.SpilledSessions.Load() })
+	reg.CounterFunc("ntpd_drain_lost_sessions_total", "Sessions lost at drain (no peer, no dir, or writes failed).", nil,
+		func() uint64 { return s.counters.LostSessions.Load() })
+
 	for _, sh := range s.shards {
 		sh := sh
 		l := metrics.Labels{"shard": strconv.Itoa(sh.id)}
@@ -126,6 +169,14 @@ func (s *Server) registerMetrics() {
 			func() uint64 { return sh.counters.Traces.Load() })
 		reg.CounterFunc("ntpd_shard_overload_rejects_total", "Requests rejected with ErrOverloaded per shard.", l,
 			func() uint64 { return sh.counters.Overloads.Load() })
+		reg.CounterFunc("ntpd_snapshot_ops_total", "Session snapshot frames served per shard.", l,
+			func() uint64 { return sh.counters.Snapshots.Load() })
+		reg.CounterFunc("ntpd_snapshot_restores_total", "Sessions installed via OpRestore per shard.", l,
+			func() uint64 { return sh.counters.Restores.Load() })
+		reg.CounterFunc("ntpd_snapshot_restore_rejects_total", "OpRestore frames rejected per shard.", l,
+			func() uint64 { return sh.counters.RestoreRejects.Load() })
+		reg.CounterFunc("ntpd_update_dups_total", "Duplicate update sequences answered from cache per shard.", l,
+			func() uint64 { return sh.counters.DupUpdates.Load() })
 		reg.GaugeFunc("ntpd_shard_queue_depth", "Tasks waiting in the shard queue.", l,
 			func() float64 { return float64(len(sh.queue)) })
 		reg.GaugeFunc("ntpd_shard_sessions", "Sessions owned by the shard.", l,

@@ -66,7 +66,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	shardID, err := cl.Open(1)
+	shardID, _, err := cl.Open(1)
 	if err != nil {
 		t.Fatal(err)
 	}

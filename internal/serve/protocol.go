@@ -22,16 +22,43 @@
 //
 // Operations and their bodies:
 //
-//	OpOpen    req:  (empty)
-//	          resp: u32 shard
-//	OpPredict req:  (empty)
-//	          resp: u8 flags | u64 id | u64 alt | u16 hashed
-//	OpUpdate  req:  u32 count | count * trace (24 bytes each, see below)
-//	          resp: u32 applied | u32 correct
-//	OpStats   req:  (empty)
-//	          resp: u32 shard | u32 sessions | session Stats | shard Stats
-//	                (each Stats is 6 * u64: predictions, correct, cold,
-//	                fromSecondary, altCorrect, altPresent)
+//	OpOpen     req:  (empty)
+//	           resp: u32 shard | u64 lastSeq
+//	OpPredict  req:  (empty)
+//	           resp: u8 flags | u64 id | u64 alt | u16 hashed
+//	OpUpdate   req:  u64 seq | u32 count | count * trace (24 bytes each)
+//	           resp: u32 applied | u32 correct
+//	OpStats    req:  (empty)
+//	           resp: u32 shard | u32 sessions | session Stats | shard Stats
+//	                 (each Stats is 6 * u64: predictions, correct, cold,
+//	                 fromSecondary, altCorrect, altPresent)
+//	OpSnapshot req:  (empty)
+//	           resp: one internal/snapshot frame
+//	OpRestore  req:  one internal/snapshot frame
+//	           resp: u32 shard
+//
+// # Exactly-once updates
+//
+// An Update carries a per-session sequence number. The server remembers
+// the last applied sequence and its response; re-sending the same
+// sequence (a client retry after a lost ack) returns the cached
+// response without re-applying the batch, so crash/retry cycles leave
+// the predictor exactly where an uninterrupted run would. Sequence 0
+// opts out (no duplicate detection). OpOpen returns the session's last
+// applied sequence so a reconnecting client can seed its counter.
+//
+// # Session snapshots
+//
+// OpSnapshot serializes a session's complete predictor state into a
+// checksummed internal/snapshot frame; OpRestore installs such a frame
+// as a (new or replacement) session. Together they are the crash-safety
+// primitives: clients re-establish lost sessions from their last acked
+// snapshot, and a draining server streams its sessions to a peer.
+// Restore validates the frame end to end — checksum, structure, and
+// that the saved geometry matches the server's configured predictor —
+// and rejects anything else with StatusBadSnapshot, so a corrupt or
+// adversarial frame can neither install garbage state nor force large
+// allocations.
 //
 // A trace on the wire carries exactly the fields the predictor consumes
 // (identifier, hashed identifier, and the call/return metadata the
@@ -53,17 +80,25 @@ import (
 	"io"
 
 	"pathtrace/internal/predictor"
+	"pathtrace/internal/snapshot"
 	"pathtrace/internal/trace"
 )
 
 // Ops. The response op is the request op with the high bit set.
 const (
-	OpOpen    = 0x01
-	OpPredict = 0x02
-	OpUpdate  = 0x03
-	OpStats   = 0x04
+	OpOpen     = 0x01
+	OpPredict  = 0x02
+	OpUpdate   = 0x03
+	OpStats    = 0x04
+	OpSnapshot = 0x05
+	OpRestore  = 0x06
 
 	respBit = 0x80
+
+	// opCheckpoint is an internal pseudo-op enqueued by the server's
+	// checkpoint ticker, never parsed off the wire: it asks a shard to
+	// encode its dirty sessions on the shard goroutine.
+	opCheckpoint = 0xF0
 )
 
 // Status codes.
@@ -73,6 +108,7 @@ const (
 	StatusDraining       = 0x02
 	StatusUnknownSession = 0x03
 	StatusBadRequest     = 0x04
+	StatusBadSnapshot    = 0x05
 )
 
 // Typed protocol errors, one per non-OK status.
@@ -88,6 +124,10 @@ var (
 	ErrUnknownSession = errors.New("serve: unknown session")
 	// ErrBadRequest reports a structurally invalid request.
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrBadSnapshot reports an OpRestore frame that failed validation:
+	// corrupt, truncated, wrong version, or saved for a predictor
+	// geometry other than this server's. Not retryable as-is.
+	ErrBadSnapshot = errors.New("serve: bad snapshot")
 )
 
 // statusErr maps a wire status to its typed error (nil for StatusOK).
@@ -103,6 +143,8 @@ func statusErr(status uint8) error {
 		return ErrUnknownSession
 	case StatusBadRequest:
 		return ErrBadRequest
+	case StatusBadSnapshot:
+		return ErrBadSnapshot
 	default:
 		return fmt.Errorf("serve: unknown status 0x%02x", status)
 	}
@@ -119,6 +161,8 @@ func statusOf(err error) uint8 {
 		return StatusDraining
 	case errors.Is(err, ErrUnknownSession):
 		return StatusUnknownSession
+	case errors.Is(err, ErrBadSnapshot):
+		return StatusBadSnapshot
 	default:
 		return StatusBadRequest
 	}
@@ -129,16 +173,23 @@ func statusOf(err error) uint8 {
 const (
 	// MaxBatch bounds the traces in one Update request.
 	MaxBatch = 8192
-	// MaxFrame bounds a frame payload: the largest legal request is an
-	// Update of MaxBatch traces plus the request header.
-	MaxFrame = reqHeaderBytes + 4 + MaxBatch*wireTraceBytes
+	// MaxFrame bounds a frame payload: the larger of an Update of
+	// MaxBatch traces and an OpRestore carrying a full session snapshot
+	// (snapshot responses fit under the same bound: the response header
+	// is smaller than the request header).
+	MaxFrame = max(
+		reqHeaderBytes+updateHeaderBytes+MaxBatch*wireTraceBytes,
+		reqHeaderBytes+snapshot.MaxEncoded,
+	)
 )
 
 const (
-	reqHeaderBytes  = 1 + 4 + 8 // op, reqID, sessionID
-	respHeaderBytes = 1 + 4 + 1 // op|respBit, reqID, status
-	wireTraceBytes  = 24
-	statsBytes      = 6 * 8
+	reqHeaderBytes    = 1 + 4 + 8 // op, reqID, sessionID
+	respHeaderBytes   = 1 + 4 + 1 // op|respBit, reqID, status
+	updateHeaderBytes = 8 + 4     // seq, count
+	openRespBytes     = 4 + 8     // shard, lastSeq
+	wireTraceBytes    = 24
+	statsBytes        = 6 * 8
 )
 
 // ErrFrame reports a malformed or oversized frame; connections that
@@ -274,19 +325,20 @@ func getPrediction(buf []byte) predictor.Prediction {
 	}
 }
 
-// request is a decoded request frame. Traces alias the connection's
-// read buffer only until the dispatcher copies them; the shard owns the
-// copy.
+// request is a decoded request frame. Traces and blob are freshly
+// allocated copies — the connection's read buffer is reused per frame,
+// and the shard consumes requests asynchronously.
 type request struct {
 	op      uint8
 	reqID   uint32
 	session uint64
+	seq     uint64        // OpUpdate only: exactly-once sequence, 0 = none
 	traces  []trace.Trace // OpUpdate only
+	blob    []byte        // OpRestore only: the snapshot frame
 }
 
-// parseRequest decodes a request payload. The returned request's traces
-// slice is freshly allocated (the payload buffer is reused per
-// connection, and the shard consumes traces asynchronously).
+// parseRequest decodes a request payload. The returned request shares
+// no memory with payload.
 func parseRequest(payload []byte) (request, error) {
 	if len(payload) < reqHeaderBytes {
 		return request{}, fmt.Errorf("%w: request %d bytes", ErrFrame, len(payload))
@@ -298,25 +350,31 @@ func parseRequest(payload []byte) (request, error) {
 	}
 	body := payload[reqHeaderBytes:]
 	switch req.op {
-	case OpOpen, OpPredict, OpStats:
+	case OpOpen, OpPredict, OpStats, OpSnapshot:
 		if len(body) != 0 {
 			return request{}, fmt.Errorf("%w: op 0x%02x with %d-byte body", ErrFrame, req.op, len(body))
 		}
 	case OpUpdate:
-		if len(body) < 4 {
+		if len(body) < updateHeaderBytes {
 			return request{}, fmt.Errorf("%w: update body %d bytes", ErrFrame, len(body))
 		}
-		count := le.Uint32(body)
+		req.seq = le.Uint64(body)
+		count := le.Uint32(body[8:])
 		if count > MaxBatch {
 			return request{}, fmt.Errorf("%w: batch %d exceeds %d", ErrFrame, count, MaxBatch)
 		}
-		if len(body) != 4+int(count)*wireTraceBytes {
+		if len(body) != updateHeaderBytes+int(count)*wireTraceBytes {
 			return request{}, fmt.Errorf("%w: batch %d in %d-byte body", ErrFrame, count, len(body))
 		}
 		req.traces = make([]trace.Trace, count)
 		for i := range req.traces {
-			getTrace(body[4+i*wireTraceBytes:], &req.traces[i])
+			getTrace(body[updateHeaderBytes+i*wireTraceBytes:], &req.traces[i])
 		}
+	case OpRestore:
+		if len(body) == 0 || len(body) > snapshot.MaxEncoded {
+			return request{}, fmt.Errorf("%w: restore body %d bytes", ErrFrame, len(body))
+		}
+		req.blob = append([]byte(nil), body...)
 	default:
 		return request{}, fmt.Errorf("%w: unknown op 0x%02x", ErrFrame, req.op)
 	}

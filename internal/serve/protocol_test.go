@@ -96,9 +96,9 @@ func TestFrameRejectsOversize(t *testing.T) {
 
 func TestParseRequestRejectsMalformed(t *testing.T) {
 	okUpdate := func(count uint32, extra int) []byte {
-		body := make([]byte, reqHeaderBytes+4+int(count)*wireTraceBytes+extra)
+		body := make([]byte, reqHeaderBytes+updateHeaderBytes+int(count)*wireTraceBytes+extra)
 		body[0] = OpUpdate
-		le.PutUint32(body[reqHeaderBytes:], count)
+		le.PutUint32(body[reqHeaderBytes+8:], count) // count follows the u64 sequence
 		return body
 	}
 	cases := map[string][]byte{
@@ -133,7 +133,7 @@ func TestParseRequestRejectsMalformed(t *testing.T) {
 }
 
 func TestStatusErrRoundTrip(t *testing.T) {
-	for _, err := range []error{nil, ErrOverloaded, ErrDraining, ErrUnknownSession, ErrBadRequest} {
+	for _, err := range []error{nil, ErrOverloaded, ErrDraining, ErrUnknownSession, ErrBadRequest, ErrBadSnapshot} {
 		if got := statusErr(statusOf(err)); !errors.Is(got, err) {
 			t.Errorf("statusErr(statusOf(%v)) = %v", err, got)
 		}

@@ -1,0 +1,434 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/trace"
+)
+
+// RetryConfig shapes a RetryClient: where to connect (a failover list),
+// how long to keep trying, and how aggressively to snapshot for
+// recovery.
+type RetryConfig struct {
+	// Addrs is the server list, tried in order; on connection failure
+	// the client rotates to the next address. One entry is plain
+	// reconnect-with-backoff.
+	Addrs []string
+
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+
+	// OpTimeout bounds each network round trip (default 10s).
+	OpTimeout time.Duration
+
+	// MaxElapsed bounds one logical operation including all retries,
+	// reconnects and re-establishment (default 30s).
+	MaxElapsed time.Duration
+
+	// BaseBackoff and MaxBackoff shape the exponential reconnect
+	// backoff (defaults 20ms and 1s); jitter is applied on top.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Seed drives the backoff jitter deterministically: two clients
+	// with different seeds desynchronize, one client reproduces its
+	// exact retry schedule.
+	Seed uint64
+
+	// RetryBudget is the fraction of successful ops earned back as
+	// Overloaded-retry tokens (default 0.2): under sustained overload a
+	// client retries at most ~20% extra load instead of amplifying the
+	// stampede. MinBudget is the token floor that lets isolated bursts
+	// retry freely (default 16).
+	RetryBudget float64
+	MinBudget   int
+
+	// SnapshotEvery takes a session snapshot after every N acked
+	// updates (0 disables). With 1, recovery is exact: a session lost
+	// to a crash is re-established from a snapshot that includes every
+	// acked batch, and the stream continues bit-identically. Larger
+	// values trade recovery fidelity for round trips.
+	SnapshotEvery int
+}
+
+func (c RetryConfig) withDefaults() (RetryConfig, error) {
+	if len(c.Addrs) == 0 {
+		return c, errors.New("serve: retry client needs at least one address")
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 10 * time.Second
+	}
+	if c.MaxElapsed <= 0 {
+		c.MaxElapsed = 30 * time.Second
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 20 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 0.2
+	}
+	if c.MinBudget <= 0 {
+		c.MinBudget = 16
+	}
+	return c, nil
+}
+
+// rcSession is the client-side recovery state for one session: the
+// sequence stream position and the last acked snapshot.
+type rcSession struct {
+	seq       uint64 // last acked update sequence
+	snap      []byte // last acked snapshot frame (nil: none yet)
+	snapSeq   uint64 // sequence the snapshot was taken at
+	sinceSnap int    // acked updates since the last snapshot
+}
+
+// RetryClient wraps the wire client with the crash-safety behaviours a
+// robust caller wants: per-op deadlines, exponential backoff with
+// deterministic jitter on reconnect, failover across a server list,
+// budgeted retries on overload, and transparent session
+// re-establishment from the last acked snapshot when a server comes
+// back empty-handed. Safe for one goroutine at a time per instance
+// (like Client, run one per worker).
+type RetryClient struct {
+	cfg      RetryConfig
+	c        *Client // live connection, nil when down
+	addrIdx  int
+	rngState uint64
+	tokens   float64
+	sessions map[uint64]*rcSession
+}
+
+// NewRetryClient builds a retrying client. No connection is made until
+// the first operation.
+func NewRetryClient(cfg RetryConfig) (*RetryClient, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &RetryClient{
+		cfg:      cfg,
+		rngState: cfg.Seed,
+		tokens:   float64(cfg.MinBudget),
+		sessions: map[uint64]*rcSession{},
+	}, nil
+}
+
+// Close drops the current connection. Session recovery state is kept:
+// a later call reconnects and re-establishes as needed.
+func (rc *RetryClient) Close() error {
+	if rc.c != nil {
+		err := rc.c.Close()
+		rc.c = nil
+		return err
+	}
+	return nil
+}
+
+// rand returns the next deterministic jitter draw in [0, 1).
+func (rc *RetryClient) rand() float64 {
+	rc.rngState++
+	return float64(splitmix64(rc.rngState^rc.cfg.Seed)>>11) / float64(1<<53)
+}
+
+// sleepBackoff sleeps the attempt's backoff (exponential, capped,
+// ±25% jitter) unless that would cross the deadline, in which case it
+// reports false.
+func (rc *RetryClient) sleepBackoff(attempt int, deadline time.Time) bool {
+	d := rc.cfg.BaseBackoff << uint(min(attempt, 20))
+	if d > rc.cfg.MaxBackoff || d <= 0 {
+		d = rc.cfg.MaxBackoff
+	}
+	d += time.Duration((rc.rand() - 0.5) * 0.5 * float64(d))
+	if time.Now().Add(d).After(deadline) {
+		return false
+	}
+	time.Sleep(d)
+	return true
+}
+
+// conn returns the live connection, dialing through the address list
+// if needed. Does not retry: the caller owns backoff.
+func (rc *RetryClient) conn() (*Client, error) {
+	if rc.c != nil {
+		return rc.c, nil
+	}
+	var lastErr error
+	for range rc.cfg.Addrs {
+		addr := rc.cfg.Addrs[rc.addrIdx%len(rc.cfg.Addrs)]
+		c, err := DialTimeout(addr, rc.cfg.DialTimeout)
+		if err != nil {
+			lastErr = err
+			rc.addrIdx++
+			continue
+		}
+		c.SetOpTimeout(rc.cfg.OpTimeout)
+		rc.c = c
+		return c, nil
+	}
+	return nil, fmt.Errorf("serve: all %d addresses unreachable: %w", len(rc.cfg.Addrs), lastErr)
+}
+
+// dropConn discards a connection after a transport error and rotates
+// to the next address.
+func (rc *RetryClient) dropConn() {
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
+	rc.addrIdx++
+}
+
+// earnToken/spendToken implement the overload retry budget.
+func (rc *RetryClient) earnToken() {
+	rc.tokens = min(rc.tokens+rc.cfg.RetryBudget, float64(rc.cfg.MinBudget)*8)
+}
+
+func (rc *RetryClient) spendToken() bool {
+	if rc.tokens < 1 {
+		return false
+	}
+	rc.tokens--
+	return true
+}
+
+// retryable reports whether err warrants dropping the connection and
+// retrying (transport errors, server draining). Typed application
+// rejections are handled by the callers.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrUnknownSession),
+		errors.Is(err, ErrBadSnapshot),
+		errors.Is(err, ErrBadRequest):
+		return false
+	}
+	return true // transport error, deadline, draining peer, bad frame
+}
+
+// establish makes the server know the session: restore from the last
+// acked snapshot when one exists, else a plain (idempotent) open. On
+// success the server's duplicate detector is aligned with rc's state.
+func (rc *RetryClient) establish(c *Client, session uint64, s *rcSession) error {
+	if s.snap != nil {
+		_, err := c.Restore(session, s.snap)
+		return err
+	}
+	_, lastSeq, err := c.Open(session)
+	if err == nil && lastSeq > s.seq {
+		// The server already knew the session (it survived, or a peer
+		// received it in a drain handoff) and is ahead of a fresh
+		// counter; adopt its position.
+		s.seq = lastSeq
+	}
+	return err
+}
+
+// Open creates (or re-attaches to) a session, retrying across
+// reconnects, and seeds the session's recovery state. With snapshots
+// enabled, the freshly opened session is snapshotted immediately so
+// even a crash before the first update recovers exactly.
+func (rc *RetryClient) Open(session uint64) (shard uint32, lastSeq uint64, err error) {
+	deadline := time.Now().Add(rc.cfg.MaxElapsed)
+	s := rc.session(session)
+	for attempt := 0; ; attempt++ {
+		c, cerr := rc.conn()
+		if cerr == nil {
+			shard, lastSeq, err = c.Open(session)
+			if err == nil {
+				if lastSeq > s.seq {
+					s.seq = lastSeq
+				}
+				if rc.cfg.SnapshotEvery > 0 && s.snap == nil {
+					if frame, serr := c.Snapshot(session); serr == nil {
+						s.snap, s.snapSeq, s.sinceSnap = frame, s.seq, 0
+					}
+				}
+				rc.earnToken()
+				return shard, s.seq, nil
+			}
+			if !retryable(err) {
+				return 0, 0, err
+			}
+			rc.dropConn()
+		} else {
+			err = cerr
+		}
+		if !rc.sleepBackoff(attempt, deadline) {
+			return 0, 0, fmt.Errorf("serve: open session %d: %w", session, err)
+		}
+	}
+}
+
+func (rc *RetryClient) session(id uint64) *rcSession {
+	s, ok := rc.sessions[id]
+	if !ok {
+		s = &rcSession{}
+		rc.sessions[id] = s
+	}
+	return s
+}
+
+// Update delivers one batch with exactly-once semantics across
+// crashes: the batch carries the session's next sequence number, a
+// lost ack is resolved by the server's duplicate detection, and a
+// server that lost the session entirely is re-fed the last acked
+// snapshot before the batch is resent. With SnapshotEvery == 1 the
+// acked snapshot always includes every previously acked batch, so the
+// recovered stream is bit-identical to an uninterrupted one.
+func (rc *RetryClient) Update(session uint64, traces []trace.Trace) (applied, correct uint32, err error) {
+	deadline := time.Now().Add(rc.cfg.MaxElapsed)
+	s := rc.session(session)
+	seq := s.seq + 1
+	sent := false // batch acked; still snapshotting
+	for attempt := 0; ; attempt++ {
+		c, cerr := rc.conn()
+		if cerr != nil {
+			err = cerr
+			if !rc.sleepBackoff(attempt, deadline) {
+				return 0, 0, fmt.Errorf("serve: update session %d: %w", session, err)
+			}
+			continue
+		}
+		if !sent {
+			applied, correct, err = c.UpdateSeq(session, seq, traces)
+			switch {
+			case err == nil:
+				s.seq = seq
+				s.sinceSnap++
+				rc.earnToken()
+				sent = true
+			case errors.Is(err, ErrOverloaded):
+				if !rc.spendToken() {
+					return 0, 0, fmt.Errorf("serve: update session %d: retry budget exhausted: %w", session, err)
+				}
+				// Overload is backpressure, not failure: short fixed
+				// pause, same connection.
+				time.Sleep(rc.cfg.BaseBackoff)
+				if time.Now().After(deadline) {
+					return 0, 0, fmt.Errorf("serve: update session %d: %w", session, err)
+				}
+				continue
+			case errors.Is(err, ErrUnknownSession):
+				if eerr := rc.establish(c, session, s); eerr != nil && !rc.sleepBackoff(attempt, deadline) {
+					return 0, 0, fmt.Errorf("serve: update session %d: re-establish: %w", session, eerr)
+				}
+				continue // resend the batch (or re-dial if establish dropped)
+			default:
+				if !retryable(err) {
+					return 0, 0, err
+				}
+				rc.dropConn()
+				if !rc.sleepBackoff(attempt, deadline) {
+					return 0, 0, fmt.Errorf("serve: update session %d: %w", session, err)
+				}
+				continue
+			}
+		}
+		if rc.cfg.SnapshotEvery <= 0 || s.sinceSnap < rc.cfg.SnapshotEvery {
+			return applied, correct, nil
+		}
+		frame, serr := c.Snapshot(session)
+		if serr == nil {
+			s.snap, s.snapSeq, s.sinceSnap = frame, s.seq, 0
+			return applied, correct, nil
+		}
+		if errors.Is(serr, ErrUnknownSession) {
+			// The server lost the session between the ack and the
+			// snapshot. The old snapshot (if any) predates this batch,
+			// so re-establish and RESEND the batch — the dedup layer
+			// makes that safe if some replica did apply it.
+			rc.establish(c, session, s)
+			sent = false
+			seq = s.seq
+			if seq < s.snapSeq+1 {
+				seq = s.snapSeq + 1
+			}
+			// The restored state is at snapSeq; replay this batch as
+			// the next sequence after it.
+			s.seq = seq - 1
+			continue
+		}
+		if !retryable(serr) {
+			return applied, correct, nil // batch is acked; stale snapshot is survivable
+		}
+		rc.dropConn()
+		if !rc.sleepBackoff(attempt, deadline) {
+			return applied, correct, nil
+		}
+	}
+}
+
+// Stats fetches the session's predictor counters, retrying across
+// reconnects and re-establishing the session if the server lost it.
+func (rc *RetryClient) Stats(session uint64) (SessionStats, error) {
+	deadline := time.Now().Add(rc.cfg.MaxElapsed)
+	s := rc.session(session)
+	var err error
+	for attempt := 0; ; attempt++ {
+		c, cerr := rc.conn()
+		if cerr == nil {
+			var st SessionStats
+			st, err = c.Stats(session)
+			if err == nil {
+				rc.earnToken()
+				return st, nil
+			}
+			if errors.Is(err, ErrUnknownSession) {
+				if eerr := rc.establish(c, session, s); eerr == nil {
+					continue
+				}
+			}
+			if !retryable(err) {
+				return SessionStats{}, err
+			}
+			rc.dropConn()
+		} else {
+			err = cerr
+		}
+		if !rc.sleepBackoff(attempt, deadline) {
+			return SessionStats{}, fmt.Errorf("serve: stats session %d: %w", session, err)
+		}
+	}
+}
+
+// Predict returns the session predictor's current prediction,
+// retrying across reconnects.
+func (rc *RetryClient) Predict(session uint64) (predictor.Prediction, error) {
+	deadline := time.Now().Add(rc.cfg.MaxElapsed)
+	s := rc.session(session)
+	var err error
+	for attempt := 0; ; attempt++ {
+		c, cerr := rc.conn()
+		if cerr == nil {
+			var p predictor.Prediction
+			p, err = c.Predict(session)
+			if err == nil {
+				rc.earnToken()
+				return p, nil
+			}
+			if errors.Is(err, ErrUnknownSession) {
+				if eerr := rc.establish(c, session, s); eerr == nil {
+					continue
+				}
+			}
+			if !retryable(err) {
+				return predictor.Prediction{}, err
+			}
+			rc.dropConn()
+		} else {
+			err = cerr
+		}
+		if !rc.sleepBackoff(attempt, deadline) {
+			return predictor.Prediction{}, fmt.Errorf("serve: predict session %d: %w", session, err)
+		}
+	}
+}

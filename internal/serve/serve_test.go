@@ -95,7 +95,7 @@ func TestServeBitIdenticalStats(t *testing.T) {
 	defer cl.Close()
 
 	const session = 42
-	if _, err := cl.Open(session); err != nil {
+	if _, _, err := cl.Open(session); err != nil {
 		t.Fatal(err)
 	}
 
@@ -192,7 +192,7 @@ func TestServePredictOp(t *testing.T) {
 	defer cl.Close()
 
 	const session = 9
-	if _, err := cl.Open(session); err != nil {
+	if _, _, err := cl.Open(session); err != nil {
 		t.Fatal(err)
 	}
 	// Cold predictor: no path history, prediction invalid.
@@ -298,7 +298,7 @@ func TestServeOverload(t *testing.T) {
 // the same bounded queue as everything else).
 func openRetry(cl *Client, session uint64) (uint32, error) {
 	for i := 0; ; i++ {
-		shard, err := cl.Open(session)
+		shard, _, err := cl.Open(session)
 		if !errors.Is(err, ErrOverloaded) || i == 200 {
 			return shard, err
 		}
@@ -318,13 +318,15 @@ func (a *atomic64) load() uint64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v 
 // requests get ErrDraining, in-flight requests complete, and Shutdown
 // returns cleanly.
 func TestServeDrain(t *testing.T) {
-	srv := newTestServer(t, Config{Shards: 1, AdminAddr: "127.0.0.1:0"})
+	// The checkpoint dir gives the drain offload somewhere to spill the
+	// open session; without one, Shutdown reports the session as lost.
+	srv := newTestServer(t, Config{Shards: 1, AdminAddr: "127.0.0.1:0", CheckpointDir: t.TempDir()})
 	cl, err := Dial(srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Open(1); err != nil {
+	if _, _, err := cl.Open(1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -333,7 +335,7 @@ func TestServeDrain(t *testing.T) {
 	// be visible in every stats surface (Stats, /varz, /metrics) — the
 	// counter used to be tracked but the drain path went unasserted.
 	srv.draining.Store(true)
-	if _, err := cl.Open(2); !errors.Is(err, ErrDraining) {
+	if _, _, err := cl.Open(2); !errors.Is(err, ErrDraining) {
 		t.Fatalf("Open while draining = %v, want ErrDraining", err)
 	}
 	if got := srv.Stats().DrainRejects; got != 1 {
@@ -371,7 +373,7 @@ func TestServeDrain(t *testing.T) {
 	}
 
 	// The connection is closed (or the request refused) after drain.
-	if _, err := cl.Open(2); err == nil {
+	if _, _, err := cl.Open(2); err == nil {
 		t.Error("Open succeeded after Shutdown")
 	}
 	// New connections are refused: the listener is closed.
@@ -423,7 +425,7 @@ func TestServeSessionSurvivesReconnect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl1.Open(session); err != nil {
+	if _, _, err := cl1.Open(session); err != nil {
 		t.Fatal(err)
 	}
 	send(cl1, half)
@@ -434,7 +436,7 @@ func TestServeSessionSurvivesReconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl2.Close()
-	if _, err := cl2.Open(session); err != nil { // idempotent re-open
+	if _, _, err := cl2.Open(session); err != nil { // idempotent re-open
 		t.Fatal(err)
 	}
 	send(cl2, s.Len()-half)
@@ -476,7 +478,7 @@ func TestServeMalformedFrameClosesConn(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Open(1); err != nil {
+	if _, _, err := cl.Open(1); err != nil {
 		t.Errorf("open after another conn's bad frame: %v", err)
 	}
 }
@@ -511,7 +513,7 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if _, err := cl.Open(1); err != nil {
+	if _, _, err := cl.Open(1); err != nil {
 		t.Fatal(err)
 	}
 	batch := make([]trace.Trace, 0, 500)
@@ -579,11 +581,11 @@ func TestShardHashingStable(t *testing.T) {
 	}
 	defer cl.Close()
 	for sess := uint64(1); sess <= 16; sess++ {
-		a, err := cl.Open(sess)
+		a, _, err := cl.Open(sess)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := cl.Open(sess)
+		b, _, err := cl.Open(sess)
 		if err != nil {
 			t.Fatal(err)
 		}

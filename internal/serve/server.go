@@ -45,6 +45,32 @@ type Config struct {
 	// deterministic injector built from this plan — the server-side
 	// analogue of ntp -inject, for degraded-mode testing.
 	Faults *faults.Config
+
+	// CheckpointDir, when non-empty, enables crash-safe persistence:
+	// every session is periodically snapshotted to
+	// <dir>/<sessionID>.ntss (atomic rename, fsync'd), sessions found
+	// there are restored on startup (warm restart), and a drain spills
+	// sessions it cannot hand off to this directory.
+	CheckpointDir string
+
+	// CheckpointEvery is the periodic checkpoint interval (default 2s).
+	CheckpointEvery time.Duration
+
+	// HandoffAddr, when non-empty, is a peer ntpd address: Shutdown
+	// streams every live session there via OpRestore before returning,
+	// so a drain loses nothing even without a checkpoint directory.
+	HandoffAddr string
+
+	// WriteTimeout bounds each response frame write (default 30s,
+	// negative disables). A peer that stops reading would otherwise
+	// block the connection writer, back its channel up, and stall the
+	// shard goroutine behind it.
+	WriteTimeout time.Duration
+
+	// IdleTimeout, when positive, closes connections that send no
+	// request for this long. Zero disables (clients legitimately idle
+	// between replay bursts).
+	IdleTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +79,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueLen <= 0 {
 		c.QueueLen = 1024
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 2 * time.Second
+	}
+	switch {
+	case c.WriteTimeout == 0:
+		c.WriteTimeout = 30 * time.Second
+	case c.WriteTimeout < 0:
+		c.WriteTimeout = 0
 	}
 	// The session predictor config must not carry a shared injector:
 	// injectors are stateful and not concurrency-safe, so they are
@@ -68,6 +103,7 @@ type Server struct {
 	shards []*shard
 	admin  *adminServer
 	reg    *metrics.Registry
+	ckpt   *checkpointer // nil without a checkpoint directory
 	start  time.Time
 
 	draining atomic.Bool
@@ -79,8 +115,9 @@ type Server struct {
 
 	counters serverCounters
 
-	closeOnce sync.Once
-	closeErr  error
+	quiesceOnce sync.Once
+	closeOnce   sync.Once
+	closeErr    error
 }
 
 // serverCounters are the server-wide expvar-style counters.
@@ -90,6 +127,17 @@ type serverCounters struct {
 	Requests     atomic.Uint64 // frames parsed into requests
 	BadFrames    atomic.Uint64 // connections dropped on malformed frames
 	DrainRejects atomic.Uint64 // requests rejected while draining
+
+	// Warm-restart accounting (set once during NewServer).
+	RestoredSessions atomic.Uint64 // sessions loaded from checkpoints
+	CorruptSnapshots atomic.Uint64 // checkpoint files rejected as invalid
+
+	// Drain offload accounting (set during Shutdown).
+	HandoffSessions atomic.Uint64 // sessions streamed to the handoff peer
+	HandoffRetries  atomic.Uint64 // handoff attempts that had to be retried
+	HandoffFailed   atomic.Uint64 // sessions the peer never accepted
+	SpilledSessions atomic.Uint64 // sessions written to the checkpoint dir at drain
+	LostSessions    atomic.Uint64 // sessions with nowhere to go (no peer, no dir)
 }
 
 // NewServer binds the listener(s) and starts the shard goroutines and
@@ -109,8 +157,22 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := newShard(i, cfg.Predictor, cfg.Faults, cfg.QueueLen, newShardMetrics(s.reg, i))
-		sh.start()
 		s.shards = append(s.shards, sh)
+	}
+	// Warm restart: restore checkpointed sessions before the shards
+	// start, while their session maps are still private to this
+	// goroutine.
+	if cfg.CheckpointDir != "" {
+		if err := s.loadCheckpoints(cfg.CheckpointDir); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
+		sh.start()
+	}
+	if cfg.CheckpointDir != "" {
+		s.ckpt = newCheckpointer(s, cfg.CheckpointDir, cfg.CheckpointEvery)
 	}
 	s.registerMetrics()
 	if cfg.AdminAddr != "" {
@@ -185,12 +247,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	// Writer: drains out until closed. Write errors are ignored — the
 	// reader will observe the dead connection and stop; pending shard
 	// callbacks must still be consumed so shards never block on a dead
-	// connection.
+	// connection. Each frame rearms the write deadline: a peer that
+	// stops reading fails the write instead of blocking this goroutine
+	// (and, through the full channel behind it, a shard) forever.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		bw := bufio.NewWriterSize(conn, 1<<16)
 		for payload := range out {
+			if wt := s.cfg.WriteTimeout; wt > 0 {
+				conn.SetWriteDeadline(time.Now().Add(wt))
+			}
 			if writeFrame(bw, payload) != nil {
 				continue
 			}
@@ -206,6 +273,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	var buf []byte
 	for {
+		if it := s.cfg.IdleTimeout; it > 0 {
+			conn.SetReadDeadline(time.Now().Add(it))
+		}
 		payload, err := readFrame(br, buf)
 		if err != nil {
 			if errors.Is(err, ErrFrame) {
@@ -260,9 +330,16 @@ func encodeResponse(req request, resp shardResp) []byte {
 	}
 	switch req.op {
 	case OpOpen:
+		var b [openRespBytes]byte
+		le.PutUint32(b[:], resp.shard)
+		le.PutUint64(b[4:], resp.lastSeq)
+		buf = append(buf, b[:]...)
+	case OpRestore:
 		var b [4]byte
 		le.PutUint32(b[:], resp.shard)
 		buf = append(buf, b[:]...)
+	case OpSnapshot:
+		buf = append(buf, resp.blob...)
 	case OpPredict:
 		var b [predictionBytes]byte
 		putPrediction(b[:], resp.pred)
@@ -283,11 +360,14 @@ func encodeResponse(req request, resp shardResp) []byte {
 	return buf
 }
 
-// Shutdown drains the server gracefully: stop accepting connections,
-// reject new requests with ErrDraining, let every already-enqueued
-// request finish, then close connections and stop the shards. ctx
-// bounds the drain; on expiry the remaining work is abandoned and
-// Shutdown falls through to Close.
+// Shutdown drains the server gracefully and offloads its sessions:
+// stop accepting connections, reject new requests with ErrDraining,
+// let every already-enqueued request finish, quiesce the shards, then
+// snapshot every live session and stream it to the handoff peer (or
+// spill it to the checkpoint directory). ctx bounds the in-flight
+// drain; on expiry the remaining work is abandoned, but the offload
+// still runs — session state is exactly what makes a drain worth
+// waiting for.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.ln.Close()
@@ -303,17 +383,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = fmt.Errorf("serve: drain aborted: %w", ctx.Err())
 	}
+	s.quiesce()
+	offErr := s.offload()
 	s.Close()
-	return err
+	return errors.Join(err, offErr)
 }
 
-// Close tears the server down immediately: listener, connections,
-// shard goroutines, admin listener. Safe to call more than once and
-// after Shutdown.
-func (s *Server) Close() error {
-	s.closeOnce.Do(func() {
+// quiesce stops all request processing: listener, checkpoint ticker,
+// connections, then the shard goroutines. After quiesce the shard
+// session maps are safe to read from the caller's goroutine. The
+// checkpoint writer is still running (shard backlogs may hand it
+// frames until the last shard stops); Close flushes and stops it.
+func (s *Server) quiesce() {
+	s.quiesceOnce.Do(func() {
 		s.draining.Store(true)
 		s.closeErr = s.ln.Close()
+		if s.ckpt != nil {
+			s.ckpt.stopTicker()
+		}
 		s.connMu.Lock()
 		for conn := range s.conns {
 			conn.Close()
@@ -322,6 +409,19 @@ func (s *Server) Close() error {
 		s.connWG.Wait() // all dispatchers gone: shards see no new tasks
 		for _, sh := range s.shards {
 			sh.stop()
+		}
+	})
+}
+
+// Close tears the server down immediately: listener, connections,
+// shard goroutines, checkpoint writer, admin listener. Safe to call
+// more than once and after Shutdown. Unlike Shutdown it does not
+// offload sessions (checkpointed state, if any, survives on disk).
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.quiesce()
+		if s.ckpt != nil {
+			s.ckpt.close() // flush queued checkpoint writes
 		}
 		if s.admin != nil {
 			s.admin.close()

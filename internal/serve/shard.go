@@ -7,6 +7,7 @@ import (
 
 	"pathtrace/internal/faults"
 	"pathtrace/internal/predictor"
+	"pathtrace/internal/snapshot"
 )
 
 // session is one client prediction stream: a predictor of the server's
@@ -18,6 +19,17 @@ import (
 type session struct {
 	id uint64
 	p  predictor.NextTracePredictor
+
+	// Exactly-once bookkeeping: the last applied update sequence and its
+	// cached response. A retried sequence (client resend after a lost
+	// ack) replays the cached answer instead of re-training the
+	// predictor. Zero means no sequenced update has been applied.
+	lastSeq     uint64
+	lastApplied uint32
+	lastCorrect uint32
+
+	// dirty marks state changed since the last checkpoint encode.
+	dirty bool
 }
 
 // task is one unit of shard work: a parsed request plus the completion
@@ -31,23 +43,37 @@ type task struct {
 // shardResp is a shard's answer to one request.
 type shardResp struct {
 	err      error  // nil, or a typed protocol error
-	shard    uint32 // OpOpen, OpStats
+	shard    uint32 // OpOpen, OpStats, OpRestore
 	sessions uint32 // OpStats
+	lastSeq  uint64 // OpOpen
 	pred     predictor.Prediction
 	applied  uint32          // OpUpdate
 	correct  uint32          // OpUpdate
 	sess     predictor.Stats // OpStats: this session's counters
 	agg      predictor.Stats // OpStats: shard-wide aggregate
+	blob     []byte          // OpSnapshot: the encoded frame
+	ckpt     []ckptFrame     // opCheckpoint: dirty sessions, encoded
+}
+
+// ckptFrame is one session's encoded snapshot bound for the checkpoint
+// writer.
+type ckptFrame struct {
+	id    uint64
+	frame []byte
 }
 
 // shardCounters are the shard's externally visible load counters,
 // updated atomically so the admin listener never touches predictor
 // state.
 type shardCounters struct {
-	Requests  atomic.Uint64
-	Batches   atomic.Uint64
-	Traces    atomic.Uint64
-	Overloads atomic.Uint64
+	Requests       atomic.Uint64
+	Batches        atomic.Uint64
+	Traces         atomic.Uint64
+	Overloads      atomic.Uint64
+	Snapshots      atomic.Uint64 // OpSnapshot frames served
+	Restores       atomic.Uint64 // sessions installed via OpRestore
+	RestoreRejects atomic.Uint64 // OpRestore frames rejected
+	DupUpdates     atomic.Uint64 // duplicate sequences answered from cache
 }
 
 // shard owns a set of sessions and processes their requests strictly
@@ -137,6 +163,16 @@ func (sh *shard) process(req request) shardResp {
 			return shardResp{err: ErrUnknownSession}
 		}
 		return sh.update(s, req)
+	case OpSnapshot:
+		s, ok := sh.sessions[req.session]
+		if !ok {
+			return shardResp{err: ErrUnknownSession}
+		}
+		return sh.snapshotSession(s)
+	case OpRestore:
+		return sh.restore(req)
+	case opCheckpoint:
+		return sh.checkpoint()
 	case OpStats:
 		s, ok := sh.sessions[req.session]
 		if !ok {
@@ -153,32 +189,45 @@ func (sh *shard) process(req request) shardResp {
 	}
 }
 
+// sessionCfg is the predictor configuration for a session on this
+// shard: the server's geometry plus the shard's process-local
+// attachments (metrics recorder, and a fresh fault injector when the
+// server runs an injection plan).
+func (sh *shard) sessionCfg() predictor.Config {
+	cfg := sh.cfg
+	if sh.metrics != nil {
+		// Every session on the shard reports into the shard's event
+		// counters; the rollup is what operators watch, and the
+		// per-session split stays available via OpStats.
+		cfg.Recorder = &sh.metrics.rec
+	}
+	if sh.fcfg != nil {
+		// Injectors are not concurrency-safe and their draw streams
+		// are stateful; every predictor gets its own, seeded
+		// identically, so a served session degrades exactly like an
+		// in-process replay under the same fault plan.
+		cfg.Faults = faults.New(*sh.fcfg)
+	}
+	return cfg
+}
+
 // open creates the session's predictor (idempotent: reopening an
 // existing session is not an error and does not reset it, so a client
-// reconnect cannot silently discard trained state).
+// reconnect cannot silently discard trained state). The response
+// carries the session's last applied update sequence, so a
+// reconnecting client seeds its counter instead of colliding with the
+// duplicate detector.
 func (sh *shard) open(id uint64) shardResp {
-	if _, ok := sh.sessions[id]; !ok {
-		cfg := sh.cfg
-		if sh.metrics != nil {
-			// Every session on the shard reports into the shard's event
-			// counters; the rollup is what operators watch, and the
-			// per-session split stays available via OpStats.
-			cfg.Recorder = &sh.metrics.rec
-		}
-		if sh.fcfg != nil {
-			// Injectors are not concurrency-safe and their draw streams
-			// are stateful; every predictor gets its own, seeded
-			// identically, so a served session degrades exactly like an
-			// in-process replay under the same fault plan.
-			cfg.Faults = faults.New(*sh.fcfg)
-		}
-		p, err := predictor.New(cfg)
+	s, ok := sh.sessions[id]
+	if !ok {
+		p, err := predictor.New(sh.sessionCfg())
 		if err != nil {
 			return shardResp{err: ErrBadRequest}
 		}
-		sh.sessions[id] = &session{id: id, p: p}
+		s = &session{id: id, p: p, dirty: true}
+		sh.sessions[id] = s
 	}
-	return shardResp{shard: uint32(sh.id)}
+	return shardResp{shard: uint32(sh.id), lastSeq: s.lastSeq}
 }
 
 // update runs the strict Predict/Update alternation for each trace in
@@ -187,7 +236,16 @@ func (sh *shard) open(id uint64) shardResp {
 // read off the predictor's own counters, so it is authoritative for
 // every variant (including cost-reduced, where the full ID is not
 // stored and an ID comparison would always miss).
+//
+// A sequenced request matching the last applied sequence is a client
+// retry after a lost ack: the cached response is replayed and the
+// predictor untouched, which is what keeps retried streams
+// bit-identical to uninterrupted ones.
 func (sh *shard) update(s *session, req request) shardResp {
+	if req.seq != 0 && req.seq == s.lastSeq {
+		sh.counters.DupUpdates.Add(1)
+		return shardResp{applied: s.lastApplied, correct: s.lastCorrect}
+	}
 	before := s.p.Stats().Correct
 	for i := range req.traces {
 		s.p.Predict()
@@ -195,10 +253,115 @@ func (sh *shard) update(s *session, req request) shardResp {
 	}
 	sh.counters.Batches.Add(1)
 	sh.counters.Traces.Add(uint64(len(req.traces)))
-	return shardResp{
+	resp := shardResp{
 		applied: uint32(len(req.traces)),
 		correct: uint32(s.p.Stats().Correct - before),
 	}
+	if req.seq != 0 {
+		s.lastSeq = req.seq
+		s.lastApplied = resp.applied
+		s.lastCorrect = resp.correct
+	}
+	s.dirty = true
+	return resp
+}
+
+// exportSession captures a session as a codec-ready snapshot. Runs on
+// the shard goroutine (or after the shard is stopped, during drain).
+func exportSession(s *session) (*snapshot.Session, error) {
+	st, err := predictor.Save(s.p)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot.Session{
+		ID:          s.id,
+		LastSeq:     s.lastSeq,
+		LastApplied: s.lastApplied,
+		LastCorrect: s.lastCorrect,
+		State:       st,
+	}, nil
+}
+
+// snapshotSession serializes one session into a checksummed frame.
+// Save captures state at a round boundary, which holds by construction
+// here: the shard runs complete Predict/Update rounds per request.
+func (sh *shard) snapshotSession(s *session) shardResp {
+	sess, err := exportSession(s)
+	if err != nil {
+		return shardResp{err: ErrBadRequest}
+	}
+	b, err := snapshot.Encode(sess)
+	if err != nil {
+		return shardResp{err: ErrBadRequest}
+	}
+	sh.counters.Snapshots.Add(1)
+	return shardResp{blob: b}
+}
+
+// restore decodes and installs a session snapshot, replacing any
+// existing session of the same ID (the frame is authoritative: it is
+// the client's — or the draining peer's — last known-good state). The
+// frame's saved geometry must match this server's predictor
+// configuration; installSnapshot enforces that, so a hostile frame
+// cannot size tables beyond what the server already runs.
+func (sh *shard) restore(req request) shardResp {
+	sess, err := snapshot.Decode(req.blob)
+	if err != nil {
+		sh.counters.RestoreRejects.Add(1)
+		return shardResp{err: ErrBadSnapshot}
+	}
+	if sess.ID != req.session {
+		sh.counters.RestoreRejects.Add(1)
+		return shardResp{err: ErrBadSnapshot}
+	}
+	if err := sh.installSnapshot(sess); err != nil {
+		sh.counters.RestoreRejects.Add(1)
+		return shardResp{err: ErrBadSnapshot}
+	}
+	sh.counters.Restores.Add(1)
+	return shardResp{shard: uint32(sh.id)}
+}
+
+// installSnapshot rebuilds a decoded session and adds it to the shard.
+// Runs on the shard goroutine, or before the shard starts (warm
+// restart).
+func (sh *shard) installSnapshot(sess *snapshot.Session) error {
+	p, err := predictor.Restore(sess.State, sh.sessionCfg())
+	if err != nil {
+		return err
+	}
+	sh.sessions[sess.ID] = &session{
+		id:          sess.ID,
+		p:           p,
+		lastSeq:     sess.LastSeq,
+		lastApplied: sess.LastApplied,
+		lastCorrect: sess.LastCorrect,
+		dirty:       true,
+	}
+	return nil
+}
+
+// checkpoint encodes every dirty session for the checkpoint writer and
+// clears the dirty marks. Sessions that fail to encode stay dirty and
+// are skipped (nothing consumes a partial frame).
+func (sh *shard) checkpoint() shardResp {
+	var out []ckptFrame
+	for _, s := range sh.sessions {
+		if !s.dirty {
+			continue
+		}
+		sess, err := exportSession(s)
+		if err != nil {
+			continue
+		}
+		b, err := snapshot.Encode(sess)
+		if err != nil {
+			continue
+		}
+		s.dirty = false
+		out = append(out, ckptFrame{id: s.id, frame: b})
+	}
+	return shardResp{ckpt: out}
 }
 
 // aggregate sums predictor stats across the shard's sessions.

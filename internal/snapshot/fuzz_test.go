@@ -1,0 +1,62 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
+)
+
+// FuzzSnapshotDecode drives the decoder with arbitrary bytes: it must
+// never panic, never allocate unboundedly, and anything it accepts must
+// re-encode to a frame that decodes to the same session (the decoder
+// and encoder agree on the format).
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("NTSS"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	for name, cfg := range codecConfigs() {
+		p := predictor.MustNew(cfg)
+		for _, tc := range stream(7, 500) {
+			p.Predict()
+			p.Update(tc)
+		}
+		st, err := predictor.Save(p)
+		if err != nil {
+			f.Fatalf("%s: Save: %v", name, err)
+		}
+		b, err := Encode(&Session{ID: 42, LastSeq: 7, State: st})
+		if err != nil {
+			f.Fatalf("%s: Encode: %v", name, err)
+		}
+		f.Add(b)
+		f.Add(faults.FlipBits(b, 1, 4))
+		f.Add(faults.Truncate(b, 2))
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			if s != nil {
+				t.Fatal("Decode returned both a session and an error")
+			}
+			return
+		}
+		re, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		s2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		re2, err := Encode(s2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}

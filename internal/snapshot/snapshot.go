@@ -1,0 +1,536 @@
+// Package snapshot implements the versioned, checksummed binary codec
+// for serving-session snapshots: everything needed to resume a client's
+// predictor session bit-identically on another process — the predictor's
+// full saved state (tables, path history, RHS, fault-injector PRNG
+// positions) plus the session's exactly-once bookkeeping (last applied
+// update sequence number and its cached response).
+//
+// Frame layout (all integers little-endian):
+//
+//	magic   [4]byte "NTSS"
+//	version u8      (currently 1)
+//	payload [...]   (version-specific; see encodePayload)
+//	crc32   u32     IEEE checksum of magic+version+payload
+//
+// Version policy: the version byte identifies the payload layout.
+// Decoders reject versions they do not know (ErrVersion) rather than
+// guessing; any layout change — even an additive one — bumps the
+// version, because frames are consumed across process generations
+// (checkpoints on disk, drain handoffs between releases) where silent
+// misinterpretation would corrupt a session rather than just crash it.
+//
+// Decode is strict: a frame must carry the exact payload its counts
+// imply — no trailing garbage, no truncated tables — and every length
+// read is bounded by the remaining input before any allocation is
+// sized from it, so a corrupt or adversarial frame can neither panic
+// the decoder nor make it allocate beyond O(len(input)).
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/history"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/trace"
+)
+
+// Typed decode errors. Decode never returns a partially filled Session
+// alongside an error.
+var (
+	// ErrTruncated reports a frame too short to hold even the header and
+	// checksum.
+	ErrTruncated = errors.New("snapshot: frame truncated")
+	// ErrMagic reports a frame that does not start with the snapshot
+	// magic — not a snapshot at all.
+	ErrMagic = errors.New("snapshot: bad magic")
+	// ErrVersion reports a frame written by an unknown codec version.
+	ErrVersion = errors.New("snapshot: unsupported version")
+	// ErrChecksum reports a frame whose checksum does not match its
+	// contents — a torn write or bit rot.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrCorrupt reports a frame whose checksum is intact but whose
+	// structure is not (impossible counts, out-of-range fields, trailing
+	// bytes) — a crafted or misframed input.
+	ErrCorrupt = errors.New("snapshot: corrupt frame")
+)
+
+const (
+	// Version is the current frame layout version.
+	Version = 1
+
+	// MaxEncoded bounds an encoded frame. It comfortably holds a fully
+	// populated serving predictor (64K correlated entries at 24 bytes
+	// each is 1.5 MiB) and callers use it to size wire-protocol frame
+	// limits; Encode refuses to emit a larger frame.
+	MaxEncoded = 8 << 20
+
+	headerBytes   = 5 // magic + version
+	checksumBytes = 4
+	minFrame      = headerBytes + checksumBytes
+
+	corrEntryBytes = 24 // u32 index | u16 tag | u64 val | u64 alt | u8 ctr | u8 flags
+	secEntryBytes  = 13 // u32 index | u64 val | u8 ctr
+	regBytes       = 2 + 2*history.MaxSize
+)
+
+var magic = [4]byte{'N', 'T', 'S', 'S'}
+
+// Session is one serving session's complete resumable state.
+type Session struct {
+	// ID is the wire session identifier.
+	ID uint64
+	// LastSeq is the sequence number of the last applied update, with
+	// its cached response below — the exactly-once duplicate-detection
+	// state that makes a retried update after a crash idempotent.
+	LastSeq     uint64
+	LastApplied uint32
+	LastCorrect uint32
+	// State is the predictor's full saved state.
+	State *predictor.SavedState
+}
+
+// session flag bits.
+const (
+	flagUseRHS          = 1 << 0
+	flagCostReduced     = 1 << 1
+	flagSecondaryFilter = 1 << 2
+	flagHasFaults       = 1 << 3
+)
+
+// Encode serializes a session into a checksummed frame. It fails on a
+// structurally invalid session (nil state, RHS bookkeeping mismatch) or
+// one whose frame would exceed MaxEncoded.
+func Encode(s *Session) ([]byte, error) {
+	if s == nil || s.State == nil {
+		return nil, fmt.Errorf("snapshot: encode nil session")
+	}
+	st := s.State
+	if st.UseRHS != (st.RHS != nil) {
+		return nil, fmt.Errorf("snapshot: session %#x: UseRHS %v but RHS state %v",
+			s.ID, st.UseRHS, st.RHS != nil)
+	}
+	if err := checkEncodeRanges(st); err != nil {
+		return nil, err
+	}
+
+	b := make([]byte, 0, encodedSize(st))
+	b = append(b, magic[:]...)
+	b = append(b, Version)
+	b = encodePayload(b, s)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	if len(b) > MaxEncoded {
+		return nil, fmt.Errorf("snapshot: session %#x encodes to %d bytes > max %d",
+			s.ID, len(b), MaxEncoded)
+	}
+	return b, nil
+}
+
+// checkEncodeRanges verifies every field fits its wire width, so Encode
+// never silently wraps a value.
+func checkEncodeRanges(st *predictor.SavedState) error {
+	u8 := func(name string, v int) error {
+		if v < 0 || v > 0xFF {
+			return fmt.Errorf("snapshot: %s %d does not fit u8", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"depth", st.Depth}, {"index bits", st.IndexBits},
+		{"secondary bits", st.SecondaryBits}, {"tag bits", st.TagBits},
+		{"counter bits", st.CounterBits}, {"counter inc", st.CounterInc},
+		{"counter dec", st.CounterDec}, {"sec counter bits", st.SecCounterBits},
+		{"sec counter dec", st.SecCounterDec},
+		{"DOLC depth", st.DOLC.Depth}, {"DOLC older", st.DOLC.Older},
+		{"DOLC last", st.DOLC.Last}, {"DOLC current", st.DOLC.Current},
+		{"DOLC index", st.DOLC.Index},
+	} {
+		if err := u8(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if st.RHSDepth < 0 || st.RHSDepth > 0xFFFF {
+		return fmt.Errorf("snapshot: RHS depth %d does not fit u16", st.RHSDepth)
+	}
+	if st.RHS != nil {
+		if st.RHS.Max < 0 || st.RHS.Max > 0xFFFF {
+			return fmt.Errorf("snapshot: RHS capacity %d does not fit u16", st.RHS.Max)
+		}
+		if len(st.RHS.Regs) > 0xFFFF {
+			return fmt.Errorf("snapshot: RHS holds %d regs, does not fit u16", len(st.RHS.Regs))
+		}
+	}
+	if st.Faults != nil {
+		if bits := st.Faults.Config.Bits; bits < 0 || bits > 0xFF {
+			return fmt.Errorf("snapshot: fault bits %d does not fit u8", bits)
+		}
+	}
+	return nil
+}
+
+// encodedSize returns the exact frame size for a state, for one-shot
+// allocation.
+func encodedSize(st *predictor.SavedState) int {
+	n := minFrame + fixedPayloadBytes
+	if st.RHS != nil {
+		n += 4 + len(st.RHS.Regs)*regBytes
+	}
+	if st.Faults != nil {
+		n += faultsBytes
+	}
+	n += 4 + len(st.Corr)*corrEntryBytes
+	n += 4 + len(st.Sec)*secEntryBytes
+	return n
+}
+
+const (
+	// session ids/seq/cache + kind + flags + geometry + stats + hist
+	fixedPayloadBytes = 8 + 8 + 4 + 4 + 1 + 1 + geometryBytes + statsBytes + regBytes
+	geometryBytes     = 9 + 2 + 5 // nine u8 params, u16 RHS depth, five DOLC u8s
+	statsBytes        = 6 * 8
+	faultsBytes       = 8 + 1 + 8 + 4*8 + 1 + 8 + 8 + 4*8 + 5*8
+)
+
+func encodePayload(b []byte, s *Session) []byte {
+	st := s.State
+	le := binary.LittleEndian
+	b = le.AppendUint64(b, s.ID)
+	b = le.AppendUint64(b, s.LastSeq)
+	b = le.AppendUint32(b, s.LastApplied)
+	b = le.AppendUint32(b, s.LastCorrect)
+	b = append(b, uint8(st.Kind))
+	var flags uint8
+	if st.UseRHS {
+		flags |= flagUseRHS
+	}
+	if st.CostReduced {
+		flags |= flagCostReduced
+	}
+	if st.SecondaryFilter {
+		flags |= flagSecondaryFilter
+	}
+	if st.Faults != nil {
+		flags |= flagHasFaults
+	}
+	b = append(b, flags)
+
+	b = append(b, uint8(st.Depth), uint8(st.IndexBits), uint8(st.SecondaryBits),
+		uint8(st.TagBits), uint8(st.CounterBits), uint8(st.CounterInc),
+		uint8(st.CounterDec), uint8(st.SecCounterBits), uint8(st.SecCounterDec))
+	b = le.AppendUint16(b, uint16(st.RHSDepth))
+	b = append(b, uint8(st.DOLC.Depth), uint8(st.DOLC.Older), uint8(st.DOLC.Last),
+		uint8(st.DOLC.Current), uint8(st.DOLC.Index))
+
+	for _, v := range [...]uint64{
+		st.Stats.Predictions, st.Stats.Correct, st.Stats.Cold,
+		st.Stats.FromSecondary, st.Stats.AltCorrect, st.Stats.AltPresent,
+	} {
+		b = le.AppendUint64(b, v)
+	}
+
+	b = appendReg(b, st.Hist)
+
+	if st.RHS != nil {
+		b = le.AppendUint16(b, uint16(st.RHS.Max))
+		b = le.AppendUint16(b, uint16(len(st.RHS.Regs)))
+		for _, r := range st.RHS.Regs {
+			b = appendReg(b, r)
+		}
+	}
+
+	if st.Faults != nil {
+		f := st.Faults
+		b = le.AppendUint64(b, f.Config.Seed)
+		b = append(b, uint8(f.Config.Bits))
+		b = le.AppendUint64(b, f.Config.Interval)
+		for _, rate := range [...]float64{
+			f.Config.Table, f.Config.Secondary, f.Config.History, f.Config.TraceCache,
+		} {
+			b = le.AppendUint64(b, math.Float64bits(rate))
+		}
+		var stuck uint8
+		if f.Config.StuckZero {
+			stuck = 1
+		}
+		b = append(b, stuck)
+		b = le.AppendUint64(b, f.Fire)
+		b = le.AppendUint64(b, f.Eff)
+		for _, t := range f.Ticks {
+			b = le.AppendUint64(b, t)
+		}
+		for _, v := range [...]uint64{
+			f.Stats.Opportunities, f.Stats.TableFaults, f.Stats.SecFaults,
+			f.Stats.HistoryFaults, f.Stats.TCacheFaults,
+		} {
+			b = le.AppendUint64(b, v)
+		}
+	}
+
+	b = le.AppendUint32(b, uint32(len(st.Corr)))
+	for _, e := range st.Corr {
+		b = le.AppendUint32(b, e.Index)
+		b = le.AppendUint16(b, e.Tag)
+		b = le.AppendUint64(b, e.Val)
+		b = le.AppendUint64(b, e.Alt)
+		var ef uint8
+		if e.AltValid {
+			ef = 1
+		}
+		b = append(b, e.Ctr, ef)
+	}
+	b = le.AppendUint32(b, uint32(len(st.Sec)))
+	for _, e := range st.Sec {
+		b = le.AppendUint32(b, e.Index)
+		b = le.AppendUint64(b, e.Val)
+		b = append(b, e.Ctr)
+	}
+	return b
+}
+
+func appendReg(b []byte, r history.RegState) []byte {
+	b = append(b, uint8(r.Size), uint8(r.N))
+	for _, id := range r.IDs {
+		b = binary.LittleEndian.AppendUint16(b, uint16(id))
+	}
+	return b
+}
+
+// reader walks a checksum-verified payload with sticky error state.
+// Every read is bounds-checked; overrunning the payload sets ErrCorrupt
+// (the checksum already proved the frame arrived whole, so a read past
+// the end means the structure lies about itself).
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off < n {
+		r.fail("payload overrun at offset %d", r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u8() uint8 {
+	if s := r.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+func (r *reader) u16() uint16 {
+	if s := r.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *reader) rate(name string) float64 {
+	v := math.Float64frombits(r.u64())
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		r.fail("fault rate %s = %v outside [0, 1]", name, v)
+	}
+	return v
+}
+
+// count reads a u32 element count and verifies the remaining payload
+// can actually hold that many elemBytes-sized elements, bounding any
+// allocation derived from it by the input length.
+func (r *reader) count(what string, elemBytes int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if rem := len(r.b) - r.off; n*elemBytes > rem {
+		r.fail("%s count %d needs %d bytes, %d remain", what, n, n*elemBytes, rem)
+		return 0
+	}
+	return n
+}
+
+func (r *reader) reg() history.RegState {
+	var st history.RegState
+	st.Size = int(r.u8())
+	st.N = int(r.u8())
+	for i := range st.IDs {
+		st.IDs[i] = trace.HashedID(r.u16())
+	}
+	return st
+}
+
+// Decode parses and validates a snapshot frame. The returned Session
+// shares no memory with b.
+func Decode(b []byte) (*Session, error) {
+	if len(b) < minFrame {
+		return nil, fmt.Errorf("%w: %d bytes < minimum %d", ErrTruncated, len(b), minFrame)
+	}
+	if [4]byte(b[:4]) != magic {
+		return nil, fmt.Errorf("%w: %q", ErrMagic, b[:4])
+	}
+	if v := b[4]; v != Version {
+		return nil, fmt.Errorf("%w: %d (supported: %d)", ErrVersion, v, Version)
+	}
+	body, sum := b[:len(b)-checksumBytes], binary.LittleEndian.Uint32(b[len(b)-checksumBytes:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: computed %#x, frame says %#x", ErrChecksum, got, sum)
+	}
+
+	r := &reader{b: body, off: headerBytes}
+	s := &Session{State: &predictor.SavedState{}}
+	st := s.State
+	s.ID = r.u64()
+	s.LastSeq = r.u64()
+	s.LastApplied = r.u32()
+	s.LastCorrect = r.u32()
+	st.Kind = predictor.SavedKind(r.u8())
+	flags := r.u8()
+	if flags&^uint8(flagUseRHS|flagCostReduced|flagSecondaryFilter|flagHasFaults) != 0 {
+		r.fail("unknown flag bits %#x", flags)
+	}
+	st.UseRHS = flags&flagUseRHS != 0
+	st.CostReduced = flags&flagCostReduced != 0
+	st.SecondaryFilter = flags&flagSecondaryFilter != 0
+
+	st.Depth = int(r.u8())
+	st.IndexBits = int(r.u8())
+	st.SecondaryBits = int(r.u8())
+	st.TagBits = int(r.u8())
+	st.CounterBits = int(r.u8())
+	st.CounterInc = int(r.u8())
+	st.CounterDec = int(r.u8())
+	st.SecCounterBits = int(r.u8())
+	st.SecCounterDec = int(r.u8())
+	st.RHSDepth = int(r.u16())
+	st.DOLC.Depth = int(r.u8())
+	st.DOLC.Older = int(r.u8())
+	st.DOLC.Last = int(r.u8())
+	st.DOLC.Current = int(r.u8())
+	st.DOLC.Index = int(r.u8())
+
+	st.Stats.Predictions = r.u64()
+	st.Stats.Correct = r.u64()
+	st.Stats.Cold = r.u64()
+	st.Stats.FromSecondary = r.u64()
+	st.Stats.AltCorrect = r.u64()
+	st.Stats.AltPresent = r.u64()
+
+	st.Hist = r.reg()
+
+	if st.UseRHS {
+		rhs := &history.StackState{Max: int(r.u16())}
+		n := int(r.u16())
+		if r.err == nil {
+			if rem := len(r.b) - r.off; n*regBytes > rem {
+				r.fail("RHS count %d needs %d bytes, %d remain", n, n*regBytes, rem)
+			}
+		}
+		if r.err == nil {
+			rhs.Regs = make([]history.RegState, n)
+			for i := range rhs.Regs {
+				rhs.Regs[i] = r.reg()
+			}
+			st.RHS = rhs
+		}
+	}
+
+	if flags&flagHasFaults != 0 {
+		f := &faults.InjectorState{}
+		f.Config.Seed = r.u64()
+		f.Config.Bits = int(r.u8())
+		f.Config.Interval = r.u64()
+		f.Config.Table = r.rate("table")
+		f.Config.Secondary = r.rate("secondary")
+		f.Config.History = r.rate("history")
+		f.Config.TraceCache = r.rate("tcache")
+		switch stuck := r.u8(); stuck {
+		case 0:
+		case 1:
+			f.Config.StuckZero = true
+		default:
+			r.fail("stuck-zero byte %d", stuck)
+		}
+		f.Fire = r.u64()
+		f.Eff = r.u64()
+		for i := range f.Ticks {
+			f.Ticks[i] = r.u64()
+		}
+		f.Stats.Opportunities = r.u64()
+		f.Stats.TableFaults = r.u64()
+		f.Stats.SecFaults = r.u64()
+		f.Stats.HistoryFaults = r.u64()
+		f.Stats.TCacheFaults = r.u64()
+		if r.err == nil {
+			st.Faults = f
+		}
+	}
+
+	if n := r.count("correlated entries", corrEntryBytes); r.err == nil && n > 0 {
+		st.Corr = make([]predictor.SavedEntry, n)
+		for i := range st.Corr {
+			e := &st.Corr[i]
+			e.Index = r.u32()
+			e.Tag = r.u16()
+			e.Val = r.u64()
+			e.Alt = r.u64()
+			e.Ctr = r.u8()
+			switch ef := r.u8(); ef {
+			case 0:
+			case 1:
+				e.AltValid = true
+			default:
+				r.fail("correlated entry %d flag byte %d", i, ef)
+			}
+		}
+	}
+	if n := r.count("secondary entries", secEntryBytes); r.err == nil && n > 0 {
+		st.Sec = make([]predictor.SavedSecEntry, n)
+		for i := range st.Sec {
+			e := &st.Sec[i]
+			e.Index = r.u32()
+			e.Val = r.u64()
+			e.Ctr = r.u8()
+		}
+	}
+
+	if r.err == nil && r.off != len(r.b) {
+		r.fail("%d trailing bytes after payload", len(r.b)-r.off)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}

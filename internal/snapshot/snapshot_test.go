@@ -1,0 +1,213 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/trace"
+)
+
+// stream generates a deterministic pseudo-random trace stream with
+// calls and returns.
+func stream(seed int64, n int) []*trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*trace.Trace, n)
+	for i := range out {
+		id := trace.MakeID(0x1000+uint32(rng.Intn(256))*4, uint8(rng.Intn(64)))
+		t := &trace.Trace{ID: id, Hash: id.Hash(), StartPC: 0x1000}
+		t.Calls = rng.Intn(3)
+		t.EndsInRet = rng.Intn(4) == 0
+		out[i] = t
+	}
+	return out
+}
+
+// warmSession trains a predictor under cfg and wraps its saved state in
+// a Session with non-trivial bookkeeping.
+func warmSession(t *testing.T, cfg predictor.Config, rounds int) *Session {
+	t.Helper()
+	p := predictor.MustNew(cfg)
+	for _, tc := range stream(3, rounds) {
+		p.Predict()
+		p.Update(tc)
+	}
+	st, err := predictor.Save(p)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return &Session{
+		ID:          0xDEADBEEFCAFE,
+		LastSeq:     12345,
+		LastApplied: 777,
+		LastCorrect: 555,
+		State:       st,
+	}
+}
+
+func codecConfigs() map[string]predictor.Config {
+	return map[string]predictor.Config{
+		"basic":       {Depth: 3, IndexBits: 10},
+		"hybrid":      {Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true},
+		"costReduced": {Depth: 5, IndexBits: 10, Hybrid: true, UseRHS: true, CostReduced: true},
+		"faulty": {Depth: 7, IndexBits: 10, Hybrid: true, UseRHS: true,
+			Faults: faults.New(faults.Config{Seed: 9, Table: 0.02, History: 0.02, Bits: 2})},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for name, cfg := range codecConfigs() {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			s := warmSession(t, cfg, 2000)
+			b, err := Encode(s)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			if len(b) > MaxEncoded {
+				t.Fatalf("frame %d bytes > MaxEncoded %d", len(b), MaxEncoded)
+			}
+			got, err := Decode(b)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, s) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.State, s.State)
+			}
+		})
+	}
+}
+
+// The decoded state must actually restore: end-to-end, a session that
+// crossed the codec continues bit-identically with the original.
+func TestDecodedSessionResumesBitIdentical(t *testing.T) {
+	cfg := predictor.Config{Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true}
+	warm, tail := stream(3, 2000), stream(5, 1000)
+
+	orig := predictor.MustNew(cfg)
+	for _, tc := range warm {
+		orig.Predict()
+		orig.Update(tc)
+	}
+	st, err := predictor.Save(orig)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	b, err := Encode(&Session{ID: 1, State: st})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	resumed, err := predictor.Restore(dec.State, cfg)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i, tc := range tail {
+		if a, b := orig.Predict(), resumed.Predict(); a != b {
+			t.Fatalf("round %d: original %+v, resumed %+v", i, a, b)
+		}
+		orig.Update(tc)
+		resumed.Update(tc)
+	}
+	if a, b := orig.Stats(), resumed.Stats(); a != b {
+		t.Fatalf("stats diverged: original %+v, resumed %+v", a, b)
+	}
+}
+
+// fixCRC recomputes the trailing checksum after a deliberate patch, so
+// structural validation is exercised rather than the checksum.
+func fixCRC(b []byte) {
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+}
+
+func validFrame(t *testing.T) []byte {
+	t.Helper()
+	b, err := Encode(warmSession(t, predictor.Config{Depth: 4, IndexBits: 10, Hybrid: true, UseRHS: true}, 1000))
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return b
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	frame := validFrame(t)
+
+	cases := map[string]struct {
+		mutate func([]byte) []byte
+		want   error
+	}{
+		"empty":     {func(b []byte) []byte { return nil }, ErrTruncated},
+		"tiny":      {func(b []byte) []byte { return b[:5] }, ErrTruncated},
+		"magic":     {func(b []byte) []byte { b[0] ^= 0xFF; fixCRC(b); return b }, ErrMagic},
+		"version":   {func(b []byte) []byte { b[4] = 99; fixCRC(b); return b }, ErrVersion},
+		"bitflip":   {func(b []byte) []byte { b[20] ^= 0x10; return b }, ErrChecksum},
+		"short-crc": {func(b []byte) []byte { return b[:len(b)-1] }, ErrChecksum},
+		"trailing": {func(b []byte) []byte {
+			b = append(b[:len(b)-4], 0xAB)
+			b = binary.LittleEndian.AppendUint32(b, 0)
+			fixCRC(b)
+			return b
+		}, ErrCorrupt},
+		"flags": {func(b []byte) []byte { b[30] |= 0x80; fixCRC(b); return b }, ErrCorrupt},
+	}
+	for name, tc := range cases {
+		b := tc.mutate(append([]byte(nil), frame...))
+		if _, err := Decode(b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Decode = %v, want %v", name, err, tc.want)
+		}
+	}
+}
+
+// A count field claiming more elements than the payload holds must be
+// rejected before any allocation is sized from it.
+func TestDecodeRejectsOversizedCounts(t *testing.T) {
+	s := warmSession(t, predictor.Config{Depth: 2, IndexBits: 8}, 200)
+	b, err := Encode(s)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// The secondary count is the last u32 before the checksum (a basic
+	// predictor has no secondary entries).
+	off := len(b) - 4 - 4
+	binary.LittleEndian.PutUint32(b[off:], 0xFFFFFFFF)
+	fixCRC(b)
+	if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+	}
+}
+
+// Wire-fault injectors model the failure modes checkpoints actually
+// face; every corruption must be detected, never silently decoded.
+func TestDecodeRejectsInjectedCorruption(t *testing.T) {
+	frame := validFrame(t)
+	for seed := uint64(1); seed <= 50; seed++ {
+		if _, err := Decode(faults.FlipBits(frame, seed, 3)); err == nil {
+			t.Fatalf("seed %d: bit-flipped frame decoded successfully", seed)
+		}
+		if _, err := Decode(faults.Truncate(frame, seed)); err == nil {
+			t.Fatalf("seed %d: truncated frame decoded successfully", seed)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalidSessions(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Error("Encode(nil) succeeded")
+	}
+	if _, err := Encode(&Session{ID: 1}); err == nil {
+		t.Error("Encode with nil state succeeded")
+	}
+	s := warmSession(t, predictor.Config{Depth: 4, IndexBits: 10, Hybrid: true, UseRHS: true}, 100)
+	s.State.RHS = nil // UseRHS still set: bookkeeping mismatch
+	if _, err := Encode(s); err == nil {
+		t.Error("Encode with RHS mismatch succeeded")
+	}
+}
