@@ -98,6 +98,71 @@ func runBench(ids []string, opt pathtrace.ExperimentOptions, outPath string) int
 	return 0
 }
 
+// runBenchDiff is the CI regression gate: re-measure the headline
+// predict loop and compare against a committed BENCH_*.json baseline.
+// Only the predict-loop record is re-measured — it is the benchmark the
+// serving hot path rides on, and the only one stable enough (0 allocs,
+// pure CPU) to gate on across machines. The loop runs three times and
+// the best ns/op counts, so one scheduling hiccup cannot fail the gate;
+// any allocation fails it regardless of timing. Exit 1 = regression,
+// exit 2 = unusable baseline.
+func runBenchDiff(path string, limit uint64, maxRegressPct float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntp: benchdiff: %v\n", err)
+		return 2
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "ntp: benchdiff: %s: %v\n", path, err)
+		return 2
+	}
+	var old *benchRecord
+	for i := range base.Results {
+		if base.Results[i].Name == "predict-loop" {
+			old = &base.Results[i]
+			break
+		}
+	}
+	if old == nil {
+		fmt.Fprintf(os.Stderr, "ntp: benchdiff: %s has no predict-loop record\n", path)
+		return 2
+	}
+	if limit == 0 {
+		if limit = base.Limit; limit == 0 {
+			limit = 200_000
+		}
+	}
+
+	best := benchRecord{NsPerOp: -1}
+	for round := 0; round < 3; round++ {
+		rec, err := benchPredictLoop(limit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntp: benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "ntp: benchdiff round %d: %12.0f ns/op %8d allocs/op\n",
+			round+1, rec.NsPerOp, rec.AllocsPerOp)
+		if best.NsPerOp < 0 || rec.NsPerOp < best.NsPerOp {
+			best = rec
+		}
+	}
+
+	delta := 100 * (best.NsPerOp - old.NsPerOp) / old.NsPerOp
+	fmt.Printf("predict-loop: baseline %.0f ns/op (%s), now %.0f ns/op, delta %+.1f%% (limit %.0f%%)\n",
+		old.NsPerOp, base.Date, best.NsPerOp, delta, maxRegressPct)
+	if best.AllocsPerOp != 0 {
+		fmt.Printf("FAIL: predict loop allocates (%d allocs/op, want 0)\n", best.AllocsPerOp)
+		return 1
+	}
+	if delta > maxRegressPct {
+		fmt.Printf("FAIL: predict-loop regressed %.1f%% > %.0f%%\n", delta, maxRegressPct)
+		return 1
+	}
+	fmt.Println("OK")
+	return 0
+}
+
 // benchPredictLoop measures the steady-state replay→predict hot path
 // (sequential baseline + bounded hybrid + unbounded per trace), the
 // same loop BenchmarkHeadline/predict covers in the test suite. It must

@@ -15,12 +15,24 @@
 //	ntp -run faults -inject table:1e-4,history:1e-5 -seed 7
 //	ntp -run all -parallel 4 -timeout 30s -keep-going
 //
+// Backends:
+//
+//	ntp -run backends
+//	ntp -run headline -backend tage
+//
+// -backend re-runs any exhibit with a different registered predictor
+// backend (basic, hybrid, costreduced, tage, unbounded) substituted for
+// the proposed-predictor arm; baselines and explicitly pinned variants
+// keep their identity. The `backends` experiment races every registered
+// backend over the same streams.
+//
 // Performance:
 //
 //	ntp -run all -cpuprofile cpu.pprof
 //	ntp -run table2 -memprofile mem.pprof
 //	ntp -bench
 //	ntp -bench -benchout BENCH_custom.json
+//	ntp -benchdiff BENCH_2026-08-06.json
 //	ntp -run all -nocache
 //	ntp -run all -streams .streams
 //	ntp -run all -metricsout metrics.prom
@@ -57,6 +69,10 @@
 // -bench measures every experiment (plus the raw predict loop) with
 // the testing package's benchmark driver and writes a BENCH_<date>.json
 // record of ns/op, allocs/op and B/op for regression tracking.
+// -benchdiff closes the loop: it re-measures the headline predict loop
+// (best of three) against a committed BENCH_*.json baseline and exits
+// non-zero if ns/op regressed more than -benchmaxregress percent or
+// the hot path allocates — the CI bench-diff gate.
 //
 // All experiment output goes to stdout and is bit-for-bit reproducible
 // for a fixed flag set; timing goes to stderr.
@@ -98,9 +114,28 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		bench      = flag.Bool("bench", false, "benchmark the experiments instead of printing exhibits")
 		benchout   = flag.String("benchout", "", "benchmark JSON output path (default BENCH_<date>.json)")
+		benchdiff  = flag.String("benchdiff", "", "re-measure the headline predict loop and fail on regression vs this BENCH_*.json baseline")
+		maxRegress = flag.Float64("benchmaxregress", 15, "benchdiff: max tolerated ns/op regression, percent")
+		backend    = flag.String("backend", "", "predictor backend for the proposed-predictor arm (an unknown name lists the registry)")
 		metricsout = flag.String("metricsout", "", "write run metrics (Prometheus text) to this file at exit")
 	)
 	flag.Parse()
+
+	if *backend != "" {
+		if _, ok := pathtrace.PredictorBackendByName(*backend); !ok {
+			var names []string
+			for _, b := range pathtrace.PredictorBackends() {
+				names = append(names, b.Name)
+			}
+			fmt.Fprintf(os.Stderr, "ntp: unknown backend %q\nntp: backends: %s\n",
+				*backend, strings.Join(names, ", "))
+			return 2
+		}
+	}
+
+	if *benchdiff != "" {
+		return runBenchDiff(*benchdiff, *length, *maxRegress)
+	}
 
 	if *list || *runIDs == "" && !*bench {
 		listExperiments()
@@ -111,7 +146,7 @@ func run() int {
 		return 0
 	}
 
-	opt := pathtrace.ExperimentOptions{Limit: *length, NoStreamCache: *nocache}
+	opt := pathtrace.ExperimentOptions{Limit: *length, NoStreamCache: *nocache, Backend: *backend}
 	if *streams != "" {
 		if *nocache {
 			fmt.Fprintln(os.Stderr, "ntp: -streams requires the stream cache; drop -nocache")

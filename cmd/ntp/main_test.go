@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"os/exec"
 	"strings"
@@ -118,6 +119,88 @@ func TestNoArgsExits2(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "-run") {
 		t.Errorf("expected a usage hint on stderr:\n%s", stderr)
+	}
+}
+
+// -backend is validated up front like experiment ids: an unknown name
+// exits 2 and lists the registry so the user can fix the typo.
+func TestUnknownBackendExits2(t *testing.T) {
+	_, stderr, code := runNTP(t, "-run", "headline", "-backend", "nope")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown backend "nope"`) {
+		t.Errorf("stderr missing unknown-backend error:\n%s", stderr)
+	}
+	for _, want := range []string{"hybrid", "tage"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr backend catalog missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// benchDiffBaseline writes a minimal BENCH_*.json with the given
+// predict-loop ns/op and returns its path.
+func benchDiffBaseline(t *testing.T, nsPerOp float64) string {
+	t.Helper()
+	path := t.TempDir() + "/BENCH_base.json"
+	doc := fmt.Sprintf(`{"date":"2026-01-01T00:00:00Z","limit":5000,`+
+		`"results":[{"name":"predict-loop","iterations":1,"ns_per_op":%g,`+
+		`"allocs_per_op":0,"bytes_per_op":0}]}`, nsPerOp)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// -benchdiff against a generous baseline passes; the report names the
+// benchmark and both measurements.
+func TestBenchDiffPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmark rounds")
+	}
+	stdout, stderr, code := runNTP(t, "-benchdiff", benchDiffBaseline(t, 1e12), "-len", "5000")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	for _, want := range []string{"predict-loop", "OK"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// An impossibly fast baseline must trip the regression gate (exit 1).
+func TestBenchDiffFailsOnRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmark rounds")
+	}
+	stdout, stderr, code := runNTP(t, "-benchdiff", benchDiffBaseline(t, 1e-6), "-len", "5000")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "FAIL: predict-loop regressed") {
+		t.Errorf("stdout missing regression verdict:\n%s", stdout)
+	}
+}
+
+// Baseline problems are config errors (exit 2), distinct from a real
+// regression: a missing file and a file without a predict-loop record.
+func TestBenchDiffBadBaselineExits2(t *testing.T) {
+	_, stderr, code := runNTP(t, "-benchdiff", t.TempDir()+"/absent.json")
+	if code != 2 {
+		t.Fatalf("missing file: exit code = %d, want 2\nstderr: %s", code, stderr)
+	}
+	empty := t.TempDir() + "/empty.json"
+	if err := os.WriteFile(empty, []byte(`{"results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code = runNTP(t, "-benchdiff", empty)
+	if code != 2 {
+		t.Fatalf("no record: exit code = %d, want 2\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no predict-loop record") {
+		t.Errorf("stderr missing record error:\n%s", stderr)
 	}
 }
 

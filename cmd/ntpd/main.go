@@ -8,9 +8,24 @@
 //	ntpd -shards 4 -queue 2048 -depth 7 -indexbits 16
 //	ntpd -inject table:1e-4 -seed 7          # degraded-mode serving
 //
+// Backends and shadow evaluation:
+//
+//	ntpd -backend tage                       # serve with the TAGE-style backend
+//	ntpd -shadow tage                        # serve hybrid, shadow-evaluate TAGE
+//	ntpd -shadow tage,basic                  # several shadows, fan-out per Update
+//
+// -backend picks the serving predictor backend from the registry
+// (basic, hybrid, costreduced, tage, unbounded), overriding the -basic
+// shorthand. -shadow names backends to evaluate on live traffic:
+// every session Update is fanned out to one fresh shadow predictor per
+// name, the primary alone answers Predict (responses, -verify and
+// snapshots are untouched), and /metrics reports each backend's
+// accuracy as ntpd_backend_{rounds,correct,miss}_total with role
+// "primary"/"shadow" — a live A/B readout before switching -backend.
+//
 // The server hosts -shards predictor shards; sessions are hashed to
 // shards and every session owns a predictor built from the -depth /
-// -indexbits / -basic / -norhs flags. SIGINT/SIGTERM trigger a
+// -indexbits / -basic / -norhs / -backend flags. SIGINT/SIGTERM trigger a
 // graceful drain: in-flight requests finish, new ones are refused with
 // the draining status, then the process exits 0. The admin listener
 // (when -admin is set) serves /healthz, /statsz (JSON), /varz and
@@ -96,6 +111,8 @@ func run() int {
 		indexBits = flag.Int("indexbits", 16, "correlated table index bits")
 		basic     = flag.Bool("basic", false, "basic correlated predictor instead of the hybrid")
 		noRHS     = flag.Bool("norhs", false, "disable the Return History Stack")
+		backendF  = flag.String("backend", "", "serving predictor backend (overrides -basic; an unknown name lists the registry)")
+		shadow    = flag.String("shadow", "", "comma-separated shadow backends to evaluate on live traffic (serve mode)")
 		inject    = flag.String("inject", "", "fault-injection spec for per-session injectors, e.g. table:1e-4")
 		seed      = flag.Uint64("seed", 0, "fault-injection PRNG seed")
 
@@ -117,7 +134,7 @@ func run() int {
 		return 2
 	}
 
-	pcfg := predictor.Config{Depth: *depth, IndexBits: *indexBits, Hybrid: !*basic, UseRHS: !*basic && !*noRHS}
+	pcfg := predictor.Config{Depth: *depth, IndexBits: *indexBits, Hybrid: !*basic, UseRHS: !*basic && !*noRHS, Backend: *backendF}
 	var fcfg *faults.Config
 	if *inject != "" || *seed != 0 {
 		c, err := faults.ParseSpec(*inject)
@@ -130,6 +147,10 @@ func run() int {
 	}
 
 	if *loadgen {
+		if *shadow != "" {
+			fmt.Fprintln(os.Stderr, "ntpd: -shadow is a serve-mode flag")
+			return 2
+		}
 		return runLoadgen(loadgenArgs{
 			addr: *addr, streamPath: *streamPath, workload: *wl, length: *length,
 			conns: *conns, sessions: *sessions, batch: *batch, verify: *verify,
@@ -137,9 +158,17 @@ func run() int {
 			failover: *failover || *failAddrs != "", failAddrs: *failAddrs,
 		})
 	}
+	var shadows []string
+	if *shadow != "" {
+		for _, name := range strings.Split(*shadow, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				shadows = append(shadows, name)
+			}
+		}
+	}
 	return runServe(serve.Config{
 		Addr: *addr, AdminAddr: *admin, Shards: *shards, QueueLen: *queue,
-		Predictor: pcfg, Faults: fcfg,
+		Predictor: pcfg, Faults: fcfg, Shadows: shadows,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEach, HandoffAddr: *handoff,
 	}, *portfile, *adminPF, *drainT)
 }

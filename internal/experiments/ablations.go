@@ -214,7 +214,7 @@ func ablationSelect(opt Options) (*Result, error) {
 	for _, w := range ws {
 		row := []any{w.Name}
 		for _, sc := range selCfgs {
-			p, err := predictor.New(baseCfg())
+			p, err := predictor.New(opt.applyBackend(baseCfg()))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+)
+
+// backendConfig gives each registered backend a fair configuration at
+// the paper's headline geometry (2^16 correlated entries, depth 7).
+// Paper variants that support the return history stack get it, matching
+// the headline setup; backends without an entry here (future
+// registrations) run the plain geometry.
+func backendConfig(name string) predictor.Config {
+	cfg := predictor.Config{Backend: name, Depth: maxDepth, IndexBits: 16}
+	switch name {
+	case "hybrid", "costreduced":
+		cfg.UseRHS = true
+	case "unbounded":
+		cfg.Hybrid = true
+		cfg.UseRHS = true
+	}
+	return cfg
+}
+
+// backendsCompare races every registered predictor backend over the
+// same trace streams — the offline answer to the question ntpd's
+// shadow evaluation asks online: would a different backend serve this
+// traffic better? The 1997 hybrid and the TAGE-style contender are the
+// headline matchup; basic, cost-reduced and the unbounded idealisation
+// bracket them from below and above.
+func backendsCompare(opt Options) (*Result, error) {
+	ws, err := opt.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := newResult("backends")
+	backends := predictor.Backends()
+	cols := []string{"benchmark"}
+	for _, b := range backends {
+		cols = append(cols, b.Name)
+	}
+	t := stats.NewTable("Backend comparison: misprediction % at 2^16 entries, depth 7", cols...)
+	sums := make([]float64, len(backends))
+	for _, w := range ws {
+		preds := make([]predictor.NextTracePredictor, len(backends))
+		var consumers []func(*trace.Trace)
+		for i, b := range backends {
+			p, err := predictor.New(backendConfig(b.Name))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: backend %q: %w", b.Name, err)
+			}
+			preds[i] = p
+			consumers = append(consumers, func(tr *trace.Trace) {
+				p.Predict()
+				p.Update(tr)
+			})
+		}
+		if _, _, err := opt.Stream(w, consumers...); err != nil {
+			return nil, err
+		}
+		row := []any{w.Name}
+		for i, b := range backends {
+			v := preds[i].Stats().MissRate()
+			row = append(row, v)
+			sums[i] += v
+			res.Values[w.Name+"."+b.Name] = v
+		}
+		t.AddRowf(row...)
+	}
+	n := float64(len(ws))
+	mean := []any{"MEAN"}
+	for i, b := range backends {
+		m := sums[i] / n
+		mean = append(mean, m)
+		res.Values["mean."+b.Name] = m
+	}
+	t.AddRowf(mean...)
+
+	var lines []string
+	if h, tg := res.Values["mean.hybrid"], res.Values["mean.tage"]; h > 0 && tg > 0 {
+		delta := 100 * (h - tg) / h
+		res.Values["tage_vs_hybrid_pct"] = delta
+		verdict := "lower"
+		if delta < 0 {
+			verdict = "higher"
+			delta = -delta
+		}
+		lines = append(lines, fmt.Sprintf(
+			"tage vs hybrid: %.1f%% %s mean misprediction than the paper's hybrid+RHS", delta, verdict))
+	}
+	res.Text = joinSections(append([]string{t.String()}, lines...)...)
+	return res, nil
+}
+
+func init() {
+	register(Experiment{
+		Name:  "backends",
+		Title: "Backend comparison",
+		Desc:  "Every registered predictor backend (incl. the TAGE-style contender) over the same streams.",
+		Run:   backendsCompare,
+	})
+}

@@ -28,7 +28,7 @@ func costReduced(opt Options) (*Result, error) {
 	// 10-bit tag (+36-bit alternate); reduced stores 10-bit hashes.
 	const fullBits, reducedBits = 36 + 2 + 10, 10 + 2 + 10
 	for _, w := range ws {
-		full, err := predictor.New(cfgFull)
+		full, err := predictor.New(opt.applyBackend(cfgFull))
 		if err != nil {
 			return nil, err
 		}

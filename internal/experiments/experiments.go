@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"pathtrace/internal/faults"
+	"pathtrace/internal/predictor"
 	"pathtrace/internal/sim"
 	"pathtrace/internal/stream"
 	"pathtrace/internal/trace"
@@ -32,6 +33,14 @@ type Options struct {
 	// few thousand instructions (the instruction-step watchdog), so a
 	// deadline or cancellation stops even a runaway workload promptly.
 	Ctx context.Context
+	// Backend, when non-empty, overrides the predictor backend used for
+	// the proposed-predictor arm of each experiment (`ntp -backend`) —
+	// the backend axis. Baselines (sequential, GAg, Patel) and
+	// explicitly pinned variants (the hashed-ID arm of `costreduced`,
+	// the paper-variant sweeps inside the ablations) keep their
+	// identity, so the exhibits still compare against the paper.
+	Backend string
+
 	// Faults, when non-nil, is the fault-injection plan. The `faults`
 	// experiment sweeps scaled versions of it; other experiments run
 	// clean regardless (their exhibits reproduce the paper). Faults are
@@ -57,6 +66,18 @@ func (o Options) limit() uint64 {
 		return DefaultLimit
 	}
 	return o.Limit
+}
+
+// applyBackend applies the run's backend override to a
+// proposed-predictor configuration. Experiments route the
+// configuration of their "the predictor under study" arm through this
+// before predictor.New, which is all it takes to re-run any exhibit
+// under a different registered backend.
+func (o Options) applyBackend(cfg predictor.Config) predictor.Config {
+	if o.Backend != "" {
+		cfg.Backend = o.Backend
+	}
+	return cfg
 }
 
 func (o Options) workloads() ([]*workload.Workload, error) {
@@ -120,7 +141,7 @@ func Register(e Experiment) { register(e) }
 // order; unlisted experiments follow in registration order.
 var canonicalOrder = []string{
 	"table1", "table2", "fig6", "table3", "fig7", "table4",
-	"costreduced", "fig8", "headline", "multibranch", "realistic", "frontend", "confidence",
+	"costreduced", "fig8", "headline", "backends", "multibranch", "realistic", "frontend", "confidence",
 	"ablation-counter", "ablation-hybrid", "ablation-rhs",
 	"ablation-dolc", "ablation-select", "ablation-tracecache", "ablation-hash",
 }

@@ -55,10 +55,10 @@ func faultsExp(opt Options) (*Result, error) {
 		for i, m := range faultMultipliers {
 			inj := faults.New(base.Scale(float64(m)))
 			injs[i] = inj
-			p, err := predictor.New(predictor.Config{
+			p, err := predictor.New(opt.applyBackend(predictor.Config{
 				Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
 				Faults: inj,
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}

@@ -38,9 +38,9 @@ func fig7(opt Options) (*Result, error) {
 		for _, sz := range fig7Sizes {
 			row := make([]predictor.NextTracePredictor, maxDepth+1)
 			for d := 0; d <= maxDepth; d++ {
-				p, err := predictor.New(predictor.Config{
+				p, err := predictor.New(opt.applyBackend(predictor.Config{
 					Depth: d, IndexBits: sz, Hybrid: true, UseRHS: true,
-				})
+				}))
 				if err != nil {
 					return nil, err
 				}

@@ -28,9 +28,9 @@ func fig8(opt Options) (*Result, error) {
 		preds := make([]predictor.NextTracePredictor, maxDepth+1)
 		var consumers []func(*trace.Trace)
 		for d := 0; d <= maxDepth; d++ {
-			p, err := predictor.New(predictor.Config{
+			p, err := predictor.New(opt.applyBackend(predictor.Config{
 				Depth: d, IndexBits: 16, Hybrid: true, UseRHS: true,
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}

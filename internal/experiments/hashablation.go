@@ -47,9 +47,9 @@ func ablationHash(opt Options) (*Result, error) {
 		preds := make([]predictor.NextTracePredictor, len(hashes))
 		var consumers []func(*trace.Trace)
 		for i, h := range hashes {
-			p, err := predictor.New(predictor.Config{
+			p, err := predictor.New(opt.applyBackend(predictor.Config{
 				Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}

@@ -24,7 +24,7 @@ func headline(opt Options) (*Result, error) {
 	t := stats.NewTable("Headline: path-based next trace predictor vs idealized sequential baseline",
 		"benchmark", "sequential misp %", "2^16 hybrid+RHS misp %", "unbounded misp %")
 	var seqs, bounded, unbounded []float64
-	cfgB := predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true}
+	cfgB := opt.applyBackend(predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true})
 	for _, w := range ws {
 		seq, err := branchpred.NewSequential(branchpred.SequentialConfig{})
 		if err != nil {

@@ -43,9 +43,9 @@ func multibranch(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		path, err := predictor.New(predictor.Config{
+		path, err := predictor.New(opt.applyBackend(predictor.Config{
 			Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}

@@ -33,9 +33,9 @@ func realistic(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		path, err := predictor.New(predictor.Config{
+		path, err := predictor.New(opt.applyBackend(predictor.Config{
 			Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true,
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}

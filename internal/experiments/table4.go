@@ -21,7 +21,7 @@ func table4(opt Options) (*Result, error) {
 		"benchmark", "misp % ideal updates", "misp % real updates", "delta", "engine IPC")
 	cfg := predictor.Config{Depth: maxDepth, IndexBits: 16, Hybrid: true, UseRHS: true}
 	for _, w := range ws {
-		ideal, err := predictor.New(cfg)
+		ideal, err := predictor.New(opt.applyBackend(cfg))
 		if err != nil {
 			return nil, err
 		}

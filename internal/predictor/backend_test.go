@@ -1,0 +1,151 @@
+package predictor
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBackendRegistryContents(t *testing.T) {
+	want := []string{"basic", "costreduced", "hybrid", "tage", "unbounded"}
+	got := BackendNames()
+	if len(got) < len(want) {
+		t.Fatalf("registered backends %v, want at least %v", got, want)
+	}
+	for _, name := range want {
+		b, ok := BackendByName(name)
+		if !ok {
+			t.Errorf("backend %q not registered", name)
+			continue
+		}
+		if b.Name != name || b.Family == "" || b.New == nil {
+			t.Errorf("backend %q descriptor malformed: %+v", name, b)
+		}
+	}
+	if b, _ := BackendByName("unbounded"); b.Snapshottable() {
+		t.Error("unbounded backend claims to be snapshottable")
+	}
+	for _, name := range []string{"basic", "hybrid", "costreduced", "tage"} {
+		if b, _ := BackendByName(name); !b.Snapshottable() {
+			t.Errorf("backend %q should be snapshottable", name)
+		}
+	}
+}
+
+func TestBackendLegacyResolution(t *testing.T) {
+	// Empty Backend keeps the pre-registry semantics.
+	if p := MustNew(Config{Depth: 1, IndexBits: 10}); p == nil {
+		t.Fatal("legacy basic construction failed")
+	}
+	if _, ok := MustNew(Config{Depth: 1, IndexBits: 10, Hybrid: true}).(*Hybrid); !ok {
+		t.Fatal("legacy Hybrid flag no longer builds a hybrid")
+	}
+	// The basic predictor still refuses RHS.
+	if _, err := New(Config{UseRHS: true}); err == nil {
+		t.Fatal("basic + RHS accepted")
+	}
+	if _, err := New(Config{Backend: "basic", UseRHS: true}); err == nil {
+		t.Fatal("explicit basic + RHS accepted")
+	}
+	// Unknown names are a construction-time error naming the registry.
+	if _, err := New(Config{Backend: "nope"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	// The explicit names force their variant regardless of the flags.
+	if _, ok := MustNew(Config{Backend: "hybrid"}).(*Hybrid); !ok {
+		t.Fatal("explicit hybrid did not build a hybrid")
+	}
+	if _, ok := MustNew(Config{Backend: "unbounded", Hybrid: true}).(*Unbounded); !ok {
+		t.Fatal("explicit unbounded did not build an unbounded predictor")
+	}
+}
+
+// TestBackendSaveRestoreRoundTrip drives every snapshottable backend,
+// saves it through its registry hooks, restores, and checks the resumed
+// predictor is bit-identical — the per-backend contract the serving
+// layer's snapshots rely on.
+func TestBackendSaveRestoreRoundTrip(t *testing.T) {
+	configs := map[string]Config{
+		"basic":       {Backend: "basic", Depth: 5, IndexBits: 12},
+		"hybrid":      {Backend: "hybrid", Depth: 7, IndexBits: 12, UseRHS: true},
+		"costreduced": {Backend: "costreduced", Depth: 7, IndexBits: 12},
+		"tage":        {Backend: "tage", Depth: 7, IndexBits: 12},
+	}
+	for _, b := range Backends() {
+		if !b.Snapshottable() {
+			continue
+		}
+		cfg, ok := configs[b.Name]
+		if !ok {
+			t.Errorf("no round-trip config for newly registered backend %q — add one", b.Name)
+			continue
+		}
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tageWorkload(p, 99, 10_000)
+			state, err := b.Save(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := b.Restore(state, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !q.Stats().Equal(p.Stats()) {
+				t.Fatalf("restored stats %+v != %+v", q.Stats(), p.Stats())
+			}
+			for i := 0; i < 2_000; i++ {
+				pp, pq := p.Predict(), q.Predict()
+				if pp != pq {
+					t.Fatalf("round %d: predictions diverge: %+v vs %+v", i, pp, pq)
+				}
+				next := tr(uint32(0x1000+(i%64)*0x40), uint8(i%64))
+				p.Update(next)
+				q.Update(next)
+			}
+			s1, _ := b.Save(p)
+			s2, _ := b.Save(q)
+			if !bytes.Equal(s1, s2) {
+				t.Fatal("states diverged after resumed rounds")
+			}
+		})
+	}
+}
+
+// TestPaperCodecRoundTrip round-trips a SavedState through the byte
+// codec and checks structural equality at the bytes level.
+func TestPaperCodecRoundTrip(t *testing.T) {
+	p := MustNew(Config{Hybrid: true, UseRHS: true, Depth: 7, IndexBits: 12})
+	tageWorkload(p, 5, 10_000)
+	st, err := Save(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeSavedState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != SavedStateSize(st) {
+		t.Errorf("encoded %d bytes, SavedStateSize said %d", len(enc), SavedStateSize(st))
+	}
+	dec, err := DecodeSavedState(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := EncodeSavedState(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("paper codec round trip not byte-identical")
+	}
+	// Strictness: truncation and trailing bytes are refused.
+	if _, err := DecodeSavedState(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated state accepted")
+	}
+	if _, err := DecodeSavedState(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

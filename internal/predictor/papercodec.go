@@ -1,0 +1,451 @@
+package predictor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pathtrace/internal/faults"
+	"pathtrace/internal/history"
+	"pathtrace/internal/trace"
+)
+
+// This file is the byte codec for the paper family's SavedState — the
+// per-backend state section carried inside snapshot frames. The layout
+// is exactly the state portion of the version-1 snapshot payload (the
+// codec moved here when snapshot frames became backend-tagged), so a v1
+// frame's state bytes decode through this function unchanged: the
+// backend registry owns state layouts, the snapshot package owns the
+// envelope.
+//
+// Layout (little-endian):
+//
+//	kind    u8
+//	flags   u8   (RHS | cost-reduced | secondary-filter | has-faults)
+//	geometry: nine u8 params, u16 RHS depth, five DOLC u8s
+//	stats   six u64 counters
+//	hist    register (u8 size, u8 fill, MaxSize u16 ids)
+//	[RHS]   u16 max, u16 count, count registers   (flagged)
+//	[faults] injector config + PRNG position      (flagged)
+//	corr    u32 count, count 24-byte entries
+//	sec     u32 count, count 13-byte entries
+//
+// Decode is strict: every count is bounded by the remaining input
+// before sizing an allocation, unknown flag bits are rejected, and
+// trailing bytes fail the decode.
+
+const (
+	paperCorrEntryBytes = 24 // u32 index | u16 tag | u64 val | u64 alt | u8 ctr | u8 flags
+	paperSecEntryBytes  = 13 // u32 index | u64 val | u8 ctr
+	stateRegBytes       = 2 + 2*history.MaxSize
+
+	// kind + flags + geometry + stats + hist
+	paperFixedBytes    = 1 + 1 + paperGeometryBytes + paperStatsBytes + stateRegBytes
+	paperGeometryBytes = 9 + 2 + 5 // nine u8 params, u16 RHS depth, five DOLC u8s
+	paperStatsBytes    = 6 * 8
+	paperFaultsBytes   = 8 + 1 + 8 + 4*8 + 1 + 8 + 8 + 4*8 + 5*8
+)
+
+// paper-state flag bits.
+const (
+	paperFlagUseRHS          = 1 << 0
+	paperFlagCostReduced     = 1 << 1
+	paperFlagSecondaryFilter = 1 << 2
+	paperFlagHasFaults       = 1 << 3
+)
+
+// EncodeSavedState serializes a paper-family SavedState as a state
+// section. It fails on a structurally invalid state (RHS bookkeeping
+// mismatch, fields that do not fit their wire widths) so it can never
+// emit bytes its own decoder would refuse.
+func EncodeSavedState(st *SavedState) ([]byte, error) {
+	if st == nil {
+		return nil, fmt.Errorf("%w: encode nil state", ErrBadState)
+	}
+	if st.UseRHS != (st.RHS != nil) {
+		return nil, fmt.Errorf("%w: UseRHS %v but RHS state %v", ErrBadState, st.UseRHS, st.RHS != nil)
+	}
+	if err := checkStateRanges(st); err != nil {
+		return nil, err
+	}
+	return AppendSavedState(make([]byte, 0, SavedStateSize(st)), st), nil
+}
+
+// SavedStateSize returns the exact encoded size of a state, for
+// one-shot allocation.
+func SavedStateSize(st *SavedState) int {
+	n := paperFixedBytes
+	if st.RHS != nil {
+		n += 4 + len(st.RHS.Regs)*stateRegBytes
+	}
+	if st.Faults != nil {
+		n += paperFaultsBytes
+	}
+	n += 4 + len(st.Corr)*paperCorrEntryBytes
+	n += 4 + len(st.Sec)*paperSecEntryBytes
+	return n
+}
+
+// checkStateRanges verifies every field fits its wire width, so the
+// encoder never silently wraps a value.
+func checkStateRanges(st *SavedState) error {
+	u8 := func(name string, v int) error {
+		if v < 0 || v > 0xFF {
+			return fmt.Errorf("%w: %s %d does not fit u8", ErrBadState, name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"depth", st.Depth}, {"index bits", st.IndexBits},
+		{"secondary bits", st.SecondaryBits}, {"tag bits", st.TagBits},
+		{"counter bits", st.CounterBits}, {"counter inc", st.CounterInc},
+		{"counter dec", st.CounterDec}, {"sec counter bits", st.SecCounterBits},
+		{"sec counter dec", st.SecCounterDec},
+		{"DOLC depth", st.DOLC.Depth}, {"DOLC older", st.DOLC.Older},
+		{"DOLC last", st.DOLC.Last}, {"DOLC current", st.DOLC.Current},
+		{"DOLC index", st.DOLC.Index},
+	} {
+		if err := u8(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if st.RHSDepth < 0 || st.RHSDepth > 0xFFFF {
+		return fmt.Errorf("%w: RHS depth %d does not fit u16", ErrBadState, st.RHSDepth)
+	}
+	if st.RHS != nil {
+		if st.RHS.Max < 0 || st.RHS.Max > 0xFFFF {
+			return fmt.Errorf("%w: RHS capacity %d does not fit u16", ErrBadState, st.RHS.Max)
+		}
+		if len(st.RHS.Regs) > 0xFFFF {
+			return fmt.Errorf("%w: RHS holds %d regs, does not fit u16", ErrBadState, len(st.RHS.Regs))
+		}
+	}
+	if st.Faults != nil {
+		if bits := st.Faults.Config.Bits; bits < 0 || bits > 0xFF {
+			return fmt.Errorf("%w: fault bits %d does not fit u8", ErrBadState, bits)
+		}
+	}
+	return nil
+}
+
+// AppendSavedState appends the encoded state section to b. Callers that
+// need validation use EncodeSavedState; this is the raw append path for
+// the snapshot encoder, which validates first.
+func AppendSavedState(b []byte, st *SavedState) []byte {
+	le := binary.LittleEndian
+	b = append(b, uint8(st.Kind))
+	var flags uint8
+	if st.UseRHS {
+		flags |= paperFlagUseRHS
+	}
+	if st.CostReduced {
+		flags |= paperFlagCostReduced
+	}
+	if st.SecondaryFilter {
+		flags |= paperFlagSecondaryFilter
+	}
+	if st.Faults != nil {
+		flags |= paperFlagHasFaults
+	}
+	b = append(b, flags)
+
+	b = append(b, uint8(st.Depth), uint8(st.IndexBits), uint8(st.SecondaryBits),
+		uint8(st.TagBits), uint8(st.CounterBits), uint8(st.CounterInc),
+		uint8(st.CounterDec), uint8(st.SecCounterBits), uint8(st.SecCounterDec))
+	b = le.AppendUint16(b, uint16(st.RHSDepth))
+	b = append(b, uint8(st.DOLC.Depth), uint8(st.DOLC.Older), uint8(st.DOLC.Last),
+		uint8(st.DOLC.Current), uint8(st.DOLC.Index))
+
+	for _, v := range [...]uint64{
+		st.Stats.Predictions, st.Stats.Correct, st.Stats.Cold,
+		st.Stats.FromSecondary, st.Stats.AltCorrect, st.Stats.AltPresent,
+	} {
+		b = le.AppendUint64(b, v)
+	}
+
+	b = appendStateReg(b, st.Hist)
+
+	if st.RHS != nil {
+		b = le.AppendUint16(b, uint16(st.RHS.Max))
+		b = le.AppendUint16(b, uint16(len(st.RHS.Regs)))
+		for _, r := range st.RHS.Regs {
+			b = appendStateReg(b, r)
+		}
+	}
+
+	if st.Faults != nil {
+		f := st.Faults
+		b = le.AppendUint64(b, f.Config.Seed)
+		b = append(b, uint8(f.Config.Bits))
+		b = le.AppendUint64(b, f.Config.Interval)
+		for _, rate := range [...]float64{
+			f.Config.Table, f.Config.Secondary, f.Config.History, f.Config.TraceCache,
+		} {
+			b = le.AppendUint64(b, math.Float64bits(rate))
+		}
+		var stuck uint8
+		if f.Config.StuckZero {
+			stuck = 1
+		}
+		b = append(b, stuck)
+		b = le.AppendUint64(b, f.Fire)
+		b = le.AppendUint64(b, f.Eff)
+		for _, t := range f.Ticks {
+			b = le.AppendUint64(b, t)
+		}
+		for _, v := range [...]uint64{
+			f.Stats.Opportunities, f.Stats.TableFaults, f.Stats.SecFaults,
+			f.Stats.HistoryFaults, f.Stats.TCacheFaults,
+		} {
+			b = le.AppendUint64(b, v)
+		}
+	}
+
+	b = le.AppendUint32(b, uint32(len(st.Corr)))
+	for _, e := range st.Corr {
+		b = le.AppendUint32(b, e.Index)
+		b = le.AppendUint16(b, e.Tag)
+		b = le.AppendUint64(b, e.Val)
+		b = le.AppendUint64(b, e.Alt)
+		var ef uint8
+		if e.AltValid {
+			ef = 1
+		}
+		b = append(b, e.Ctr, ef)
+	}
+	b = le.AppendUint32(b, uint32(len(st.Sec)))
+	for _, e := range st.Sec {
+		b = le.AppendUint32(b, e.Index)
+		b = le.AppendUint64(b, e.Val)
+		b = append(b, e.Ctr)
+	}
+	return b
+}
+
+func appendStateReg(b []byte, r history.RegState) []byte {
+	b = append(b, uint8(r.Size), uint8(r.N))
+	for _, id := range r.IDs {
+		b = binary.LittleEndian.AppendUint16(b, uint16(id))
+	}
+	return b
+}
+
+// stateReader walks an encoded state section with sticky error state.
+// Every read is bounds-checked; overrunning the input sets ErrBadState.
+type stateReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *stateReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrBadState}, args...)...)
+	}
+}
+
+func (r *stateReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail("state overrun at offset %d", r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *stateReader) u8() uint8 {
+	if s := r.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+func (r *stateReader) u16() uint16 {
+	if s := r.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (r *stateReader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *stateReader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *stateReader) rate(name string) float64 {
+	v := math.Float64frombits(r.u64())
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		r.fail("fault rate %s = %v outside [0, 1]", name, v)
+	}
+	return v
+}
+
+// count reads a u32 element count and verifies the remaining input can
+// actually hold that many elemBytes-sized elements, bounding any
+// allocation derived from it by the input length.
+func (r *stateReader) count(what string, elemBytes int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if rem := len(r.b) - r.off; n*elemBytes > rem || n < 0 {
+		r.fail("%s count %d needs %d bytes, %d remain", what, n, n*elemBytes, rem)
+		return 0
+	}
+	return n
+}
+
+func (r *stateReader) reg() history.RegState {
+	var st history.RegState
+	st.Size = int(r.u8())
+	st.N = int(r.u8())
+	for i := range st.IDs {
+		st.IDs[i] = trace.HashedID(r.u16())
+	}
+	return st
+}
+
+// DecodeSavedState parses a paper-family state section. It is strict:
+// the bytes must carry exactly the structure their counts imply — no
+// trailing garbage — and every failure wraps ErrBadState. Structural
+// validity of the decoded tables (index ranges, counter widths) is
+// enforced by Restore, which knows the target geometry.
+func DecodeSavedState(b []byte) (*SavedState, error) {
+	r := &stateReader{b: b}
+	st := &SavedState{}
+	st.Kind = SavedKind(r.u8())
+	flags := r.u8()
+	if r.err == nil && flags&^uint8(paperFlagUseRHS|paperFlagCostReduced|paperFlagSecondaryFilter|paperFlagHasFaults) != 0 {
+		r.fail("unknown flag bits %#x", flags)
+	}
+	st.UseRHS = flags&paperFlagUseRHS != 0
+	st.CostReduced = flags&paperFlagCostReduced != 0
+	st.SecondaryFilter = flags&paperFlagSecondaryFilter != 0
+
+	st.Depth = int(r.u8())
+	st.IndexBits = int(r.u8())
+	st.SecondaryBits = int(r.u8())
+	st.TagBits = int(r.u8())
+	st.CounterBits = int(r.u8())
+	st.CounterInc = int(r.u8())
+	st.CounterDec = int(r.u8())
+	st.SecCounterBits = int(r.u8())
+	st.SecCounterDec = int(r.u8())
+	st.RHSDepth = int(r.u16())
+	st.DOLC.Depth = int(r.u8())
+	st.DOLC.Older = int(r.u8())
+	st.DOLC.Last = int(r.u8())
+	st.DOLC.Current = int(r.u8())
+	st.DOLC.Index = int(r.u8())
+
+	st.Stats.Predictions = r.u64()
+	st.Stats.Correct = r.u64()
+	st.Stats.Cold = r.u64()
+	st.Stats.FromSecondary = r.u64()
+	st.Stats.AltCorrect = r.u64()
+	st.Stats.AltPresent = r.u64()
+
+	st.Hist = r.reg()
+
+	if st.UseRHS {
+		rhs := &history.StackState{Max: int(r.u16())}
+		n := int(r.u16())
+		if r.err == nil {
+			if rem := len(r.b) - r.off; n*stateRegBytes > rem {
+				r.fail("RHS count %d needs %d bytes, %d remain", n, n*stateRegBytes, rem)
+			}
+		}
+		if r.err == nil {
+			rhs.Regs = make([]history.RegState, n)
+			for i := range rhs.Regs {
+				rhs.Regs[i] = r.reg()
+			}
+			st.RHS = rhs
+		}
+	}
+
+	if flags&paperFlagHasFaults != 0 {
+		f := &faults.InjectorState{}
+		f.Config.Seed = r.u64()
+		f.Config.Bits = int(r.u8())
+		f.Config.Interval = r.u64()
+		f.Config.Table = r.rate("table")
+		f.Config.Secondary = r.rate("secondary")
+		f.Config.History = r.rate("history")
+		f.Config.TraceCache = r.rate("tcache")
+		switch stuck := r.u8(); {
+		case r.err != nil:
+		case stuck == 0:
+		case stuck == 1:
+			f.Config.StuckZero = true
+		default:
+			r.fail("stuck-zero byte %d", stuck)
+		}
+		f.Fire = r.u64()
+		f.Eff = r.u64()
+		for i := range f.Ticks {
+			f.Ticks[i] = r.u64()
+		}
+		f.Stats.Opportunities = r.u64()
+		f.Stats.TableFaults = r.u64()
+		f.Stats.SecFaults = r.u64()
+		f.Stats.HistoryFaults = r.u64()
+		f.Stats.TCacheFaults = r.u64()
+		if r.err == nil {
+			st.Faults = f
+		}
+	}
+
+	if n := r.count("correlated entries", paperCorrEntryBytes); r.err == nil && n > 0 {
+		st.Corr = make([]SavedEntry, n)
+		for i := range st.Corr {
+			e := &st.Corr[i]
+			e.Index = r.u32()
+			e.Tag = r.u16()
+			e.Val = r.u64()
+			e.Alt = r.u64()
+			e.Ctr = r.u8()
+			switch ef := r.u8(); {
+			case r.err != nil:
+			case ef == 0:
+			case ef == 1:
+				e.AltValid = true
+			default:
+				r.fail("correlated entry %d flag byte %d", i, ef)
+			}
+		}
+	}
+	if n := r.count("secondary entries", paperSecEntryBytes); r.err == nil && n > 0 {
+		st.Sec = make([]SavedSecEntry, n)
+		for i := range st.Sec {
+			e := &st.Sec[i]
+			e.Index = r.u32()
+			e.Val = r.u64()
+			e.Ctr = r.u8()
+		}
+	}
+
+	if r.err == nil && r.off != len(r.b) {
+		r.fail("%d trailing bytes after state", len(r.b)-r.off)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return st, nil
+}

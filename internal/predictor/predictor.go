@@ -146,6 +146,11 @@ type Recorder interface {
 
 // Config selects and sizes a predictor variant.
 type Config struct {
+	// Backend selects a registered predictor backend by name ("basic",
+	// "hybrid", "costreduced", "unbounded", "tage"). Empty keeps the
+	// legacy selection: "hybrid" when Hybrid is set, else "basic".
+	Backend string
+
 	// Depth is the path history depth: the number of traces besides the
 	// most recent whose identifiers feed the index (0..7).
 	Depth int
@@ -264,20 +269,15 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// New constructs the predictor variant selected by cfg: a basic
-// correlated predictor, or a hybrid when cfg.Hybrid is set.
+// New constructs the predictor variant selected by cfg, resolved
+// through the backend registry: cfg.Backend by name, or the legacy
+// Hybrid-flag selection between the paper backends when unset.
 func New(cfg Config) (NextTracePredictor, error) {
-	full, err := cfg.withDefaults()
+	b, err := ResolveBackend(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if full.Hybrid {
-		return newHybrid(full)
-	}
-	if full.UseRHS {
-		return nil, fmt.Errorf("predictor: RHS requires the hybrid predictor in this implementation")
-	}
-	return newBasic(full)
+	return b.New(cfg)
 }
 
 // MustNew is New for static configurations; it panics on error.

@@ -104,10 +104,12 @@ type ShardStats struct {
 // ServerStats is the /statsz document: server-wide counters plus one
 // entry per shard.
 type ServerStats struct {
-	Addr      string  `json:"addr"`
-	UptimeSec float64 `json:"uptime_sec"`
-	Draining  bool    `json:"draining"`
-	Shards    int     `json:"shards"`
+	Addr      string   `json:"addr"`
+	UptimeSec float64  `json:"uptime_sec"`
+	Draining  bool     `json:"draining"`
+	Shards    int      `json:"shards"`
+	Backend   string   `json:"backend"`
+	Shadows   []string `json:"shadows,omitempty"`
 
 	Conns struct {
 		Accepted uint64 `json:"accepted"`
@@ -138,6 +140,8 @@ func (s *Server) Stats() ServerStats {
 	st.UptimeSec = time.Since(s.start).Seconds()
 	st.Draining = s.draining.Load()
 	st.Shards = len(s.shards)
+	st.Backend = s.backend.Name
+	st.Shadows = s.cfg.Shadows
 	st.Conns.Accepted = s.counters.Accepted.Load()
 	st.Conns.Active = s.counters.Active.Load()
 	st.Requests = s.counters.Requests.Load()

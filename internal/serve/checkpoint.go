@@ -212,7 +212,7 @@ func (s *Server) offload() error {
 	var frames []ckptFrame
 	for _, sh := range s.shards {
 		for _, sess := range sh.sessions {
-			snap, err := exportSession(sess)
+			snap, err := sh.exportSession(sess)
 			if err != nil {
 				s.counters.LostSessions.Add(1)
 				continue

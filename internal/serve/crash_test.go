@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"os"
 	"testing"
 	"time"
@@ -117,6 +120,109 @@ func TestSnapshotMovesSessionBetweenServers(t *testing.T) {
 	}
 	if got := srvB.shardFor(session).counters.Restores.Load(); got != 1 {
 		t.Errorf("server B restores = %d, want 1", got)
+	}
+}
+
+// TestSnapshotRoundTripAllBackends drives the wire-level
+// Save → Snapshot → Restore cycle for every snapshottable backend in
+// the registry: half the stream on server A, snapshot, restore onto a
+// server with a different shard count, the other half on B, and the
+// final stats must be bit-identical to an uninterrupted in-process
+// replay under the same backend. A newly registered backend fails the
+// test until it gets a config entry here.
+func TestSnapshotRoundTripAllBackends(t *testing.T) {
+	s := captureTestStream(t)
+	configs := map[string]predictor.Config{
+		"basic":       {Backend: "basic", Depth: 5, IndexBits: 12},
+		"hybrid":      {Backend: "hybrid", Depth: 7, IndexBits: 12, UseRHS: true},
+		"costreduced": {Backend: "costreduced", Depth: 7, IndexBits: 12},
+		"tage":        {Backend: "tage", Depth: 7, IndexBits: 12},
+	}
+	for _, b := range predictor.Backends() {
+		if !b.Snapshottable() {
+			continue
+		}
+		cfg, ok := configs[b.Name]
+		if !ok {
+			t.Errorf("no round-trip config for newly registered backend %q — add one", b.Name)
+			continue
+		}
+		t.Run(b.Name, func(t *testing.T) {
+			const session, batch, nBatches = 7, 128, 20
+			// Uninterrupted reference over the same traces.
+			ref := predictor.MustNew(cfg)
+			cur := s.Cursor()
+			var tr trace.Trace
+			for i := 0; i < nBatches*batch && cur.Next(&tr); i++ {
+				ref.Predict()
+				ref.Update(&tr)
+			}
+
+			srvA := newTestServer(t, Config{Shards: 2, Predictor: cfg})
+			srvB := newTestServer(t, Config{Shards: 3, Predictor: cfg})
+			clA := dialT(t, srvA)
+			if _, _, err := clA.Open(session); err != nil {
+				t.Fatal(err)
+			}
+			cur = s.Cursor()
+			feedBatches(t, clA, session, cur, batch, nBatches/2)
+			frame, err := clA.Snapshot(session)
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			clB := dialT(t, srvB)
+			if _, err := clB.Restore(session, frame); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			feedBatches(t, clB, session, cur, batch, nBatches/2)
+			st, err := clB.Stats(session)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Session.Equal(ref.Stats()) {
+				t.Errorf("moved session stats %+v, want %+v", st.Session, ref.Stats())
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsWrongBackendFrame: a frame saved by a TAGE server
+// is checksum-valid and well-formed, but must not install into a
+// hybrid server — the backend families differ — and a frame whose tag
+// bytes were corrupted (checksum fixed up) must be rejected at decode.
+func TestRestoreRejectsWrongBackendFrame(t *testing.T) {
+	s := captureTestStream(t)
+	tageSrv := newTestServer(t, Config{Shards: 1,
+		Predictor: predictor.Config{Backend: "tage", Depth: 7, IndexBits: 16}})
+	cl := dialT(t, tageSrv)
+	if _, _, err := cl.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	feedBatches(t, cl, 1, s.Cursor(), 128, 5)
+	frame, err := cl.Snapshot(1)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	hybridSrv := newTestServer(t, Config{Shards: 1}) // headline hybrid
+	clH := dialT(t, hybridSrv)
+	if _, err := clH.Restore(1, frame); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("cross-family Restore = %v, want ErrBadSnapshot", err)
+	}
+	if got := hybridSrv.shardFor(1).counters.RestoreRejects.Load(); got != 1 {
+		t.Errorf("restore rejects = %d, want 1", got)
+	}
+
+	// Corrupt the backend tag in place and fix the checksum: the frame
+	// is now checksum-valid but tagged with an unregistered name.
+	bad := append([]byte(nil), frame...)
+	bad[30] ^= 0xFF // first byte of the tag ("tage" starts at offset 30)
+	binary.LittleEndian.PutUint32(bad[len(bad)-4:], crc32.ChecksumIEEE(bad[:len(bad)-4]))
+	if _, err := snapshot.Decode(bad); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Errorf("Decode of corrupt tag = %v, want snapshot.ErrCorrupt", err)
+	}
+	if _, err := cl.Restore(2, bad); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("Restore of corrupt tag = %v, want ErrBadSnapshot", err)
 	}
 }
 

@@ -21,9 +21,15 @@ type predRecorder struct {
 	cold      *metrics.Counter
 	secondary *metrics.Counter
 	replaced  *metrics.Counter
+
+	// backend mirrors rounds/correct/misses under the per-backend
+	// accuracy families (role="primary"), so the primary and its shadows
+	// are directly comparable on one dashboard axis.
+	backend backendRec
 }
 
 func (r *predRecorder) Record(ev predictor.Event) {
+	r.backend.Record(ev)
 	r.rounds.Inc()
 	if ev&predictor.EvCorrect != 0 {
 		r.correct.Inc()
@@ -41,12 +47,44 @@ func (r *predRecorder) Record(ev predictor.Event) {
 	}
 }
 
+// backendRec is the per-backend accuracy recorder behind the
+// ntpd_backend_* families. The primary embeds one (role="primary");
+// every shadow backend gets its own (role="shadow") and its sessions'
+// evaluation predictors report into it via Config.Recorder.
+type backendRec struct {
+	rounds  *metrics.Counter
+	correct *metrics.Counter
+	misses  *metrics.Counter
+}
+
+func (r *backendRec) Record(ev predictor.Event) {
+	r.rounds.Inc()
+	if ev&predictor.EvCorrect != 0 {
+		r.correct.Inc()
+	} else {
+		r.misses.Inc()
+	}
+}
+
+func newBackendRec(reg *metrics.Registry, backend, role, shard string) *backendRec {
+	l := metrics.Labels{"backend": backend, "role": role, "shard": shard}
+	return &backendRec{
+		rounds:  reg.Counter("ntpd_backend_rounds_total", "Predict/Update rounds evaluated per backend.", l),
+		correct: reg.Counter("ntpd_backend_correct_total", "Correct predictions per backend.", l),
+		misses:  reg.Counter("ntpd_backend_miss_total", "Mispredictions per backend (incl. cold).", l),
+	}
+}
+
 // shardMetrics is the per-shard instrumentation bundle: one latency
 // histogram per request op plus the predictor event recorder. Built at
 // server startup; the shard loop only touches pre-registered atomics.
 type shardMetrics struct {
 	opSeconds [OpRestore + 1]*metrics.Histogram // indexed by op byte
 	rec       predRecorder
+
+	// shadowRec holds one accuracy recorder per shadow backend; the
+	// shard wires it into each session's shadow predictors.
+	shadowRec map[string]*backendRec
 }
 
 // opNames maps request op bytes to their metric label values.
@@ -61,7 +99,7 @@ var opNames = [OpRestore + 1]string{
 	OpRestore:  "restore",
 }
 
-func newShardMetrics(reg *metrics.Registry, shardID int) *shardMetrics {
+func newShardMetrics(reg *metrics.Registry, shardID int, primary string, shadows []string) *shardMetrics {
 	shard := strconv.Itoa(shardID)
 	m := &shardMetrics{}
 	for op, name := range opNames {
@@ -80,6 +118,13 @@ func newShardMetrics(reg *metrics.Registry, shardID int) *shardMetrics {
 		cold:      reg.Counter("ntpd_predictor_cold_total", "Rounds with no valid prediction.", l),
 		secondary: reg.Counter("ntpd_predictor_secondary_total", "Predictions supplied by the hybrid secondary table.", l),
 		replaced:  reg.Counter("ntpd_predictor_replacements_total", "Trained table entries displaced during training.", l),
+		backend:   *newBackendRec(reg, primary, "primary", shard),
+	}
+	if len(shadows) > 0 {
+		m.shadowRec = make(map[string]*backendRec, len(shadows))
+		for _, name := range shadows {
+			m.shadowRec[name] = newBackendRec(reg, name, "shadow", shard)
+		}
 	}
 	return m
 }

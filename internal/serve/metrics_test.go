@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pathtrace/internal/metrics"
+	"pathtrace/internal/predictor"
 	"pathtrace/internal/trace"
 )
 
@@ -132,6 +133,99 @@ func TestMetricsEndpoint(t *testing.T) {
 	// Request counters moved: open + update + stats = 3 frames.
 	if v := metricValue(t, body, "ntpd_requests_total"); v < 3 {
 		t.Errorf("ntpd_requests_total = %v, want >= 3", v)
+	}
+}
+
+// TestShadowEvalMetrics serves live traffic with a shadow backend and
+// asserts the per-backend accuracy families: the primary's counters
+// (role="primary") mirror the served predictor exactly, the shadow's
+// (role="shadow") move by the same number of rounds, and the session's
+// own stats stay bit-identical to an in-process replay — shadows
+// measure, they never touch the serving path.
+func TestShadowEvalMetrics(t *testing.T) {
+	s := captureTestStream(t)
+	srv := newTestServer(t, Config{AdminAddr: "127.0.0.1:0", Shards: 1, Shadows: []string{"tage"}})
+
+	// In-process reference of the primary: shadows must not perturb it.
+	ref := predictor.MustNew(headlineConfig())
+	// Shadow reference: the same stream through a TAGE predictor of the
+	// same geometry, which is exactly what the shard fans out to.
+	shadowCfg := headlineConfig()
+	shadowCfg.Backend = "tage"
+	shadowRef := predictor.MustNew(shadowCfg)
+
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]trace.Trace, 0, 256)
+	cur := s.Cursor()
+	var tr trace.Trace
+	rounds := 0
+	for i := 0; i < 8; i++ {
+		batch = batch[:0]
+		for len(batch) < cap(batch) && cur.Next(&tr) {
+			batch = append(batch, tr)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		if _, _, err := cl.Update(1, batch); err != nil {
+			t.Fatal(err)
+		}
+		for j := range batch {
+			ref.Predict()
+			ref.Update(&batch[j])
+			shadowRef.Predict()
+			shadowRef.Update(&batch[j])
+		}
+		rounds += len(batch)
+	}
+
+	st, err := cl.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(ref.Stats()) {
+		t.Errorf("shadowed session stats %+v, want bit-identical %+v", st.Session, ref.Stats())
+	}
+
+	body := scrape(t, srv)
+	primary := `ntpd_backend_rounds_total{backend="hybrid",role="primary",shard="0"}`
+	if v := metricValue(t, body, primary); v != float64(rounds) {
+		t.Errorf("%s = %v, want %d", primary, v, rounds)
+	}
+	if v := metricValue(t, body, `ntpd_backend_correct_total{backend="hybrid",role="primary",shard="0"}`); v != float64(ref.Stats().Correct) {
+		t.Errorf("primary backend correct = %v, want %d", v, ref.Stats().Correct)
+	}
+	shadow := `ntpd_backend_rounds_total{backend="tage",role="shadow",shard="0"}`
+	if v := metricValue(t, body, shadow); v != float64(rounds) {
+		t.Errorf("%s = %v, want %d", shadow, v, rounds)
+	}
+	sc := metricValue(t, body, `ntpd_backend_correct_total{backend="tage",role="shadow",shard="0"}`)
+	sm := metricValue(t, body, `ntpd_backend_miss_total{backend="tage",role="shadow",shard="0"}`)
+	if sc+sm != float64(rounds) {
+		t.Errorf("shadow correct (%v) + miss (%v) != rounds (%d)", sc, sm, rounds)
+	}
+	// The shadow's counters are the real TAGE accuracy on this stream.
+	if uint64(sc) != shadowRef.Stats().Correct {
+		t.Errorf("shadow correct = %v, in-process tage says %d", sc, shadowRef.Stats().Correct)
+	}
+}
+
+// TestServerRejectsBadShadows pins the construction-time validation:
+// unknown and duplicate shadow names fail NewServer, not the first
+// session open.
+func TestServerRejectsBadShadows(t *testing.T) {
+	if _, err := NewServer(Config{Addr: "127.0.0.1:0", Predictor: headlineConfig(), Shadows: []string{"nope"}}); err == nil {
+		t.Error("unknown shadow backend accepted")
+	}
+	if _, err := NewServer(Config{Addr: "127.0.0.1:0", Predictor: headlineConfig(), Shadows: []string{"tage", "tage"}}); err == nil {
+		t.Error("duplicate shadow backend accepted")
 	}
 }
 

@@ -38,8 +38,17 @@ type Config struct {
 
 	// Predictor configures the per-session predictors. The zero value
 	// defaults (inside predictor.New) to the basic correlated predictor;
-	// servers usually want the paper's headline hybrid.
+	// servers usually want the paper's headline hybrid. Predictor.Backend
+	// selects the serving backend from the registry.
 	Predictor predictor.Config
+
+	// Shadows names predictor backends to run in shadow-evaluation mode:
+	// every session's applied updates also train one predictor per
+	// listed backend (built from the same Predictor geometry), but only
+	// the primary ever answers Predict or is snapshotted. Per-backend
+	// accuracy is exported through the ntpd_backend_* metric families,
+	// so contenders are compared on live traffic without risking it.
+	Shadows []string
 
 	// Faults, when non-nil, gives every session's predictor its own
 	// deterministic injector built from this plan — the server-side
@@ -98,9 +107,10 @@ func (c Config) withDefaults() Config {
 
 // Server hosts predictor shards behind a TCP listener.
 type Server struct {
-	cfg    Config
-	ln     net.Listener
-	shards []*shard
+	cfg     Config
+	backend predictor.Backend // resolved primary backend
+	ln      net.Listener
+	shards  []*shard
 	admin  *adminServer
 	reg    *metrics.Registry
 	ckpt   *checkpointer // nil without a checkpoint directory
@@ -144,19 +154,58 @@ type serverCounters struct {
 // accept loop. It returns once the server is serving.
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+
+	// Resolve the primary backend and validate every shadow before
+	// binding anything: a server that cannot build its predictors is a
+	// configuration error at startup, not a per-session ErrBadRequest.
+	backend, err := predictor.ResolveBackend(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := backend.New(cfg.Predictor); err != nil {
+		return nil, fmt.Errorf("serve: backend %q: %w", backend.Name, err)
+	}
+	shadowCfgs := make([]shadowBackend, 0, len(cfg.Shadows))
+	for _, name := range cfg.Shadows {
+		b, ok := predictor.BackendByName(name)
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown shadow backend %q (registered: %v)", name, predictor.BackendNames())
+		}
+		for _, prev := range shadowCfgs {
+			if prev.b.Name == name {
+				return nil, fmt.Errorf("serve: duplicate shadow backend %q", name)
+			}
+		}
+		scfg := cfg.Predictor
+		scfg.Backend = name
+		if _, err := b.New(scfg); err != nil {
+			return nil, fmt.Errorf("serve: shadow backend %q: %w", name, err)
+		}
+		shadowCfgs = append(shadowCfgs, shadowBackend{b: b, cfg: scfg})
+	}
+
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		ln:    ln,
-		conns: map[net.Conn]struct{}{},
-		reg:   metrics.NewRegistry(),
-		start: time.Now(),
+		cfg:     cfg,
+		backend: backend,
+		ln:      ln,
+		conns:   map[net.Conn]struct{}{},
+		reg:     metrics.NewRegistry(),
+		start:   time.Now(),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		sh := newShard(i, cfg.Predictor, cfg.Faults, cfg.QueueLen, newShardMetrics(s.reg, i))
+		m := newShardMetrics(s.reg, i, backend.Name, cfg.Shadows)
+		// Each shard gets its own shadow templates so shadow predictors
+		// report into that shard's recorders.
+		shadows := make([]shadowBackend, len(shadowCfgs))
+		copy(shadows, shadowCfgs)
+		for j := range shadows {
+			shadows[j].cfg.Recorder = m.shadowRec[shadows[j].b.Name]
+		}
+		sh := newShard(i, backend, cfg.Predictor, cfg.Faults, shadows, cfg.QueueLen, m)
 		s.shards = append(s.shards, sh)
 	}
 	// Warm restart: restore checkpointed sessions before the shards

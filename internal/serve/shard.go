@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,14 @@ type session struct {
 	id uint64
 	p  predictor.NextTracePredictor
 
+	// shadows are the session's evaluation-only contender predictors:
+	// every applied update also trains them, but only p ever answers
+	// Predict, and only p is snapshotted. They exist to measure — their
+	// accuracy flows into the per-backend metric families — so losing
+	// them (restore on another process, crash) costs a warm-up, never
+	// correctness.
+	shadows []shadowPred
+
 	// Exactly-once bookkeeping: the last applied update sequence and its
 	// cached response. A retried sequence (client resend after a lost
 	// ack) replays the cached answer instead of re-training the
@@ -30,6 +39,21 @@ type session struct {
 
 	// dirty marks state changed since the last checkpoint encode.
 	dirty bool
+}
+
+// shadowPred is one shadow backend's predictor within a session.
+type shadowPred struct {
+	name string
+	p    predictor.NextTracePredictor
+}
+
+// shadowBackend is a shard's template for building session shadows:
+// the backend descriptor plus the fully derived config (shadow backend
+// name, metrics recorder, no fault injector — shadows measure the
+// backend, not the fault plan).
+type shadowBackend struct {
+	b   predictor.Backend
+	cfg predictor.Config
 }
 
 // task is one unit of shard work: a parsed request plus the completion
@@ -82,8 +106,10 @@ type shardCounters struct {
 // typed overload, pushed back to the client.
 type shard struct {
 	id       int
+	backend  predictor.Backend // resolved primary backend
 	cfg      predictor.Config
-	fcfg     *faults.Config // per-session injector template, optional
+	fcfg     *faults.Config  // per-session injector template, optional
+	shadows  []shadowBackend // shadow-evaluation templates, may be empty
 	queue    chan task
 	sessions map[uint64]*session
 	counters shardCounters
@@ -99,11 +125,13 @@ type shard struct {
 	wg sync.WaitGroup
 }
 
-func newShard(id int, cfg predictor.Config, fcfg *faults.Config, queueLen int, m *shardMetrics) *shard {
+func newShard(id int, backend predictor.Backend, cfg predictor.Config, fcfg *faults.Config, shadows []shadowBackend, queueLen int, m *shardMetrics) *shard {
 	return &shard{
 		id:       id,
+		backend:  backend,
 		cfg:      cfg,
 		fcfg:     fcfg,
+		shadows:  shadows,
 		queue:    make(chan task, queueLen),
 		sessions: make(map[uint64]*session),
 		metrics:  m,
@@ -220,14 +248,33 @@ func (sh *shard) sessionCfg() predictor.Config {
 func (sh *shard) open(id uint64) shardResp {
 	s, ok := sh.sessions[id]
 	if !ok {
-		p, err := predictor.New(sh.sessionCfg())
+		p, err := sh.backend.New(sh.sessionCfg())
 		if err != nil {
 			return shardResp{err: ErrBadRequest}
 		}
-		s = &session{id: id, p: p, dirty: true}
+		s = &session{id: id, p: p, shadows: sh.newShadows(), dirty: true}
 		sh.sessions[id] = s
 	}
 	return shardResp{shard: uint32(sh.id), lastSeq: s.lastSeq}
+}
+
+// newShadows builds one fresh predictor per configured shadow backend.
+// Shadow configs are validated at server construction, so a failure
+// here cannot happen in a running server; a shadow that does fail is
+// simply absent from the session rather than failing the open.
+func (sh *shard) newShadows() []shadowPred {
+	if len(sh.shadows) == 0 {
+		return nil
+	}
+	out := make([]shadowPred, 0, len(sh.shadows))
+	for _, sb := range sh.shadows {
+		p, err := sb.b.New(sb.cfg)
+		if err != nil {
+			continue
+		}
+		out = append(out, shadowPred{name: sb.b.Name, p: p})
+	}
+	return out
 }
 
 // update runs the strict Predict/Update alternation for each trace in
@@ -251,6 +298,18 @@ func (sh *shard) update(s *session, req request) shardResp {
 		s.p.Predict()
 		s.p.Update(&req.traces[i])
 	}
+	// Shadow fan-out: every shadow backend sees the same trace stream,
+	// in the same strict Predict/Update alternation, after the primary
+	// has answered. Shadows never touch the response — their accuracy
+	// is visible only through the per-backend metric families — and a
+	// duplicate-sequence replay (handled above) skips them exactly as it
+	// skips the primary, so shadow counters move once per applied trace.
+	for _, sp := range s.shadows {
+		for i := range req.traces {
+			sp.p.Predict()
+			sp.p.Update(&req.traces[i])
+		}
+	}
 	sh.counters.Batches.Add(1)
 	sh.counters.Traces.Add(uint64(len(req.traces)))
 	resp := shardResp{
@@ -266,10 +325,16 @@ func (sh *shard) update(s *session, req request) shardResp {
 	return resp
 }
 
-// exportSession captures a session as a codec-ready snapshot. Runs on
-// the shard goroutine (or after the shard is stopped, during drain).
-func exportSession(s *session) (*snapshot.Session, error) {
-	st, err := predictor.Save(s.p)
+// exportSession captures a session as a codec-ready snapshot: the
+// primary backend's state section stamped with the backend name.
+// Shadows are deliberately not captured — they are measurements, not
+// state the client can lose. Runs on the shard goroutine (or after the
+// shard is stopped, during drain).
+func (sh *shard) exportSession(s *session) (*snapshot.Session, error) {
+	if !sh.backend.Snapshottable() {
+		return nil, predictor.ErrNotSnapshottable
+	}
+	state, err := sh.backend.Save(s.p)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +343,8 @@ func exportSession(s *session) (*snapshot.Session, error) {
 		LastSeq:     s.lastSeq,
 		LastApplied: s.lastApplied,
 		LastCorrect: s.lastCorrect,
-		State:       st,
+		Backend:     sh.backend.Name,
+		State:       state,
 	}, nil
 }
 
@@ -286,7 +352,7 @@ func exportSession(s *session) (*snapshot.Session, error) {
 // Save captures state at a round boundary, which holds by construction
 // here: the shard runs complete Predict/Update rounds per request.
 func (sh *shard) snapshotSession(s *session) shardResp {
-	sess, err := exportSession(s)
+	sess, err := sh.exportSession(s)
 	if err != nil {
 		return shardResp{err: ErrBadRequest}
 	}
@@ -323,16 +389,30 @@ func (sh *shard) restore(req request) shardResp {
 }
 
 // installSnapshot rebuilds a decoded session and adds it to the shard.
+// The frame's backend tag must resolve to a backend of the server's
+// snapshot family — a TAGE frame can never install into a hybrid
+// server, whatever its bytes claim — and the state then restores
+// through that backend's own codec, which enforces the geometry match.
+// Shadows restart cold: they are evaluation state, not session state.
 // Runs on the shard goroutine, or before the shard starts (warm
 // restart).
 func (sh *shard) installSnapshot(sess *snapshot.Session) error {
-	p, err := predictor.Restore(sess.State, sh.sessionCfg())
+	b, ok := predictor.BackendByName(sess.Backend)
+	if !ok || !b.Snapshottable() {
+		return fmt.Errorf("serve: snapshot backend %q not restorable", sess.Backend)
+	}
+	if b.Family != sh.backend.Family {
+		return fmt.Errorf("serve: snapshot backend %q (family %q) incompatible with server backend %q (family %q)",
+			b.Name, b.Family, sh.backend.Name, sh.backend.Family)
+	}
+	p, err := b.Restore(sess.State, sh.sessionCfg())
 	if err != nil {
 		return err
 	}
 	sh.sessions[sess.ID] = &session{
 		id:          sess.ID,
 		p:           p,
+		shadows:     sh.newShadows(),
 		lastSeq:     sess.LastSeq,
 		lastApplied: sess.LastApplied,
 		lastCorrect: sess.LastCorrect,
@@ -350,7 +430,7 @@ func (sh *shard) checkpoint() shardResp {
 		if !s.dirty {
 			continue
 		}
-		sess, err := exportSession(s)
+		sess, err := sh.exportSession(s)
 		if err != nil {
 			continue
 		}

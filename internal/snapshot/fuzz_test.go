@@ -11,28 +11,49 @@ import (
 // FuzzSnapshotDecode drives the decoder with arbitrary bytes: it must
 // never panic, never allocate unboundedly, and anything it accepts must
 // re-encode to a frame that decodes to the same session (the decoder
-// and encoder agree on the format).
+// and encoder agree on the format). Seeds cover every snapshottable
+// backend plus a hand-built legacy v1 frame, so both payload layouts
+// stay in the corpus.
 func FuzzSnapshotDecode(f *testing.F) {
 	f.Add([]byte(nil))
 	f.Add([]byte("NTSS"))
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 	for name, cfg := range codecConfigs() {
-		p := predictor.MustNew(cfg)
+		b, err := predictor.ResolveBackend(cfg)
+		if err != nil {
+			f.Fatalf("%s: %v", name, err)
+		}
+		p, err := b.New(cfg)
+		if err != nil {
+			f.Fatalf("%s: %v", name, err)
+		}
 		for _, tc := range stream(7, 500) {
 			p.Predict()
 			p.Update(tc)
 		}
-		st, err := predictor.Save(p)
+		state, err := b.Save(p)
 		if err != nil {
 			f.Fatalf("%s: Save: %v", name, err)
 		}
-		b, err := Encode(&Session{ID: 42, LastSeq: 7, State: st})
+		frame, err := Encode(&Session{ID: 42, LastSeq: 7, Backend: b.Name, State: state})
 		if err != nil {
 			f.Fatalf("%s: Encode: %v", name, err)
 		}
-		f.Add(b)
-		f.Add(faults.FlipBits(b, 1, 4))
-		f.Add(faults.Truncate(b, 2))
+		f.Add(frame)
+		f.Add(faults.FlipBits(frame, 1, 4))
+		f.Add(faults.Truncate(frame, 2))
+	}
+	// A legacy v1 frame: backend inferred from the kind byte.
+	{
+		p := predictor.MustNew(predictor.Config{Depth: 3, IndexBits: 8, Hybrid: true})
+		for _, tc := range stream(9, 300) {
+			p.Predict()
+			p.Update(tc)
+		}
+		if st, err := predictor.Save(p); err == nil {
+			var t testing.T
+			f.Add(legacyFrame(&t, st, 5, 6, 7, 8))
+		}
 	}
 
 	f.Fuzz(func(t *testing.T, b []byte) {

@@ -1,16 +1,24 @@
 // Package snapshot implements the versioned, checksummed binary codec
 // for serving-session snapshots: everything needed to resume a client's
-// predictor session bit-identically on another process — the predictor's
-// full saved state (tables, path history, RHS, fault-injector PRNG
-// positions) plus the session's exactly-once bookkeeping (last applied
-// update sequence number and its cached response).
+// predictor session bit-identically on another process — the predictor
+// backend's serialized state section plus the session's exactly-once
+// bookkeeping (last applied update sequence number and its cached
+// response).
 //
 // Frame layout (all integers little-endian):
 //
 //	magic   [4]byte "NTSS"
-//	version u8      (currently 1)
+//	version u8      (currently 2)
 //	payload [...]   (version-specific; see encodePayload)
 //	crc32   u32     IEEE checksum of magic+version+payload
+//
+// The version-2 payload is backend-tagged: the session header is
+// followed by the predictor backend's registered name and an opaque
+// per-backend state section whose layout the backend's own codec
+// (predictor.Backend.Save/Restore) defines. The snapshot package owns
+// the envelope — framing, checksum, session bookkeeping, backend tag —
+// and backends own their state bytes, so a new predictor backend needs
+// no snapshot-layer change to become crash-safe.
 //
 // Version policy: the version byte identifies the payload layout.
 // Decoders reject versions they do not know (ErrVersion) rather than
@@ -18,11 +26,15 @@
 // version, because frames are consumed across process generations
 // (checkpoints on disk, drain handoffs between releases) where silent
 // misinterpretation would corrupt a session rather than just crash it.
+// Version-1 frames (pre-backend-registry, paper-family state inline)
+// are still decoded: their state section is byte-identical to the
+// paper codec's, so Decode validates it and infers the backend name
+// from the saved kind byte.
 //
 // Decode is strict: a frame must carry the exact payload its counts
-// imply — no trailing garbage, no truncated tables — and every length
-// read is bounded by the remaining input before any allocation is
-// sized from it, so a corrupt or adversarial frame can neither panic
+// imply — no trailing garbage, no truncated sections — and every
+// length read is bounded by the remaining input before any allocation
+// is sized from it, so a corrupt or adversarial frame can neither panic
 // the decoder nor make it allocate beyond O(len(input)).
 package snapshot
 
@@ -31,12 +43,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"math"
 
-	"pathtrace/internal/faults"
-	"pathtrace/internal/history"
 	"pathtrace/internal/predictor"
-	"pathtrace/internal/trace"
 )
 
 // Typed decode errors. Decode never returns a partially filled Session
@@ -55,13 +63,17 @@ var (
 	ErrChecksum = errors.New("snapshot: checksum mismatch")
 	// ErrCorrupt reports a frame whose checksum is intact but whose
 	// structure is not (impossible counts, out-of-range fields, trailing
-	// bytes) — a crafted or misframed input.
+	// bytes, an unregistered backend tag) — a crafted or misframed
+	// input.
 	ErrCorrupt = errors.New("snapshot: corrupt frame")
 )
 
 const (
 	// Version is the current frame layout version.
-	Version = 1
+	Version = 2
+
+	// legacyVersion is the pre-backend-tag layout, still decoded.
+	legacyVersion = 1
 
 	// MaxEncoded bounds an encoded frame. It comfortably holds a fully
 	// populated serving predictor (64K correlated entries at 24 bytes
@@ -73,9 +85,8 @@ const (
 	checksumBytes = 4
 	minFrame      = headerBytes + checksumBytes
 
-	corrEntryBytes = 24 // u32 index | u16 tag | u64 val | u64 alt | u8 ctr | u8 flags
-	secEntryBytes  = 13 // u32 index | u64 val | u8 ctr
-	regBytes       = 2 + 2*history.MaxSize
+	// sessionHeaderBytes: ID + LastSeq + LastApplied + LastCorrect.
+	sessionHeaderBytes = 8 + 8 + 4 + 4
 )
 
 var magic = [4]byte{'N', 'T', 'S', 'S'}
@@ -90,38 +101,45 @@ type Session struct {
 	LastSeq     uint64
 	LastApplied uint32
 	LastCorrect uint32
-	// State is the predictor's full saved state.
-	State *predictor.SavedState
+	// Backend is the registered predictor backend that produced State —
+	// the frame's backend tag. Restore routes State through this
+	// backend's codec, and serving refuses frames whose backend family
+	// differs from the server's.
+	Backend string
+	// State is the backend's serialized predictor state, opaque to the
+	// envelope.
+	State []byte
 }
 
-// session flag bits.
-const (
-	flagUseRHS          = 1 << 0
-	flagCostReduced     = 1 << 1
-	flagSecondaryFilter = 1 << 2
-	flagHasFaults       = 1 << 3
-)
-
 // Encode serializes a session into a checksummed frame. It fails on a
-// structurally invalid session (nil state, RHS bookkeeping mismatch) or
-// one whose frame would exceed MaxEncoded.
+// structurally invalid session (unknown or unregistered backend, empty
+// state) or one whose frame would exceed MaxEncoded.
 func Encode(s *Session) ([]byte, error) {
-	if s == nil || s.State == nil {
+	if s == nil {
 		return nil, fmt.Errorf("snapshot: encode nil session")
 	}
-	st := s.State
-	if st.UseRHS != (st.RHS != nil) {
-		return nil, fmt.Errorf("snapshot: session %#x: UseRHS %v but RHS state %v",
-			s.ID, st.UseRHS, st.RHS != nil)
+	if len(s.Backend) == 0 || len(s.Backend) > 0xFF {
+		return nil, fmt.Errorf("snapshot: session %#x: backend tag %q length outside [1, 255]", s.ID, s.Backend)
 	}
-	if err := checkEncodeRanges(st); err != nil {
-		return nil, err
+	if b, ok := predictor.BackendByName(s.Backend); !ok || !b.Snapshottable() {
+		return nil, fmt.Errorf("snapshot: session %#x: backend %q is not a registered snapshottable backend", s.ID, s.Backend)
+	}
+	if len(s.State) == 0 {
+		return nil, fmt.Errorf("snapshot: session %#x: empty state section", s.ID)
 	}
 
-	b := make([]byte, 0, encodedSize(st))
+	b := make([]byte, 0, minFrame+sessionHeaderBytes+1+len(s.Backend)+4+len(s.State))
 	b = append(b, magic[:]...)
 	b = append(b, Version)
-	b = encodePayload(b, s)
+	le := binary.LittleEndian
+	b = le.AppendUint64(b, s.ID)
+	b = le.AppendUint64(b, s.LastSeq)
+	b = le.AppendUint32(b, s.LastApplied)
+	b = le.AppendUint32(b, s.LastCorrect)
+	b = append(b, uint8(len(s.Backend)))
+	b = append(b, s.Backend...)
+	b = le.AppendUint32(b, uint32(len(s.State)))
+	b = append(b, s.State...)
 	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 	if len(b) > MaxEncoded {
 		return nil, fmt.Errorf("snapshot: session %#x encodes to %d bytes > max %d",
@@ -130,270 +148,8 @@ func Encode(s *Session) ([]byte, error) {
 	return b, nil
 }
 
-// checkEncodeRanges verifies every field fits its wire width, so Encode
-// never silently wraps a value.
-func checkEncodeRanges(st *predictor.SavedState) error {
-	u8 := func(name string, v int) error {
-		if v < 0 || v > 0xFF {
-			return fmt.Errorf("snapshot: %s %d does not fit u8", name, v)
-		}
-		return nil
-	}
-	for _, f := range []struct {
-		name string
-		v    int
-	}{
-		{"depth", st.Depth}, {"index bits", st.IndexBits},
-		{"secondary bits", st.SecondaryBits}, {"tag bits", st.TagBits},
-		{"counter bits", st.CounterBits}, {"counter inc", st.CounterInc},
-		{"counter dec", st.CounterDec}, {"sec counter bits", st.SecCounterBits},
-		{"sec counter dec", st.SecCounterDec},
-		{"DOLC depth", st.DOLC.Depth}, {"DOLC older", st.DOLC.Older},
-		{"DOLC last", st.DOLC.Last}, {"DOLC current", st.DOLC.Current},
-		{"DOLC index", st.DOLC.Index},
-	} {
-		if err := u8(f.name, f.v); err != nil {
-			return err
-		}
-	}
-	if st.RHSDepth < 0 || st.RHSDepth > 0xFFFF {
-		return fmt.Errorf("snapshot: RHS depth %d does not fit u16", st.RHSDepth)
-	}
-	if st.RHS != nil {
-		if st.RHS.Max < 0 || st.RHS.Max > 0xFFFF {
-			return fmt.Errorf("snapshot: RHS capacity %d does not fit u16", st.RHS.Max)
-		}
-		if len(st.RHS.Regs) > 0xFFFF {
-			return fmt.Errorf("snapshot: RHS holds %d regs, does not fit u16", len(st.RHS.Regs))
-		}
-	}
-	if st.Faults != nil {
-		if bits := st.Faults.Config.Bits; bits < 0 || bits > 0xFF {
-			return fmt.Errorf("snapshot: fault bits %d does not fit u8", bits)
-		}
-	}
-	return nil
-}
-
-// encodedSize returns the exact frame size for a state, for one-shot
-// allocation.
-func encodedSize(st *predictor.SavedState) int {
-	n := minFrame + fixedPayloadBytes
-	if st.RHS != nil {
-		n += 4 + len(st.RHS.Regs)*regBytes
-	}
-	if st.Faults != nil {
-		n += faultsBytes
-	}
-	n += 4 + len(st.Corr)*corrEntryBytes
-	n += 4 + len(st.Sec)*secEntryBytes
-	return n
-}
-
-const (
-	// session ids/seq/cache + kind + flags + geometry + stats + hist
-	fixedPayloadBytes = 8 + 8 + 4 + 4 + 1 + 1 + geometryBytes + statsBytes + regBytes
-	geometryBytes     = 9 + 2 + 5 // nine u8 params, u16 RHS depth, five DOLC u8s
-	statsBytes        = 6 * 8
-	faultsBytes       = 8 + 1 + 8 + 4*8 + 1 + 8 + 8 + 4*8 + 5*8
-)
-
-func encodePayload(b []byte, s *Session) []byte {
-	st := s.State
-	le := binary.LittleEndian
-	b = le.AppendUint64(b, s.ID)
-	b = le.AppendUint64(b, s.LastSeq)
-	b = le.AppendUint32(b, s.LastApplied)
-	b = le.AppendUint32(b, s.LastCorrect)
-	b = append(b, uint8(st.Kind))
-	var flags uint8
-	if st.UseRHS {
-		flags |= flagUseRHS
-	}
-	if st.CostReduced {
-		flags |= flagCostReduced
-	}
-	if st.SecondaryFilter {
-		flags |= flagSecondaryFilter
-	}
-	if st.Faults != nil {
-		flags |= flagHasFaults
-	}
-	b = append(b, flags)
-
-	b = append(b, uint8(st.Depth), uint8(st.IndexBits), uint8(st.SecondaryBits),
-		uint8(st.TagBits), uint8(st.CounterBits), uint8(st.CounterInc),
-		uint8(st.CounterDec), uint8(st.SecCounterBits), uint8(st.SecCounterDec))
-	b = le.AppendUint16(b, uint16(st.RHSDepth))
-	b = append(b, uint8(st.DOLC.Depth), uint8(st.DOLC.Older), uint8(st.DOLC.Last),
-		uint8(st.DOLC.Current), uint8(st.DOLC.Index))
-
-	for _, v := range [...]uint64{
-		st.Stats.Predictions, st.Stats.Correct, st.Stats.Cold,
-		st.Stats.FromSecondary, st.Stats.AltCorrect, st.Stats.AltPresent,
-	} {
-		b = le.AppendUint64(b, v)
-	}
-
-	b = appendReg(b, st.Hist)
-
-	if st.RHS != nil {
-		b = le.AppendUint16(b, uint16(st.RHS.Max))
-		b = le.AppendUint16(b, uint16(len(st.RHS.Regs)))
-		for _, r := range st.RHS.Regs {
-			b = appendReg(b, r)
-		}
-	}
-
-	if st.Faults != nil {
-		f := st.Faults
-		b = le.AppendUint64(b, f.Config.Seed)
-		b = append(b, uint8(f.Config.Bits))
-		b = le.AppendUint64(b, f.Config.Interval)
-		for _, rate := range [...]float64{
-			f.Config.Table, f.Config.Secondary, f.Config.History, f.Config.TraceCache,
-		} {
-			b = le.AppendUint64(b, math.Float64bits(rate))
-		}
-		var stuck uint8
-		if f.Config.StuckZero {
-			stuck = 1
-		}
-		b = append(b, stuck)
-		b = le.AppendUint64(b, f.Fire)
-		b = le.AppendUint64(b, f.Eff)
-		for _, t := range f.Ticks {
-			b = le.AppendUint64(b, t)
-		}
-		for _, v := range [...]uint64{
-			f.Stats.Opportunities, f.Stats.TableFaults, f.Stats.SecFaults,
-			f.Stats.HistoryFaults, f.Stats.TCacheFaults,
-		} {
-			b = le.AppendUint64(b, v)
-		}
-	}
-
-	b = le.AppendUint32(b, uint32(len(st.Corr)))
-	for _, e := range st.Corr {
-		b = le.AppendUint32(b, e.Index)
-		b = le.AppendUint16(b, e.Tag)
-		b = le.AppendUint64(b, e.Val)
-		b = le.AppendUint64(b, e.Alt)
-		var ef uint8
-		if e.AltValid {
-			ef = 1
-		}
-		b = append(b, e.Ctr, ef)
-	}
-	b = le.AppendUint32(b, uint32(len(st.Sec)))
-	for _, e := range st.Sec {
-		b = le.AppendUint32(b, e.Index)
-		b = le.AppendUint64(b, e.Val)
-		b = append(b, e.Ctr)
-	}
-	return b
-}
-
-func appendReg(b []byte, r history.RegState) []byte {
-	b = append(b, uint8(r.Size), uint8(r.N))
-	for _, id := range r.IDs {
-		b = binary.LittleEndian.AppendUint16(b, uint16(id))
-	}
-	return b
-}
-
-// reader walks a checksum-verified payload with sticky error state.
-// Every read is bounds-checked; overrunning the payload sets ErrCorrupt
-// (the checksum already proved the frame arrived whole, so a read past
-// the end means the structure lies about itself).
-type reader struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (r *reader) fail(format string, args ...any) {
-	if r.err == nil {
-		r.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
-	}
-}
-
-func (r *reader) take(n int) []byte {
-	if r.err != nil {
-		return nil
-	}
-	if len(r.b)-r.off < n {
-		r.fail("payload overrun at offset %d", r.off)
-		return nil
-	}
-	s := r.b[r.off : r.off+n]
-	r.off += n
-	return s
-}
-
-func (r *reader) u8() uint8 {
-	if s := r.take(1); s != nil {
-		return s[0]
-	}
-	return 0
-}
-
-func (r *reader) u16() uint16 {
-	if s := r.take(2); s != nil {
-		return binary.LittleEndian.Uint16(s)
-	}
-	return 0
-}
-
-func (r *reader) u32() uint32 {
-	if s := r.take(4); s != nil {
-		return binary.LittleEndian.Uint32(s)
-	}
-	return 0
-}
-
-func (r *reader) u64() uint64 {
-	if s := r.take(8); s != nil {
-		return binary.LittleEndian.Uint64(s)
-	}
-	return 0
-}
-
-func (r *reader) rate(name string) float64 {
-	v := math.Float64frombits(r.u64())
-	if math.IsNaN(v) || v < 0 || v > 1 {
-		r.fail("fault rate %s = %v outside [0, 1]", name, v)
-	}
-	return v
-}
-
-// count reads a u32 element count and verifies the remaining payload
-// can actually hold that many elemBytes-sized elements, bounding any
-// allocation derived from it by the input length.
-func (r *reader) count(what string, elemBytes int) int {
-	n := int(r.u32())
-	if r.err != nil {
-		return 0
-	}
-	if rem := len(r.b) - r.off; n*elemBytes > rem {
-		r.fail("%s count %d needs %d bytes, %d remain", what, n, n*elemBytes, rem)
-		return 0
-	}
-	return n
-}
-
-func (r *reader) reg() history.RegState {
-	var st history.RegState
-	st.Size = int(r.u8())
-	st.N = int(r.u8())
-	for i := range st.IDs {
-		st.IDs[i] = trace.HashedID(r.u16())
-	}
-	return st
-}
-
-// Decode parses and validates a snapshot frame. The returned Session
-// shares no memory with b.
+// Decode parses and validates a snapshot frame (current or legacy
+// version). The returned Session shares no memory with b.
 func Decode(b []byte) (*Session, error) {
 	if len(b) < minFrame {
 		return nil, fmt.Errorf("%w: %d bytes < minimum %d", ErrTruncated, len(b), minFrame)
@@ -401,136 +157,83 @@ func Decode(b []byte) (*Session, error) {
 	if [4]byte(b[:4]) != magic {
 		return nil, fmt.Errorf("%w: %q", ErrMagic, b[:4])
 	}
-	if v := b[4]; v != Version {
-		return nil, fmt.Errorf("%w: %d (supported: %d)", ErrVersion, v, Version)
+	version := b[4]
+	if version != Version && version != legacyVersion {
+		return nil, fmt.Errorf("%w: %d (supported: %d, %d)", ErrVersion, version, legacyVersion, Version)
 	}
 	body, sum := b[:len(b)-checksumBytes], binary.LittleEndian.Uint32(b[len(b)-checksumBytes:])
 	if got := crc32.ChecksumIEEE(body); got != sum {
 		return nil, fmt.Errorf("%w: computed %#x, frame says %#x", ErrChecksum, got, sum)
 	}
 
-	r := &reader{b: body, off: headerBytes}
-	s := &Session{State: &predictor.SavedState{}}
-	st := s.State
-	s.ID = r.u64()
-	s.LastSeq = r.u64()
-	s.LastApplied = r.u32()
-	s.LastCorrect = r.u32()
-	st.Kind = predictor.SavedKind(r.u8())
-	flags := r.u8()
-	if flags&^uint8(flagUseRHS|flagCostReduced|flagSecondaryFilter|flagHasFaults) != 0 {
-		r.fail("unknown flag bits %#x", flags)
+	payload := body[headerBytes:]
+	if len(payload) < sessionHeaderBytes {
+		return nil, fmt.Errorf("%w: payload %d bytes < session header %d", ErrCorrupt, len(payload), sessionHeaderBytes)
 	}
-	st.UseRHS = flags&flagUseRHS != 0
-	st.CostReduced = flags&flagCostReduced != 0
-	st.SecondaryFilter = flags&flagSecondaryFilter != 0
+	le := binary.LittleEndian
+	s := &Session{
+		ID:          le.Uint64(payload),
+		LastSeq:     le.Uint64(payload[8:]),
+		LastApplied: le.Uint32(payload[16:]),
+		LastCorrect: le.Uint32(payload[20:]),
+	}
+	rest := payload[sessionHeaderBytes:]
 
-	st.Depth = int(r.u8())
-	st.IndexBits = int(r.u8())
-	st.SecondaryBits = int(r.u8())
-	st.TagBits = int(r.u8())
-	st.CounterBits = int(r.u8())
-	st.CounterInc = int(r.u8())
-	st.CounterDec = int(r.u8())
-	st.SecCounterBits = int(r.u8())
-	st.SecCounterDec = int(r.u8())
-	st.RHSDepth = int(r.u16())
-	st.DOLC.Depth = int(r.u8())
-	st.DOLC.Older = int(r.u8())
-	st.DOLC.Last = int(r.u8())
-	st.DOLC.Current = int(r.u8())
-	st.DOLC.Index = int(r.u8())
-
-	st.Stats.Predictions = r.u64()
-	st.Stats.Correct = r.u64()
-	st.Stats.Cold = r.u64()
-	st.Stats.FromSecondary = r.u64()
-	st.Stats.AltCorrect = r.u64()
-	st.Stats.AltPresent = r.u64()
-
-	st.Hist = r.reg()
-
-	if st.UseRHS {
-		rhs := &history.StackState{Max: int(r.u16())}
-		n := int(r.u16())
-		if r.err == nil {
-			if rem := len(r.b) - r.off; n*regBytes > rem {
-				r.fail("RHS count %d needs %d bytes, %d remain", n, n*regBytes, rem)
-			}
-		}
-		if r.err == nil {
-			rhs.Regs = make([]history.RegState, n)
-			for i := range rhs.Regs {
-				rhs.Regs[i] = r.reg()
-			}
-			st.RHS = rhs
-		}
+	if version == legacyVersion {
+		return decodeLegacyState(s, rest)
 	}
 
-	if flags&flagHasFaults != 0 {
-		f := &faults.InjectorState{}
-		f.Config.Seed = r.u64()
-		f.Config.Bits = int(r.u8())
-		f.Config.Interval = r.u64()
-		f.Config.Table = r.rate("table")
-		f.Config.Secondary = r.rate("secondary")
-		f.Config.History = r.rate("history")
-		f.Config.TraceCache = r.rate("tcache")
-		switch stuck := r.u8(); stuck {
-		case 0:
-		case 1:
-			f.Config.StuckZero = true
-		default:
-			r.fail("stuck-zero byte %d", stuck)
-		}
-		f.Fire = r.u64()
-		f.Eff = r.u64()
-		for i := range f.Ticks {
-			f.Ticks[i] = r.u64()
-		}
-		f.Stats.Opportunities = r.u64()
-		f.Stats.TableFaults = r.u64()
-		f.Stats.SecFaults = r.u64()
-		f.Stats.HistoryFaults = r.u64()
-		f.Stats.TCacheFaults = r.u64()
-		if r.err == nil {
-			st.Faults = f
-		}
+	// v2: backend tag + opaque state section.
+	if len(rest) < 1 {
+		return nil, fmt.Errorf("%w: missing backend tag", ErrCorrupt)
 	}
+	nameLen := int(rest[0])
+	rest = rest[1:]
+	if nameLen == 0 {
+		return nil, fmt.Errorf("%w: empty backend tag", ErrCorrupt)
+	}
+	if len(rest) < nameLen {
+		return nil, fmt.Errorf("%w: backend tag %d bytes, %d remain", ErrCorrupt, nameLen, len(rest))
+	}
+	s.Backend = string(rest[:nameLen])
+	rest = rest[nameLen:]
+	if b, ok := predictor.BackendByName(s.Backend); !ok || !b.Snapshottable() {
+		return nil, fmt.Errorf("%w: backend tag %q is not a registered snapshottable backend", ErrCorrupt, s.Backend)
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: missing state length", ErrCorrupt)
+	}
+	stateLen := int(le.Uint32(rest))
+	rest = rest[4:]
+	if stateLen == 0 {
+		return nil, fmt.Errorf("%w: empty state section", ErrCorrupt)
+	}
+	if stateLen != len(rest) {
+		return nil, fmt.Errorf("%w: state length %d but %d bytes follow", ErrCorrupt, stateLen, len(rest))
+	}
+	s.State = append([]byte(nil), rest...)
+	return s, nil
+}
 
-	if n := r.count("correlated entries", corrEntryBytes); r.err == nil && n > 0 {
-		st.Corr = make([]predictor.SavedEntry, n)
-		for i := range st.Corr {
-			e := &st.Corr[i]
-			e.Index = r.u32()
-			e.Tag = r.u16()
-			e.Val = r.u64()
-			e.Alt = r.u64()
-			e.Ctr = r.u8()
-			switch ef := r.u8(); ef {
-			case 0:
-			case 1:
-				e.AltValid = true
-			default:
-				r.fail("correlated entry %d flag byte %d", i, ef)
-			}
-		}
+// decodeLegacyState finishes decoding a version-1 frame: the remainder
+// of the payload is a paper-family state section (the layouts are
+// byte-identical — the codec moved, the bytes did not). It is validated
+// through the paper codec, and the backend name is inferred from the
+// saved kind byte, so a checkpoint written before backend tags restores
+// exactly as it always did.
+func decodeLegacyState(s *Session, state []byte) (*Session, error) {
+	st, err := predictor.DecodeSavedState(state)
+	if err != nil {
+		return nil, fmt.Errorf("%w: legacy state: %v", ErrCorrupt, err)
 	}
-	if n := r.count("secondary entries", secEntryBytes); r.err == nil && n > 0 {
-		st.Sec = make([]predictor.SavedSecEntry, n)
-		for i := range st.Sec {
-			e := &st.Sec[i]
-			e.Index = r.u32()
-			e.Val = r.u64()
-			e.Ctr = r.u8()
-		}
+	switch st.Kind {
+	case predictor.SavedBasic:
+		s.Backend = "basic"
+	case predictor.SavedHybrid:
+		s.Backend = "hybrid"
+	default:
+		return nil, fmt.Errorf("%w: legacy state kind %d", ErrCorrupt, st.Kind)
 	}
-
-	if r.err == nil && r.off != len(r.b) {
-		r.fail("%d trailing bytes after payload", len(r.b)-r.off)
-	}
-	if r.err != nil {
-		return nil, r.err
-	}
+	s.State = append([]byte(nil), state...)
 	return s, nil
 }

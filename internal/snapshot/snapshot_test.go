@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
@@ -28,16 +29,38 @@ func stream(seed int64, n int) []*trace.Trace {
 	return out
 }
 
-// warmSession trains a predictor under cfg and wraps its saved state in
-// a Session with non-trivial bookkeeping.
-func warmSession(t *testing.T, cfg predictor.Config, rounds int) *Session {
+// codecConfigs maps each snapshottable backend to a round-trip config
+// (keyed by backend name; "faulty" exercises the paper codec's fault
+// block through the hybrid backend).
+func codecConfigs() map[string]predictor.Config {
+	return map[string]predictor.Config{
+		"basic":       {Backend: "basic", Depth: 3, IndexBits: 10},
+		"hybrid":      {Backend: "hybrid", Depth: 7, IndexBits: 12, UseRHS: true},
+		"costreduced": {Backend: "costreduced", Depth: 5, IndexBits: 10, UseRHS: true},
+		"tage":        {Backend: "tage", Depth: 7, IndexBits: 10},
+		"faulty": {Backend: "hybrid", Depth: 7, IndexBits: 10, UseRHS: true,
+			Faults: faults.New(faults.Config{Seed: 9, Table: 0.02, History: 0.02, Bits: 2})},
+	}
+}
+
+// warmSession trains a predictor under cfg, saves it through its
+// backend's codec hooks, and wraps the state in a Session with
+// non-trivial bookkeeping.
+func warmSession(t *testing.T, cfg predictor.Config, rounds int) (*Session, predictor.Backend) {
 	t.Helper()
-	p := predictor.MustNew(cfg)
+	b, err := predictor.ResolveBackend(cfg)
+	if err != nil {
+		t.Fatalf("ResolveBackend: %v", err)
+	}
+	p, err := b.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	for _, tc := range stream(3, rounds) {
 		p.Predict()
 		p.Update(tc)
 	}
-	st, err := predictor.Save(p)
+	state, err := b.Save(p)
 	if err != nil {
 		t.Fatalf("Save: %v", err)
 	}
@@ -46,38 +69,45 @@ func warmSession(t *testing.T, cfg predictor.Config, rounds int) *Session {
 		LastSeq:     12345,
 		LastApplied: 777,
 		LastCorrect: 555,
-		State:       st,
-	}
+		Backend:     b.Name,
+		State:       state,
+	}, b
 }
 
-func codecConfigs() map[string]predictor.Config {
-	return map[string]predictor.Config{
-		"basic":       {Depth: 3, IndexBits: 10},
-		"hybrid":      {Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true},
-		"costReduced": {Depth: 5, IndexBits: 10, Hybrid: true, UseRHS: true, CostReduced: true},
-		"faulty": {Depth: 7, IndexBits: 10, Hybrid: true, UseRHS: true,
-			Faults: faults.New(faults.Config{Seed: 9, Table: 0.02, History: 0.02, Bits: 2})},
-	}
-}
-
-func TestEncodeDecodeRoundTrip(t *testing.T) {
-	for name, cfg := range codecConfigs() {
-		cfg := cfg
-		t.Run(name, func(t *testing.T) {
-			s := warmSession(t, cfg, 2000)
-			b, err := Encode(s)
+// TestEncodeDecodeRoundTripAllBackends runs the full
+// Save → Snapshot → Restore round trip for every snapshottable backend
+// in the registry: the frame must decode to an identical session, and
+// the restored predictor must resume bit-identically with the
+// original. New backends fail the test until they get a config entry.
+func TestEncodeDecodeRoundTripAllBackends(t *testing.T) {
+	configs := codecConfigs()
+	for _, b := range predictor.Backends() {
+		if !b.Snapshottable() {
+			continue
+		}
+		cfg, ok := configs[b.Name]
+		if !ok {
+			t.Errorf("no codec config for newly registered backend %q — add one", b.Name)
+			continue
+		}
+		t.Run(b.Name, func(t *testing.T) {
+			s, backend := warmSession(t, cfg, 2000)
+			frame, err := Encode(s)
 			if err != nil {
 				t.Fatalf("Encode: %v", err)
 			}
-			if len(b) > MaxEncoded {
-				t.Fatalf("frame %d bytes > MaxEncoded %d", len(b), MaxEncoded)
+			if len(frame) > MaxEncoded {
+				t.Fatalf("frame %d bytes > MaxEncoded %d", len(frame), MaxEncoded)
 			}
-			got, err := Decode(b)
+			got, err := Decode(frame)
 			if err != nil {
 				t.Fatalf("Decode: %v", err)
 			}
 			if !reflect.DeepEqual(got, s) {
-				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.State, s.State)
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+			}
+			if _, err := backend.Restore(got.State, cfg); err != nil {
+				t.Fatalf("Restore of decoded state: %v", err)
 			}
 		})
 	}
@@ -86,27 +116,35 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 // The decoded state must actually restore: end-to-end, a session that
 // crossed the codec continues bit-identically with the original.
 func TestDecodedSessionResumesBitIdentical(t *testing.T) {
-	cfg := predictor.Config{Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true}
+	cfg := predictor.Config{Backend: "hybrid", Depth: 7, IndexBits: 12, UseRHS: true}
 	warm, tail := stream(3, 2000), stream(5, 1000)
 
-	orig := predictor.MustNew(cfg)
+	b, _ := predictor.BackendByName("hybrid")
+	orig, err := b.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tc := range warm {
 		orig.Predict()
 		orig.Update(tc)
 	}
-	st, err := predictor.Save(orig)
+	state, err := b.Save(orig)
 	if err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	b, err := Encode(&Session{ID: 1, State: st})
+	frame, err := Encode(&Session{ID: 1, Backend: "hybrid", State: state})
 	if err != nil {
 		t.Fatalf("Encode: %v", err)
 	}
-	dec, err := Decode(b)
+	dec, err := Decode(frame)
 	if err != nil {
 		t.Fatalf("Decode: %v", err)
 	}
-	resumed, err := predictor.Restore(dec.State, cfg)
+	tagged, ok := predictor.BackendByName(dec.Backend)
+	if !ok {
+		t.Fatalf("decoded backend %q not registered", dec.Backend)
+	}
+	resumed, err := tagged.Restore(dec.State, cfg)
 	if err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -122,6 +160,78 @@ func TestDecodedSessionResumesBitIdentical(t *testing.T) {
 	}
 }
 
+// legacyFrame hand-builds a version-1 frame, exactly as the
+// pre-backend-tag encoder laid it out: session header followed by the
+// paper state section inline, no backend tag.
+func legacyFrame(t *testing.T, st *predictor.SavedState, id, lastSeq uint64, applied, correct uint32) []byte {
+	t.Helper()
+	b := append([]byte(nil), 'N', 'T', 'S', 'S', 1)
+	le := binary.LittleEndian
+	b = le.AppendUint64(b, id)
+	b = le.AppendUint64(b, lastSeq)
+	b = le.AppendUint32(b, applied)
+	b = le.AppendUint32(b, correct)
+	b = predictor.AppendSavedState(b, st)
+	return le.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// TestDecodeLegacyV1Frame proves the compatibility promise: a frame
+// written before backend tags existed still decodes — the backend is
+// inferred from the saved kind — and the session restores
+// bit-identically.
+func TestDecodeLegacyV1Frame(t *testing.T) {
+	for name, cfg := range map[string]predictor.Config{
+		"basic":  {Depth: 3, IndexBits: 10},
+		"hybrid": {Depth: 7, IndexBits: 12, Hybrid: true, UseRHS: true},
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			p := predictor.MustNew(cfg)
+			for _, tc := range stream(11, 1500) {
+				p.Predict()
+				p.Update(tc)
+			}
+			st, err := predictor.Save(p)
+			if err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			frame := legacyFrame(t, st, 0xABCD, 99, 12, 7)
+
+			s, err := Decode(frame)
+			if err != nil {
+				t.Fatalf("Decode(v1): %v", err)
+			}
+			if s.Backend != name {
+				t.Fatalf("inferred backend %q, want %q", s.Backend, name)
+			}
+			if s.ID != 0xABCD || s.LastSeq != 99 || s.LastApplied != 12 || s.LastCorrect != 7 {
+				t.Fatalf("session header mismatch: %+v", s)
+			}
+			b, _ := predictor.BackendByName(s.Backend)
+			resumed, err := b.Restore(s.State, cfg)
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			for i, tc := range stream(13, 500) {
+				if a, b := p.Predict(), resumed.Predict(); a != b {
+					t.Fatalf("round %d: original %+v, resumed %+v", i, a, b)
+				}
+				p.Update(tc)
+				resumed.Update(tc)
+			}
+
+			// A corrupted legacy state section (valid checksum, broken
+			// structure) is ErrCorrupt, not a crash or a bad install.
+			bad := append([]byte(nil), frame...)
+			bad[30] |= 0x80 // reserved flag bit in the paper state section
+			fixCRC(bad)
+			if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("corrupt legacy state: Decode = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
 // fixCRC recomputes the trailing checksum after a deliberate patch, so
 // structural validation is exercised rather than the checksum.
 func fixCRC(b []byte) {
@@ -130,7 +240,8 @@ func fixCRC(b []byte) {
 
 func validFrame(t *testing.T) []byte {
 	t.Helper()
-	b, err := Encode(warmSession(t, predictor.Config{Depth: 4, IndexBits: 10, Hybrid: true, UseRHS: true}, 1000))
+	s, _ := warmSession(t, predictor.Config{Backend: "hybrid", Depth: 4, IndexBits: 10, UseRHS: true}, 1000)
+	b, err := Encode(s)
 	if err != nil {
 		t.Fatalf("Encode: %v", err)
 	}
@@ -139,6 +250,10 @@ func validFrame(t *testing.T) []byte {
 
 func TestDecodeTypedErrors(t *testing.T) {
 	frame := validFrame(t)
+	// v2 layout: magic(4) ver(1) header(24) nameLen(1) name stateLen(4).
+	const nameOff = 5 + sessionHeaderBytes
+	nameLen := int(frame[nameOff])
+	stateLenOff := nameOff + 1 + nameLen
 
 	cases := map[string]struct {
 		mutate func([]byte) []byte
@@ -156,7 +271,19 @@ func TestDecodeTypedErrors(t *testing.T) {
 			fixCRC(b)
 			return b
 		}, ErrCorrupt},
-		"flags": {func(b []byte) []byte { b[30] |= 0x80; fixCRC(b); return b }, ErrCorrupt},
+		// The corrupt-backend-tag case: a checksum-valid frame whose tag
+		// names no registered backend must be refused outright.
+		"badtag": {func(b []byte) []byte {
+			b[nameOff+1] ^= 0xFF
+			fixCRC(b)
+			return b
+		}, ErrCorrupt},
+		"zerotag": {func(b []byte) []byte { b[nameOff] = 0; fixCRC(b); return b }, ErrCorrupt},
+		"statelen": {func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[stateLenOff:], 0xFFFFFFFF)
+			fixCRC(b)
+			return b
+		}, ErrCorrupt},
 	}
 	for name, tc := range cases {
 		b := tc.mutate(append([]byte(nil), frame...))
@@ -166,21 +293,26 @@ func TestDecodeTypedErrors(t *testing.T) {
 	}
 }
 
-// A count field claiming more elements than the payload holds must be
-// rejected before any allocation is sized from it.
-func TestDecodeRejectsOversizedCounts(t *testing.T) {
-	s := warmSession(t, predictor.Config{Depth: 2, IndexBits: 8}, 200)
-	b, err := Encode(s)
-	if err != nil {
-		t.Fatalf("Encode: %v", err)
+// A frame tagged with a registered but non-snapshottable backend is as
+// unrestorable as an unknown one; both Encode and Decode refuse it.
+func TestRejectsNonSnapshottableBackendTag(t *testing.T) {
+	if _, err := Encode(&Session{ID: 1, Backend: "unbounded", State: []byte{1}}); err == nil {
+		t.Error("Encode accepted a non-snapshottable backend")
 	}
-	// The secondary count is the last u32 before the checksum (a basic
-	// predictor has no secondary entries).
-	off := len(b) - 4 - 4
-	binary.LittleEndian.PutUint32(b[off:], 0xFFFFFFFF)
-	fixCRC(b)
+	// Hand-build the frame Encode refused to make.
+	b := append([]byte(nil), 'N', 'T', 'S', 'S', Version)
+	le := binary.LittleEndian
+	b = le.AppendUint64(b, 1)
+	b = le.AppendUint64(b, 0)
+	b = le.AppendUint32(b, 0)
+	b = le.AppendUint32(b, 0)
+	b = append(b, uint8(len("unbounded")))
+	b = append(b, "unbounded"...)
+	b = le.AppendUint32(b, 1)
+	b = append(b, 0xAA)
+	b = le.AppendUint32(b, crc32.ChecksumIEEE(b))
 	if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("Decode = %v, want ErrCorrupt", err)
+		t.Errorf("Decode = %v, want ErrCorrupt", err)
 	}
 }
 
@@ -202,12 +334,16 @@ func TestEncodeRejectsInvalidSessions(t *testing.T) {
 	if _, err := Encode(nil); err == nil {
 		t.Error("Encode(nil) succeeded")
 	}
-	if _, err := Encode(&Session{ID: 1}); err == nil {
-		t.Error("Encode with nil state succeeded")
+	if _, err := Encode(&Session{ID: 1, Backend: "hybrid"}); err == nil {
+		t.Error("Encode with empty state succeeded")
 	}
-	s := warmSession(t, predictor.Config{Depth: 4, IndexBits: 10, Hybrid: true, UseRHS: true}, 100)
-	s.State.RHS = nil // UseRHS still set: bookkeeping mismatch
-	if _, err := Encode(s); err == nil {
-		t.Error("Encode with RHS mismatch succeeded")
+	if _, err := Encode(&Session{ID: 1, State: []byte{1}}); err == nil {
+		t.Error("Encode with empty backend tag succeeded")
+	}
+	if _, err := Encode(&Session{ID: 1, Backend: "nope", State: []byte{1}}); err == nil {
+		t.Error("Encode with unregistered backend succeeded")
+	}
+	if _, err := Encode(&Session{ID: 1, Backend: string(bytes.Repeat([]byte{'x'}, 300)), State: []byte{1}}); err == nil {
+		t.Error("Encode with oversized backend tag succeeded")
 	}
 }

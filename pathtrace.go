@@ -173,6 +173,19 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // MetricsContentType is the HTTP Content-Type for rendered metrics.
 const MetricsContentType = metrics.ContentType
 
+// PredictorBackend describes one registered predictor backend: its
+// name (PredictorConfig.Backend), family, constructor and optional
+// save/restore codec (see internal/predictor's registry).
+type PredictorBackend = predictor.Backend
+
+// PredictorBackends lists every registered backend, sorted by name.
+func PredictorBackends() []PredictorBackend { return predictor.Backends() }
+
+// PredictorBackendByName finds a registered backend.
+func PredictorBackendByName(name string) (PredictorBackend, bool) {
+	return predictor.BackendByName(name)
+}
+
 // NewPredictor builds the predictor variant selected by cfg.
 func NewPredictor(cfg PredictorConfig) (Predictor, error) { return predictor.New(cfg) }
 
