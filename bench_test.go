@@ -1,6 +1,7 @@
 package pathtrace_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -194,6 +195,32 @@ func BenchmarkHybridPredictor(b *testing.B) {
 		tr := &traces[i%len(traces)]
 		p.Predict()
 		p.Update(tr)
+	}
+}
+
+// BenchmarkPredictBatch measures the batched round loop at the batch
+// sizes the serving layer actually sends. b.N counts traces, so ns/op
+// is per trace and directly comparable with BenchmarkHybridPredictor's
+// scalar rounds; the loop must hold 0 allocs/op at every size.
+func BenchmarkPredictBatch(b *testing.B) {
+	traces := benchTraces(b)
+	for _, size := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("batch%d", size), func(b *testing.B) {
+			p := pathtrace.MustNewPredictor(pathtrace.PredictorConfig{
+				Depth: 7, IndexBits: 16, Hybrid: true, UseRHS: true,
+			})
+			preds := make([]pathtrace.Prediction, size)
+			wrap := len(traces) - size
+			if wrap <= 0 {
+				b.Fatalf("trace stream too short for batch %d", size)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += size {
+				off := i % wrap
+				pathtrace.PredictBatch(p, traces[off:off+size], preds)
+			}
+		})
 	}
 }
 

@@ -75,10 +75,12 @@ func runBench(ids []string, opt pathtrace.ExperimentOptions, outPath string) int
 			id, rec.NsPerOp, rec.AllocsPerOp)
 	}
 
-	if rec, err := benchPredictLoop(opt.Limit); err != nil {
-		fmt.Fprintf(os.Stderr, "ntp: bench predict-loop: %v\n", err)
-		return 1
-	} else {
+	for _, bench := range []func(uint64) (benchRecord, error){benchPredictLoop, benchPredictBatch} {
+		rec, err := bench(opt.Limit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntp: bench: %v\n", err)
+			return 1
+		}
 		out.Results = append(out.Results, rec)
 		fmt.Fprintf(os.Stderr, "ntp: bench %-20s %12.0f ns/op %8d allocs/op\n",
 			rec.Name, rec.NsPerOp, rec.AllocsPerOp)
@@ -99,13 +101,14 @@ func runBench(ids []string, opt pathtrace.ExperimentOptions, outPath string) int
 }
 
 // runBenchDiff is the CI regression gate: re-measure the headline
-// predict loop and compare against a committed BENCH_*.json baseline.
-// Only the predict-loop record is re-measured — it is the benchmark the
-// serving hot path rides on, and the only one stable enough (0 allocs,
-// pure CPU) to gate on across machines. The loop runs three times and
-// the best ns/op counts, so one scheduling hiccup cannot fail the gate;
-// any allocation fails it regardless of timing. Exit 1 = regression,
-// exit 2 = unusable baseline.
+// hot-path benchmark and compare against a committed BENCH_*.json
+// baseline. The gate rides on the predict-batch record — the batched
+// loop the serving layer actually runs — falling back to predict-loop
+// for baselines written before the batch path existed. Both are stable
+// enough (0 allocs, pure CPU) to gate on across machines. The loop runs
+// three times and the best ns/op counts, so one scheduling hiccup
+// cannot fail the gate; any allocation fails it regardless of timing.
+// Exit 1 = regression, exit 2 = unusable baseline.
 func runBenchDiff(path string, limit uint64, maxRegressPct float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -117,15 +120,25 @@ func runBenchDiff(path string, limit uint64, maxRegressPct float64) int {
 		fmt.Fprintf(os.Stderr, "ntp: benchdiff: %s: %v\n", path, err)
 		return 2
 	}
+	name, bench := "predict-batch", benchPredictBatch
 	var old *benchRecord
 	for i := range base.Results {
-		if base.Results[i].Name == "predict-loop" {
+		if base.Results[i].Name == name {
 			old = &base.Results[i]
 			break
 		}
 	}
 	if old == nil {
-		fmt.Fprintf(os.Stderr, "ntp: benchdiff: %s has no predict-loop record\n", path)
+		name, bench = "predict-loop", benchPredictLoop
+		for i := range base.Results {
+			if base.Results[i].Name == name {
+				old = &base.Results[i]
+				break
+			}
+		}
+	}
+	if old == nil {
+		fmt.Fprintf(os.Stderr, "ntp: benchdiff: %s has no predict-batch or predict-loop record\n", path)
 		return 2
 	}
 	if limit == 0 {
@@ -136,7 +149,7 @@ func runBenchDiff(path string, limit uint64, maxRegressPct float64) int {
 
 	best := benchRecord{NsPerOp: -1}
 	for round := 0; round < 3; round++ {
-		rec, err := benchPredictLoop(limit)
+		rec, err := bench(limit)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ntp: benchdiff: %v\n", err)
 			return 2
@@ -149,14 +162,14 @@ func runBenchDiff(path string, limit uint64, maxRegressPct float64) int {
 	}
 
 	delta := 100 * (best.NsPerOp - old.NsPerOp) / old.NsPerOp
-	fmt.Printf("predict-loop: baseline %.0f ns/op (%s), now %.0f ns/op, delta %+.1f%% (limit %.0f%%)\n",
-		old.NsPerOp, base.Date, best.NsPerOp, delta, maxRegressPct)
+	fmt.Printf("%s: baseline %.0f ns/op (%s), now %.0f ns/op, delta %+.1f%% (limit %.0f%%)\n",
+		name, old.NsPerOp, base.Date, best.NsPerOp, delta, maxRegressPct)
 	if best.AllocsPerOp != 0 {
-		fmt.Printf("FAIL: predict loop allocates (%d allocs/op, want 0)\n", best.AllocsPerOp)
+		fmt.Printf("FAIL: %s allocates (%d allocs/op, want 0)\n", name, best.AllocsPerOp)
 		return 1
 	}
 	if delta > maxRegressPct {
-		fmt.Printf("FAIL: predict-loop regressed %.1f%% > %.0f%%\n", delta, maxRegressPct)
+		fmt.Printf("FAIL: %s regressed %.1f%% > %.0f%%\n", name, delta, maxRegressPct)
 		return 1
 	}
 	fmt.Println("OK")
@@ -210,6 +223,51 @@ func benchPredictLoop(limit uint64) (benchRecord, error) {
 	})
 	return benchRecord{
 		Name:        "predict-loop",
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}, nil
+}
+
+// benchPredictBatch measures the batched predict+update hot path at the
+// serving layer's default batch size (64). b.N counts traces, so ns/op
+// is per trace — directly comparable with predict-loop's per-trace
+// cost. This is the record the benchdiff gate rides on; it must report
+// zero allocations per operation.
+func benchPredictBatch(limit uint64) (benchRecord, error) {
+	const batch = 64
+	w, ok := pathtrace.WorkloadByName("go")
+	if !ok {
+		return benchRecord{}, fmt.Errorf("workload go missing")
+	}
+	s, err := pathtrace.CaptureTraceStream(w, limit)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	n := s.Len()
+	if n <= batch {
+		return benchRecord{}, fmt.Errorf("stream too short for batch %d: %d traces", batch, n)
+	}
+	traces := make([]pathtrace.Trace, n)
+	for i := range traces {
+		s.At(i, &traces[i])
+	}
+	hybrid := pathtrace.MustNewPredictor(pathtrace.PredictorConfig{
+		Depth: 7, IndexBits: 16, Hybrid: true, UseRHS: true,
+	})
+	preds := make([]pathtrace.Prediction, batch)
+	pathtrace.PredictBatch(hybrid, traces[:batch], preds) // warm pass
+	wrap := n - batch
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i += batch {
+			off := i % wrap
+			pathtrace.PredictBatch(hybrid, traces[off:off+batch], preds)
+		}
+	})
+	return benchRecord{
+		Name:        "predict-batch",
 		Iterations:  r.N,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),

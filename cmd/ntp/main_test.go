@@ -139,33 +139,36 @@ func TestUnknownBackendExits2(t *testing.T) {
 	}
 }
 
-// benchDiffBaseline writes a minimal BENCH_*.json with the given
-// predict-loop ns/op and returns its path.
-func benchDiffBaseline(t *testing.T, nsPerOp float64) string {
+// benchDiffBaseline writes a minimal BENCH_*.json holding one record
+// with the given name and ns/op and returns its path.
+func benchDiffBaseline(t *testing.T, name string, nsPerOp float64) string {
 	t.Helper()
 	path := t.TempDir() + "/BENCH_base.json"
 	doc := fmt.Sprintf(`{"date":"2026-01-01T00:00:00Z","limit":5000,`+
-		`"results":[{"name":"predict-loop","iterations":1,"ns_per_op":%g,`+
-		`"allocs_per_op":0,"bytes_per_op":0}]}`, nsPerOp)
+		`"results":[{"name":%q,"iterations":1,"ns_per_op":%g,`+
+		`"allocs_per_op":0,"bytes_per_op":0}]}`, name, nsPerOp)
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	return path
 }
 
-// -benchdiff against a generous baseline passes; the report names the
-// benchmark and both measurements.
+// -benchdiff gates on the predict-batch record when the baseline has
+// one, and falls back to predict-loop for pre-batch baselines. Either
+// way a generous baseline passes and the report names the benchmark.
 func TestBenchDiffPasses(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real benchmark rounds")
 	}
-	stdout, stderr, code := runNTP(t, "-benchdiff", benchDiffBaseline(t, 1e12), "-len", "5000")
-	if code != 0 {
-		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, stdout, stderr)
-	}
-	for _, want := range []string{"predict-loop", "OK"} {
-		if !strings.Contains(stdout, want) {
-			t.Errorf("stdout missing %q:\n%s", want, stdout)
+	for _, name := range []string{"predict-batch", "predict-loop"} {
+		stdout, stderr, code := runNTP(t, "-benchdiff", benchDiffBaseline(t, name, 1e12), "-len", "5000")
+		if code != 0 {
+			t.Fatalf("%s: exit code = %d, want 0\nstdout: %s\nstderr: %s", name, code, stdout, stderr)
+		}
+		for _, want := range []string{name, "OK"} {
+			if !strings.Contains(stdout, want) {
+				t.Errorf("%s: stdout missing %q:\n%s", name, want, stdout)
+			}
 		}
 	}
 }
@@ -175,11 +178,11 @@ func TestBenchDiffFailsOnRegression(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real benchmark rounds")
 	}
-	stdout, stderr, code := runNTP(t, "-benchdiff", benchDiffBaseline(t, 1e-6), "-len", "5000")
+	stdout, stderr, code := runNTP(t, "-benchdiff", benchDiffBaseline(t, "predict-batch", 1e-6), "-len", "5000")
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
 	}
-	if !strings.Contains(stdout, "FAIL: predict-loop regressed") {
+	if !strings.Contains(stdout, "FAIL: predict-batch regressed") {
 		t.Errorf("stdout missing regression verdict:\n%s", stdout)
 	}
 }
@@ -199,7 +202,7 @@ func TestBenchDiffBadBaselineExits2(t *testing.T) {
 	if code != 2 {
 		t.Fatalf("no record: exit code = %d, want 2\nstderr: %s", code, stderr)
 	}
-	if !strings.Contains(stderr, "no predict-loop record") {
+	if !strings.Contains(stderr, "no predict-batch or predict-loop record") {
 		t.Errorf("stderr missing record error:\n%s", stderr)
 	}
 }

@@ -61,9 +61,10 @@
 //
 // -loadgen replays a recorded .ntps trace stream (from -stream, or
 // captured in process from -workload/-len) through the server: every
-// session replays the full stream, batched -batch traces per request,
-// and the run reports sustained throughput plus p50/p90/p99 round-trip
-// latency. -verify additionally replays the stream in process with the
+// session replays the full stream, batched -batch traces per request
+// over the batched wire op (per-trace sequences, suffix-replay dedup;
+// -scalarops falls back to legacy per-frame OpUpdate), and the run
+// reports sustained throughput plus p50/p90/p99 round-trip latency. -verify additionally replays the stream in process with the
 // same predictor flags and requires each session's server-side stats
 // to be bit-identical — the end-to-end correctness anchor for the
 // whole serving path. The predictor flags must match the server's, and
@@ -122,7 +123,9 @@ func run() int {
 		length     = flag.Uint64("len", 2_000_000, "loadgen: instructions to capture with -workload")
 		conns      = flag.Int("conns", 1, "loadgen: TCP connections")
 		sessions   = flag.Int("sessions", 0, "loadgen: sessions (default = conns)")
-		batch      = flag.Int("batch", 256, "loadgen: traces per Update request")
+		batch      = flag.Int("batch", 256, "loadgen: traces per update request")
+		scalarOps  = flag.Bool("scalarops", false, "loadgen: use legacy per-frame OpUpdate instead of the batched op")
+		writeBuf   = flag.Int("writebuf", 0, "serve: per-connection response write buffer bytes (default 64KiB)")
 		verify     = flag.Bool("verify", false, "loadgen: require server stats bit-identical to an in-process replay")
 		sessBase   = flag.Uint64("sessionbase", 1, "loadgen: first session id (pick fresh ids when reusing a server)")
 		failover   = flag.Bool("failover", false, "loadgen: retrying client that rides out server restarts (snapshot-per-ack recovery)")
@@ -154,7 +157,7 @@ func run() int {
 		return runLoadgen(loadgenArgs{
 			addr: *addr, streamPath: *streamPath, workload: *wl, length: *length,
 			conns: *conns, sessions: *sessions, batch: *batch, verify: *verify,
-			sessBase: *sessBase, pcfg: pcfg, fcfg: fcfg,
+			sessBase: *sessBase, pcfg: pcfg, fcfg: fcfg, scalarOps: *scalarOps,
 			failover: *failover || *failAddrs != "", failAddrs: *failAddrs,
 		})
 	}
@@ -170,6 +173,7 @@ func run() int {
 		Addr: *addr, AdminAddr: *admin, Shards: *shards, QueueLen: *queue,
 		Predictor: pcfg, Faults: fcfg, Shadows: shadows,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEach, HandoffAddr: *handoff,
+		WriteBufferSize: *writeBuf,
 	}, *portfile, *adminPF, *drainT)
 }
 
@@ -224,6 +228,7 @@ type loadgenArgs struct {
 	conns, sessions, batch     int
 	sessBase                   uint64
 	verify                     bool
+	scalarOps                  bool
 	failover                   bool
 	failAddrs                  string
 	pcfg                       predictor.Config
@@ -266,7 +271,7 @@ func runLoadgen(a loadgenArgs) int {
 		Addr: a.addr, Stream: s,
 		Conns: a.conns, Sessions: a.sessions, Batch: a.batch,
 		Verify: a.verify, Predictor: a.pcfg, Faults: a.fcfg,
-		SessionBase: a.sessBase,
+		SessionBase: a.sessBase, ScalarOps: a.scalarOps,
 	}
 	if a.failover {
 		// Snapshot after every acked batch: recovery from a server kill

@@ -10,20 +10,22 @@ import (
 // the DOLC-generated path index; entries hold a predicted trace
 // identifier, an increment-by-1/decrement-by-2 two-bit counter, and
 // (per §6) an alternate identifier.
+//
+// Like Hybrid, the table is stored struct-of-arrays: tabMeta packs
+// ctr<<8 | flags per entry (entValid/entAltValid) next to flat value
+// and alternate slices, so a lookup touches two dense cache lines
+// instead of a padded 32-byte struct.
 type basic struct {
-	cfg   Config
-	hist  history.Reg
-	table []basicEntry
-	stats Stats
-	tok   basicToken
-}
+	cfg  Config
+	hist history.Reg
 
-type basicEntry struct {
-	val      uint64 // trace.ID, or trace.HashedID when cost-reduced
-	alt      uint64
-	ctr      uint8
-	valid    bool
-	altValid bool
+	tabMeta []uint32 // ctr<<8 | flags
+	tabVal  []uint64 // trace.ID, or trace.HashedID when cost-reduced
+	tabAlt  []uint64
+
+	stats   Stats
+	tok     basicToken
+	ctrMaxT int // ctrMax(CounterBits), hoisted off the round path
 }
 
 type basicToken struct {
@@ -39,9 +41,12 @@ func newBasic(cfg Config) (*basic, error) {
 		return nil, err
 	}
 	b := &basic{
-		cfg:   cfg,
-		hist:  h,
-		table: make([]basicEntry, 1<<cfg.IndexBits),
+		cfg:     cfg,
+		hist:    h,
+		tabMeta: make([]uint32, 1<<cfg.IndexBits),
+		tabVal:  make([]uint64, 1<<cfg.IndexBits),
+		tabAlt:  make([]uint64, 1<<cfg.IndexBits),
+		ctrMaxT: ctrMax(cfg.CounterBits),
 	}
 	if cfg.Faults != nil {
 		b.hist.SetFaultHook(cfg.Faults)
@@ -60,20 +65,20 @@ func (cfg *Config) valBits() int {
 
 // injectFaults applies one fault-injection opportunity to the table.
 // Called once per update so rate-coupled injection streams stay
-// aligned across configurations.
+// aligned across configurations. Masks land on the same logical bits
+// as in the array-of-structs layout (see Hybrid.injectFaults).
 func (b *basic) injectFaults() {
-	f := b.cfg.Faults.CorrFault(len(b.table), b.cfg.valBits(), 0, b.cfg.CounterBits)
+	f := b.cfg.Faults.CorrFault(len(b.tabMeta), b.cfg.valBits(), 0, b.cfg.CounterBits)
 	if !f.Fire {
 		return
 	}
-	e := &b.table[f.Index]
 	switch f.Slot {
 	case faults.SlotValue:
-		e.val ^= f.Mask
+		b.tabVal[f.Index] ^= f.Mask
 	case faults.SlotAlt:
-		e.alt ^= f.Mask
+		b.tabAlt[f.Index] ^= f.Mask
 	case faults.SlotCounter:
-		e.ctr ^= uint8(f.Mask)
+		b.tabMeta[f.Index] ^= uint32(uint8(f.Mask)) << 8
 	}
 }
 
@@ -96,29 +101,30 @@ func (cfg *Config) present(p *Prediction, val uint64) {
 	}
 }
 
-func (b *basic) Predict() Prediction {
+// lookupInto fills tok with the prediction for the current path — the
+// single lookup implementation shared by the scalar and batch paths.
+func (b *basic) lookupInto(tok *basicToken) {
 	idx := b.cfg.DOLC.IndexOf(&b.hist)
-	e := &b.table[idx]
-	var p Prediction
-	if e.valid {
-		p.Valid = true
-		b.cfg.present(&p, e.val)
-		if e.altValid {
-			p.AltValid = true
+	m := b.tabMeta[idx]
+	*tok = basicToken{idx: idx, predVal: b.tabVal[idx], altVal: b.tabAlt[idx]}
+	if m&entValid != 0 {
+		tok.pred.Valid = true
+		b.cfg.present(&tok.pred, tok.predVal)
+		if m&entAltValid != 0 {
+			tok.pred.AltValid = true
 			if !b.cfg.CostReduced {
-				p.Alt = trace.ID(e.alt)
+				tok.pred.Alt = trace.ID(tok.altVal)
 			}
 		}
 	}
-	b.tok = basicToken{idx: idx, pred: p, predVal: e.val, altVal: e.alt}
-	return p
 }
 
-func (b *basic) Update(actual *trace.Trace) {
+// commit trains the table for the round described by tok and advances
+// the path history — shared by Update and the batch loop.
+func (b *basic) commit(tok *basicToken, actual *trace.Trace) {
 	if b.cfg.Faults != nil {
 		b.injectFaults()
 	}
-	tok := b.tok
 	actualVal := b.cfg.storedVal(actual)
 
 	var ev Event
@@ -140,34 +146,64 @@ func (b *basic) Update(actual *trace.Trace) {
 		}
 	}
 
-	e := &b.table[tok.idx]
-	max := ctrMax(b.cfg.CounterBits)
+	i := tok.idx
+	m := b.tabMeta[i]
 	switch {
-	case !e.valid:
-		e.val = actualVal
-		e.ctr = 0
-		e.valid = true
-	case e.val == actualVal:
-		e.ctr = satInc(e.ctr, b.cfg.CounterInc, max)
-	case e.ctr == 0:
+	case m&entValid == 0:
+		b.tabVal[i] = actualVal
+		b.tabMeta[i] = entValid
+	case b.tabVal[i] == actualVal:
+		ctr := satInc(uint8(m>>8), b.cfg.CounterInc, b.ctrMaxT)
+		b.tabMeta[i] = m&^uint32(0xff00) | uint32(ctr)<<8
+	case uint8(m>>8) == 0:
 		// Replace; the displaced prediction becomes the alternate (§6).
-		e.alt = e.val
-		e.altValid = true
-		e.val = actualVal
+		b.tabAlt[i] = b.tabVal[i]
+		b.tabVal[i] = actualVal
+		b.tabMeta[i] = m | entAltValid
 		ev |= EvReplaced
 	default:
-		e.ctr = satDec(e.ctr, b.cfg.CounterDec)
-		e.alt = actualVal
-		e.altValid = true
+		ctr := satDec(uint8(m>>8), b.cfg.CounterDec)
+		b.tabMeta[i] = m&^uint32(0xff00) | uint32(ctr)<<8 | entAltValid
+		b.tabAlt[i] = actualVal
 	}
 	if b.cfg.Faults.StuckZero() {
-		e.ctr = 0
+		b.tabMeta[i] &^= 0xff00
 	}
 
 	b.hist.Push(actual.Hash)
 	if b.cfg.Recorder != nil {
 		b.cfg.Recorder.Record(ev)
 	}
+}
+
+func (b *basic) Predict() Prediction {
+	b.lookupInto(&b.tok)
+	return b.tok.pred
+}
+
+func (b *basic) Update(actual *trace.Trace) {
+	b.commit(&b.tok, actual)
+}
+
+// PredictBatch implements BatchPredictor: one full Predict/Update round
+// per trace with a local token and direct calls into the shared
+// lookup/commit primitives (no interface dispatch per round).
+func (b *basic) PredictBatch(actuals []trace.Trace, preds []Prediction) uint64 {
+	before := b.stats.Correct
+	var tok basicToken
+	for i := range actuals {
+		b.lookupInto(&tok)
+		if preds != nil {
+			preds[i] = tok.pred
+		}
+		b.commit(&tok, &actuals[i])
+	}
+	return b.stats.Correct - before
+}
+
+// UpdateBatch implements BatchPredictor.
+func (b *basic) UpdateBatch(actuals []trace.Trace) uint64 {
+	return b.PredictBatch(actuals, nil)
 }
 
 func (b *basic) Stats() Stats { return b.stats }

@@ -19,35 +19,46 @@ import (
 // Hybrid exposes a lower-level API (Lookup / CommitUpdate / Advance /
 // Checkpoint / Restore) so package engine can model speculative history
 // with delayed table updates (§5.4).
+//
+// # Table layout
+//
+// The tables are stored struct-of-arrays: per entry, the small fields
+// (tag, counter, valid/alt-valid flags) pack into one 32-bit meta word
+// and the stored identifiers live in flat uint64 slices. A lookup or
+// update round touches corrMeta+corrVal (+corrAlt only when an
+// alternate exists) and secMeta+secVal — at most four cache lines of
+// table data, with no pointer chasing and no padding, versus the 32-byte
+// padded per-entry structs this replaced. The batched round loops
+// (PredictBatch/UpdateBatch) sweep these flat slices directly.
 type Hybrid struct {
 	cfg  Config
 	hist history.Reg
 	rhs  *history.ReturnStack // nil when RHS disabled
 
-	corr []corrEntry
-	sec  []secEntry
+	// Correlated table, struct-of-arrays. corrMeta packs
+	// tag<<16 | ctr<<8 | flags (see entValid/entAltValid).
+	corrMeta []uint32
+	corrVal  []uint64
+	corrAlt  []uint64
+
+	// Secondary table. secMeta packs ctr<<8 | flags.
+	secMeta []uint16
+	secVal  []uint64
 
 	stats     Stats
 	tok       Token
 	secFilter bool
 	tagMask   uint32
 	secMask   uint32
+	ctrMaxC   int // ctrMax(CounterBits), hoisted off the round path
+	ctrMaxS   int // ctrMax(SecCounterBits)
 }
 
-type corrEntry struct {
-	tag      uint16
-	val      uint64
-	alt      uint64
-	ctr      uint8
-	valid    bool
-	altValid bool
-}
-
-type secEntry struct {
-	val   uint64
-	ctr   uint8
-	valid bool
-}
+// Packed-entry flag bits, shared by both tables (and by basic's table).
+const (
+	entValid    = 1 << 0
+	entAltValid = 1 << 1
+)
 
 // Token captures everything a Lookup decided, so the matching update
 // can be applied later (possibly much later, under delayed updates).
@@ -71,11 +82,16 @@ func newHybrid(cfg Config) (*Hybrid, error) {
 	p := &Hybrid{
 		cfg:       cfg,
 		hist:      h,
-		corr:      make([]corrEntry, 1<<cfg.IndexBits),
-		sec:       make([]secEntry, 1<<cfg.SecondaryBits),
+		corrMeta:  make([]uint32, 1<<cfg.IndexBits),
+		corrVal:   make([]uint64, 1<<cfg.IndexBits),
+		corrAlt:   make([]uint64, 1<<cfg.IndexBits),
+		secMeta:   make([]uint16, 1<<cfg.SecondaryBits),
+		secVal:    make([]uint64, 1<<cfg.SecondaryBits),
 		secFilter: *cfg.SecondaryFilter,
 		tagMask:   uint32(1)<<cfg.TagBits - 1,
 		secMask:   uint32(1)<<cfg.SecondaryBits - 1,
+		ctrMaxC:   ctrMax(cfg.CounterBits),
+		ctrMaxS:   ctrMax(cfg.SecCounterBits),
 	}
 	if cfg.UseRHS {
 		rhs, err := history.NewReturnStack(cfg.RHSDepth)
@@ -93,29 +109,31 @@ func newHybrid(cfg Config) (*Hybrid, error) {
 // injectFaults applies one fault-injection opportunity to each table.
 // Called once per CommitUpdate — before the update logic and before
 // the secondary-filter early return — so the injection streams consume
-// the same draws in every configuration and at every rate.
+// the same draws in every configuration and at every rate. The XOR
+// masks land on the same logical bits as in the array-of-structs
+// layout: value and alternate words directly, tag and counter through
+// their lanes of the packed meta word (the flag bits are never
+// touched, exactly as the struct layout never flipped valid bits).
 func (p *Hybrid) injectFaults() {
 	inj := p.cfg.Faults
-	if f := inj.CorrFault(len(p.corr), p.cfg.valBits(), p.cfg.TagBits, p.cfg.CounterBits); f.Fire {
-		e := &p.corr[f.Index]
+	if f := inj.CorrFault(len(p.corrMeta), p.cfg.valBits(), p.cfg.TagBits, p.cfg.CounterBits); f.Fire {
 		switch f.Slot {
 		case faults.SlotValue:
-			e.val ^= f.Mask
+			p.corrVal[f.Index] ^= f.Mask
 		case faults.SlotAlt:
-			e.alt ^= f.Mask
+			p.corrAlt[f.Index] ^= f.Mask
 		case faults.SlotTag:
-			e.tag ^= uint16(f.Mask)
+			p.corrMeta[f.Index] ^= uint32(uint16(f.Mask)) << 16
 		case faults.SlotCounter:
-			e.ctr ^= uint8(f.Mask)
+			p.corrMeta[f.Index] ^= uint32(uint8(f.Mask)) << 8
 		}
 	}
-	if f := inj.SecFault(len(p.sec), p.cfg.valBits(), p.cfg.SecCounterBits); f.Fire {
-		e := &p.sec[f.Index]
+	if f := inj.SecFault(len(p.secMeta), p.cfg.valBits(), p.cfg.SecCounterBits); f.Fire {
 		switch f.Slot {
 		case faults.SlotValue:
-			e.val ^= f.Mask
+			p.secVal[f.Index] ^= f.Mask
 		case faults.SlotCounter:
-			e.ctr ^= uint8(f.Mask)
+			p.secMeta[f.Index] ^= uint16(uint8(f.Mask)) << 8
 		}
 	}
 }
@@ -131,49 +149,61 @@ func NewHybrid(cfg Config) (*Hybrid, error) {
 	return newHybrid(full)
 }
 
-// Lookup computes the prediction for the next trace from the current
-// path history, without changing any state.
-func (p *Hybrid) Lookup() (Prediction, Token) {
-	tok := Token{
-		CorrIdx: p.cfg.DOLC.IndexOf(&p.hist),
-		SecIdx:  uint32(p.hist.At(0)) & p.secMask,
-		Tag:     uint16(uint32(p.hist.At(0)) & p.tagMask),
+// lookupInto computes the prediction for the next trace from the
+// current path history into tok, without changing any state. It is the
+// single lookup implementation: Predict, Lookup and the batch loops all
+// run it, so the scalar and batched paths cannot diverge. Taking the
+// token by pointer keeps the (large) Token off the copy path.
+func (p *Hybrid) lookupInto(tok *Token) {
+	idx := p.cfg.DOLC.IndexOf(&p.hist)
+	h0 := uint32(p.hist.At(0))
+	*tok = Token{
+		CorrIdx: idx,
+		SecIdx:  h0 & p.secMask,
+		Tag:     uint16(h0 & p.tagMask),
 	}
-	ce := &p.corr[tok.CorrIdx]
-	se := &p.sec[tok.SecIdx]
-	tok.secValid = se.valid
-	tok.secPredVal = se.val
-	tok.secSaturated = se.valid && int(se.ctr) == ctrMax(p.cfg.SecCounterBits)
+	sm := p.secMeta[tok.SecIdx]
+	tok.secValid = sm&entValid != 0
+	tok.secPredVal = p.secVal[tok.SecIdx]
+	tok.secSaturated = tok.secValid && int(sm>>8) == p.ctrMaxS
 
-	var pred Prediction
-	useSecondary := tok.secSaturated || !(ce.valid && ce.tag == tok.Tag)
+	cm := p.corrMeta[idx]
+	useSecondary := tok.secSaturated || !(cm&entValid != 0 && uint16(cm>>16) == tok.Tag)
 	if useSecondary {
-		if se.valid {
-			pred.Valid = true
-			pred.FromSecondary = true
-			p.cfg.present(&pred, se.val)
-			tok.predVal = se.val
+		if tok.secValid {
+			tok.Pred.Valid = true
+			tok.Pred.FromSecondary = true
+			p.cfg.present(&tok.Pred, tok.secPredVal)
+			tok.predVal = tok.secPredVal
 		}
 	} else {
-		pred.Valid = true
-		p.cfg.present(&pred, ce.val)
-		tok.predVal = ce.val
-		if ce.altValid {
-			pred.AltValid = true
-			tok.altVal = ce.alt
+		val := p.corrVal[idx]
+		tok.Pred.Valid = true
+		p.cfg.present(&tok.Pred, val)
+		tok.predVal = val
+		if cm&entAltValid != 0 {
+			tok.Pred.AltValid = true
+			tok.altVal = p.corrAlt[idx]
 			if !p.cfg.CostReduced {
-				pred.Alt = trace.ID(ce.alt)
+				tok.Pred.Alt = trace.ID(tok.altVal)
 			}
 		}
 	}
-	tok.Pred = pred
-	return pred, tok
 }
 
-// CommitUpdate trains the tables for a prediction described by tok,
-// given the trace that actually followed. It does not touch the path
-// history; pair it with Advance.
-func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
+// Lookup computes the prediction for the next trace from the current
+// path history, without changing any state.
+func (p *Hybrid) Lookup() (Prediction, Token) {
+	var tok Token
+	p.lookupInto(&tok)
+	return tok.Pred, tok
+}
+
+// commit trains the tables for a prediction described by tok, given the
+// trace that actually followed. Like lookupInto it is the single
+// training implementation behind Update, CommitUpdate and the batch
+// loops. It does not touch the path history; pair it with Advance.
+func (p *Hybrid) commit(tok *Token, actual *trace.Trace) {
 	if p.cfg.Faults != nil {
 		p.injectFaults()
 	}
@@ -203,23 +233,22 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 	}
 
 	// Secondary table update.
-	se := &p.sec[tok.SecIdx]
-	secMax := ctrMax(p.cfg.SecCounterBits)
+	si := tok.SecIdx
+	sm := p.secMeta[si]
 	switch {
-	case !se.valid:
-		se.val = actualVal
-		se.ctr = 0
-		se.valid = true
-	case se.val == actualVal:
-		se.ctr = satInc(se.ctr, 1, secMax)
-	case se.ctr == 0:
-		se.val = actualVal
+	case sm&entValid == 0:
+		p.secVal[si] = actualVal
+		p.secMeta[si] = entValid
+	case p.secVal[si] == actualVal:
+		p.secMeta[si] = uint16(satInc(uint8(sm>>8), 1, p.ctrMaxS))<<8 | sm&0xff
+	case sm>>8 == 0:
+		p.secVal[si] = actualVal
 		ev |= EvReplaced
 	default:
-		se.ctr = satDec(se.ctr, p.cfg.SecCounterDec)
+		p.secMeta[si] = uint16(satDec(uint8(sm>>8), p.cfg.SecCounterDec))<<8 | sm&0xff
 	}
 	if p.cfg.Faults.StuckZero() {
-		se.ctr = 0
+		p.secMeta[si] &= 0xff
 	}
 
 	// Correlated table update — filtered when a saturated secondary was
@@ -230,32 +259,42 @@ func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
 		}
 		return
 	}
-	ce := &p.corr[tok.CorrIdx]
-	max := ctrMax(p.cfg.CounterBits)
+	ci := tok.CorrIdx
+	cm := p.corrMeta[ci]
 	switch {
-	case !ce.valid || ce.tag != tok.Tag:
-		if ce.valid {
+	case cm&entValid == 0 || uint16(cm>>16) != tok.Tag:
+		if cm&entValid != 0 {
 			ev |= EvReplaced
 		}
-		*ce = corrEntry{tag: tok.Tag, val: actualVal, valid: true}
-	case ce.val == actualVal:
-		ce.ctr = satInc(ce.ctr, p.cfg.CounterInc, max)
-	case ce.ctr == 0:
-		ce.alt = ce.val
-		ce.altValid = true
-		ce.val = actualVal
+		p.corrMeta[ci] = uint32(tok.Tag)<<16 | entValid
+		p.corrVal[ci] = actualVal
+		p.corrAlt[ci] = 0 // fresh entry: no alternate yet
+	case p.corrVal[ci] == actualVal:
+		ctr := satInc(uint8(cm>>8), p.cfg.CounterInc, p.ctrMaxC)
+		p.corrMeta[ci] = cm&^uint32(0xff00) | uint32(ctr)<<8
+	case uint8(cm>>8) == 0:
+		p.corrAlt[ci] = p.corrVal[ci]
+		p.corrVal[ci] = actualVal
+		p.corrMeta[ci] = cm | entAltValid
 		ev |= EvReplaced
 	default:
-		ce.ctr = satDec(ce.ctr, p.cfg.CounterDec)
-		ce.alt = actualVal
-		ce.altValid = true
+		ctr := satDec(uint8(cm>>8), p.cfg.CounterDec)
+		p.corrMeta[ci] = cm&^uint32(0xff00) | uint32(ctr)<<8 | entAltValid
+		p.corrAlt[ci] = actualVal
 	}
 	if p.cfg.Faults.StuckZero() {
-		ce.ctr = 0
+		p.corrMeta[ci] &^= 0xff00
 	}
 	if p.cfg.Recorder != nil {
 		p.cfg.Recorder.Record(ev)
 	}
+}
+
+// CommitUpdate trains the tables for a prediction described by tok,
+// given the trace that actually followed. It does not touch the path
+// history; pair it with Advance.
+func (p *Hybrid) CommitUpdate(tok Token, actual *trace.Trace) {
+	p.commit(&tok, actual)
 }
 
 // Advance pushes a trace onto the path history and applies the Return
@@ -294,16 +333,41 @@ func (p *Hybrid) Restore(st State) {
 }
 
 // Predict implements NextTracePredictor (immediate-update protocol).
+// It is a thin wrapper over the same lookup the batch path runs.
 func (p *Hybrid) Predict() Prediction {
-	pred, tok := p.Lookup()
-	p.tok = tok
-	return pred
+	p.lookupInto(&p.tok)
+	return p.tok.Pred
 }
 
 // Update implements NextTracePredictor.
 func (p *Hybrid) Update(actual *trace.Trace) {
-	p.CommitUpdate(p.tok, actual)
+	p.commit(&p.tok, actual)
 	p.Advance(actual)
+}
+
+// PredictBatch implements BatchPredictor: one full Predict/Update round
+// per trace, with the prediction made before actuals[i] is revealed
+// written to preds[i] (preds may be nil). The loop keeps the round
+// token local and calls the shared lookup/commit primitives directly —
+// no interface dispatch, no Prediction or Token copies per round.
+func (p *Hybrid) PredictBatch(actuals []trace.Trace, preds []Prediction) uint64 {
+	before := p.stats.Correct
+	var tok Token
+	for i := range actuals {
+		p.lookupInto(&tok)
+		if preds != nil {
+			preds[i] = tok.Pred
+		}
+		p.commit(&tok, &actuals[i])
+		p.Advance(&actuals[i])
+	}
+	return p.stats.Correct - before
+}
+
+// UpdateBatch implements BatchPredictor: PredictBatch with the
+// predictions discarded.
+func (p *Hybrid) UpdateBatch(actuals []trace.Trace) uint64 {
+	return p.PredictBatch(actuals, nil)
 }
 
 // Stats implements NextTracePredictor.

@@ -98,18 +98,31 @@ func TestCounterReplaceOnZero(t *testing.T) {
 		p.Predict()
 		p.Update(a)
 	}
-	if e := p.table[idxA]; !e.valid || e.val != uint64(a.ID) || e.ctr != 3 {
+	// ent reads the SoA table back into one comparable view.
+	type ent struct {
+		valid, altValid bool
+		val, alt        uint64
+		ctr             uint8
+	}
+	at := func(i uint32) ent {
+		m := p.tabMeta[i]
+		return ent{
+			valid: m&entValid != 0, altValid: m&entAltValid != 0,
+			val: p.tabVal[i], alt: p.tabAlt[i], ctr: uint8(m >> 8),
+		}
+	}
+	if e := at(idxA); !e.valid || e.val != uint64(a.ID) || e.ctr != 3 {
 		t.Fatalf("entry = %+v, want A with saturated ctr 3", e)
 	}
 
 	// Now alternate a, b: each (a -> b) observation decrements [a]'s
 	// counter by 2 until replacement at zero.
-	step := func() basicEntry {
+	step := func() ent {
 		p.Predict()
 		p.Update(b) // [a] -> b: wrong w.r.t. stored a
 		p.Predict()
 		p.Update(a) // [b] -> a: trains the other entry
-		return p.table[idxA]
+		return at(idxA)
 	}
 	if e := step(); e.val != uint64(a.ID) || e.ctr != 1 || !e.altValid || e.alt != uint64(b.ID) {
 		t.Fatalf("after 1 miss entry = %+v", e)
@@ -181,8 +194,8 @@ func TestSecondaryFilterSuppressesCorrelatedUpdate(t *testing.T) {
 			}
 		}
 		n := 0
-		for _, e := range p.corr {
-			if e.valid {
+		for _, m := range p.corrMeta {
+			if m&entValid != 0 {
 				n++
 			}
 		}

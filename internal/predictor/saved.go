@@ -73,20 +73,20 @@ type SavedState struct {
 	Kind SavedKind
 
 	// Geometry, mirroring Config after defaults.
-	Depth, IndexBits             int
-	DOLC                         history.DOLC
-	SecondaryBits, TagBits       int
-	RHSDepth                     int
-	CounterBits, CounterInc      int
-	CounterDec                   int
+	Depth, IndexBits              int
+	DOLC                          history.DOLC
+	SecondaryBits, TagBits        int
+	RHSDepth                      int
+	CounterBits, CounterInc       int
+	CounterDec                    int
 	SecCounterBits, SecCounterDec int
-	UseRHS, CostReduced          bool
-	SecondaryFilter              bool
+	UseRHS, CostReduced           bool
+	SecondaryFilter               bool
 
 	Stats  Stats
 	Hist   history.RegState
-	RHS    *history.StackState    // nil unless UseRHS
-	Faults *faults.InjectorState  // nil unless fault injection active
+	RHS    *history.StackState   // nil unless UseRHS
+	Faults *faults.InjectorState // nil unless fault injection active
 
 	Corr []SavedEntry
 	Sec  []SavedSecEntry // hybrid only
@@ -134,22 +134,20 @@ func (p *Hybrid) saveState() *SavedState {
 		fs := cfg.Faults.State()
 		st.Faults = &fs
 	}
-	for i := range p.corr {
-		e := &p.corr[i]
-		if !e.valid {
+	for i, m := range p.corrMeta {
+		if m&entValid == 0 {
 			continue
 		}
 		st.Corr = append(st.Corr, SavedEntry{
-			Index: uint32(i), Tag: e.tag, Val: e.val, Alt: e.alt,
-			Ctr: e.ctr, AltValid: e.altValid,
+			Index: uint32(i), Tag: uint16(m >> 16), Val: p.corrVal[i], Alt: p.corrAlt[i],
+			Ctr: uint8(m >> 8), AltValid: m&entAltValid != 0,
 		})
 	}
-	for i := range p.sec {
-		e := &p.sec[i]
-		if !e.valid {
+	for i, m := range p.secMeta {
+		if m&entValid == 0 {
 			continue
 		}
-		st.Sec = append(st.Sec, SavedSecEntry{Index: uint32(i), Val: e.val, Ctr: e.ctr})
+		st.Sec = append(st.Sec, SavedSecEntry{Index: uint32(i), Val: p.secVal[i], Ctr: uint8(m >> 8)})
 	}
 	return st
 }
@@ -178,14 +176,13 @@ func (b *basic) saveState() *SavedState {
 		fs := cfg.Faults.State()
 		st.Faults = &fs
 	}
-	for i := range b.table {
-		e := &b.table[i]
-		if !e.valid {
+	for i, m := range b.tabMeta {
+		if m&entValid == 0 {
 			continue
 		}
 		st.Corr = append(st.Corr, SavedEntry{
-			Index: uint32(i), Val: e.val, Alt: e.alt,
-			Ctr: e.ctr, AltValid: e.altValid,
+			Index: uint32(i), Val: b.tabVal[i], Alt: b.tabAlt[i],
+			Ctr: uint8(m >> 8), AltValid: m&entAltValid != 0,
 		})
 	}
 	return st
@@ -345,13 +342,17 @@ func Restore(st *SavedState, cfg Config) (NextTracePredictor, error) {
 		}
 		p.stats = st.Stats
 		for _, e := range st.Corr {
-			p.corr[e.Index] = corrEntry{
-				tag: e.Tag, val: e.Val, alt: e.Alt, ctr: e.Ctr,
-				valid: true, altValid: e.AltValid,
+			m := uint32(e.Tag)<<16 | uint32(e.Ctr)<<8 | entValid
+			if e.AltValid {
+				m |= entAltValid
 			}
+			p.corrMeta[e.Index] = m
+			p.corrVal[e.Index] = e.Val
+			p.corrAlt[e.Index] = e.Alt
 		}
 		for _, e := range st.Sec {
-			p.sec[e.Index] = secEntry{val: e.Val, ctr: e.Ctr, valid: true}
+			p.secMeta[e.Index] = uint16(e.Ctr)<<8 | entValid
+			p.secVal[e.Index] = e.Val
 		}
 		return p, nil
 
@@ -376,10 +377,13 @@ func Restore(st *SavedState, cfg Config) (NextTracePredictor, error) {
 		}
 		b.stats = st.Stats
 		for _, e := range st.Corr {
-			b.table[e.Index] = basicEntry{
-				val: e.Val, alt: e.Alt, ctr: e.Ctr,
-				valid: true, altValid: e.AltValid,
+			m := uint32(e.Ctr)<<8 | entValid
+			if e.AltValid {
+				m |= entAltValid
 			}
+			b.tabMeta[e.Index] = m
+			b.tabVal[e.Index] = e.Val
+			b.tabAlt[e.Index] = e.Alt
 		}
 		return b, nil
 	}

@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stream"
+	"pathtrace/internal/trace"
+)
+
+// streamTraces materialises the shared test stream into a flat slice.
+func streamTraces(t *testing.T) []trace.Trace {
+	t.Helper()
+	s := captureTestStream(t)
+	out := make([]trace.Trace, s.Len())
+	for i := range out {
+		s.At(i, &out[i])
+	}
+	return out
+}
+
+// TestBatchOpsBitIdentical drives the whole stream through
+// OpPredictBatch and requires both the predictions and the final
+// session stats to be bit-identical to an in-process scalar replay —
+// the wire-level form of the batch-equals-scalar invariant.
+func TestBatchOpsBitIdentical(t *testing.T) {
+	traces := streamTraces(t)
+	srv := newTestServer(t, Config{Shards: 2})
+
+	ref := predictor.MustNew(headlineConfig())
+	wantPreds := make([]predictor.Prediction, len(traces))
+	for i := range traces {
+		wantPreds[i] = ref.Predict()
+		ref.Update(&traces[i])
+	}
+
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const session = 7
+	if _, _, err := cl.Open(session); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]predictor.Prediction, len(traces))
+	const batch = 173 // deliberately odd: boundaries align with nothing
+	for off := 0; off < len(traces); off += batch {
+		end := min(off+batch, len(traces))
+		skipped, applied, _, err := cl.PredictBatch(session, traces[off:end], got[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skipped != 0 || int(applied) != end-off {
+			t.Fatalf("batch at %d: skipped %d applied %d of %d", off, skipped, applied, end-off)
+		}
+	}
+	for i := range wantPreds {
+		if got[i] != wantPreds[i] {
+			t.Fatalf("prediction %d: server %+v, in-process %+v", i, got[i], wantPreds[i])
+		}
+	}
+
+	st, err := cl.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(ref.Stats()) {
+		t.Errorf("server stats %+v\nin-process  %+v\nnot bit-identical", st.Session, ref.Stats())
+	}
+}
+
+// TestBatchSuffixDedup exercises the per-trace sequence dedup directly:
+// overlapping, fully duplicate, and extending ranges must replay only
+// the unseen suffix, leaving the predictor exactly where a
+// single-application run would.
+func TestBatchSuffixDedup(t *testing.T) {
+	traces := streamTraces(t)
+	if len(traces) < 300 {
+		t.Fatalf("test stream too short: %d traces", len(traces))
+	}
+	srv := newTestServer(t, Config{Shards: 1})
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const session = 9
+	if _, _, err := cl.Open(session); err != nil {
+		t.Fatal(err)
+	}
+
+	// [1,200] fresh.
+	skipped, applied, _, err := cl.UpdateBatchSeq(session, 1, traces[:200])
+	if err != nil || skipped != 0 || applied != 200 {
+		t.Fatalf("fresh batch: skipped %d applied %d err %v", skipped, applied, err)
+	}
+	// [101,300]: first half duplicate, second half fresh.
+	skipped, applied, _, err = cl.UpdateBatchSeq(session, 101, traces[100:300])
+	if err != nil || skipped != 100 || applied != 100 {
+		t.Fatalf("overlap batch: skipped %d applied %d err %v", skipped, applied, err)
+	}
+	// [1,300]: wholly duplicate; nothing may train.
+	skipped, applied, _, err = cl.UpdateBatchSeq(session, 1, traces[:300])
+	if err != nil || skipped != 300 || applied != 0 {
+		t.Fatalf("dup batch: skipped %d applied %d err %v", skipped, applied, err)
+	}
+
+	ref := predictor.MustNew(headlineConfig())
+	for i := range traces[:300] {
+		ref.Predict()
+		ref.Update(&traces[i])
+	}
+	st, err := cl.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(ref.Stats()) {
+		t.Errorf("after dedup replays: server stats %+v, want single-application %+v", st.Session, ref.Stats())
+	}
+}
+
+// TestBatchDedupAcrossReconnect is the crash-shaped version: a client
+// that loses its connection after an ack and resends the same batch
+// from a fresh connection (seeding its counter from Open's lastSeq)
+// must train nothing twice.
+func TestBatchDedupAcrossReconnect(t *testing.T) {
+	traces := streamTraces(t)
+	srv := newTestServer(t, Config{Shards: 1})
+	const session = 11
+	n := 128
+
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	if _, applied, _, err := cl.UpdateBatch(session, traces[:n]); err != nil || int(applied) != n {
+		t.Fatalf("first send: applied %d err %v", applied, err)
+	}
+	cl.Close() // ack received, then the connection dies
+
+	// Reconnect. The pessimistic client assumes the ack was lost and
+	// resends the whole batch with its original range.
+	cl2, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	_, lastSeq, err := cl2.Open(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeq != uint64(n) {
+		t.Fatalf("reopen lastSeq = %d, want %d", lastSeq, n)
+	}
+	skipped, applied, _, err := cl2.UpdateBatchSeq(session, 1, traces[:n])
+	if err != nil || int(skipped) != n || applied != 0 {
+		t.Fatalf("resend: skipped %d applied %d err %v", skipped, applied, err)
+	}
+	// And a half-applied shape: resend the second half plus new work.
+	skipped, applied, _, err = cl2.UpdateBatchSeq(session, uint64(n/2+1), traces[n/2:2*n])
+	if err != nil || int(skipped) != n/2 || int(applied) != n {
+		t.Fatalf("half resend: skipped %d applied %d err %v", skipped, applied, err)
+	}
+
+	ref := predictor.MustNew(headlineConfig())
+	for i := range traces[:2*n] {
+		ref.Predict()
+		ref.Update(&traces[i])
+	}
+	st, err := cl2.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(ref.Stats()) {
+		t.Errorf("after reconnect replays: server stats %+v, want %+v", st.Session, ref.Stats())
+	}
+}
+
+// TestLoadgenBatchOps runs the load generator over the batched op
+// (the default) and the scalar fallback, with -verify semantics on.
+func TestLoadgenBatchOps(t *testing.T) {
+	s := captureTestStream(t)
+	for _, scalar := range []bool{false, true} {
+		srv := newTestServer(t, Config{Shards: 2})
+		rep, err := RunLoadgen(context.Background(), LoadgenConfig{
+			Addr: srv.Addr().String(), Stream: s,
+			Conns: 2, Sessions: 3, Batch: 64,
+			ScalarOps: scalar,
+			Verify:    true, Predictor: headlineConfig(),
+			SessionBase: 1,
+		})
+		if err != nil {
+			t.Fatalf("scalar=%v: %v", scalar, err)
+		}
+		if !rep.Verified {
+			t.Fatalf("scalar=%v: not verified", scalar)
+		}
+		if want := uint64(s.Len()) * 3; rep.Traces != want {
+			t.Fatalf("scalar=%v: %d traces delivered, want %d", scalar, rep.Traces, want)
+		}
+		srv.Close()
+	}
+}
+
+// TestRetryClientBatchSurvivesServerKill is the batched analogue of
+// TestRetryClientSurvivesServerKill: UpdateBatch streams ride the
+// per-trace suffix dedup through a hard server kill and end
+// bit-identical to an uninterrupted replay.
+func TestRetryClientBatchSurvivesServerKill(t *testing.T) {
+	s := captureTestStream(t)
+	want := refStats(t, s)
+	srvA := newTestServer(t, Config{Shards: 2})
+	srvB := newTestServer(t, Config{Shards: 2})
+
+	rc, err := NewRetryClient(RetryConfig{
+		Addrs:         []string{srvA.Addr().String(), srvB.Addr().String()},
+		SnapshotEvery: 1,
+		Seed:          43,
+		BaseBackoff:   2 * time.Millisecond,
+		MaxBackoff:    50 * time.Millisecond,
+		MaxElapsed:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const session, batch = 21, 64
+	if _, _, err := rc.Open(session); err != nil {
+		t.Fatal(err)
+	}
+	feed := func(n int, cur *stream.Cursor) int {
+		var tr trace.Trace
+		buf := make([]trace.Trace, 0, batch)
+		sent := 0
+		for n < 0 || sent < n {
+			buf = buf[:0]
+			for len(buf) < batch && cur.Next(&tr) {
+				buf = append(buf, tr)
+			}
+			if len(buf) == 0 {
+				break
+			}
+			skipped, applied, _, err := rc.UpdateBatch(session, buf)
+			if err != nil {
+				t.Fatalf("batch %d: %v", sent, err)
+			}
+			if int(skipped)+int(applied) != len(buf) {
+				t.Fatalf("batch %d: skipped %d + applied %d of %d", sent, skipped, applied, len(buf))
+			}
+			sent++
+		}
+		return sent
+	}
+	cur := s.Cursor()
+	feed(s.Len()/batch/2, cur)
+
+	srvA.Close() // hard kill: no drain, session state on A is lost
+
+	feed(-1, cur)
+	st, err := rc.Stats(session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Session.Equal(want) {
+		t.Errorf("post-failover stats %+v, want %+v", st.Session, want)
+	}
+	if got := srvB.shardFor(session).counters.Restores.Load(); got == 0 {
+		t.Error("survivor server saw no restore — failover path not exercised")
+	}
+}
+
+// FuzzDecodeBatchFrame fuzzes parseRequest with attacker-controlled
+// payloads: it must never panic and never hand back more traces than
+// the frame's byte count can honestly carry.
+func FuzzDecodeBatchFrame(f *testing.F) {
+	// Seed with a well-formed OpPredictBatch frame...
+	valid := make([]byte, reqHeaderBytes+updateHeaderBytes+2*wireTraceBytes)
+	valid[0] = OpPredictBatch
+	le.PutUint32(valid[1:], 77)
+	le.PutUint64(valid[5:], 1234)
+	le.PutUint64(valid[reqHeaderBytes:], 1)
+	le.PutUint32(valid[reqHeaderBytes+8:], 2)
+	f.Add(valid)
+	// ...and hostile shapes: oversized count, wrapping sequence range,
+	// truncated body, unknown op.
+	huge := append([]byte(nil), valid[:reqHeaderBytes+updateHeaderBytes]...)
+	le.PutUint32(huge[reqHeaderBytes+8:], 1<<31)
+	f.Add(huge)
+	wrap := append([]byte(nil), valid...)
+	le.PutUint64(wrap[reqHeaderBytes:], ^uint64(0))
+	f.Add(wrap)
+	f.Add(valid[:reqHeaderBytes+3])
+	f.Add([]byte{0x7F, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := parseRequest(payload)
+		if err != nil {
+			return
+		}
+		if len(req.traces) > MaxBatch {
+			t.Fatalf("decoded %d traces, above MaxBatch %d", len(req.traces), MaxBatch)
+		}
+		if len(req.traces)*wireTraceBytes > len(payload) {
+			t.Fatalf("decoded %d traces from a %d-byte payload", len(req.traces), len(payload))
+		}
+		if (req.op == OpPredictBatch || req.op == OpUpdateBatch) && req.seq != 0 && len(req.traces) > 0 {
+			if end := req.seq + uint64(len(req.traces)) - 1; end < req.seq {
+				t.Fatalf("accepted wrapping seq range %d+%d", req.seq, len(req.traces))
+			}
+		}
+	})
+}

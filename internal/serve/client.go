@@ -195,6 +195,101 @@ func (c *Client) updateSeq(session, seq uint64, traces []trace.Trace) (applied, 
 	return le.Uint32(resp), le.Uint32(resp[4:]), nil
 }
 
+// UpdateBatch reveals a batch of traces through OpUpdateBatch — one
+// frame, one shard hop, one native predictor batch sweep. Unlike
+// Update's per-frame sequences, batch sequences are per trace: the
+// frame covers [start, start+len), and a replay after a lost ack makes
+// the server skip the already-applied prefix (returned as skipped) and
+// train only the unseen suffix. The client's sequence counter advances
+// to the end of the range on a successful ack. A session must not mix
+// Update and the batch ops — the two numbering styles do not compose.
+func (c *Client) UpdateBatch(session uint64, traces []trace.Trace) (skipped, applied, correct uint32, err error) {
+	return c.batchAuto(OpUpdateBatch, session, traces, nil)
+}
+
+// PredictBatch is UpdateBatch returning the server's predictions too.
+// When preds is non-nil it must be at least len(traces) long;
+// preds[skipped+i] receives the prediction the server made before the
+// i'th applied trace (entries for the skipped prefix are untouched).
+func (c *Client) PredictBatch(session uint64, traces []trace.Trace, preds []predictor.Prediction) (skipped, applied, correct uint32, err error) {
+	if preds != nil && len(preds) < len(traces) {
+		return 0, 0, 0, fmt.Errorf("serve: preds %d shorter than batch %d", len(preds), len(traces))
+	}
+	return c.batchAuto(OpPredictBatch, session, traces, preds)
+}
+
+// UpdateBatchSeq is UpdateBatch with an explicit start sequence, for
+// callers that manage their own sequence streams (the retrying client,
+// tests). Start 0 disables duplicate detection for this batch.
+func (c *Client) UpdateBatchSeq(session, start uint64, traces []trace.Trace) (skipped, applied, correct uint32, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.batchSeq(OpUpdateBatch, session, start, traces, nil)
+}
+
+// batchAuto runs one batch op with the session's tracked sequence
+// stream, advancing it on ack.
+func (c *Client) batchAuto(op uint8, session uint64, traces []trace.Trace, preds []predictor.Prediction) (skipped, applied, correct uint32, err error) {
+	if len(traces) == 0 {
+		return 0, 0, 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var start uint64
+	if last, ok := c.seqs[session]; ok {
+		start = last + 1
+	}
+	skipped, applied, correct, err = c.batchSeq(op, session, start, traces, preds)
+	if err == nil && start != 0 {
+		c.seqs[session] = start + uint64(len(traces)) - 1
+	}
+	return skipped, applied, correct, err
+}
+
+// batchSeq encodes and runs one batch op. Must be called with c.mu
+// held.
+func (c *Client) batchSeq(op uint8, session, start uint64, traces []trace.Trace, preds []predictor.Prediction) (skipped, applied, correct uint32, err error) {
+	if len(traces) > MaxBatch {
+		return 0, 0, 0, fmt.Errorf("serve: batch %d exceeds MaxBatch %d", len(traces), MaxBatch)
+	}
+	need := updateHeaderBytes + len(traces)*wireTraceBytes
+	if cap(c.ubuf) < need {
+		c.ubuf = make([]byte, need)
+	}
+	body := c.ubuf[:need]
+	le.PutUint64(body, start)
+	le.PutUint32(body[8:], uint32(len(traces)))
+	for i := range traces {
+		putTrace(body[updateHeaderBytes+i*wireTraceBytes:], &traces[i])
+	}
+	resp, err := c.roundTrip(op, session, body)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(resp) < batchRespBytes {
+		return 0, 0, 0, fmt.Errorf("%w: batch response %d bytes", ErrFrame, len(resp))
+	}
+	skipped = le.Uint32(resp)
+	applied = le.Uint32(resp[4:])
+	correct = le.Uint32(resp[8:])
+	if int(skipped)+int(applied) > len(traces) {
+		return 0, 0, 0, fmt.Errorf("%w: batch response covers %d+%d of %d traces", ErrFrame, skipped, applied, len(traces))
+	}
+	want := batchRespBytes
+	if op == OpPredictBatch {
+		want += int(applied) * predictionBytes
+	}
+	if len(resp) != want {
+		return 0, 0, 0, fmt.Errorf("%w: batch response %d bytes, want %d", ErrFrame, len(resp), want)
+	}
+	if op == OpPredictBatch && preds != nil {
+		for i := 0; i < int(applied); i++ {
+			preds[int(skipped)+i] = getPrediction(resp[batchRespBytes+i*predictionBytes:])
+		}
+	}
+	return skipped, applied, correct, nil
+}
+
 // Snapshot fetches the session's complete state as a checksummed
 // internal/snapshot frame, suitable for Restore on this or another
 // server.

@@ -23,6 +23,12 @@ type LoadgenConfig struct {
 	Sessions int            // sessions, spread round-robin over conns (default = Conns)
 	Batch    int            // traces per Update request (default 256, max MaxBatch)
 
+	// ScalarOps replays through the legacy per-frame-sequenced OpUpdate
+	// instead of OpUpdateBatch. The default (false) rides the batched
+	// hot path; the scalar path stays exercised for compatibility runs
+	// and as the -verify cross-check's second leg.
+	ScalarOps bool
+
 	// Verify replays the stream once in process with the same predictor
 	// configuration and requires every session's server-side stats to
 	// be bit-identical to that replay.
@@ -89,6 +95,8 @@ type LoadgenReport struct {
 	Sessions           int
 	Conns              int
 	Batch              int
+	ScalarOps          bool          // replayed via OpUpdate instead of OpUpdateBatch
+	Skipped            uint64        // traces deduped server-side (failover replays)
 	Traces             uint64        // traces delivered (all sessions)
 	Requests           uint64        // Update round trips
 	Retries            uint64        // overload retries
@@ -101,15 +109,22 @@ type LoadgenReport struct {
 }
 
 func (r *LoadgenReport) String() string {
+	op := "update_batch"
+	if r.ScalarOps {
+		op = "update"
+	}
 	s := fmt.Sprintf(
-		"loadgen: %d traces in %.2fs over %d sessions / %d conns (batch %d)\n"+
-			"  throughput: %.0f traces/sec (%.0f req/sec, %d overload retries)\n"+
+		"loadgen: %d traces in %.2fs over %d sessions / %d conns (%s)\n"+
+			"  throughput: %.0f traces/sec at batch %d (%.0f req/sec, %d overload retries)\n"+
 			"  latency:    p50 %s  p90 %s  p99 %s  max %s\n"+
 			"  accuracy:   %.2f%% of server predictions correct",
-		r.Traces, r.Duration.Seconds(), r.Sessions, r.Conns, r.Batch,
-		r.TracesPerSec, float64(r.Requests)/r.Duration.Seconds(), r.Retries,
+		r.Traces, r.Duration.Seconds(), r.Sessions, r.Conns, op,
+		r.TracesPerSec, r.Batch, float64(r.Requests)/r.Duration.Seconds(), r.Retries,
 		r.P50, r.P90, r.P99, r.Max,
 		100*float64(r.Correct)/float64(max64(r.Traces, 1)))
+	if r.Skipped > 0 {
+		s += fmt.Sprintf("\n  dedup:      %d replayed traces skipped server-side", r.Skipped)
+	}
 	if r.Verified {
 		s += "\n  verify:     server stats bit-identical to in-process replay"
 	}
@@ -128,6 +143,7 @@ func max64(a, b uint64) uint64 {
 type lgConn interface {
 	Open(session uint64) (shard uint32, lastSeq uint64, err error)
 	Update(session uint64, traces []trace.Trace) (applied, correct uint32, err error)
+	UpdateBatch(session uint64, traces []trace.Trace) (skipped, applied, correct uint32, err error)
 	Stats(session uint64) (SessionStats, error)
 	Close() error
 }
@@ -203,6 +219,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 		requests uint64
 		retries  uint64
 		correct  uint64
+		skipped  uint64
 		firstErr error
 	)
 	fail := func(err error) {
@@ -223,7 +240,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 		wg.Add(1)
 		go func(cl lgConn, sessions []*lgSession) {
 			defer wg.Done()
-			var nTraces, nReq, nRetry, nCorrect uint64
+			var nTraces, nReq, nRetry, nCorrect, nSkipped uint64
 			live := sessions
 			for len(live) > 0 {
 				if ctx != nil && ctx.Err() != nil {
@@ -244,7 +261,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 						continue // session done
 					}
 					t0 := time.Now()
-					applied, corr, err := cl.Update(s.id, s.batch)
+					skip, applied, corr, err := sendBatch(cl, s.id, s.batch, cfg.ScalarOps)
 					for errors.Is(err, ErrOverloaded) {
 						// Backpressure: the shard queue was full. Back off
 						// briefly and resend the same batch — the server
@@ -252,7 +269,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 						// the retry preserves exact stream order.
 						nRetry++
 						time.Sleep(200 * time.Microsecond)
-						applied, corr, err = cl.Update(s.id, s.batch)
+						skip, applied, corr, err = sendBatch(cl, s.id, s.batch, cfg.ScalarOps)
 					}
 					rtt.ObserveDuration(time.Since(t0))
 					nReq++
@@ -260,11 +277,14 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 						fail(fmt.Errorf("session %d: update: %w", s.id, err))
 						return
 					}
-					if int(applied) != len(s.batch) {
-						fail(fmt.Errorf("session %d: applied %d of %d", s.id, applied, len(s.batch)))
+					// Every trace must be accounted for: applied now, or
+					// deduped because a failover replay already applied it.
+					if int(skip)+int(applied) != len(s.batch) {
+						fail(fmt.Errorf("session %d: applied %d + skipped %d of %d", s.id, applied, skip, len(s.batch)))
 						return
 					}
 					nTraces += uint64(applied)
+					nSkipped += uint64(skip)
 					nCorrect += uint64(corr)
 					next = append(next, s)
 				}
@@ -275,6 +295,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 			requests += nReq
 			retries += nRetry
 			correct += nCorrect
+			skipped += nSkipped
 			mu.Unlock()
 		}(cl, sessions)
 	}
@@ -285,14 +306,16 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 	}
 
 	rep := &LoadgenReport{
-		Sessions: cfg.Sessions,
-		Conns:    cfg.Conns,
-		Batch:    cfg.Batch,
-		Traces:   traces,
-		Requests: requests,
-		Retries:  retries,
-		Correct:  correct,
-		Duration: elapsed,
+		Sessions:  cfg.Sessions,
+		Conns:     cfg.Conns,
+		Batch:     cfg.Batch,
+		ScalarOps: cfg.ScalarOps,
+		Traces:    traces,
+		Requests:  requests,
+		Retries:   retries,
+		Correct:   correct,
+		Skipped:   skipped,
+		Duration:  elapsed,
 	}
 	if elapsed > 0 {
 		rep.TracesPerSec = float64(traces) / elapsed.Seconds()
@@ -345,6 +368,17 @@ func referenceStats(cfg LoadgenConfig) (predictor.Stats, error) {
 		return predictor.Stats{}, err
 	}
 	return p.Stats(), nil
+}
+
+// sendBatch delivers one batch via the configured op family. The
+// scalar path reports skipped 0: OpUpdate's dedup replays the cached
+// whole-frame answer, indistinguishable from a fresh apply.
+func sendBatch(cl lgConn, id uint64, batch []trace.Trace, scalar bool) (skipped, applied, correct uint32, err error) {
+	if scalar {
+		applied, correct, err = cl.Update(id, batch)
+		return 0, applied, correct, err
+	}
+	return cl.UpdateBatch(id, batch)
 }
 
 func closeAll(clients []lgConn) {

@@ -79,8 +79,15 @@ func newBackendRec(reg *metrics.Registry, backend, role, shard string) *backendR
 // histogram per request op plus the predictor event recorder. Built at
 // server startup; the shard loop only touches pre-registered atomics.
 type shardMetrics struct {
-	opSeconds [OpRestore + 1]*metrics.Histogram // indexed by op byte
+	opSeconds [OpUpdateBatch + 1]*metrics.Histogram // indexed by op byte
 	rec       predRecorder
+
+	// Batch-shape instrumentation: how many traces each batch frame
+	// carried, and how many batch frames arrived. Together with the
+	// trace counters they answer the capacity question — is the fleet
+	// sending batches big enough to amortize the frame and queue costs?
+	batchSize   *metrics.Histogram
+	batchFrames *metrics.Counter
 
 	// shadowRec holds one accuracy recorder per shadow backend; the
 	// shard wires it into each session's shadow predictors.
@@ -90,13 +97,15 @@ type shardMetrics struct {
 // opNames maps request op bytes to their metric label values.
 // (opCheckpoint is internal and unmeasured: it is bulk work on the
 // shard goroutine, not a request.)
-var opNames = [OpRestore + 1]string{
-	OpOpen:     "open",
-	OpPredict:  "predict",
-	OpUpdate:   "update",
-	OpStats:    "stats",
-	OpSnapshot: "snapshot",
-	OpRestore:  "restore",
+var opNames = [OpUpdateBatch + 1]string{
+	OpOpen:         "open",
+	OpPredict:      "predict",
+	OpUpdate:       "update",
+	OpStats:        "stats",
+	OpSnapshot:     "snapshot",
+	OpRestore:      "restore",
+	OpPredictBatch: "predict_batch",
+	OpUpdateBatch:  "update_batch",
 }
 
 func newShardMetrics(reg *metrics.Registry, shardID int, primary string, shadows []string) *shardMetrics {
@@ -110,6 +119,12 @@ func newShardMetrics(reg *metrics.Registry, shardID int, primary string, shadows
 			"Shard-side request processing latency by op.", 1e-9,
 			metrics.Labels{"shard": shard, "op": name})
 	}
+	m.batchSize = reg.Histogram("ntpd_batch_size",
+		"Traces carried per batch frame.", 1,
+		metrics.Labels{"shard": shard})
+	m.batchFrames = reg.Counter("ntpd_batch_frames_total",
+		"Batch frames (OpPredictBatch/OpUpdateBatch) processed.",
+		metrics.Labels{"shard": shard})
 	l := metrics.Labels{"shard": shard}
 	m.rec = predRecorder{
 		rounds:    reg.Counter("ntpd_predictor_rounds_total", "Predict/Update rounds served.", l),
@@ -137,6 +152,16 @@ func (m *shardMetrics) observe(op uint8, d time.Duration) {
 	if int(op) < len(m.opSeconds) && m.opSeconds[op] != nil {
 		m.opSeconds[op].ObserveDuration(d)
 	}
+}
+
+// observeBatch records one batch frame's trace count. Nil-safe like
+// observe, for tests that build shards without metrics.
+func (m *shardMetrics) observeBatch(n int) {
+	if m == nil {
+		return
+	}
+	m.batchFrames.Inc()
+	m.batchSize.Observe(int64(n))
 }
 
 // registerMetrics wires the server's pre-existing atomic counters into

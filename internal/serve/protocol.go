@@ -37,6 +37,16 @@
 //	OpRestore  req:  one internal/snapshot frame
 //	           resp: u32 shard
 //
+// The batched ops run one full Predict/Update round per trace in a
+// single frame and a single shard-queue hop — the serving hot path:
+//
+//	OpUpdateBatch  req:  u64 startSeq | u32 count | count * trace
+//	               resp: u32 skipped | u32 applied | u32 correct
+//	OpPredictBatch req:  u64 startSeq | u32 count | count * trace
+//	               resp: u32 skipped | u32 applied | u32 correct |
+//	                     applied * prediction (19 bytes each; the
+//	                     prediction made before traces[skipped+i])
+//
 // # Exactly-once updates
 //
 // An Update carries a per-session sequence number. The server remembers
@@ -46,6 +56,15 @@
 // the predictor exactly where an uninterrupted run would. Sequence 0
 // opts out (no duplicate detection). OpOpen returns the session's last
 // applied sequence so a reconnecting client can seed its counter.
+//
+// The batched ops number every trace: a frame with startSeq s and
+// count n covers sequences [s, s+n). On replay after a lost ack the
+// shard skips the prefix it has already applied (skipped in the
+// response) and trains only the unseen suffix, so a re-sent
+// half-applied batch trains nothing twice. correct counts the applied
+// suffix only. startSeq 0 opts out, exactly as for OpUpdate. A session
+// must stick to one numbering style — OpUpdate's per-frame sequences
+// and the batch ops' per-trace sequences do not mix.
 //
 // # Session snapshots
 //
@@ -92,6 +111,10 @@ const (
 	OpStats    = 0x04
 	OpSnapshot = 0x05
 	OpRestore  = 0x06
+	// Batched rounds: one frame carries count traces with per-trace
+	// sequence numbers; see the package comment for dedup semantics.
+	OpPredictBatch = 0x07
+	OpUpdateBatch  = 0x08
 
 	respBit = 0x80
 
@@ -187,6 +210,7 @@ const (
 	reqHeaderBytes    = 1 + 4 + 8 // op, reqID, sessionID
 	respHeaderBytes   = 1 + 4 + 1 // op|respBit, reqID, status
 	updateHeaderBytes = 8 + 4     // seq, count
+	batchRespBytes    = 4 + 4 + 4 // skipped, applied, correct
 	openRespBytes     = 4 + 8     // shard, lastSeq
 	wireTraceBytes    = 24
 	statsBytes        = 6 * 8
@@ -332,8 +356,8 @@ type request struct {
 	op      uint8
 	reqID   uint32
 	session uint64
-	seq     uint64        // OpUpdate only: exactly-once sequence, 0 = none
-	traces  []trace.Trace // OpUpdate only
+	seq     uint64        // update ops: exactly-once sequence (per-frame for OpUpdate, per-trace start for batch ops), 0 = none
+	traces  []trace.Trace // update and batch ops
 	blob    []byte        // OpRestore only: the snapshot frame
 }
 
@@ -354,7 +378,7 @@ func parseRequest(payload []byte) (request, error) {
 		if len(body) != 0 {
 			return request{}, fmt.Errorf("%w: op 0x%02x with %d-byte body", ErrFrame, req.op, len(body))
 		}
-	case OpUpdate:
+	case OpUpdate, OpUpdateBatch, OpPredictBatch:
 		if len(body) < updateHeaderBytes {
 			return request{}, fmt.Errorf("%w: update body %d bytes", ErrFrame, len(body))
 		}
@@ -365,6 +389,13 @@ func parseRequest(payload []byte) (request, error) {
 		}
 		if len(body) != updateHeaderBytes+int(count)*wireTraceBytes {
 			return request{}, fmt.Errorf("%w: batch %d in %d-byte body", ErrFrame, count, len(body))
+		}
+		if req.op != OpUpdate && req.seq != 0 && count != 0 {
+			// Per-trace numbering: the range [startSeq, startSeq+count)
+			// must not wrap uint64.
+			if end := req.seq + uint64(count) - 1; end < req.seq {
+				return request{}, fmt.Errorf("%w: seq range %d+%d wraps", ErrFrame, req.seq, count)
+			}
 		}
 		req.traces = make([]trace.Trace, count)
 		for i := range req.traces {

@@ -367,6 +367,94 @@ func (rc *RetryClient) Update(session uint64, traces []trace.Trace) (applied, co
 	}
 }
 
+// UpdateBatch is Update over the batched wire op: the batch covers the
+// per-trace sequence range [s.seq+1, s.seq+1+len(traces)), and
+// recovery relies on the server's suffix-replay dedup instead of a
+// cached whole-frame answer — a resend after a lost ack (or against a
+// restored replica that had applied only part of the batch) trains
+// exactly the unseen suffix. With SnapshotEvery == 1 the recovered
+// stream is bit-identical to an uninterrupted one, same as Update.
+func (rc *RetryClient) UpdateBatch(session uint64, traces []trace.Trace) (skipped, applied, correct uint32, err error) {
+	if len(traces) == 0 {
+		return 0, 0, 0, nil
+	}
+	deadline := time.Now().Add(rc.cfg.MaxElapsed)
+	s := rc.session(session)
+	start := s.seq + 1
+	end := start + uint64(len(traces)) - 1
+	sent := false // batch acked; still snapshotting
+	for attempt := 0; ; attempt++ {
+		c, cerr := rc.conn()
+		if cerr != nil {
+			err = cerr
+			if !rc.sleepBackoff(attempt, deadline) {
+				return 0, 0, 0, fmt.Errorf("serve: update session %d: %w", session, err)
+			}
+			continue
+		}
+		if !sent {
+			skipped, applied, correct, err = c.UpdateBatchSeq(session, start, traces)
+			switch {
+			case err == nil:
+				if end > s.seq {
+					s.seq = end
+				}
+				s.sinceSnap++
+				rc.earnToken()
+				sent = true
+			case errors.Is(err, ErrOverloaded):
+				if !rc.spendToken() {
+					return 0, 0, 0, fmt.Errorf("serve: update session %d: retry budget exhausted: %w", session, err)
+				}
+				time.Sleep(rc.cfg.BaseBackoff)
+				if time.Now().After(deadline) {
+					return 0, 0, 0, fmt.Errorf("serve: update session %d: %w", session, err)
+				}
+				continue
+			case errors.Is(err, ErrUnknownSession):
+				if eerr := rc.establish(c, session, s); eerr != nil && !rc.sleepBackoff(attempt, deadline) {
+					return 0, 0, 0, fmt.Errorf("serve: update session %d: re-establish: %w", session, eerr)
+				}
+				// Resend the same range: the restored server skips
+				// whatever prefix it already holds.
+				continue
+			default:
+				if !retryable(err) {
+					return 0, 0, 0, err
+				}
+				rc.dropConn()
+				if !rc.sleepBackoff(attempt, deadline) {
+					return 0, 0, 0, fmt.Errorf("serve: update session %d: %w", session, err)
+				}
+				continue
+			}
+		}
+		if rc.cfg.SnapshotEvery <= 0 || s.sinceSnap < rc.cfg.SnapshotEvery {
+			return skipped, applied, correct, nil
+		}
+		frame, serr := c.Snapshot(session)
+		if serr == nil {
+			s.snap, s.snapSeq, s.sinceSnap = frame, s.seq, 0
+			return skipped, applied, correct, nil
+		}
+		if errors.Is(serr, ErrUnknownSession) {
+			// Lost between ack and snapshot: re-establish and resend the
+			// same range — suffix dedup absorbs whatever the restored
+			// state already covers.
+			rc.establish(c, session, s)
+			sent = false
+			continue
+		}
+		if !retryable(serr) {
+			return skipped, applied, correct, nil // acked; stale snapshot is survivable
+		}
+		rc.dropConn()
+		if !rc.sleepBackoff(attempt, deadline) {
+			return skipped, applied, correct, nil
+		}
+	}
+}
+
 // Stats fetches the session's predictor counters, retrying across
 // reconnects and re-establishing the session if the server lost it.
 func (rc *RetryClient) Stats(session uint64) (SessionStats, error) {

@@ -80,6 +80,14 @@ type Config struct {
 	// request for this long. Zero disables (clients legitimately idle
 	// between replay bursts).
 	IdleTimeout time.Duration
+
+	// WriteBufferSize sizes each connection's response write buffer
+	// (default 64 KiB). Responses coalesce in this buffer and flush
+	// once the response channel momentarily empties — one syscall per
+	// burst of pipelined responses rather than one per frame. Size it
+	// to at least a full batch response when raising MaxBatch-scale
+	// batch sizes.
+	WriteBufferSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +106,9 @@ func (c Config) withDefaults() Config {
 	case c.WriteTimeout < 0:
 		c.WriteTimeout = 0
 	}
+	if c.WriteBufferSize <= 0 {
+		c.WriteBufferSize = 1 << 16
+	}
 	// The session predictor config must not carry a shared injector:
 	// injectors are stateful and not concurrency-safe, so they are
 	// created per session from c.Faults instead.
@@ -111,10 +122,10 @@ type Server struct {
 	backend predictor.Backend // resolved primary backend
 	ln      net.Listener
 	shards  []*shard
-	admin  *adminServer
-	reg    *metrics.Registry
-	ckpt   *checkpointer // nil without a checkpoint directory
-	start  time.Time
+	admin   *adminServer
+	reg     *metrics.Registry
+	ckpt    *checkpointer // nil without a checkpoint directory
+	start   time.Time
 
 	draining atomic.Bool
 	inflight sync.WaitGroup // unfinished shard tasks
@@ -302,7 +313,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		bw := bufio.NewWriterSize(conn, 1<<16)
+		bw := bufio.NewWriterSize(conn, s.cfg.WriteBufferSize)
 		for payload := range out {
 			if wt := s.cfg.WriteTimeout; wt > 0 {
 				conn.SetWriteDeadline(time.Now().Add(wt))
@@ -398,6 +409,19 @@ func encodeResponse(req request, resp shardResp) []byte {
 		le.PutUint32(b[:], resp.applied)
 		le.PutUint32(b[4:], resp.correct)
 		buf = append(buf, b[:]...)
+	case OpUpdateBatch, OpPredictBatch:
+		var b [batchRespBytes]byte
+		le.PutUint32(b[:], resp.skipped)
+		le.PutUint32(b[4:], resp.applied)
+		le.PutUint32(b[8:], resp.correct)
+		buf = append(buf, b[:]...)
+		if req.op == OpPredictBatch {
+			off := len(buf)
+			buf = append(buf, make([]byte, len(resp.preds)*predictionBytes)...)
+			for i := range resp.preds {
+				putPrediction(buf[off+i*predictionBytes:], resp.preds[i])
+			}
+		}
 	case OpStats:
 		var b [8 + 2*statsBytes]byte
 		le.PutUint32(b[:], resp.shard)

@@ -71,12 +71,14 @@ type shardResp struct {
 	sessions uint32 // OpStats
 	lastSeq  uint64 // OpOpen
 	pred     predictor.Prediction
-	applied  uint32          // OpUpdate
-	correct  uint32          // OpUpdate
-	sess     predictor.Stats // OpStats: this session's counters
-	agg      predictor.Stats // OpStats: shard-wide aggregate
-	blob     []byte          // OpSnapshot: the encoded frame
-	ckpt     []ckptFrame     // opCheckpoint: dirty sessions, encoded
+	skipped  uint32                 // batch ops: already-applied prefix length
+	preds    []predictor.Prediction // OpPredictBatch: one per applied trace
+	applied  uint32                 // OpUpdate, batch ops
+	correct  uint32                 // OpUpdate, batch ops
+	sess     predictor.Stats        // OpStats: this session's counters
+	agg      predictor.Stats        // OpStats: shard-wide aggregate
+	blob     []byte                 // OpSnapshot: the encoded frame
+	ckpt     []ckptFrame            // opCheckpoint: dirty sessions, encoded
 }
 
 // ckptFrame is one session's encoded snapshot bound for the checkpoint
@@ -191,6 +193,12 @@ func (sh *shard) process(req request) shardResp {
 			return shardResp{err: ErrUnknownSession}
 		}
 		return sh.update(s, req)
+	case OpUpdateBatch, OpPredictBatch:
+		s, ok := sh.sessions[req.session]
+		if !ok {
+			return shardResp{err: ErrUnknownSession}
+		}
+		return sh.batch(s, req, req.op == OpPredictBatch)
 	case OpSnapshot:
 		s, ok := sh.sessions[req.session]
 		if !ok {
@@ -323,6 +331,55 @@ func (sh *shard) update(s *session, req request) shardResp {
 	}
 	s.dirty = true
 	return resp
+}
+
+// batch runs one full Predict/Update round per trace through the
+// predictor's native batch loop — the serving hot path. Sequences are
+// per trace here: the frame covers [startSeq, startSeq+n), and the
+// shard has already applied every sequence <= s.lastSeq, so a replayed
+// frame (client resend after a lost ack, or a restore from a snapshot
+// older than the last ack) skips its already-applied prefix and trains
+// only the unseen suffix. That is the batch-granular form of the
+// exactly-once guarantee: nothing trains twice, whatever boundary the
+// retry lands on. correct covers the applied suffix only.
+func (sh *shard) batch(s *session, req request, wantPreds bool) shardResp {
+	n := uint64(len(req.traces))
+	var skip uint64
+	if req.seq != 0 && s.lastSeq >= req.seq {
+		skip = s.lastSeq - req.seq + 1
+		if skip > n {
+			skip = n
+		}
+		sh.counters.DupUpdates.Add(1)
+	}
+	fresh := req.traces[skip:]
+	var preds []predictor.Prediction
+	if wantPreds && len(fresh) > 0 {
+		preds = make([]predictor.Prediction, len(fresh))
+	}
+	correct := predictor.PredictBatch(s.p, fresh, preds)
+	// Shadow fan-out, batched like the primary: each shadow sees the
+	// same fresh suffix in the same strict alternation.
+	for _, sp := range s.shadows {
+		predictor.UpdateBatch(sp.p, fresh)
+	}
+	sh.metrics.observeBatch(len(req.traces))
+	if len(fresh) > 0 {
+		sh.counters.Batches.Add(1)
+		sh.counters.Traces.Add(uint64(len(fresh)))
+		s.dirty = true
+	}
+	if req.seq != 0 && n > 0 {
+		if end := req.seq + n - 1; end > s.lastSeq {
+			s.lastSeq = end
+		}
+	}
+	return shardResp{
+		skipped: uint32(skip),
+		applied: uint32(len(fresh)),
+		correct: uint32(correct),
+		preds:   preds,
+	}
 }
 
 // exportSession captures a session as a codec-ready snapshot: the

@@ -28,6 +28,23 @@ func (c *Cursor) Next(dst *trace.Trace) bool {
 	return true
 }
 
+// NextBatch materialises up to len(dst) consecutive traces into dst and
+// advances, returning how many entries were filled (0 once the stream
+// is exhausted). Filled entries carry the same aliasing contract as
+// Next: Branches and Mems alias the stream's shared arrays and stay
+// valid only until the cursor's owner reuses dst.
+func (c *Cursor) NextBatch(dst []trace.Trace) int {
+	n := len(c.s.recs) - c.i
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for k := 0; k < n; k++ {
+		c.s.At(c.i+k, &dst[k])
+	}
+	c.i += n
+	return n
+}
+
 // Remaining returns how many traces are left.
 func (c *Cursor) Remaining() int { return len(c.s.recs) - c.i }
 

@@ -192,6 +192,21 @@ func NewPredictor(cfg PredictorConfig) (Predictor, error) { return predictor.New
 // MustNewPredictor is NewPredictor for static configurations.
 func MustNewPredictor(cfg PredictorConfig) Predictor { return predictor.MustNew(cfg) }
 
+// PredictBatch runs one full Predict/Update round per trace of actuals
+// against p, bit-identically to the scalar loop: the paper backends
+// run a native struct-of-arrays batch sweep, other backends fall back
+// to scalar rounds. When preds is non-nil (at least len(actuals)
+// long), preds[i] receives the prediction made before actuals[i] was
+// revealed. Returns the batch's correct-prediction count.
+func PredictBatch(p Predictor, actuals []Trace, preds []Prediction) uint64 {
+	return predictor.PredictBatch(p, actuals, preds)
+}
+
+// UpdateBatch is PredictBatch without materializing predictions.
+func UpdateBatch(p Predictor, actuals []Trace) uint64 {
+	return predictor.UpdateBatch(p, actuals)
+}
+
 // NewUnboundedPredictor builds an unbounded-table predictor (§5.2).
 func NewUnboundedPredictor(cfg UnboundedConfig) (Predictor, error) {
 	return predictor.NewUnbounded(cfg)
