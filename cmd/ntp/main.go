@@ -42,6 +42,21 @@
 // regenerated exhibit. -len scales the per-workload instruction budget;
 // the paper used >= 100M instructions per benchmark.
 //
+// Workload characterization and the adversarial zoo:
+//
+//	ntp -run charz
+//	ntp -run charz -workloads compress,wild,storm -values
+//	ntp -run headline -workloads band-hi
+//
+// Besides the six benchmarks, -workloads accepts the synthetic
+// adversarial zoo (wild, storm, phase, band-lo, band-hi): seed-
+// deterministic generators built to defeat path predictors (wild
+// data-dependent branches, indirect-target storms, phase shifts, noisy
+// Markov tables). The `charz` experiment tabulates predictability
+// metrics (entropy, transition rate, working set, H2P set — see
+// internal/charz) against every backend's miss rate; with no
+// -workloads subset it covers the benchmarks plus the whole zoo.
+//
 // Each (workload, limit, selection) trace stream is simulated once and
 // recorded in a process-wide cache; every experiment replays the
 // recording (see internal/stream). -nocache disables this and
@@ -101,7 +116,7 @@ func run() int {
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		runIDs     = flag.String("run", "", "comma-separated experiment ids to run, or \"all\"")
 		length     = flag.Uint64("len", 0, "instructions per workload (default 2000000)")
-		workloads  = flag.String("workloads", "", "comma-separated workload subset (default all six; add \"hang\" for the hanging synthetic)")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default the six benchmarks; zoo members wild/storm/phase/band-lo/band-hi and \"hang\" opt in by name)")
 		values     = flag.Bool("values", false, "also print the experiment's key metrics as CSV (key,value)")
 		timeout    = flag.Duration("timeout", 0, "per-cell deadline, e.g. 5s (0 = none)")
 		inject     = flag.String("inject", "", "fault-injection spec, e.g. table:1e-4,history:1e-5,stuck,bits:2")

@@ -1,14 +1,17 @@
 // Command ptstat prints workload characterisation statistics: dynamic
-// instruction mix, trace shape, and control-flow class breakdown for
-// each benchmark — the data behind the paper's Table 1, in more detail.
+// instruction mix, trace shape, control-flow class breakdown, and the
+// charz predictability metrics (entropy, transition rate, H2P set) for
+// each workload — the data behind the paper's Table 1, in more detail.
 //
 // Usage:
 //
-//	ptstat                 all six benchmarks, 2M instructions each
+//	ptstat                 all workloads (benchmarks + zoo), 2M instructions each
 //	ptstat -len 10000000 compress gcc
+//	ptstat -json wild storm
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,8 +19,82 @@ import (
 	"pathtrace"
 )
 
+// mixStats is the classic instruction/trace-shape breakdown.
+type mixStats struct {
+	Instrs    uint64  `json:"instrs"`
+	Traces    uint64  `json:"traces"`
+	AvgLen    float64 `json:"avg_trace_len"`
+	BrPerTr   float64 `json:"branches_per_trace"`
+	CallPct   float64 `json:"call_pct"`
+	RetPct    float64 `json:"ret_pct"`
+	IndPct    float64 `json:"indirect_pct"`
+	CondPct   float64 `json:"cond_pct"`
+	StaticTrc int     `json:"static_traces"`
+}
+
+// report is one workload's full ptstat output.
+type report struct {
+	Workload string                 `json:"workload"`
+	Params   string                 `json:"params,omitempty"`
+	Mix      mixStats               `json:"mix"`
+	Charz    *pathtrace.CharzReport `json:"charz"`
+}
+
+func characterize(w *pathtrace.Workload, limit uint64) (*report, error) {
+	// Capture once; the mix pass and the charz analysis replay the
+	// same recording.
+	s, err := pathtrace.CaptureTraceStream(w, limit)
+	if err != nil {
+		return nil, err
+	}
+	var agg struct {
+		traces, branches, calls, rets, indirects uint64
+		static                                   map[pathtrace.TraceID]struct{}
+	}
+	agg.static = map[pathtrace.TraceID]struct{}{}
+	instrs, traces, err := s.Replay(nil, func(tr *pathtrace.Trace) {
+		agg.traces++
+		agg.branches += uint64(tr.NumBr)
+		agg.calls += uint64(tr.Calls)
+		if tr.EndsInRet {
+			agg.rets++
+		}
+		agg.static[tr.ID] = struct{}{}
+		for _, b := range tr.Branches {
+			if b.Ctrl.Indirect() {
+				agg.indirects++
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	cz, err := pathtrace.AnalyzeTraceStream(s, pathtrace.CharzConfig{})
+	if err != nil {
+		return nil, err
+	}
+	pct := func(n uint64) float64 { return 100 * float64(n) / float64(instrs) }
+	return &report{
+		Workload: w.Name,
+		Params:   w.Params,
+		Mix: mixStats{
+			Instrs:    instrs,
+			Traces:    traces,
+			AvgLen:    float64(instrs) / float64(traces),
+			BrPerTr:   float64(agg.branches) / float64(traces),
+			CallPct:   pct(agg.calls),
+			RetPct:    pct(agg.rets),
+			IndPct:    pct(agg.indirects),
+			CondPct:   pct(agg.branches),
+			StaticTrc: len(agg.static),
+		},
+		Charz: cz,
+	}, nil
+}
+
 func main() {
 	length := flag.Uint64("len", 2_000_000, "instructions per workload")
+	asJSON := flag.Bool("json", false, "emit one JSON object per workload (array)")
 	flag.Parse()
 
 	var ws []*pathtrace.Workload
@@ -34,39 +111,38 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%-9s %12s %9s %7s %7s %7s %7s %7s %7s %8s\n",
-		"benchmark", "instrs", "traces", "avglen", "br/tr", "call%", "ret%", "ind%", "cond%", "static")
+	var reports []*report
 	for _, w := range ws {
-		type agg struct {
-			traces, branches, calls, rets, indirects, conds uint64
-			static                                          map[pathtrace.TraceID]struct{}
-		}
-		a := agg{static: map[pathtrace.TraceID]struct{}{}}
-		instrs, traces, err := pathtrace.RunWorkload(w, *length, func(tr *pathtrace.Trace) {
-			a.traces++
-			a.branches += uint64(tr.NumBr)
-			a.calls += uint64(tr.Calls)
-			if tr.EndsInRet {
-				a.rets++
-			}
-			a.static[tr.ID] = struct{}{}
-			for _, b := range tr.Branches {
-				if b.Ctrl.Indirect() {
-					a.indirects++
-				}
-			}
-			a.conds += uint64(tr.NumBr)
-		})
+		r, err := characterize(w, *length)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ptstat: %v\n", err)
 			os.Exit(1)
 		}
-		pct := func(n uint64) float64 { return 100 * float64(n) / float64(instrs) }
-		fmt.Printf("%-9s %12d %9d %7.2f %7.2f %6.2f%% %6.2f%% %6.2f%% %6.2f%% %8d\n",
-			w.Name, instrs, traces,
-			float64(instrs)/float64(traces),
-			float64(a.branches)/float64(traces),
-			pct(a.calls), pct(a.rets), pct(a.indirects), pct(a.conds),
-			len(a.static))
+		reports = append(reports, r)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "ptstat: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%-9s %12s %9s %7s %7s %7s %7s %7s %7s %8s %8s %7s %7s %6s\n",
+		"benchmark", "instrs", "traces", "avglen", "br/tr", "call%", "ret%", "ind%", "cond%", "static",
+		"H(next)", "trans%", "novel7%", "h2p")
+	for _, r := range reports {
+		m, c := r.Mix, r.Charz
+		var novelty float64
+		if n := len(c.Depths); n > 0 {
+			novelty = c.Depths[n-1].NoveltyPct
+		}
+		fmt.Printf("%-9s %12d %9d %7.2f %7.2f %6.2f%% %6.2f%% %6.2f%% %6.2f%% %8d %8.3f %6.2f%% %6.2f%% %6d\n",
+			r.Workload, m.Instrs, m.Traces, m.AvgLen, m.BrPerTr,
+			m.CallPct, m.RetPct, m.IndPct, m.CondPct, m.StaticTrc,
+			c.TraceEntropy, c.TransitionRate, novelty, c.H2PSize)
 	}
 }

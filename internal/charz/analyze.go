@@ -1,0 +1,72 @@
+package charz
+
+import (
+	"context"
+
+	"pathtrace/internal/metrics"
+	"pathtrace/internal/stream"
+)
+
+// Analyze characterizes one captured stream: it replays the stream
+// through a fresh Analyzer and returns the report, stamped with the
+// stream's identity (workload, params, instruction count).
+func Analyze(ctx context.Context, s *stream.Stream, cfg Config) (*Report, error) {
+	a, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	instrs, _, err := s.Replay(ctx, a.Consume)
+	if err != nil {
+		return nil, err
+	}
+	r := a.Report()
+	r.Workload = s.Key().Workload
+	r.Params = s.Key().Params
+	r.Instrs = instrs
+	return r, nil
+}
+
+// Export publishes the report's headline metrics into reg, labelled by
+// workload, so a serving or harness process can surface workload
+// predictability next to its live predictor counters. The report is a
+// snapshot: gauges read the values computed at Export time.
+func (r *Report) Export(reg *metrics.Registry) {
+	l := metrics.Labels{"workload": r.Workload}
+	gauge := func(name, help string, v float64) {
+		reg.GaugeFunc(name, help, l, func() float64 { return v })
+	}
+	gauge("charz_trace_entropy_bits", "Entropy of the trace-ID distribution (no path conditioning).", r.TraceEntropy)
+	gauge("charz_transition_rate_pct", "Share of consecutive same-static occurrences whose successor changed.", r.TransitionRate)
+	gauge("charz_distinct_traces", "Static trace working-set size.", float64(r.DistinctTraces))
+	gauge("charz_ref_missrate_pct", "Reference predictor misprediction rate.", r.RefMissRate)
+	gauge("charz_h2p_size", "Smallest static-trace set covering the configured share of reference misses.", float64(r.H2PSize))
+	gauge("charz_h2p_share_pct", "H2P set size as a share of the static working set.", r.H2PShare)
+	for _, d := range r.Depths {
+		dl := metrics.Labels{"workload": r.Workload, "depth": itoa(d.Depth)}
+		cond, pairs, novel := d.CondEntropy, float64(d.Pairs), d.NoveltyPct
+		reg.GaugeFunc("charz_cond_entropy_bits",
+			"Conditional entropy of the next trace given the last <depth> hashed trace IDs.",
+			dl, func() float64 { return cond })
+		reg.GaugeFunc("charz_path_pairs",
+			"Distinct (path, next) pairs at <depth> — unbounded-table working set.",
+			dl, func() float64 { return pairs })
+		reg.GaugeFunc("charz_path_novelty_pct",
+			"Share of observations introducing a new (path, next) pair at <depth>.",
+			dl, func() float64 { return novel })
+	}
+}
+
+// itoa avoids strconv for the tiny depth ints.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,466 @@
+// Package charz characterizes workload predictability: how hard a
+// selected-trace stream is for a path-based next-trace predictor,
+// measured from the stream itself rather than from any one predictor's
+// score. The metrics follow the levers the source paper identifies —
+// path history depth and table reach — plus the hard-to-predict-set
+// lens of Lin & Tarsa ("Branch Prediction Is Not a Solved Problem"):
+//
+//   - Trace-transition behaviour: for each static trace, how often its
+//     dynamic successor changes between consecutive occurrences. A
+//     stream dominated by stable successors is learnable by even the
+//     depth-0 predictor; a wild stream defeats any finite table.
+//   - Path-history entropy: the conditional entropy H(next | path_d)
+//     of the next trace given the last d hashed trace IDs, at the
+//     paper's history depths. This is the information-theoretic floor
+//     on a depth-d path predictor's miss rate, independent of sizing.
+//   - Working set: distinct (path_d, next) pairs — the table reach a
+//     depth-d predictor would need to capture the stream exactly.
+//   - Hard-to-predict traces: the smallest set of static trace IDs
+//     covering a target share of a reference hybrid predictor's
+//     mispredictions. A tiny H2P set means misses concentrate in a few
+//     statics (fixable with targeted capacity); a large one means the
+//     stream is uniformly hard.
+//
+// An Analyzer is a stream consumer (func(*trace.Trace)), so it rides
+// the capture-once/replay-many path like any predictor and can run in
+// the same ReplayParallel fan-out as the backends it explains.
+package charz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/trace"
+)
+
+// DefaultDepths are the path history depths characterized by default:
+// the paper's sweep endpoints plus the intermediate points where its
+// depth curves bend (Figure 5).
+var DefaultDepths = []int{1, 2, 4, 7}
+
+// Transition-rate class boundaries: a static trace is stable when its
+// successor changes in at most 10% of consecutive occurrences, wild
+// when in at least 90%, mixed in between (the taken-rate banding of
+// the branch-prediction literature, applied to trace successors).
+const (
+	stableMax = 0.10
+	wildMin   = 0.90
+)
+
+// Config parameterizes an Analyzer. The zero value gives the standard
+// characterization: DefaultDepths, 90% H2P coverage, and the paper's
+// headline hybrid (depth 7, 2^16 entries, RHS) as the reference
+// predictor for miss attribution.
+type Config struct {
+	// Depths are the path history depths to compute conditional
+	// entropy and working-set size at. Nil means DefaultDepths.
+	Depths []int
+
+	// H2PCoverage is the share of reference-predictor mispredictions
+	// the hard-to-predict set must cover, in (0, 1]. 0 means 0.90.
+	H2PCoverage float64
+
+	// TopH2P bounds the per-trace entries listed in the report (the
+	// set size itself is always exact). 0 means 8.
+	TopH2P int
+
+	// Predictor configures the reference predictor whose misses the
+	// H2P set explains. A zero value means the paper's headline
+	// hybrid: Backend "hybrid", depth 7, 2^16 entries, RHS.
+	Predictor predictor.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Depths == nil {
+		c.Depths = DefaultDepths
+	}
+	if c.H2PCoverage == 0 {
+		c.H2PCoverage = 0.90
+	}
+	if c.TopH2P == 0 {
+		c.TopH2P = 8
+	}
+	zero := predictor.Config{}
+	if c.Predictor == zero {
+		c.Predictor = predictor.Config{Backend: "hybrid", Depth: 7, IndexBits: 16, UseRHS: true}
+	}
+	return c
+}
+
+// succStats tracks one static trace's successor behaviour.
+type succStats struct {
+	count  uint64   // dynamic occurrences
+	pairs  uint64   // occurrences with a previous occurrence to compare
+	trans  uint64   // pairs whose successor differed
+	misses uint64   // reference-predictor misses attributed to this trace
+	last   trace.ID // successor at the previous occurrence
+	seen   bool
+}
+
+// depthState tracks entropy and working-set accounting for one depth.
+type depthState struct {
+	depth int
+	hist  map[uint64]uint64 // path fold -> occurrences
+	joint map[uint64]uint64 // (path fold, next ID) fold -> occurrences
+}
+
+// Analyzer accumulates predictability metrics over one trace stream.
+// It is a single-goroutine stream consumer; use one Analyzer per
+// stream.
+type Analyzer struct {
+	cfg     Config
+	ref     predictor.NextTracePredictor
+	statics map[trace.ID]*succStats
+	depths  []depthState
+	ring    [maxRing]trace.HashedID
+	filled  int
+	head    int
+	traces  uint64
+	prev    trace.ID
+	haveOne bool
+}
+
+// maxRing bounds configurable depths (well past the paper's 7).
+const maxRing = 32
+
+// New returns an Analyzer for the given configuration.
+func New(cfg Config) (*Analyzer, error) {
+	cfg = cfg.withDefaults()
+	a := &Analyzer{cfg: cfg, statics: map[trace.ID]*succStats{}}
+	for _, d := range cfg.Depths {
+		if d < 1 || d > maxRing {
+			return nil, fmt.Errorf("charz: depth %d outside [1, %d]", d, maxRing)
+		}
+		a.depths = append(a.depths, depthState{
+			depth: d,
+			hist:  map[uint64]uint64{},
+			joint: map[uint64]uint64{},
+		})
+	}
+	sort.Slice(a.depths, func(i, j int) bool { return a.depths[i].depth < a.depths[j].depth })
+	ref, err := predictor.New(cfg.Predictor)
+	if err != nil {
+		return nil, fmt.Errorf("charz: reference predictor: %w", err)
+	}
+	a.ref = ref
+	return a, nil
+}
+
+// fnv-1a over 64-bit words; used to fold path histories and
+// (path, next) pairs into map keys. Collisions across a 64-bit space
+// are negligible at stream scale.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvFold(h, word uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= word & 0xff
+		h *= fnvPrime
+		word >>= 8
+	}
+	return h
+}
+
+// Consume observes one trace; it is a stream consumer in the shape
+// Replay and ReplayParallel expect.
+func (a *Analyzer) Consume(tr *trace.Trace) {
+	// Reference predictor: strict Predict/Update alternation, miss
+	// attributed to the trace that actually occurred.
+	p := a.ref.Predict()
+	if !(p.Valid && p.ID == tr.ID) {
+		a.static(tr.ID).misses++
+	}
+	a.ref.Update(tr)
+
+	st := a.static(tr.ID)
+	st.count++
+	a.traces++
+
+	// Successor transition accounting for the previous trace.
+	if a.haveOne {
+		ps := a.static(a.prev)
+		if ps.seen {
+			ps.pairs++
+			if ps.last != tr.ID {
+				ps.trans++
+			}
+		}
+		ps.last = tr.ID
+		ps.seen = true
+	}
+	a.prev = tr.ID
+	a.haveOne = true
+
+	// Entropy / working set at each depth: the history is the d traces
+	// before tr, the outcome is tr itself.
+	for i := range a.depths {
+		ds := &a.depths[i]
+		if a.filled < ds.depth {
+			continue
+		}
+		hk := a.foldHistory(ds.depth)
+		ds.hist[hk]++
+		ds.joint[fnvFold(hk, uint64(tr.ID))]++
+	}
+
+	// Push tr into the ring after accounting (it becomes history for
+	// the next trace).
+	a.ring[a.head] = tr.Hash
+	a.head = (a.head + 1) % maxRing
+	if a.filled < maxRing {
+		a.filled++
+	}
+}
+
+func (a *Analyzer) static(id trace.ID) *succStats {
+	st := a.statics[id]
+	if st == nil {
+		st = &succStats{}
+		a.statics[id] = st
+	}
+	return st
+}
+
+// foldHistory folds the most recent d ring entries, oldest first, so
+// the fold is order-sensitive like a real path history register.
+func (a *Analyzer) foldHistory(d int) uint64 {
+	h := uint64(fnvOffset)
+	for i := d; i >= 1; i-- {
+		idx := (a.head - i + maxRing) % maxRing
+		h = fnvFold(h, uint64(a.ring[idx]))
+	}
+	return h
+}
+
+// entropy computes the Shannon entropy (bits) of a count distribution.
+// The counts are summed in sorted order so the result is bit-identical
+// across runs (map iteration order would otherwise reorder the
+// floating-point sum).
+func entropy(counts map[uint64]uint64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	cs := make([]uint64, 0, len(counts))
+	var n uint64
+	for _, c := range counts {
+		cs = append(cs, c)
+		n += c
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	var sum float64 // sum of c*log2(c)
+	for _, c := range cs {
+		sum += float64(c) * math.Log2(float64(c))
+	}
+	return math.Log2(float64(n)) - sum/float64(n)
+}
+
+// DepthStats characterizes one path history depth.
+type DepthStats struct {
+	Depth int `json:"depth"`
+	// PathEntropy is H(path_d) in bits: how spread-out the depth-d
+	// path histories themselves are.
+	PathEntropy float64 `json:"path_entropy_bits"`
+	// CondEntropy is H(next | path_d) in bits: the residual
+	// uncertainty about the next trace after seeing the last d hashed
+	// trace IDs. 0 means a depth-d path predictor with unbounded
+	// tables would be perfect after warmup. Caveat: this is the
+	// plug-in estimate, which collapses toward 0 once paths stop
+	// repeating — on adversarial streams deep paths are mostly
+	// unique, so at high depths NoveltyPct is the honest difficulty
+	// signal and CondEntropy is only meaningful when it is large.
+	CondEntropy float64 `json:"cond_entropy_bits"`
+	// Pairs is the number of distinct (path_d, next) pairs — the
+	// working-set size an unbounded depth-d table would grow to.
+	Pairs int `json:"pairs"`
+	// NoveltyPct is the share (percent) of depth-d observations that
+	// introduced a previously unseen (path_d, next) pair — the
+	// compulsory-miss floor of an unbounded depth-d path predictor.
+	// ~0 for a learnable stream, ~100 when successors are random.
+	NoveltyPct float64 `json:"novelty_pct"`
+}
+
+// H2PEntry is one hard-to-predict static trace.
+type H2PEntry struct {
+	ID     trace.ID `json:"id"`
+	Misses uint64   `json:"misses"`
+	// Share is this trace's fraction of all reference mispredictions.
+	Share float64 `json:"share"`
+}
+
+// Report is the characterization of one stream.
+type Report struct {
+	Workload string `json:"workload"`
+	Params   string `json:"params,omitempty"`
+	Traces   uint64 `json:"traces"`
+	Instrs   uint64 `json:"instrs,omitempty"`
+
+	// DistinctTraces is the static trace count (trace working set).
+	DistinctTraces int `json:"distinct_traces"`
+	// TraceEntropy is H(next) in bits with no path conditioning — the
+	// depth-0 baseline for the conditional entropies.
+	TraceEntropy float64 `json:"trace_entropy_bits"`
+
+	// TransitionRate is the share (percent) of consecutive same-static
+	// occurrences whose successor changed.
+	TransitionRate float64 `json:"transition_rate_pct"`
+	// Stable/Mixed/WildShare split the dynamic successor pairs by
+	// their static trace's transition-rate class, in percent.
+	StableShare float64 `json:"stable_share_pct"`
+	MixedShare  float64 `json:"mixed_share_pct"`
+	WildShare   float64 `json:"wild_share_pct"`
+
+	Depths []DepthStats `json:"depths"`
+
+	// RefBackend/RefMissRate identify the reference predictor and its
+	// miss rate (percent) on this stream.
+	RefBackend  string  `json:"ref_backend"`
+	RefMissRate float64 `json:"ref_missrate_pct"`
+	// H2PSize is the size of the smallest static-trace set covering
+	// H2PCoverage of the reference mispredictions; H2PCoverage is the
+	// coverage that set actually achieves (≥ the configured target).
+	H2PSize     int     `json:"h2p_size"`
+	H2PCoverage float64 `json:"h2p_coverage_pct"`
+	// H2PShare is H2PSize as a percentage of DistinctTraces: small
+	// means misses concentrate in a few statics.
+	H2PShare float64 `json:"h2p_share_pct"`
+	// H2PTraces lists the heaviest H2P members (bounded by TopH2P).
+	H2PTraces []H2PEntry `json:"h2p_traces"`
+}
+
+// Report computes the characterization from everything consumed so
+// far. The analyzer can keep consuming afterwards; a later Report
+// reflects the longer prefix.
+func (a *Analyzer) Report() *Report {
+	r := &Report{
+		Traces:         a.traces,
+		DistinctTraces: len(a.statics),
+		RefBackend:     a.cfg.Predictor.Backend,
+		RefMissRate:    a.ref.Stats().MissRate(),
+	}
+
+	// Depth-0 entropy over static trace occurrence counts.
+	idCounts := make(map[uint64]uint64, len(a.statics))
+	for id, st := range a.statics {
+		idCounts[uint64(id)] = st.count
+	}
+	r.TraceEntropy = entropy(idCounts)
+
+	// Transition rate and class shares, weighted by dynamic pairs.
+	var pairs, trans, stablePairs, wildPairs uint64
+	for _, st := range a.statics {
+		pairs += st.pairs
+		trans += st.trans
+		if st.pairs == 0 {
+			continue
+		}
+		switch rate := float64(st.trans) / float64(st.pairs); {
+		case rate <= stableMax:
+			stablePairs += st.pairs
+		case rate >= wildMin:
+			wildPairs += st.pairs
+		}
+	}
+	if pairs > 0 {
+		r.TransitionRate = 100 * float64(trans) / float64(pairs)
+		r.StableShare = 100 * float64(stablePairs) / float64(pairs)
+		r.WildShare = 100 * float64(wildPairs) / float64(pairs)
+		r.MixedShare = 100 - r.StableShare - r.WildShare
+	}
+
+	for i := range a.depths {
+		ds := &a.depths[i]
+		ph := entropy(ds.hist)
+		jh := entropy(ds.joint)
+		var obs uint64
+		for _, c := range ds.hist {
+			obs += c
+		}
+		d := DepthStats{
+			Depth:       ds.depth,
+			PathEntropy: ph,
+			CondEntropy: math.Max(0, jh-ph),
+			Pairs:       len(ds.joint),
+		}
+		if obs > 0 {
+			d.NoveltyPct = 100 * float64(len(ds.joint)) / float64(obs)
+		}
+		r.Depths = append(r.Depths, d)
+	}
+
+	// H2P set: statics by miss count, heaviest first (ID breaks ties
+	// so the report is deterministic), smallest prefix covering the
+	// target share.
+	var totalMisses uint64
+	type missEntry struct {
+		id     trace.ID
+		misses uint64
+	}
+	var byMiss []missEntry
+	for id, st := range a.statics {
+		totalMisses += st.misses
+		if st.misses > 0 {
+			byMiss = append(byMiss, missEntry{id, st.misses})
+		}
+	}
+	sort.Slice(byMiss, func(i, j int) bool {
+		if byMiss[i].misses != byMiss[j].misses {
+			return byMiss[i].misses > byMiss[j].misses
+		}
+		return byMiss[i].id < byMiss[j].id
+	})
+	if totalMisses > 0 {
+		target := uint64(math.Ceil(a.cfg.H2PCoverage * float64(totalMisses)))
+		var covered uint64
+		for _, e := range byMiss {
+			covered += e.misses
+			r.H2PSize++
+			if len(r.H2PTraces) < a.cfg.TopH2P {
+				r.H2PTraces = append(r.H2PTraces, H2PEntry{
+					ID:     e.id,
+					Misses: e.misses,
+					Share:  float64(e.misses) / float64(totalMisses),
+				})
+			}
+			if covered >= target {
+				break
+			}
+		}
+		r.H2PCoverage = 100 * float64(covered) / float64(totalMisses)
+		if r.DistinctTraces > 0 {
+			r.H2PShare = 100 * float64(r.H2PSize) / float64(r.DistinctTraces)
+		}
+	}
+	return r
+}
+
+// Text renders the report as a human-readable block.
+func (r *Report) Text() string {
+	var b strings.Builder
+	name := r.Workload
+	if name == "" {
+		name = "(stream)"
+	}
+	fmt.Fprintf(&b, "workload %s: %d traces, %d static\n", name, r.Traces, r.DistinctTraces)
+	if r.Params != "" {
+		fmt.Fprintf(&b, "  params           %s\n", r.Params)
+	}
+	fmt.Fprintf(&b, "  trace entropy    %.3f bits\n", r.TraceEntropy)
+	fmt.Fprintf(&b, "  transition rate  %.2f%%  (stable %.1f%% / mixed %.1f%% / wild %.1f%%)\n",
+		r.TransitionRate, r.StableShare, r.MixedShare, r.WildShare)
+	for _, d := range r.Depths {
+		fmt.Fprintf(&b, "  depth %d          H(next|path) %.3f bits, %d (path,next) pairs, %.1f%% novel\n",
+			d.Depth, d.CondEntropy, d.Pairs, d.NoveltyPct)
+	}
+	fmt.Fprintf(&b, "  ref %-12s %.2f%% misses\n", r.RefBackend, r.RefMissRate)
+	fmt.Fprintf(&b, "  H2P set          %d traces (%.1f%% of static) cover %.1f%% of misses\n",
+		r.H2PSize, r.H2PShare, r.H2PCoverage)
+	for _, e := range r.H2PTraces {
+		fmt.Fprintf(&b, "    %-24s %8d misses  %5.1f%%\n", e.ID, e.Misses, 100*e.Share)
+	}
+	return b.String()
+}

@@ -1,0 +1,251 @@
+package charz
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathtrace/internal/metrics"
+	"pathtrace/internal/stream"
+	"pathtrace/internal/trace"
+	"pathtrace/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// synthetic trace builder: an ID encodes (pc, outcomes); charz only
+// looks at ID and Hash.
+func mkTrace(pc uint32, outcomes uint8) trace.Trace {
+	id := trace.MakeID(pc, outcomes)
+	return trace.Trace{ID: id, Hash: id.Hash(), Len: 4}
+}
+
+func feed(t *testing.T, a *Analyzer, seq []trace.Trace) {
+	t.Helper()
+	for i := range seq {
+		a.Consume(&seq[i])
+	}
+}
+
+// A strictly repeating sequence has zero conditional entropy at any
+// depth ≥ 1 and zero transition rate.
+func TestPerfectlyPredictableStream(t *testing.T) {
+	a, err := New(Config{Depths: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []trace.Trace{mkTrace(0x100, 1), mkTrace(0x200, 2), mkTrace(0x300, 3)}
+	for i := 0; i < 400; i++ {
+		feed(t, a, seq)
+	}
+	r := a.Report()
+	if r.Traces != 1200 || r.DistinctTraces != 3 {
+		t.Fatalf("traces %d distinct %d, want 1200/3", r.Traces, r.DistinctTraces)
+	}
+	if want := math.Log2(3); math.Abs(r.TraceEntropy-want) > 1e-9 {
+		t.Errorf("TraceEntropy = %v, want %v", r.TraceEntropy, want)
+	}
+	if r.TransitionRate != 0 {
+		t.Errorf("TransitionRate = %v, want 0", r.TransitionRate)
+	}
+	if r.StableShare != 100 {
+		t.Errorf("StableShare = %v, want 100", r.StableShare)
+	}
+	for _, d := range r.Depths {
+		if d.CondEntropy > 1e-9 {
+			t.Errorf("depth %d CondEntropy = %v, want 0", d.Depth, d.CondEntropy)
+		}
+		if d.Pairs != 3 {
+			t.Errorf("depth %d Pairs = %d, want 3", d.Depth, d.Pairs)
+		}
+	}
+}
+
+// A hub trace whose successor alternates every occurrence is wild by
+// transition rate, and depth-1 history (the hub itself) cannot resolve
+// it — but depth-2 history (the trace before the hub) can: conditional
+// entropy must drop from ~0.5 bits to ~0 as depth grows.
+func TestAlternatingSuccessorResolvedByPath(t *testing.T) {
+	a, err := New(Config{Depths: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h x h y h x h y ... : after [h] the next is x or y (1 bit, half
+	// the steps → 0.5 bits average); after [x,h] it is always y and
+	// after [y,h] always x.
+	h, x, y := mkTrace(0x100, 0), mkTrace(0x200, 0), mkTrace(0x300, 0)
+	for i := 0; i < 500; i++ {
+		feed(t, a, []trace.Trace{h, x, h, y})
+	}
+	r := a.Report()
+	if r.WildShare < 40 {
+		t.Errorf("WildShare = %v, want ≥40 (h alternates every time)", r.WildShare)
+	}
+	if d := r.Depths[0]; math.Abs(d.CondEntropy-0.5) > 0.01 {
+		t.Errorf("depth-1 CondEntropy = %v, want ~0.5: the hub alone cannot disambiguate", d.CondEntropy)
+	}
+	if d := r.Depths[1]; d.CondEntropy > 1e-6 {
+		t.Errorf("depth-2 CondEntropy = %v, want ~0: the pre-hub trace resolves the alternation", d.CondEntropy)
+	}
+	if r.TraceEntropy < 1.0 {
+		t.Errorf("TraceEntropy = %v, want ≥1 bit", r.TraceEntropy)
+	}
+}
+
+// H2P set: when misses concentrate in one static trace, the set is
+// tiny and names it.
+func TestH2PConcentration(t *testing.T) {
+	a, err := New(Config{Depths: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long stable run (learnable) punctuated by an unpredictable
+	// trace whose successor is driven by an irregular pattern.
+	stable := []trace.Trace{mkTrace(0x100, 0), mkTrace(0x200, 0), mkTrace(0x300, 0)}
+	chaos := mkTrace(0x400, 0)
+	succ := []trace.Trace{mkTrace(0x500, 0), mkTrace(0x600, 0), mkTrace(0x700, 0), mkTrace(0x800, 0)}
+	rng := uint32(12345)
+	for i := 0; i < 2000; i++ {
+		feed(t, a, stable)
+		a.Consume(&chaos)
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		a.Consume(&succ[rng%4])
+	}
+	r := a.Report()
+	if r.H2PSize == 0 || r.H2PSize > 6 {
+		t.Fatalf("H2PSize = %d, want small nonzero set", r.H2PSize)
+	}
+	if len(r.H2PTraces) == 0 {
+		t.Fatal("no H2P entries listed")
+	}
+	if r.H2PCoverage < 90 {
+		t.Errorf("H2PCoverage = %v, want ≥90", r.H2PCoverage)
+	}
+	// The chaos successors (0x500..0x800) should dominate the misses.
+	top := r.H2PTraces[0]
+	if pc := top.ID.StartPC(); pc < 0x500 || pc > 0x800 {
+		t.Errorf("top H2P trace starts at %#x, want a chaos successor", pc)
+	}
+}
+
+func TestDepthValidation(t *testing.T) {
+	if _, err := New(Config{Depths: []int{0}}); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	if _, err := New(Config{Depths: []int{maxRing + 1}}); err == nil {
+		t.Error("oversized depth accepted")
+	}
+}
+
+// The report must round-trip through JSON with its field names intact
+// (ptstat -json and the CI smoke grep depend on them).
+func TestReportJSON(t *testing.T) {
+	a, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, a, []trace.Trace{mkTrace(0x100, 0), mkTrace(0x200, 0), mkTrace(0x100, 0)})
+	b, err := json.Marshal(a.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"workload"`, `"traces"`, `"distinct_traces"`, `"trace_entropy_bits"`,
+		`"transition_rate_pct"`, `"depths"`, `"cond_entropy_bits"`,
+		`"ref_missrate_pct"`, `"h2p_size"`,
+	} {
+		if !strings.Contains(string(b), field) {
+			t.Errorf("JSON report missing %s:\n%s", field, b)
+		}
+	}
+}
+
+func TestExportMetrics(t *testing.T) {
+	a, err := New(Config{Depths: []int{1, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, a, []trace.Trace{mkTrace(0x100, 0), mkTrace(0x200, 0), mkTrace(0x100, 0)})
+	r := a.Report()
+	r.Workload = "unittest"
+	reg := metrics.NewRegistry()
+	r.Export(reg)
+	var sb strings.Builder
+	if err := reg.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`charz_trace_entropy_bits{workload="unittest"}`,
+		`charz_h2p_size{workload="unittest"}`,
+		`charz_cond_entropy_bits{depth="7",workload="unittest"}`,
+		`charz_path_pairs{depth="1",workload="unittest"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered metrics missing %s\n%s", want, out)
+		}
+	}
+}
+
+// Golden report for compress: the full analysis pipeline (capture →
+// replay → report → text rendering) must stay bit-stable. Regenerate
+// with -update when an intentional change shifts the numbers.
+func TestCompressGoldenReport(t *testing.T) {
+	w, ok := workload.ByName("compress")
+	if !ok {
+		t.Fatal("no compress workload")
+	}
+	s, err := stream.Capture(nil, w, 200_000, trace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Analyze(context.Background(), s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Text()
+	golden := filepath.Join("testdata", "compress_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("compress report drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// Analyze must be deterministic: two runs over the same stream give
+// byte-identical text reports.
+func TestAnalyzeDeterministic(t *testing.T) {
+	w, _ := workload.ByName("compress")
+	s, err := stream.Capture(nil, w, 100_000, trace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Analyze(context.Background(), s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(context.Background(), s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Text() != r2.Text() {
+		t.Errorf("reports differ:\n%s\nvs\n%s", r1.Text(), r2.Text())
+	}
+}

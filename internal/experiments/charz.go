@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"pathtrace/internal/charz"
+	"pathtrace/internal/predictor"
+	"pathtrace/internal/stats"
+	"pathtrace/internal/trace"
+	"pathtrace/internal/workload"
+)
+
+// charzRun characterizes workload predictability and correlates the
+// metrics with every backend's actual misprediction rate. It is the
+// experiment behind the adversarial workload zoo: the paper's six
+// benchmarks are all learnable by a big-enough path predictor, so the
+// zoo's synthetic workloads (wild data-dependent branches, indirect
+// storms, phase shifters, noisy Markov tables) supply the other end of
+// each metric's axis — and demonstrate which backends degrade
+// gracefully when predictability collapses.
+//
+// With no -workloads subset the run covers the canonical six plus the
+// whole zoo.
+func charzRun(opt Options) (*Result, error) {
+	var ws []*workload.Workload
+	if len(opt.Workloads) == 0 {
+		ws = append(workload.All(), workload.Zoo()...)
+	} else {
+		var err error
+		if ws, err = opt.workloads(); err != nil {
+			return nil, err
+		}
+	}
+	res := newResult("charz")
+	backends := predictor.Backends()
+
+	depths := charz.DefaultDepths
+	headline := depths[len(depths)-1] // the paper's depth-7 headline
+
+	ct := stats.NewTable(
+		fmt.Sprintf("Workload predictability: entropy (bits), transition rate, depth-%d working set, H2P set", headline),
+		"workload", "traces", "static", "H(next)", "trans%",
+		fmt.Sprintf("H(next|p%d)", headline), fmt.Sprintf("pairs%d", headline),
+		fmt.Sprintf("novel%d%%", headline), "h2p", "h2p%stat")
+	cols := []string{"workload"}
+	for _, b := range backends {
+		cols = append(cols, b.Name)
+	}
+	mt := stats.NewTable("Misprediction % per backend (paper geometry: 2^16 entries, depth 7)", cols...)
+
+	// Per-workload metric and miss-rate vectors for the correlation
+	// pass, in run order.
+	type row struct {
+		w      *workload.Workload
+		rep    *charz.Report
+		miss   map[string]float64
+		hybrid float64
+		isZoo  bool
+	}
+	var rows []row
+
+	for _, w := range ws {
+		an, err := charz.New(charz.Config{Depths: depths})
+		if err != nil {
+			return nil, err
+		}
+		preds := make([]predictor.NextTracePredictor, len(backends))
+		consumers := []func(*trace.Trace){an.Consume}
+		for i, b := range backends {
+			p, err := predictor.New(backendConfig(b.Name))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: backend %q: %w", b.Name, err)
+			}
+			preds[i] = p
+			consumers = append(consumers, func(tr *trace.Trace) {
+				p.Predict()
+				p.Update(tr)
+			})
+		}
+		instrs, _, err := opt.Stream(w, consumers...)
+		if err != nil {
+			return nil, err
+		}
+		rep := an.Report()
+		rep.Workload = w.Name
+		rep.Params = w.Params
+		rep.Instrs = instrs
+
+		hd := rep.Depths[len(rep.Depths)-1]
+		ct.AddRowf(w.Name, float64(rep.Traces), float64(rep.DistinctTraces),
+			rep.TraceEntropy, rep.TransitionRate, hd.CondEntropy, float64(hd.Pairs),
+			hd.NoveltyPct, float64(rep.H2PSize), rep.H2PShare)
+
+		miss := map[string]float64{}
+		mrow := []any{w.Name}
+		for i, b := range backends {
+			v := preds[i].Stats().MissRate()
+			miss[b.Name] = v
+			mrow = append(mrow, v)
+			res.Values[w.Name+"."+b.Name] = v
+		}
+		mt.AddRowf(mrow...)
+
+		res.Values[w.Name+".trace_entropy"] = rep.TraceEntropy
+		res.Values[w.Name+".transition_rate"] = rep.TransitionRate
+		res.Values[fmt.Sprintf("%s.cond_entropy%d", w.Name, headline)] = hd.CondEntropy
+		res.Values[fmt.Sprintf("%s.pairs%d", w.Name, headline)] = float64(hd.Pairs)
+		res.Values[fmt.Sprintf("%s.novelty%d", w.Name, headline)] = hd.NoveltyPct
+		res.Values[w.Name+".h2p_size"] = float64(rep.H2PSize)
+		res.Values[w.Name+".h2p_share"] = rep.H2PShare
+		res.Values[w.Name+".ref_missrate"] = rep.RefMissRate
+
+		rows = append(rows, row{
+			w: w, rep: rep, miss: miss, hybrid: miss["hybrid"],
+			isZoo: w.Synthetic,
+		})
+	}
+
+	// Group means: do the zoo members actually sit on the hard side?
+	var lines []string
+	for _, grp := range []struct {
+		key   string
+		zoo   bool
+		label string
+	}{{"canonical", false, "canonical"}, {"zoo", true, "zoo"}} {
+		var n float64
+		sums := map[string]float64{}
+		for _, r := range rows {
+			if r.isZoo != grp.zoo {
+				continue
+			}
+			n++
+			for b, v := range r.miss {
+				sums[b] += v
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		for _, b := range backends {
+			res.Values["mean-"+grp.key+"."+b.Name] = sums[b.Name] / n
+		}
+		lines = append(lines, fmt.Sprintf("%s mean: hybrid %.2f%%, tage %.2f%% (%d workloads)",
+			grp.label, sums["hybrid"]/n, sums["tage"]/n, int(n)))
+	}
+
+	// Adversarial ratios against compress, the classic learnable
+	// baseline, when it is in the run.
+	var compressHybrid float64
+	for _, r := range rows {
+		if r.w.Name == "compress" {
+			compressHybrid = r.hybrid
+		}
+	}
+	if compressHybrid > 0 {
+		for _, r := range rows {
+			if !r.isZoo {
+				continue
+			}
+			ratio := r.hybrid / compressHybrid
+			res.Values["adv_ratio."+r.w.Name] = ratio
+			grace := "-"
+			if tg, ok := r.miss["tage"]; ok && r.hybrid > 0 {
+				grace = fmt.Sprintf("tage %.1f%% lower", 100*(r.hybrid-tg)/r.hybrid)
+			}
+			lines = append(lines, fmt.Sprintf("adv %s: %.1fx the hybrid misses of compress (%s)",
+				r.w.Name, ratio, grace))
+		}
+	}
+
+	// Metric→misprediction correlation across the run's workloads:
+	// which predictability metric best anticipates the hybrid's
+	// actual miss rate?
+	if len(rows) >= 3 {
+		hybridMiss := make([]float64, len(rows))
+		for i, r := range rows {
+			hybridMiss[i] = r.hybrid
+		}
+		// The deep conditional entropy is deliberately absent: its
+		// plug-in estimate collapses to 0 once paths stop repeating
+		// (see charz.DepthStats.CondEntropy), so it anti-correlates
+		// with difficulty on adversarial streams. NoveltyPct is the
+		// depth-aware difficulty signal that survives that regime.
+		metrics := []struct {
+			key string
+			val func(r row) float64
+		}{
+			{"trace_entropy", func(r row) float64 { return r.rep.TraceEntropy }},
+			{"transition_rate", func(r row) float64 { return r.rep.TransitionRate }},
+			{"cond_entropy1", func(r row) float64 { return r.rep.Depths[0].CondEntropy }},
+			{fmt.Sprintf("novelty%d", headline), func(r row) float64 {
+				return r.rep.Depths[len(r.rep.Depths)-1].NoveltyPct
+			}},
+			{"h2p_share", func(r row) float64 { return r.rep.H2PShare }},
+		}
+		for _, m := range metrics {
+			xs := make([]float64, len(rows))
+			for i, r := range rows {
+				xs[i] = m.val(r)
+			}
+			if c, ok := pearson(xs, hybridMiss); ok {
+				res.Values["corr."+m.key] = c
+				lines = append(lines, fmt.Sprintf("corr(%s, hybrid miss%%) = %+.3f  (n=%d)",
+					m.key, c, len(rows)))
+			}
+		}
+	}
+
+	res.Text = joinSections(append([]string{ct.String(), mt.String()}, lines...)...)
+	return res, nil
+}
+
+// pearson returns the Pearson correlation coefficient of two equal-
+// length vectors; ok is false when either vector is constant (the
+// coefficient is undefined).
+func pearson(xs, ys []float64) (float64, bool) {
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, false
+	}
+	return sxy / math.Sqrt(sxx*syy), true
+}
+
+func init() {
+	register(Experiment{
+		Name:  "charz",
+		Title: "Workload predictability characterization",
+		Desc:  "Entropy/transition/H2P metrics vs per-backend miss rates, across the benchmarks and the adversarial zoo.",
+		Run:   charzRun,
+	})
+}

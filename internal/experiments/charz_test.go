@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pathtrace/internal/stream"
+)
+
+// The charz experiment must characterize each workload and show the
+// adversarial zoo defeating the 1997 hybrid: the acceptance bar is
+// ≥2x the hybrid's compress miss rate for at least two zoo members,
+// reproducibly from their fixed registration seeds.
+func TestCharzAdversarialZoo(t *testing.T) {
+	opt := Options{
+		Limit:     400_000,
+		Workloads: []string{"compress", "wild", "storm", "band-hi"},
+		Streams:   stream.NewCache(),
+	}
+	r := run(t, "charz", opt)
+
+	for _, want := range []string{
+		"Workload predictability", "Misprediction %", "adv wild:", "corr(",
+	} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("charz text missing %q:\n%s", want, r.Text)
+		}
+	}
+
+	// Every workload gets predictability values and a non-empty H2P set.
+	for _, wl := range opt.Workloads {
+		for _, key := range []string{".trace_entropy", ".transition_rate", ".cond_entropy7", ".h2p_size", ".hybrid", ".tage"} {
+			if _, ok := r.Values[wl+key]; !ok {
+				t.Errorf("missing value %s%s", wl, key)
+			}
+		}
+		if r.Values[wl+".h2p_size"] < 1 {
+			t.Errorf("%s: empty H2P set", wl)
+		}
+	}
+
+	// The zoo must visibly defeat the hybrid: ≥2x compress for at
+	// least these two members (empirically they sit at 4-9x).
+	for _, wl := range []string{"wild", "storm", "band-hi"} {
+		ratio, ok := r.Values["adv_ratio."+wl]
+		if !ok {
+			t.Fatalf("missing adv_ratio.%s", wl)
+		}
+		if ratio < 2 {
+			t.Errorf("adv_ratio.%s = %.2f, want ≥2 (zoo member fails to defeat the hybrid)", wl, ratio)
+		}
+	}
+
+	// TAGE must degrade more gracefully than the hybrid on the zoo.
+	if h, tg := r.Values["mean-zoo.hybrid"], r.Values["mean-zoo.tage"]; !(tg < h) {
+		t.Errorf("zoo means: tage %.2f%% not below hybrid %.2f%%", tg, h)
+	}
+
+	// The predictability metrics must actually track difficulty on
+	// this spread of workloads: transition rate and depth-7 pair
+	// novelty should correlate strongly with the hybrid's misses.
+	for _, key := range []string{"corr.transition_rate", "corr.novelty7"} {
+		if c, ok := r.Values[key]; !ok || c < 0.5 {
+			t.Errorf("%s = %.3f (ok=%v), want strong positive correlation", key, c, ok)
+		}
+	}
+}
+
+// With no workload subset, charz covers the canonical six plus the
+// whole zoo.
+func TestCharzDefaultCoversZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite charz is slow")
+	}
+	opt := Options{Limit: 120_000, Streams: stream.NewCache()}
+	r := run(t, "charz", opt)
+	for _, wl := range []string{"compress", "gcc", "go", "jpeg", "mksim", "xlisp",
+		"band-hi", "band-lo", "phase", "storm", "wild"} {
+		if _, ok := r.Values[wl+".hybrid"]; !ok {
+			t.Errorf("default charz run missing workload %s", wl)
+		}
+	}
+}

@@ -141,7 +141,7 @@ func Register(e Experiment) { register(e) }
 // order; unlisted experiments follow in registration order.
 var canonicalOrder = []string{
 	"table1", "table2", "fig6", "table3", "fig7", "table4",
-	"costreduced", "fig8", "headline", "backends", "multibranch", "realistic", "frontend", "confidence",
+	"costreduced", "fig8", "headline", "backends", "charz", "multibranch", "realistic", "frontend", "confidence",
 	"ablation-counter", "ablation-hybrid", "ablation-rhs",
 	"ablation-dolc", "ablation-select", "ablation-tracecache", "ablation-hash",
 }

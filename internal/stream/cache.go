@@ -113,7 +113,7 @@ func (c *Cache) acquire(ctx context.Context, w *workload.Workload, key Key) (s *
 // request. ctx bounds both a capture this call performs and any wait
 // for another goroutine's in-flight capture; nil disables both checks.
 func (c *Cache) Get(ctx context.Context, w *workload.Workload, limit uint64, sel trace.Config) (*Stream, error) {
-	key := Key{Workload: w.Name, Limit: limit, Sel: sel}
+	key := Key{Workload: w.Name, Params: w.Params, Limit: limit, Sel: sel}
 	for {
 		c.mu.Lock()
 		c.used = true

@@ -23,8 +23,10 @@ import (
 //
 // Layout (all little-endian):
 //
-//	magic     "NTPSTRM1"
+//	magic     "NTPSTRM2"
 //	workload  u16 length + bytes
+//	params    u16 length + bytes (v2 only; the workload's generator
+//	          parameterization, "" for the fixed benchmarks)
 //	limit     u64
 //	sel       u32 MaxLen, u32 MaxBranches, u8 flags (bit0 = BreakOnLoopClosure)
 //	instrs    u64
@@ -33,7 +35,13 @@ import (
 //	branches  10 bytes each
 //	mems      5 bytes each
 //	crc32     u32 (IEEE, over everything after the magic)
-const diskMagic = "NTPSTRM1"
+//
+// v1 files ("NTPSTRM1", no params field) still decode — they predate
+// parameterized workloads, so their params are implicitly empty.
+const (
+	diskMagic   = "NTPSTRM2"
+	diskMagicV1 = "NTPSTRM1"
+)
 
 const (
 	diskHeaderBytes = 37 // limit + sel + instrs + counts (after the workload name)
@@ -53,11 +61,26 @@ func minInt(a, b int) int {
 	return b
 }
 
+// paramsHash digests a workload parameterization for file names and
+// key rendering (the full string lives in the file header; the name
+// only needs to be collision-resistant across a directory).
+func paramsHash(params string) uint32 {
+	return crc32.ChecksumIEEE([]byte(params))
+}
+
 // Filename returns the file name a stream with this key is saved under:
 // workload, limit and selection are all spelled out so a directory of
-// streams is self-describing and distinct keys never collide.
+// streams is self-describing and distinct keys never collide. A
+// parameterized workload (non-empty Params) additionally carries a
+// digest of its parameters, so two same-name/different-seed synthetic
+// workloads never share a file; LoadKey's header check backstops the
+// digest with the full string.
 func (k Key) Filename() string {
-	name := fmt.Sprintf("%s_%d_%d-%d", k.Workload, k.Limit, k.Sel.MaxLen, k.Sel.MaxBranches)
+	name := k.Workload
+	if k.Params != "" {
+		name = fmt.Sprintf("%s@%08x", k.Workload, paramsHash(k.Params))
+	}
+	name = fmt.Sprintf("%s_%d_%d-%d", name, k.Limit, k.Sel.MaxLen, k.Sel.MaxBranches)
 	if k.Sel.BreakOnLoopClosure {
 		name += "-loop"
 	}
@@ -76,6 +99,9 @@ func (s *Stream) Encode(w io.Writer) error {
 	le.PutUint16(buf[:], uint16(len(s.key.Workload)))
 	bw.Write(buf[:2])
 	bw.WriteString(s.key.Workload)
+	le.PutUint16(buf[:], uint16(len(s.key.Params)))
+	bw.Write(buf[:2])
+	bw.WriteString(s.key.Params)
 	le.PutUint64(buf[:], s.key.Limit)
 	le.PutUint32(buf[8:], uint32(s.key.Sel.MaxLen))
 	le.PutUint32(buf[12:], uint32(s.key.Sel.MaxBranches))
@@ -143,7 +169,8 @@ func Decode(r io.Reader) (*Stream, error) {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: short magic", ErrCorrupt)
 	}
-	if string(magic[:]) != diskMagic {
+	hasParams := string(magic[:]) == diskMagic
+	if !hasParams && string(magic[:]) != diskMagicV1 {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic[:])
 	}
 	// The checksum is computed over exactly the bytes parsed (the
@@ -168,11 +195,22 @@ func Decode(r io.Reader) (*Stream, error) {
 	if err := readFull(name, "workload name"); err != nil {
 		return nil, err
 	}
+	var params []byte
+	if hasParams {
+		if err := readFull(buf[:2], "params length"); err != nil {
+			return nil, err
+		}
+		params = make([]byte, int(le.Uint16(buf[:])))
+		if err := readFull(params, "params"); err != nil {
+			return nil, err
+		}
+	}
 	if err := readFull(buf[:diskHeaderBytes], "header"); err != nil {
 		return nil, err
 	}
 	s := &Stream{key: Key{
 		Workload: string(name),
+		Params:   string(params),
 		Limit:    le.Uint64(buf[:]),
 		Sel: trace.Config{
 			MaxLen:             int(le.Uint32(buf[8:])),

@@ -37,12 +37,22 @@ import (
 // downstream of trace selection.
 type Key struct {
 	Workload string
-	Limit    uint64
-	Sel      trace.Config
+	// Params is the workload's generator parameterization
+	// (workload.Workload.Params; "" for the fixed benchmarks). It is
+	// part of the key so two same-name workloads built with different
+	// parameters or seeds — routine for the synthetic zoo — can never
+	// share a cached or on-disk stream.
+	Params string
+	Limit  uint64
+	Sel    trace.Config
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%d/%d-%d", k.Workload, k.Limit, k.Sel.MaxLen, k.Sel.MaxBranches)
+	name := k.Workload
+	if k.Params != "" {
+		name = fmt.Sprintf("%s@%08x", k.Workload, paramsHash(k.Params))
+	}
+	return fmt.Sprintf("%s/%d/%d-%d", name, k.Limit, k.Sel.MaxLen, k.Sel.MaxBranches)
 }
 
 // record is one selected trace, encoded compactly: fixed-width metadata
@@ -109,7 +119,7 @@ func Capture(ctx context.Context, w *workload.Workload, limit uint64, sel trace.
 	if err != nil {
 		return nil, err
 	}
-	s := &Stream{key: Key{Workload: w.Name, Limit: limit, Sel: sel}}
+	s := &Stream{key: Key{Workload: w.Name, Params: w.Params, Limit: limit, Sel: sel}}
 	selector, err := trace.NewSelector(sel, s.appendTrace)
 	if err != nil {
 		return nil, err

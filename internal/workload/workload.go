@@ -39,6 +39,21 @@ type Workload struct {
 	// Description summarises the program and what it substitutes for.
 	Description string
 
+	// Params canonically encodes the generator parameters (including
+	// the seed) that determine the program, or "" when the name alone
+	// identifies it (the six fixed benchmarks). It participates in
+	// trace-stream cache keys and stream file names, so two same-name
+	// workloads built with different parameters can never share a
+	// cached or on-disk stream.
+	Params string
+
+	// Synthetic marks workload-zoo members: first-class named workloads
+	// usable everywhere a benchmark is (ByName, -workloads, the stream
+	// cache, fault injection), but excluded from All() so the paper's
+	// exhibits keep their canonical six-benchmark workload set. Zoo()
+	// returns them.
+	Synthetic bool
+
 	// Source returns the assembly source, scaled by size. Size 1 is the
 	// standard configuration; smaller fractions of work are not
 	// meaningful — programs run until the harness's instruction limit.
@@ -100,7 +115,10 @@ func Names() []string {
 	return []string{"compress", "gcc", "go", "jpeg", "mksim", "xlisp"}
 }
 
-// All returns all registered workloads in the paper's order.
+// All returns all registered non-synthetic workloads in the paper's
+// order: the canonical six, then any extras (registered by tests or
+// extensions) sorted by name. Zoo members (Synthetic) are excluded so
+// the paper exhibits keep their benchmark set; Zoo() returns them.
 func All() []*Workload {
 	regMu.RLock()
 	defer regMu.RUnlock()
@@ -110,10 +128,11 @@ func All() []*Workload {
 			out = append(out, w)
 		}
 	}
-	// Include any extras (registered by tests or extensions) after the
-	// canonical six, sorted by name.
 	var extra []string
-	for n := range registry {
+	for n, w := range registry {
+		if w.Synthetic {
+			continue
+		}
 		found := false
 		for _, c := range Names() {
 			if n == c {
@@ -128,6 +147,28 @@ func All() []*Workload {
 	sort.Strings(extra)
 	for _, n := range extra {
 		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Zoo returns the registered synthetic workloads sorted by name — the
+// adversarial/parameterized workload zoo (see zoo.go). They are
+// first-class workloads (ByName finds them, streams cache them, every
+// experiment accepts them by name); they are simply not part of the
+// canonical six that All() yields.
+func Zoo() []*Workload {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var names []string
+	for n, w := range registry {
+		if w.Synthetic {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Workload, len(names))
+	for i, n := range names {
+		out[i] = registry[n]
 	}
 	return out
 }

@@ -1,0 +1,466 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// The workload zoo: seed-deterministic synthetic generators whose
+// parameters dial the control-flow statistics that decide next-trace
+// predictability — path entropy, trace-transition rate, indirect-target
+// spread, phase behaviour. Where the six canonical benchmarks ask "how
+// well does the predictor do on SPECint-like code?", the zoo asks "where
+// does it break?": each generator targets one failure mode named by the
+// workload-characterization literature (taken/transition-rate classes;
+// Lin & Tarsa's hard-to-predict branches; Bullseye-style wild
+// data-dependent branches).
+//
+//	wild     — every branch tests a bit of an in-program xorshift32
+//	           stream: maximal path entropy, unlearnable by any history
+//	           depth (the Bullseye wild-branch storm).
+//	storm    — indirect-target storm: a 16-way jump table indexed by the
+//	           xorshift stream, so every dispatch ends a trace at one of
+//	           16 uniformly random successor PCs.
+//	phase    — phase-shifting loops: each phase is fully deterministic
+//	           (learnable), but the phase itself is redrawn at random
+//	           every few iterations, repeatedly invalidating what the
+//	           tables just learned and stressing cross-phase aliasing.
+//	band-lo  — table-driven branches at a low-entropy band (sticky
+//	band-hi    Markov pattern, little noise) and a high-entropy band
+//	           (fast-mixing pattern, heavy noise): the tunable dial
+//	           between compress-like and wild-like behaviour.
+//
+// All zoo members are registered at init as first-class workloads
+// (Synthetic: true): ByName finds them, `ntp -workloads`, the harness,
+// stream capture, fault injection and loadgen accept them with no extra
+// wiring; only All() — the paper's canonical six — excludes them.
+// Constructors (NewWild etc.) build unregistered instances for
+// parameter sweeps; Workload.Params carries the full parameterization
+// into stream-cache keys so same-name/different-seed instances never
+// share a cached stream.
+
+// xorshift32 is the in-program PRNG every data-dependent zoo generator
+// uses: three shift-xor steps on a nonzero 32-bit state. Branching on
+// its bits is genuinely data-dependent — there is no table to memorize
+// and the period (2^32-1) exceeds any run length.
+func (g *zooGen) xorshift() {
+	g.b.WriteString(`        sll  t2, s1, 13
+        xor  s1, s1, t2
+        srl  t2, s1, 17
+        xor  s1, s1, t2
+        sll  t2, s1, 5
+        xor  s1, s1, t2
+`)
+}
+
+type zooGen struct {
+	rng *rand.Rand
+	b   strings.Builder
+}
+
+func newZooGen(seed int64) *zooGen {
+	return &zooGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// state0 derives a nonzero xorshift seed from the generator rng.
+func (g *zooGen) state0() uint32 {
+	return g.rng.Uint32() | 1
+}
+
+// emitOutGated emits the once-every-1024-iterations checksum output
+// (counter in reg), so zoo programs produce output at the same cadence
+// as the benchmarks without flooding the simulator's output buffer.
+func (g *zooGen) emitOutGated(label, reg string) {
+	fmt.Fprintf(&g.b, `        andi t2, %[2]s, 1023
+        bnez t2, %[1]s_oskip
+        out  s7
+%[1]s_oskip:
+`, label, reg)
+}
+
+// WildParams parameterize the wild-branch generator.
+type WildParams struct {
+	Seed   int64
+	Blocks int // branch blocks per iteration (default 12)
+	// WildEvery makes every WildEvery-th block wild (PRNG-driven) and
+	// the rest deterministic (short periodic pattern on the iteration
+	// counter): 1 = all wild (default), larger values dilute the storm
+	// toward learnable code.
+	WildEvery int
+	Iters     int // outer iterations (default 4M; programs run under -len)
+}
+
+func (p *WildParams) defaults() {
+	if p.Blocks == 0 {
+		p.Blocks = 12
+	}
+	if p.WildEvery == 0 {
+		p.WildEvery = 1
+	}
+	if p.Iters == 0 {
+		p.Iters = 4_000_000
+	}
+}
+
+func wildSource(p WildParams) string {
+	p.defaults()
+	g := newZooGen(p.Seed)
+	fmt.Fprintf(&g.b, "# zoo wild: seed=%d blocks=%d every=%d\n", p.Seed, p.Blocks, p.WildEvery)
+	g.b.WriteString("        .text\n")
+	fmt.Fprintf(&g.b, "main:   li   s1, %d\n", int32(g.state0()))
+	fmt.Fprintf(&g.b, "        li   s5, %d\n", p.Iters)
+	g.b.WriteString("        li   s4, 0\nw_loop:\n")
+	g.xorshift()
+	for b := 0; b < p.Blocks; b++ {
+		id := fmt.Sprintf("wb%d", b)
+		if b%p.WildEvery == 0 {
+			// Wild: branch on a fresh PRNG bit; 50/50, uncorrelated
+			// with any history the predictor can hold.
+			c1, c2 := g.rng.Intn(100)+1, g.rng.Intn(100)+1
+			fmt.Fprintf(&g.b, `        srl  t2, s1, %d
+        andi t2, t2, 1
+        beqz t2, %[2]s_e
+        addi s7, s7, %[3]d
+        j    %[2]s_x
+%[2]s_e:
+        addi s7, s7, %[4]d
+        xor  s7, s7, s1
+%[2]s_x:
+`, b*7%27, id, c1, c2)
+		} else {
+			// Deterministic: short periodic pattern on the iteration
+			// counter — the learnable dilution.
+			fmt.Fprintf(&g.b, `        srl  t2, s4, %d
+        andi t2, t2, 1
+        beqz t2, %[2]s_x
+        addi s7, s7, %[3]d
+%[2]s_x:
+`, g.rng.Intn(3), id, g.rng.Intn(100)+1)
+		}
+	}
+	g.emitOutGated("w", "s4")
+	g.b.WriteString(`        addi s4, s4, 1
+        addi s5, s5, -1
+        bnez s5, w_loop
+        halt
+`)
+	return g.b.String()
+}
+
+// NewWild builds a wild-branch workload (unregistered; the default
+// instance is registered at init under the name "wild").
+func NewWild(name string, p WildParams) *Workload {
+	p.defaults()
+	return &Workload{
+		Name:       name,
+		PaperInput: "n/a (synthetic zoo)",
+		Description: fmt.Sprintf("Bullseye-style wild data-dependent branches: %d blocks/iter "+
+			"branching on xorshift32 bits (1 in %d wild) — maximal path entropy.", p.Blocks, p.WildEvery),
+		Params:    fmt.Sprintf("wild/v1:seed=%d,blocks=%d,every=%d,iters=%d", p.Seed, p.Blocks, p.WildEvery, p.Iters),
+		Synthetic: true,
+		source:    func() string { return wildSource(p) },
+	}
+}
+
+// StormParams parameterize the indirect-target storm generator.
+type StormParams struct {
+	Seed    int64
+	Targets int // jump-table size, power of two (default 16)
+	Iters   int
+}
+
+func (p *StormParams) defaults() {
+	if p.Targets == 0 {
+		p.Targets = 16
+	}
+	if p.Iters == 0 {
+		p.Iters = 4_000_000
+	}
+}
+
+func stormSource(p StormParams) string {
+	p.defaults()
+	g := newZooGen(p.Seed)
+	fmt.Fprintf(&g.b, "# zoo storm: seed=%d targets=%d\n", p.Seed, p.Targets)
+	g.b.WriteString("        .text\n")
+	fmt.Fprintf(&g.b, "main:   li   s1, %d\n", int32(g.state0()))
+	fmt.Fprintf(&g.b, "        li   s5, %d\n", p.Iters)
+	g.b.WriteString("s_loop:\n")
+	g.xorshift()
+	// Uniformly random dispatch: the indirect jump ends its trace, so
+	// the successor trace starts at one of Targets PCs with no
+	// history-visible correlation — an indirect-target storm.
+	fmt.Fprintf(&g.b, `        andi t2, s1, %d
+        sll  t2, t2, 2
+        la   t3, st_jt
+        add  t3, t3, t2
+        lw   t3, 0(t3)
+        jr   t3
+`, p.Targets-1)
+	for c := 0; c < p.Targets; c++ {
+		id := fmt.Sprintf("st_c%d", c)
+		// Each handler does distinct work plus one wild branch, so the
+		// handlers stay distinct static traces with internal entropy.
+		fmt.Fprintf(&g.b, `%[1]s:
+        addi s7, s7, %[2]d
+        xor  s7, s7, s1
+        srl  t2, s1, %[3]d
+        andi t2, t2, 1
+        beqz t2, %[1]s_x
+        addi s7, s7, %[4]d
+%[1]s_x:
+        j    s_cont
+`, id, g.rng.Intn(200)+1, (c*5+g.rng.Intn(4))%27, g.rng.Intn(100)+1)
+	}
+	g.b.WriteString("s_cont:\n")
+	g.emitOutGated("s", "s5")
+	g.b.WriteString(`        addi s5, s5, -1
+        bnez s5, s_loop
+        halt
+        .data
+st_jt:`)
+	for c := 0; c < p.Targets; c++ {
+		if c%8 == 0 {
+			g.b.WriteString("\n        .word ")
+		} else {
+			g.b.WriteString(", ")
+		}
+		fmt.Fprintf(&g.b, "st_c%d", c)
+	}
+	g.b.WriteString("\n        .text\n")
+	return g.b.String()
+}
+
+// NewStorm builds an indirect-target-storm workload (unregistered; the
+// default instance is registered at init under the name "storm").
+func NewStorm(name string, p StormParams) *Workload {
+	p.defaults()
+	return &Workload{
+		Name:       name,
+		PaperInput: "n/a (synthetic zoo)",
+		Description: fmt.Sprintf("Indirect-target storm: a %d-way jump table indexed by "+
+			"xorshift32 bits, every dispatch a trace break to a random successor.", p.Targets),
+		Params:    fmt.Sprintf("storm/v1:seed=%d,targets=%d,iters=%d", p.Seed, p.Targets, p.Iters),
+		Synthetic: true,
+		source:    func() string { return stormSource(p) },
+	}
+}
+
+// PhaseParams parameterize the phase-shifting-loop generator.
+type PhaseParams struct {
+	Seed   int64
+	Phases int // distinct phase bodies, power of two (default 8)
+	Span   int // iterations between random phase redraws (default 24)
+	Iters  int
+}
+
+func (p *PhaseParams) defaults() {
+	if p.Phases == 0 {
+		p.Phases = 8
+	}
+	if p.Span == 0 {
+		p.Span = 24
+	}
+	if p.Iters == 0 {
+		p.Iters = 4_000_000
+	}
+}
+
+func phaseSource(p PhaseParams) string {
+	p.defaults()
+	g := newZooGen(p.Seed)
+	fmt.Fprintf(&g.b, "# zoo phase: seed=%d phases=%d span=%d\n", p.Seed, p.Phases, p.Span)
+	g.b.WriteString("        .text\n")
+	fmt.Fprintf(&g.b, "main:   li   s1, %d\n", int32(g.state0()))
+	fmt.Fprintf(&g.b, "        li   s5, %d\n", p.Iters)
+	g.b.WriteString(`        li   s4, 0
+        li   s3, 0
+p_loop:
+        bnez s4, p_keep
+`)
+	// Redraw the phase (s3 = table byte offset) from the PRNG; within
+	// the following Span iterations everything is deterministic and
+	// learnable — then the rug is pulled again.
+	g.xorshift()
+	fmt.Fprintf(&g.b, `        andi s3, s1, %d
+        sll  s3, s3, 2
+        li   s4, %d
+p_keep:
+        addi s4, s4, -1
+        la   t3, ph_jt
+        add  t3, t3, s3
+        lw   t3, 0(t3)
+        jr   t3
+`, p.Phases-1, p.Span)
+	for c := 0; c < p.Phases; c++ {
+		id := fmt.Sprintf("ph_c%d", c)
+		trip := c%5 + 2
+		// Phase body: fixed-trip loop plus a pattern branch on the
+		// phase-local countdown — deterministic given the phase.
+		fmt.Fprintf(&g.b, `%[1]s:
+        li   t2, %[2]d
+%[1]s_l:
+        addi s7, s7, %[3]d
+        addi t2, t2, -1
+        bnez t2, %[1]s_l
+        andi t2, s4, %[4]d
+        beqz t2, %[1]s_s
+        xor  s7, s7, s4
+%[1]s_s:
+        j    p_cont
+`, id, trip, g.rng.Intn(200)+1, 1<<uint(g.rng.Intn(2)))
+	}
+	g.b.WriteString("p_cont:\n")
+	g.emitOutGated("p", "s5")
+	g.b.WriteString(`        addi s5, s5, -1
+        bnez s5, p_loop
+        halt
+        .data
+ph_jt:`)
+	for c := 0; c < p.Phases; c++ {
+		if c%8 == 0 {
+			g.b.WriteString("\n        .word ")
+		} else {
+			g.b.WriteString(", ")
+		}
+		fmt.Fprintf(&g.b, "ph_c%d", c)
+	}
+	g.b.WriteString("\n        .text\n")
+	return g.b.String()
+}
+
+// NewPhase builds a phase-shifting workload (unregistered; the default
+// instance is registered at init under the name "phase").
+func NewPhase(name string, p PhaseParams) *Workload {
+	p.defaults()
+	return &Workload{
+		Name:       name,
+		PaperInput: "n/a (synthetic zoo)",
+		Description: fmt.Sprintf("Phase-shifting loops: %d deterministic phase bodies, the live "+
+			"phase redrawn at random every %d iterations — learn, shift, repeat.", p.Phases, p.Span),
+		Params:    fmt.Sprintf("phase/v1:seed=%d,phases=%d,span=%d,iters=%d", p.Seed, p.Phases, p.Span, p.Iters),
+		Synthetic: true,
+		source:    func() string { return phaseSource(p) },
+	}
+}
+
+// BandParams parameterize the entropy-band generator: a data-table
+// walker whose branch bits follow a sticky Markov pattern (FlipPct
+// dials the trace-transition rate) corrupted by noise (NoisePct dials
+// the path entropy). The two registered instances bracket the band:
+// band-lo near the benchmarks, band-hi near wild.
+type BandParams struct {
+	Seed     int64
+	Words    int // data table size (default 16384; large enough not to cycle within a run)
+	Blocks   int // branch blocks per iteration = data bits tested per word (default 8)
+	FlipPct  int // % chance per word the Markov pattern state resamples
+	NoisePct int // % chance per tested bit it is replaced by pure noise
+	Iters    int
+}
+
+func (p *BandParams) defaults() {
+	if p.Words == 0 {
+		p.Words = 16384
+	}
+	if p.Blocks == 0 {
+		p.Blocks = 8
+	}
+	if p.Iters == 0 {
+		p.Iters = 4_000_000
+	}
+}
+
+func bandSource(p BandParams) string {
+	p.defaults()
+	g := newZooGen(p.Seed)
+	fmt.Fprintf(&g.b, "# zoo band: seed=%d words=%d blocks=%d flip=%d%% noise=%d%%\n",
+		p.Seed, p.Words, p.Blocks, p.FlipPct, p.NoisePct)
+	g.b.WriteString("        .data\nbdata:\n")
+	alphabet := make([]uint32, 8)
+	for i := range alphabet {
+		alphabet[i] = g.rng.Uint32()
+	}
+	cur := 0
+	for i := 0; i < p.Words; i += 8 {
+		g.b.WriteString("        .word ")
+		for j := 0; j < 8 && i+j < p.Words; j++ {
+			if j > 0 {
+				g.b.WriteString(", ")
+			}
+			if g.rng.Intn(100) < p.FlipPct {
+				cur = g.rng.Intn(len(alphabet))
+			}
+			w := alphabet[cur]
+			for bit := 0; bit < p.Blocks; bit++ {
+				if g.rng.Intn(100) < p.NoisePct {
+					w ^= uint32(g.rng.Intn(2)) << uint(bit)
+				}
+			}
+			fmt.Fprintf(&g.b, "%d", int32(w))
+		}
+		g.b.WriteString("\n")
+	}
+	g.b.WriteString("bdata_end:\n        .word 0\n        .text\n")
+	fmt.Fprintf(&g.b, "main:   la   s6, bdata\n        li   s5, %d\n", p.Iters)
+	g.b.WriteString(`b_loop:
+        lw   t0, 0(s6)
+        addi s6, s6, 4
+        la   t9, bdata_end
+        blt  s6, t9, b_nw
+        la   s6, bdata
+b_nw:
+`)
+	for b := 0; b < p.Blocks; b++ {
+		id := fmt.Sprintf("bb%d", b)
+		c1, c2 := g.rng.Intn(100)+1, g.rng.Intn(100)+1
+		fmt.Fprintf(&g.b, `        srl  t2, t0, %d
+        andi t2, t2, 1
+        beqz t2, %[2]s_e
+        addi s7, s7, %[3]d
+        j    %[2]s_x
+%[2]s_e:
+        addi s7, s7, %[4]d
+%[2]s_x:
+`, b, id, c1, c2)
+	}
+	g.emitOutGated("b", "s5")
+	g.b.WriteString(`        addi s5, s5, -1
+        bnez s5, b_loop
+        halt
+`)
+	return g.b.String()
+}
+
+// NewBand builds an entropy-band workload (unregistered; "band-lo" and
+// "band-hi" instances are registered at init).
+func NewBand(name string, p BandParams) *Workload {
+	p.defaults()
+	return &Workload{
+		Name:       name,
+		PaperInput: "n/a (synthetic zoo)",
+		Description: fmt.Sprintf("Entropy-band table walker: sticky Markov branch pattern "+
+			"(flip %d%%) with %d%% bit noise — a tunable predictability dial.", p.FlipPct, p.NoisePct),
+		Params: fmt.Sprintf("band/v1:seed=%d,words=%d,blocks=%d,flip=%d,noise=%d,iters=%d",
+			p.Seed, p.Words, p.Blocks, p.FlipPct, p.NoisePct, p.Iters),
+		Synthetic: true,
+		source:    func() string { return bandSource(p) },
+	}
+}
+
+// ZooNames lists the registered zoo workloads in sorted order.
+func ZooNames() []string {
+	var names []string
+	for _, w := range Zoo() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+func init() {
+	register(NewWild("wild", WildParams{Seed: 101}))
+	register(NewStorm("storm", StormParams{Seed: 202}))
+	register(NewPhase("phase", PhaseParams{Seed: 303}))
+	register(NewBand("band-lo", BandParams{Seed: 404, FlipPct: 10, NoisePct: 5}))
+	register(NewBand("band-hi", BandParams{Seed: 505, FlipPct: 50, NoisePct: 45}))
+}

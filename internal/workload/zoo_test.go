@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"pathtrace/internal/sim"
+)
+
+func TestZooRegistered(t *testing.T) {
+	want := []string{"band-hi", "band-lo", "phase", "storm", "wild"}
+	got := ZooNames()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("ZooNames() = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+		if !w.Synthetic {
+			t.Errorf("%s not marked Synthetic", name)
+		}
+		if w.Params == "" {
+			t.Errorf("%s has empty Params; zoo members must carry their parameterization", name)
+		}
+		if w.PaperInput == "" || w.Description == "" {
+			t.Errorf("%s missing documentation fields", name)
+		}
+	}
+	// Zoo members must NOT leak into the canonical set.
+	for _, w := range All() {
+		if w.Synthetic {
+			t.Errorf("All() includes synthetic workload %q", w.Name)
+		}
+	}
+}
+
+// Every zoo generator must be seed-deterministic: the same parameters
+// produce a bit-identical program, a different seed a different one.
+func TestZooSeedDeterminism(t *testing.T) {
+	gens := []struct {
+		name string
+		src  func(seed int64) string
+	}{
+		{"wild", func(s int64) string { return wildSource(WildParams{Seed: s}) }},
+		{"storm", func(s int64) string { return stormSource(StormParams{Seed: s}) }},
+		{"phase", func(s int64) string { return phaseSource(PhaseParams{Seed: s}) }},
+		{"band", func(s int64) string { return bandSource(BandParams{Seed: s, FlipPct: 20, NoisePct: 20}) }},
+	}
+	for _, g := range gens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			if g.src(7) != g.src(7) {
+				t.Errorf("%s: same seed produced different programs", g.name)
+			}
+			if g.src(7) == g.src(8) {
+				t.Errorf("%s: different seeds produced identical programs", g.name)
+			}
+		})
+	}
+}
+
+// Constructors must bake the seed into Params so stream-cache keys
+// distinguish same-name instances.
+func TestZooParamsCarrySeed(t *testing.T) {
+	a := NewWild("twin", WildParams{Seed: 1})
+	b := NewWild("twin", WildParams{Seed: 2})
+	if a.Params == b.Params {
+		t.Fatalf("different seeds share Params %q", a.Params)
+	}
+	if a.Name != b.Name {
+		t.Fatalf("names differ: %q vs %q", a.Name, b.Name)
+	}
+}
+
+// Zoo workloads must sustain long runs like the benchmarks: no fault,
+// no early halt, output produced.
+func TestZooWorkloadsExecute(t *testing.T) {
+	for _, w := range Zoo() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			c := sim.MustNew(w.Program())
+			if err := c.Run(3_000_000, nil); err != nil {
+				t.Fatalf("%s faulted: %v", w.Name, err)
+			}
+			if c.Halted() {
+				t.Errorf("%s halted after only %d instructions; workloads must sustain long runs",
+					w.Name, c.InstrCount)
+			}
+			if len(c.Output) == 0 {
+				t.Errorf("%s produced no output in 3M instructions", w.Name)
+			}
+		})
+	}
+}

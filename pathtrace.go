@@ -38,6 +38,7 @@ import (
 	"pathtrace/internal/asm"
 	"pathtrace/internal/branchpred"
 	"pathtrace/internal/cc"
+	"pathtrace/internal/charz"
 	"pathtrace/internal/engine"
 	"pathtrace/internal/experiments"
 	"pathtrace/internal/faults"
@@ -276,11 +277,21 @@ func DefaultTraceConfig() TraceConfig { return trace.DefaultConfig() }
 // evaluation for a given table index width and history depth (Table 3).
 func StandardDOLC(indexBits, depth int) DOLC { return history.StandardDOLC(indexBits, depth) }
 
-// Workloads returns the six benchmarks in the paper's order.
-func Workloads() []*Workload { return workload.All() }
+// Workloads returns every first-class workload: the six benchmarks in
+// the paper's order followed by the synthetic adversarial zoo. The
+// paper exhibits default to just the six (their tables reproduce the
+// paper); naming a zoo member with -workloads pulls it into any
+// experiment, the harness, stream capture, and loadgen.
+func Workloads() []*Workload { return append(workload.All(), workload.Zoo()...) }
 
-// WorkloadByName finds a benchmark by name (compress, gcc, go, jpeg,
-// mksim, xlisp).
+// WorkloadZoo returns the registered synthetic adversarial workloads
+// (wild, storm, phase, band-lo, band-hi), sorted by name. Each is
+// seed-deterministic and carries its generator parameterization in
+// Params, so stream-cache keys never collide across variants.
+func WorkloadZoo() []*Workload { return workload.Zoo() }
+
+// WorkloadByName finds a workload by name: a benchmark (compress, gcc,
+// go, jpeg, mksim, xlisp) or a zoo member (see WorkloadZoo).
 func WorkloadByName(name string) (*Workload, bool) { return workload.ByName(name) }
 
 // RunWorkload simulates a workload for up to limit instructions,
@@ -320,6 +331,34 @@ func NewStreamCache() *StreamCache { return stream.NewCache() }
 // every experiment run that does not supply its own — useful for
 // inspecting footprint (Stats) or dropping recordings (Reset).
 func SharedStreamCache() *StreamCache { return experiments.DefaultStreamCache }
+
+// Workload characterization (internal/charz).
+type (
+	// CharzConfig parameterizes a predictability analysis: history
+	// depths, H2P coverage target, reference predictor.
+	CharzConfig = charz.Config
+	// CharzAnalyzer accumulates predictability metrics over one trace
+	// stream; its Consume method is a stream consumer.
+	CharzAnalyzer = charz.Analyzer
+	// CharzReport is the characterization of one stream: entropy,
+	// transition classes, per-depth working sets, H2P trace set. It
+	// renders as text (Text), JSON (encoding/json), or metrics
+	// (Export).
+	CharzReport = charz.Report
+	// CharzDepthStats characterizes one path-history depth.
+	CharzDepthStats = charz.DepthStats
+)
+
+// NewCharzAnalyzer builds a predictability analyzer; the zero config
+// gives the standard characterization (paper depths, 90% H2P coverage,
+// headline hybrid as the reference predictor).
+func NewCharzAnalyzer(cfg CharzConfig) (*CharzAnalyzer, error) { return charz.New(cfg) }
+
+// AnalyzeTraceStream characterizes a captured stream: replay through a
+// fresh analyzer, report stamped with the stream's identity.
+func AnalyzeTraceStream(s *TraceStream, cfg CharzConfig) (*CharzReport, error) {
+	return charz.Analyze(nil, s, cfg)
+}
 
 // ParseFaultSpec parses an -inject style fault specification such as
 // "table:1e-4,history:1e-5,stuck,bits:2".

@@ -290,3 +290,41 @@ func TestPTCThroughPredictor(t *testing.T) {
 		t.Errorf("miss rate %v implausible", r)
 	}
 }
+
+func TestPublicAPIWorkloadZooAndCharz(t *testing.T) {
+	zoo := pathtrace.WorkloadZoo()
+	if len(zoo) < 5 {
+		t.Fatalf("WorkloadZoo() returned %d workloads, want ≥5", len(zoo))
+	}
+	all := pathtrace.Workloads()
+	if len(all) != 6+len(zoo) {
+		t.Errorf("Workloads() returned %d, want 6 benchmarks + %d zoo", len(all), len(zoo))
+	}
+	for _, z := range zoo {
+		if w, ok := pathtrace.WorkloadByName(z.Name); !ok || w != z {
+			t.Errorf("WorkloadByName(%q) does not resolve the zoo member", z.Name)
+		}
+		if z.Params == "" {
+			t.Errorf("zoo member %s has empty Params", z.Name)
+		}
+	}
+
+	w, _ := pathtrace.WorkloadByName("wild")
+	s, err := pathtrace.CaptureTraceStream(w, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pathtrace.AnalyzeTraceStream(s, pathtrace.CharzConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "wild" || r.Traces == 0 || r.H2PSize == 0 {
+		t.Errorf("charz report implausible: %+v", r)
+	}
+	if r.TransitionRate < 50 {
+		t.Errorf("wild transition rate %.1f%%, want high", r.TransitionRate)
+	}
+	if !strings.Contains(r.Text(), "H2P set") {
+		t.Error("text report missing H2P section")
+	}
+}
