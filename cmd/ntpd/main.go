@@ -36,6 +36,22 @@
 // the admin port, so a scrape of http://127.0.0.1:$(cat f)/metrics
 // needs no address parsing.
 //
+// Admission control:
+//
+//	ntpd -client-rate 50000 -client-burst 100000     # per-client quota (traces/s)
+//	ntpd -global-rate 200000                         # server-wide cap
+//	ntpd -limits-file limits.json                    # hot-reloadable limits
+//
+// Work requests pass through token buckets before the shard queues:
+// one bucket per client tag (announced by the client's hello frame)
+// plus one global bucket. A refused request is answered immediately
+// with the throttled status and a retry-after hint instead of
+// competing for queue slots, so one greedy client cannot starve the
+// rest. Limits change live — without dropping sessions — via SIGHUP
+// (re-reads -limits-file) or POST /limitz on the admin plane; the
+// JSON shape is {"per_client_rate": ..., "per_client_burst": ...,
+// "global_rate": ..., "global_burst": ...}.
+//
 // Crash safety:
 //
 //	ntpd -addr ... -checkpoint-dir /var/lib/ntpd   # periodic snapshots + warm restart
@@ -75,7 +91,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -108,6 +126,12 @@ func run() int {
 		ckptEach = flag.Duration("checkpoint-every", 2*time.Second, "periodic checkpoint sweep interval")
 		handoff  = flag.String("handoff", "", "peer ntpd address to stream live sessions to at drain")
 
+		clientRate  = flag.Float64("client-rate", 0, "admission: per-client token rate, work units/s (0 = unlimited)")
+		clientBurst = flag.Float64("client-burst", 0, "admission: per-client bucket depth (default one second of -client-rate)")
+		globalRate  = flag.Float64("global-rate", 0, "admission: server-wide token rate (0 = unlimited)")
+		globalBurst = flag.Float64("global-burst", 0, "admission: server-wide bucket depth (default one second of -global-rate)")
+		limitsFile  = flag.String("limits-file", "", "JSON admission limits; overrides the rate flags and reloads on SIGHUP")
+
 		depth     = flag.Int("depth", 7, "predictor path-history depth")
 		indexBits = flag.Int("indexbits", 16, "correlated table index bits")
 		basic     = flag.Bool("basic", false, "basic correlated predictor instead of the hybrid")
@@ -130,6 +154,7 @@ func run() int {
 		sessBase   = flag.Uint64("sessionbase", 1, "loadgen: first session id (pick fresh ids when reusing a server)")
 		failover   = flag.Bool("failover", false, "loadgen: retrying client that rides out server restarts (snapshot-per-ack recovery)")
 		failAddrs  = flag.String("failover-addrs", "", "loadgen: comma-separated server list for -failover (default: -addr)")
+		clientTag  = flag.String("client", "", "loadgen: client tag announced to the server (admission-control identity)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -159,7 +184,24 @@ func run() int {
 			conns: *conns, sessions: *sessions, batch: *batch, verify: *verify,
 			sessBase: *sessBase, pcfg: pcfg, fcfg: fcfg, scalarOps: *scalarOps,
 			failover: *failover || *failAddrs != "", failAddrs: *failAddrs,
+			clientTag: *clientTag,
 		})
+	}
+	if *clientTag != "" {
+		fmt.Fprintln(os.Stderr, "ntpd: -client is a loadgen-mode flag")
+		return 2
+	}
+	limits := serve.Limits{
+		PerClientRate: *clientRate, PerClientBurst: *clientBurst,
+		GlobalRate: *globalRate, GlobalBurst: *globalBurst,
+	}
+	if *limitsFile != "" {
+		l, err := loadLimits(*limitsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntpd: %v\n", err)
+			return 2
+		}
+		limits = l
 	}
 	var shadows []string
 	if *shadow != "" {
@@ -173,11 +215,31 @@ func run() int {
 		Addr: *addr, AdminAddr: *admin, Shards: *shards, QueueLen: *queue,
 		Predictor: pcfg, Faults: fcfg, Shadows: shadows,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEach, HandoffAddr: *handoff,
-		WriteBufferSize: *writeBuf,
-	}, *portfile, *adminPF, *drainT)
+		WriteBufferSize: *writeBuf, Limits: limits,
+	}, *portfile, *adminPF, *drainT, *limitsFile)
 }
 
-func runServe(scfg serve.Config, portfile, adminPF string, drain time.Duration) int {
+// loadLimits reads admission limits from a JSON file. Unknown keys
+// are rejected so a typo in a fleet config fails loudly instead of
+// silently leaving a quota unlimited.
+func loadLimits(path string) (serve.Limits, error) {
+	var l serve.Limits
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return l, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&l); err != nil {
+		return l, fmt.Errorf("limits %s: %w", path, err)
+	}
+	if l.PerClientRate < 0 || l.PerClientBurst < 0 || l.GlobalRate < 0 || l.GlobalBurst < 0 {
+		return l, fmt.Errorf("limits %s: rates and bursts must be >= 0", path)
+	}
+	return l, nil
+}
+
+func runServe(scfg serve.Config, portfile, adminPF string, drain time.Duration, limitsFile string) int {
 	srv, err := serve.NewServer(scfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ntpd: %v\n", err)
@@ -209,8 +271,25 @@ func runServe(scfg serve.Config, portfile, adminPF string, drain time.Duration) 
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	var got os.Signal
+	for got = range sig {
+		if got != syscall.SIGHUP {
+			break
+		}
+		// SIGHUP: hot-reload admission limits without dropping sessions.
+		if limitsFile == "" {
+			fmt.Fprintln(os.Stderr, "ntpd: SIGHUP: no -limits-file, limits unchanged")
+			continue
+		}
+		l, err := loadLimits(limitsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ntpd: SIGHUP: %v (limits unchanged)\n", err)
+			continue
+		}
+		srv.SetLimits(l)
+		fmt.Fprintf(os.Stderr, "ntpd: SIGHUP: limits reloaded from %s: %+v\n", limitsFile, srv.Limits())
+	}
 	fmt.Fprintf(os.Stderr, "ntpd: %v: draining (deadline %s)\n", got, drain)
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
@@ -231,6 +310,7 @@ type loadgenArgs struct {
 	scalarOps                  bool
 	failover                   bool
 	failAddrs                  string
+	clientTag                  string
 	pcfg                       predictor.Config
 	fcfg                       *faults.Config
 }
@@ -272,6 +352,7 @@ func runLoadgen(a loadgenArgs) int {
 		Conns: a.conns, Sessions: a.sessions, Batch: a.batch,
 		Verify: a.verify, Predictor: a.pcfg, Faults: a.fcfg,
 		SessionBase: a.sessBase, ScalarOps: a.scalarOps,
+		ClientTag: a.clientTag,
 	}
 	if a.failover {
 		// Snapshot after every acked batch: recovery from a server kill

@@ -1,0 +1,393 @@
+// Command ntpstat turns two /metrics snapshots of a running ntpd into
+// a one-page fleet-health summary: traffic and rejection rates,
+// per-op latency quantiles (merged across shards), per-backend
+// accuracy, per-client accounting, and crash-safety counters — the
+// ops-eye view of a prediction fleet over a window, rather than
+// since-boot totals.
+//
+// Live (scrape the admin plane twice):
+//
+//	ntpstat -addr 127.0.0.1:9192                # default 2s window
+//	ntpstat -addr 127.0.0.1:9192 -interval 10s
+//
+// Offline (diff two saved scrapes; the window length is recovered
+// from the ntpd_uptime_seconds gauge, so plain `curl > f.prom` pairs
+// work):
+//
+//	curl -s http://host:9192/metrics > before.prom
+//	... let traffic run ...
+//	curl -s http://host:9192/metrics > after.prom
+//	ntpstat before.prom after.prom
+//
+// Counters are diffed (rates over the window); gauges are read from
+// the second snapshot (current state). Client lines are key=value so
+// fleet checks can grep them, e.g.:
+//
+//	ntpstat before.prom after.prom | grep -E 'client=victim .*throttled=0'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"pathtrace/internal/metrics"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "", "ntpd admin address (host:port) to scrape live")
+	interval := flag.Duration("interval", 2*time.Second, "live mode: window between the two scrapes")
+	flag.Parse()
+
+	var before, after *metrics.Snapshot
+	var dt float64
+	var err error
+	switch {
+	case *addr != "" && flag.NArg() == 0:
+		before, after, dt, err = scrapeWindow(*addr, *interval)
+	case *addr == "" && flag.NArg() == 2:
+		before, after, dt, err = loadWindow(flag.Arg(0), flag.Arg(1))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ntpstat -addr host:port [-interval 2s]  |  ntpstat before.prom after.prom")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ntpstat: %v\n", err)
+		return 1
+	}
+	report(os.Stdout, before, after, dt)
+	return 0
+}
+
+func scrapeWindow(addr string, interval time.Duration) (before, after *metrics.Snapshot, dt float64, err error) {
+	before, err = scrape(addr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	time.Sleep(interval)
+	after, err = scrape(addr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return before, after, interval.Seconds(), nil
+}
+
+func scrape(addr string) (*metrics.Snapshot, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("scrape %s: %s: %s", addr, resp.Status, body)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+func loadWindow(beforePath, afterPath string) (before, after *metrics.Snapshot, dt float64, err error) {
+	before, err = loadFile(beforePath)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	after, err = loadFile(afterPath)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// The window length lives in the snapshots themselves: ntpd exports
+	// its uptime, and both scrapes came from one process (a restart
+	// between them would make every counter diff a lie anyway).
+	u0, ok0 := before.Value("ntpd_uptime_seconds", nil)
+	u1, ok1 := after.Value("ntpd_uptime_seconds", nil)
+	if !ok0 || !ok1 {
+		return nil, nil, 0, fmt.Errorf("snapshots carry no ntpd_uptime_seconds; not an ntpd /metrics scrape?")
+	}
+	dt = u1 - u0
+	if dt <= 0 {
+		return nil, nil, 0, fmt.Errorf("uptime went %gs -> %gs; snapshots swapped or server restarted", u0, u1)
+	}
+	return before, after, dt, nil
+}
+
+func loadFile(path string) (*metrics.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return metrics.ParseText(f)
+}
+
+// report renders the one-page summary.
+func report(w io.Writer, before, after *metrics.Snapshot, dt float64) {
+	d := func(name string, match metrics.Labels) float64 {
+		return after.Sum(name, match) - before.Sum(name, match)
+	}
+	rate := func(v float64) string { return humanRate(v / dt) }
+
+	uptime, _ := after.Value("ntpd_uptime_seconds", nil)
+	draining, _ := after.Value("ntpd_draining", nil)
+	drainStr := "no"
+	if draining > 0 {
+		drainStr = "YES"
+	}
+	fmt.Fprintf(w, "ntpd fleet health — %.1fs window (uptime %.1fs, draining %s)\n\n",
+		dt, uptime, drainStr)
+
+	// Traffic.
+	reqs := d("ntpd_requests_total", nil)
+	traces := d("ntpd_shard_traces_total", nil)
+	frames := d("ntpd_batch_frames_total", nil)
+	avgBatch := 0.0
+	if frames > 0 {
+		avgBatch = d("ntpd_batch_size_sum", nil) / frames
+	}
+	fmt.Fprintf(w, "traffic    requests %s   traces %s   batch frames %s   avg batch %.1f\n",
+		rate(reqs), rate(traces), rate(frames), avgBatch)
+
+	// Health: every rejection class, as window rates.
+	fmt.Fprintf(w, "health     overloads %s   throttled %s   drain_rejects %s   bad_frames %s   dup_updates %s\n",
+		rate(d("ntpd_shard_overload_rejects_total", nil)),
+		rate(d("ntpd_throttled_total", nil)),
+		rate(d("ntpd_drain_rejects_total", nil)),
+		rate(d("ntpd_bad_frames_total", nil)),
+		rate(d("ntpd_update_dups_total", nil)))
+
+	// Fleet shape (gauges: current state).
+	sessions := after.Sum("ntpd_shard_sessions", nil)
+	conns, _ := after.Value("ntpd_connections_active", nil)
+	tags, _ := after.Value("ntpd_client_tags", nil)
+	shards := len(after.LabelValues("ntpd_shard_requests_total", "shard"))
+	fmt.Fprintf(w, "fleet      %d shards   %.0f sessions   %.0f conns   %.0f client tags\n",
+		shards, sessions, conns, tags)
+
+	// Accuracy per backend/role over the window.
+	accuracyLines(w, before, after)
+
+	// Per-op latency quantiles from histogram bucket deltas.
+	latencyLines(w, before, after)
+
+	// Crash safety, only when the counters moved or exist nonzero.
+	ck := d("ntpd_checkpoint_written_total", nil)
+	ckErr := d("ntpd_checkpoint_write_errors_total", nil)
+	restored, _ := after.Value("ntpd_checkpoint_restored_sessions", nil)
+	if ck > 0 || ckErr > 0 || restored > 0 {
+		fmt.Fprintf(w, "ckpt       written %.0f   errors %.0f   restored %.0f\n", ck, ckErr, restored)
+	}
+
+	clientLines(w, before, after, dt)
+}
+
+// accuracyLines prints one accuracy entry per (backend, role), summed
+// across shards, computed over the window.
+func accuracyLines(w io.Writer, before, after *metrics.Snapshot) {
+	type key struct{ backend, role string }
+	seen := map[key]bool{}
+	var keys []key
+	after.Each("ntpd_backend_rounds_total", nil, func(l metrics.Labels, _ float64) {
+		k := key{l["backend"], l["role"]}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	})
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].role != keys[j].role {
+			return keys[i].role < keys[j].role // primary before shadow
+		}
+		return keys[i].backend < keys[j].backend
+	})
+	line := "accuracy  "
+	n := 0
+	for _, k := range keys {
+		match := metrics.Labels{"backend": k.backend, "role": k.role}
+		rounds := after.Sum("ntpd_backend_rounds_total", match) - before.Sum("ntpd_backend_rounds_total", match)
+		if rounds <= 0 {
+			continue
+		}
+		correct := after.Sum("ntpd_backend_correct_total", match) - before.Sum("ntpd_backend_correct_total", match)
+		line += fmt.Sprintf(" %s/%s %.2f%% correct (%s rounds)  ", k.backend, k.role, 100*correct/rounds, humanCount(rounds))
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// latencyLines prints p50/p99 per op over the window, merging the
+// per-shard ntpd_shard_op_seconds histograms: each series' cumulative
+// buckets are de-cumulated, diffed against the earlier snapshot, and
+// the increments merged into one global distribution per op.
+func latencyLines(w io.Writer, before, after *metrics.Snapshot) {
+	for _, op := range after.LabelValues("ntpd_shard_op_seconds_bucket", "op") {
+		match := metrics.Labels{"op": op}
+		count := after.Sum("ntpd_shard_op_seconds_count", match) - before.Sum("ntpd_shard_op_seconds_count", match)
+		if count <= 0 {
+			continue
+		}
+		merged := bucketDeltas(before, after, "ntpd_shard_op_seconds_bucket", match)
+		p50 := quantile(merged, 0.50)
+		p99 := quantile(merged, 0.99)
+		fmt.Fprintf(w, "latency    %-13s p50 %-9s p99 %-9s (%s reqs)\n",
+			op, humanSeconds(p50), humanSeconds(p99), humanCount(count))
+	}
+}
+
+// bucket is one upper bound and the (windowed, merged) count under it.
+type bucket struct {
+	le    float64
+	count float64
+}
+
+// bucketDeltas merges every matching histogram series into one global
+// windowed bucket set: per series, de-cumulate the sorted buckets of
+// each snapshot, subtract, and accumulate the increments by le. A
+// series absent from the earlier snapshot (a shard or client that
+// appeared mid-window) contributes its full counts.
+func bucketDeltas(before, after *metrics.Snapshot, name string, match metrics.Labels) []bucket {
+	type seriesKey string
+	perSeries := map[seriesKey][]bucket{}
+	keyOf := func(l metrics.Labels) seriesKey {
+		// Identify a series by its non-le labels, rendered sorted.
+		keys := make([]string, 0, len(l))
+		for k := range l {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		s := ""
+		for _, k := range keys {
+			s += k + "=" + l[k] + ","
+		}
+		return seriesKey(s)
+	}
+	collect := func(snap *metrics.Snapshot, sign float64) {
+		snap.Each(name, match, func(l metrics.Labels, v float64) {
+			le := math.Inf(1)
+			if s := l["le"]; s != "+Inf" {
+				f, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return
+				}
+				le = f
+			}
+			k := keyOf(l)
+			perSeries[k] = append(perSeries[k], bucket{le: le, count: sign * v})
+		})
+	}
+	collect(after, 1)
+	collect(before, -1)
+
+	global := map[float64]float64{}
+	for _, bs := range perSeries {
+		// Net cumulative count per le for this series, then de-cumulate.
+		byLe := map[float64]float64{}
+		for _, b := range bs {
+			byLe[b.le] += b.count
+		}
+		les := make([]float64, 0, len(byLe))
+		for le := range byLe {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := 0.0
+		for _, le := range les {
+			cum := byLe[le]
+			if inc := cum - prev; inc > 0 {
+				global[le] += inc
+			}
+			prev = cum
+		}
+	}
+	out := make([]bucket, 0, len(global))
+	for le, c := range global {
+		out = append(out, bucket{le: le, count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].le < out[j].le })
+	return out
+}
+
+// quantile is the nearest-rank read off merged bucket increments: the
+// upper bound of the bucket holding the q-th sample. Never below the
+// true sample quantile.
+func quantile(bs []bucket, q float64) float64 {
+	var total float64
+	for _, b := range bs {
+		total += b.count
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for _, b := range bs {
+		cum += b.count
+		if cum >= rank {
+			return b.le
+		}
+	}
+	return bs[len(bs)-1].le
+}
+
+// clientLines prints one key=value line per client tag, diffed over
+// the window — the fairness readout. key=value so fleet checks can
+// grep a tag's throttle/overload counts directly.
+func clientLines(w io.Writer, before, after *metrics.Snapshot, dt float64) {
+	tags := after.LabelValues("ntpd_client_requests_total", "client")
+	if len(tags) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	for _, tag := range tags {
+		match := metrics.Labels{"client": tag}
+		d := func(name string) float64 {
+			return after.Sum(name, match) - before.Sum(name, match)
+		}
+		fmt.Fprintf(w, "client=%-16s requests/s=%-10s rounds/s=%-10s bytes/s=%-10s throttled=%.0f overloads=%.0f\n",
+			tag,
+			humanRate(d("ntpd_client_requests_total")/dt),
+			humanRate(d("ntpd_client_rounds_total")/dt),
+			humanRate(d("ntpd_client_bytes_total")/dt),
+			d("ntpd_client_throttled_total"),
+			d("ntpd_client_overload_rejects_total"))
+	}
+}
+
+func humanRate(v float64) string { return humanCount(v) + "/s" }
+
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v == math.Trunc(v):
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case v >= 10:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	}
+}
+
+func humanSeconds(s float64) string {
+	if s <= 0 {
+		return "0"
+	}
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

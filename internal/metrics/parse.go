@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format Render writes:
+// a small parser for Prometheus text 0.0.4, used by tooling (the
+// ntpstat fleet reporter) that diffs two /metrics scrapes. It parses
+// the subset Render emits — `name{k="v",...} value` sample lines plus
+// # HELP/# TYPE comments — which is also the subset any conformant
+// exporter produces for counters, gauges and histograms.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// Snapshot is one parsed exposition: every sample, indexed by family
+// name. Samples within a family keep their input order (Render sorts
+// by label set, so snapshots of the same registry align).
+type Snapshot struct {
+	byName map[string][]Sample
+}
+
+// ParseText parses a Prometheus text 0.0.4 exposition. Comment and
+// blank lines are skipped; a malformed sample line is an error (the
+// input is a scrape, not a log — half a snapshot would silently
+// mis-report rates).
+func ParseText(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{byName: map[string][]Sample{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: %w", lineNo, err)
+		}
+		snap.byName[s.Name] = append(snap.byName[s.Name], s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: parse: %w", err)
+	}
+	return snap, nil
+}
+
+// parseSample parses one `name[{labels}] value` line. Timestamps (a
+// third field) are accepted and ignored.
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{k="v",...}` block (escapes: \\, \", \n) and
+// returns the remainder of the line after the closing brace.
+func parseLabels(in string) (Labels, string, error) {
+	l := Labels{}
+	i := 1 // past '{'
+	for {
+		if i >= len(in) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if in[i] == '}' {
+			return l, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("missing '=' in labels")
+		}
+		key := strings.TrimSpace(in[i : i+eq])
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("label value not quoted")
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("unterminated label value")
+			}
+			c := in[i]
+			if c == '\\' && i+1 < len(in) {
+				switch in[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(c)
+					b.WriteByte(in[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		l[key] = b.String()
+		if i < len(in) && in[i] == ',' {
+			i++
+		}
+	}
+}
+
+// Value returns the sample of name whose label set equals l exactly.
+func (s *Snapshot) Value(name string, l Labels) (float64, bool) {
+	for _, smp := range s.byName[name] {
+		if labelsEqual(smp.Labels, l) {
+			return smp.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample of name whose labels include all of match
+// (nil matches everything) — e.g. summing a per-shard counter family
+// into a server-wide total.
+func (s *Snapshot) Sum(name string, match Labels) float64 {
+	var total float64
+	for _, smp := range s.byName[name] {
+		if labelsMatch(smp.Labels, match) {
+			total += smp.Value
+		}
+	}
+	return total
+}
+
+// Each calls fn for every sample of name whose labels include all of
+// match (nil matches everything).
+func (s *Snapshot) Each(name string, match Labels, fn func(Labels, float64)) {
+	for _, smp := range s.byName[name] {
+		if labelsMatch(smp.Labels, match) {
+			fn(smp.Labels, smp.Value)
+		}
+	}
+}
+
+// LabelValues returns the sorted distinct values of key across every
+// sample of name.
+func (s *Snapshot) LabelValues(name, key string) []string {
+	seen := map[string]struct{}{}
+	for _, smp := range s.byName[name] {
+		if v, ok := smp.Labels[key]; ok {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the snapshot carries any sample of name.
+func (s *Snapshot) Has(name string) bool { return len(s.byName[name]) > 0 }
+
+func labelsEqual(a, b Labels) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return labelsMatch(a, b)
+}
+
+func labelsMatch(l, match Labels) bool {
+	for k, v := range match {
+		if l[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRoundTrip renders a registry and parses it back: every
+// rendered sample must survive, including escaped label values and the
+// cumulative histogram triplet.
+func TestParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_requests_total", "Requests.", Labels{"client": "alpha"}).Add(41)
+	reg.Counter("rt_requests_total", "Requests.", Labels{"client": "be\"ta\\x"}).Add(7)
+	reg.GaugeFunc("rt_depth", "Depth.", nil, func() float64 { return 2.5 })
+	h := reg.Histogram("rt_lat_seconds", "Latency.", 1e-9, Labels{"shard": "0"})
+	for _, ns := range []int64{100, 1000, 1000, 50_000} {
+		h.Observe(ns)
+	}
+
+	var b strings.Builder
+	if err := reg.Render(&b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	snap, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse:\n%s\nerr: %v", b.String(), err)
+	}
+
+	if v, ok := snap.Value("rt_requests_total", Labels{"client": "alpha"}); !ok || v != 41 {
+		t.Errorf("alpha counter = %v, %v; want 41, true", v, ok)
+	}
+	if v, ok := snap.Value("rt_requests_total", Labels{"client": "be\"ta\\x"}); !ok || v != 7 {
+		t.Errorf("escaped-label counter = %v, %v; want 7, true", v, ok)
+	}
+	if got := snap.Sum("rt_requests_total", nil); got != 48 {
+		t.Errorf("Sum(rt_requests_total) = %v, want 48", got)
+	}
+	if v, ok := snap.Value("rt_depth", nil); !ok || v != 2.5 {
+		t.Errorf("gauge = %v, %v; want 2.5, true", v, ok)
+	}
+
+	// Histogram: the +Inf bucket and _count must both say 4, _sum must
+	// carry the scaled total, and bucket counts must be cumulative.
+	if v, ok := snap.Value("rt_lat_seconds_count", Labels{"shard": "0"}); !ok || v != 4 {
+		t.Errorf("hist count = %v, %v; want 4, true", v, ok)
+	}
+	if v, ok := snap.Value("rt_lat_seconds_bucket", Labels{"shard": "0", "le": "+Inf"}); !ok || v != 4 {
+		t.Errorf("+Inf bucket = %v, %v; want 4, true", v, ok)
+	}
+	wantSum := float64(100+1000+1000+50_000) * 1e-9
+	if v, ok := snap.Value("rt_lat_seconds_sum", Labels{"shard": "0"}); !ok || v < wantSum*0.999 || v > wantSum*1.001 {
+		t.Errorf("hist sum = %v, %v; want ~%v", v, ok, wantSum)
+	}
+	var last float64
+	snap.Each("rt_lat_seconds_bucket", Labels{"shard": "0"}, func(l Labels, v float64) {
+		if v < last {
+			t.Errorf("bucket counts not cumulative: %v after %v (le=%s)", v, last, l["le"])
+		}
+		last = v
+	})
+
+	if got := snap.LabelValues("rt_requests_total", "client"); len(got) != 2 {
+		t.Errorf("LabelValues = %v, want 2 entries", got)
+	}
+	if !snap.Has("rt_depth") || snap.Has("rt_missing") {
+		t.Errorf("Has() misreports presence")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"name_only\n",
+		"x{unterminated=\"v\n",
+		"x{k=\"v\"} notanumber\n",
+	} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText(%q) succeeded, want error", in)
+		}
+	}
+	// Timestamps (third field) are legal exposition and ignored.
+	snap, err := ParseText(strings.NewReader("x{k=\"v\"} 3 1712345678\n"))
+	if err != nil {
+		t.Fatalf("timestamped sample: %v", err)
+	}
+	if v, ok := snap.Value("x", Labels{"k": "v"}); !ok || v != 3 {
+		t.Errorf("timestamped sample = %v, %v; want 3, true", v, ok)
+	}
+}

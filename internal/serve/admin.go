@@ -49,6 +49,8 @@ func newAdminServer(addr string, s *Server) (*adminServer, error) {
 			"requests":       st.Requests,
 			"bad_frames":     st.BadFrames,
 			"drain_rejects":  st.DrainRejects,
+			"throttled":      st.Throttled,
+			"client_tags":    len(st.Clients),
 			"batches":        st.Batches,
 			"traces":         st.Traces,
 			"overloads":      st.Overloads,
@@ -77,7 +79,44 @@ func newAdminServer(addr string, s *Server) (*adminServer, error) {
 		w.Header().Set("Content-Type", metrics.ContentType)
 		s.reg.Render(w)
 	})
-	a := &adminServer{ln: ln, srv: &http.Server{Handler: mux}}
+	mux.HandleFunc("/limitz", func(w http.ResponseWriter, r *http.Request) {
+		// GET reads the active admission limits; POST installs new ones
+		// atomically (the hot-reload path — no session or connection is
+		// disturbed). The reply is always the now-active limits.
+		if r.Method == http.MethodPost {
+			var l Limits
+			dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&l); err != nil {
+				http.Error(w, fmt.Sprintf("bad limits: %v", err), http.StatusBadRequest)
+				return
+			}
+			if l.PerClientRate < 0 || l.PerClientBurst < 0 || l.GlobalRate < 0 || l.GlobalBurst < 0 {
+				http.Error(w, "bad limits: rates and bursts must be >= 0", http.StatusBadRequest)
+				return
+			}
+			s.SetLimits(l)
+		} else if r.Method != http.MethodGet {
+			http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Limits())
+	})
+	// The admin plane is an operational surface exposed beyond localhost
+	// in real fleets: without read/idle timeouts a single peer that
+	// dribbles header bytes (slowloris) pins a connection and its
+	// goroutine forever. Every endpoint answers from memory, so tight
+	// bounds cost nothing.
+	a := &adminServer{ln: ln, srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}}
 	go a.srv.Serve(ln)
 	return a, nil
 }
@@ -118,11 +157,16 @@ type ServerStats struct {
 	Requests     uint64 `json:"requests"`
 	BadFrames    uint64 `json:"bad_frames"`
 	DrainRejects uint64 `json:"drain_rejects"`
+	Throttled    uint64 `json:"throttled"`
 
 	Batches   uint64 `json:"batches"`
 	Traces    uint64 `json:"traces"`
 	Overloads uint64 `json:"overloads"`
 	Sessions  int    `json:"sessions"`
+
+	// Admission control: the active limits and per-client accounting.
+	Limits  Limits        `json:"limits"`
+	Clients []ClientStats `json:"clients,omitempty"`
 
 	Predictor   predictor.Stats `json:"predictor"`
 	MissRatePct float64         `json:"miss_rate_pct"`
@@ -147,6 +191,9 @@ func (s *Server) Stats() ServerStats {
 	st.Requests = s.counters.Requests.Load()
 	st.BadFrames = s.counters.BadFrames.Load()
 	st.DrainRejects = s.counters.DrainRejects.Load()
+	st.Throttled = s.counters.Throttled.Load()
+	st.Limits = s.Limits()
+	st.Clients = s.clients.stats()
 
 	for _, sh := range s.shards {
 		agg, sessions := sh.snapshot()

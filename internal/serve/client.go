@@ -22,6 +22,8 @@ type Client struct {
 	bw        *bufio.Writer
 	reqID     uint32
 	opTimeout time.Duration     // per-op deadline, 0 = none
+	clientTag string            // identity sent via OpHello, "" = untagged
+	helloSent bool              // OpHello delivered on this connection
 	seqs      map[uint64]uint64 // per-session last acked update sequence
 	buf       []byte            // request frame scratch, reused
 	ubuf      []byte            // update body scratch, reused
@@ -62,9 +64,30 @@ func (c *Client) SetOpTimeout(d time.Duration) {
 	c.opTimeout = d
 }
 
+// SetClientTag names this connection's client identity: the tag is
+// announced to the server (via OpHello, sent lazily before the next
+// op), and the server accounts and admission-controls every request on
+// the connection under it. Tags are 1..64 printable ASCII bytes.
+func (c *Client) SetClientTag(tag string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clientTag = tag
+	c.helloSent = false
+}
+
 // roundTrip sends one request frame and reads its response, returning
 // the response body. Must be called with c.mu held.
 func (c *Client) roundTrip(op uint8, session uint64, body []byte) ([]byte, error) {
+	if op != OpHello && c.clientTag != "" && !c.helloSent {
+		// Announce the connection's identity before its first real op.
+		// The recursion is one level deep by construction (op == OpHello
+		// skips this branch), and the hello frame is fully written and
+		// acked before the outer op touches the scratch buffers.
+		if _, err := c.roundTrip(OpHello, 0, []byte(c.clientTag)); err != nil {
+			return nil, fmt.Errorf("serve: hello %q: %w", c.clientTag, err)
+		}
+		c.helloSent = true
+	}
 	if c.opTimeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.opTimeout))
 	}
@@ -98,6 +121,11 @@ func (c *Client) roundTrip(op uint8, session uint64, body []byte) ([]byte, error
 		return nil, fmt.Errorf("%w: response id %d, want %d", ErrFrame, got, id)
 	}
 	if err := statusErr(payload[5]); err != nil {
+		if payload[5] == StatusThrottled && len(payload) >= respHeaderBytes+4 {
+			// Throttled responses carry the server's retry-after hint.
+			ms := le.Uint32(payload[respHeaderBytes:])
+			return nil, &ThrottledError{RetryAfter: time.Duration(ms) * time.Millisecond}
+		}
 		return nil, err
 	}
 	return payload[respHeaderBytes:], nil

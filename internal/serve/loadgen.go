@@ -57,6 +57,12 @@ type LoadgenConfig struct {
 	// from acked snapshots. An empty Addrs defaults to [Addr]; the
 	// jitter seed is varied per connection so workers desynchronize.
 	Failover *RetryConfig
+
+	// ClientTag names this run to the server for per-client accounting
+	// and admission control (announced on every connection). Running two
+	// loadgens with different tags against a quota-limited server is the
+	// fairness experiment: the server throttles each tag independently.
+	ClientTag string
 }
 
 func (c LoadgenConfig) withDefaults() (LoadgenConfig, error) {
@@ -100,6 +106,7 @@ type LoadgenReport struct {
 	Traces             uint64        // traces delivered (all sessions)
 	Requests           uint64        // Update round trips
 	Retries            uint64        // overload retries
+	Throttled          uint64        // admission-control rejections ridden out
 	Correct            uint64        // server-reported correct predictions
 	Duration           time.Duration // wall clock for the replay phase
 	TracesPerSec       float64
@@ -122,6 +129,9 @@ func (r *LoadgenReport) String() string {
 		r.TracesPerSec, r.Batch, float64(r.Requests)/r.Duration.Seconds(), r.Retries,
 		r.P50, r.P90, r.P99, r.Max,
 		100*float64(r.Correct)/float64(max64(r.Traces, 1)))
+	if r.Throttled > 0 {
+		s += fmt.Sprintf("\n  throttled:  %d admission rejections (slept the retry-after hint)", r.Throttled)
+	}
 	if r.Skipped > 0 {
 		s += fmt.Sprintf("\n  dedup:      %d replayed traces skipped server-side", r.Skipped)
 	}
@@ -179,9 +189,17 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 				rcfg.Addrs = []string{cfg.Addr}
 			}
 			rcfg.Seed += uint64(i)
+			if rcfg.ClientTag == "" {
+				rcfg.ClientTag = cfg.ClientTag
+			}
 			c, err = NewRetryClient(rcfg)
 		} else {
-			c, err = Dial(cfg.Addr)
+			var pc *Client
+			pc, err = Dial(cfg.Addr)
+			if err == nil && cfg.ClientTag != "" {
+				pc.SetClientTag(cfg.ClientTag)
+			}
+			c = pc
 		}
 		if err != nil {
 			closeAll(clients[:i])
@@ -214,13 +232,14 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 			"Update round-trip latency as seen by the load generator.", 1e-9, nil)
 	}
 	var (
-		mu       sync.Mutex
-		traces   uint64
-		requests uint64
-		retries  uint64
-		correct  uint64
-		skipped  uint64
-		firstErr error
+		mu        sync.Mutex
+		traces    uint64
+		requests  uint64
+		retries   uint64
+		throttled uint64
+		correct   uint64
+		skipped   uint64
+		firstErr  error
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -240,7 +259,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 		wg.Add(1)
 		go func(cl lgConn, sessions []*lgSession) {
 			defer wg.Done()
-			var nTraces, nReq, nRetry, nCorrect, nSkipped uint64
+			var nTraces, nReq, nRetry, nThrottled, nCorrect, nSkipped uint64
 			live := sessions
 			for len(live) > 0 {
 				if ctx != nil && ctx.Err() != nil {
@@ -262,13 +281,19 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 					}
 					t0 := time.Now()
 					skip, applied, corr, err := sendBatch(cl, s.id, s.batch, cfg.ScalarOps)
-					for errors.Is(err, ErrOverloaded) {
-						// Backpressure: the shard queue was full. Back off
-						// briefly and resend the same batch — the server
-						// rejected it before touching the predictor, so
-						// the retry preserves exact stream order.
+					for errors.Is(err, ErrOverloaded) || errors.Is(err, ErrThrottled) {
+						// Both rejections happen before the predictor is
+						// touched, so resending the same batch preserves
+						// exact stream order. Overload (shard queue full)
+						// backs off a fixed beat; throttled (admission
+						// control) sleeps the server's retry-after hint.
 						nRetry++
-						time.Sleep(200 * time.Microsecond)
+						if errors.Is(err, ErrThrottled) {
+							nThrottled++
+							time.Sleep(throttleDelay(err, time.Millisecond))
+						} else {
+							time.Sleep(200 * time.Microsecond)
+						}
 						skip, applied, corr, err = sendBatch(cl, s.id, s.batch, cfg.ScalarOps)
 					}
 					rtt.ObserveDuration(time.Since(t0))
@@ -294,6 +319,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 			traces += nTraces
 			requests += nReq
 			retries += nRetry
+			throttled += nThrottled
 			correct += nCorrect
 			skipped += nSkipped
 			mu.Unlock()
@@ -313,6 +339,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) 
 		Traces:    traces,
 		Requests:  requests,
 		Retries:   retries,
+		Throttled: throttled,
 		Correct:   correct,
 		Skipped:   skipped,
 		Duration:  elapsed,

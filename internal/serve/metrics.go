@@ -188,6 +188,10 @@ func (s *Server) registerMetrics() {
 		func() uint64 { return s.counters.BadFrames.Load() })
 	reg.CounterFunc("ntpd_drain_rejects_total", "Requests rejected with ErrDraining.", nil,
 		func() uint64 { return s.counters.DrainRejects.Load() })
+	reg.CounterFunc("ntpd_throttled_total", "Requests rejected by admission control (ErrThrottled).", nil,
+		func() uint64 { return s.counters.Throttled.Load() })
+	reg.GaugeFunc("ntpd_client_tags", "Distinct client tags with accounting state.", nil,
+		func() float64 { return float64(s.clients.len()) })
 
 	// Crash-safety counters. Registered unconditionally — even with no
 	// checkpoint directory or handoff peer they render as explicit

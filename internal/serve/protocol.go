@@ -36,6 +36,8 @@
 //	           resp: one internal/snapshot frame
 //	OpRestore  req:  one internal/snapshot frame
 //	           resp: u32 shard
+//	OpHello    req:  client tag (1..64 printable ASCII bytes)
+//	           resp: (empty)
 //
 // The batched ops run one full Predict/Update round per trace in a
 // single frame and a single shard-queue hop — the serving hot path:
@@ -90,6 +92,21 @@
 // errors ErrOverloaded, ErrDraining, ErrUnknownSession, ErrBadRequest.
 // Overload is the backpressure signal: the session's shard queue was
 // full, and the client is expected to back off and retry.
+//
+// # Client identity and admission control
+//
+// OpHello tags a connection with a client identity; every request on
+// the connection is then accounted under that tag (per-client
+// request/round/byte/rejection counters on /metrics and /statsz).
+// When the server runs with admission limits, work-carrying ops
+// (OpPredict, OpUpdate, and the batch ops) are charged against the
+// tag's token bucket and the global bucket before they may enter a
+// shard queue; a refusal is StatusThrottled and the response body
+// carries a u32 retry-after hint in milliseconds — unlike overload,
+// throttling tells the client exactly when its bucket will cover the
+// request. Control-plane ops (Open, Stats, Snapshot, Restore, Hello)
+// are never throttled, so a throttled client can still re-establish
+// and observe its sessions.
 package serve
 
 import (
@@ -115,6 +132,12 @@ const (
 	// sequence numbers; see the package comment for dedup semantics.
 	OpPredictBatch = 0x07
 	OpUpdateBatch  = 0x08
+	// OpHello tags the connection with a client identity (body: the tag,
+	// 1..64 printable ASCII bytes). Connection-scoped, handled before the
+	// shard queues: every subsequent request on the connection is
+	// accounted (and admission-controlled) under the tag. Optional —
+	// untagged connections account under the "default" tag.
+	OpHello = 0x09
 
 	respBit = 0x80
 
@@ -132,6 +155,10 @@ const (
 	StatusUnknownSession = 0x03
 	StatusBadRequest     = 0x04
 	StatusBadSnapshot    = 0x05
+	// StatusThrottled reports an admission-control rejection: the client
+	// exceeded its quota (or the server its global cap). The response
+	// body carries a u32 retry-after hint in milliseconds.
+	StatusThrottled = 0x06
 )
 
 // Typed protocol errors, one per non-OK status.
@@ -151,6 +178,11 @@ var (
 	// corrupt, truncated, wrong version, or saved for a predictor
 	// geometry other than this server's. Not retryable as-is.
 	ErrBadSnapshot = errors.New("serve: bad snapshot")
+	// ErrThrottled reports an admission-control rejection: the client's
+	// quota (or the global cap) is exhausted. Retryable after the
+	// retry-after hint; errors carrying a hint are *ThrottledError and
+	// match this sentinel via errors.Is.
+	ErrThrottled = errors.New("serve: client throttled")
 )
 
 // statusErr maps a wire status to its typed error (nil for StatusOK).
@@ -168,6 +200,8 @@ func statusErr(status uint8) error {
 		return ErrBadRequest
 	case StatusBadSnapshot:
 		return ErrBadSnapshot
+	case StatusThrottled:
+		return ErrThrottled
 	default:
 		return fmt.Errorf("serve: unknown status 0x%02x", status)
 	}
@@ -186,6 +220,8 @@ func statusOf(err error) uint8 {
 		return StatusUnknownSession
 	case errors.Is(err, ErrBadSnapshot):
 		return StatusBadSnapshot
+	case errors.Is(err, ErrThrottled):
+		return StatusThrottled
 	default:
 		return StatusBadRequest
 	}
@@ -353,12 +389,14 @@ func getPrediction(buf []byte) predictor.Prediction {
 // allocated copies — the connection's read buffer is reused per frame,
 // and the shard consumes requests asynchronously.
 type request struct {
-	op      uint8
-	reqID   uint32
-	session uint64
-	seq     uint64        // update ops: exactly-once sequence (per-frame for OpUpdate, per-trace start for batch ops), 0 = none
-	traces  []trace.Trace // update and batch ops
-	blob    []byte        // OpRestore only: the snapshot frame
+	op        uint8
+	reqID     uint32
+	session   uint64
+	seq       uint64        // update ops: exactly-once sequence (per-frame for OpUpdate, per-trace start for batch ops), 0 = none
+	traces    []trace.Trace // update and batch ops
+	blob      []byte        // OpRestore only: the snapshot frame
+	client    string        // OpHello only: the client tag (copied)
+	wireBytes int           // payload size on the wire, for per-client byte accounting
 }
 
 // parseRequest decodes a request payload. The returned request shares
@@ -368,9 +406,10 @@ func parseRequest(payload []byte) (request, error) {
 		return request{}, fmt.Errorf("%w: request %d bytes", ErrFrame, len(payload))
 	}
 	req := request{
-		op:      payload[0],
-		reqID:   le.Uint32(payload[1:]),
-		session: le.Uint64(payload[5:]),
+		op:        payload[0],
+		reqID:     le.Uint32(payload[1:]),
+		session:   le.Uint64(payload[5:]),
+		wireBytes: len(payload),
 	}
 	body := payload[reqHeaderBytes:]
 	switch req.op {
@@ -406,6 +445,14 @@ func parseRequest(payload []byte) (request, error) {
 			return request{}, fmt.Errorf("%w: restore body %d bytes", ErrFrame, len(body))
 		}
 		req.blob = append([]byte(nil), body...)
+	case OpHello:
+		// Structural bound only; tag content is validated where the
+		// connection handles the op, which answers StatusBadRequest
+		// without killing the (frame-aligned) connection.
+		if len(body) == 0 || len(body) > maxClientTagLen {
+			return request{}, fmt.Errorf("%w: hello tag %d bytes", ErrFrame, len(body))
+		}
+		req.client = string(body)
 	default:
 		return request{}, fmt.Errorf("%w: unknown op 0x%02x", ErrFrame, req.op)
 	}

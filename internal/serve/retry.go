@@ -52,6 +52,12 @@ type RetryConfig struct {
 	// acked batch, and the stream continues bit-identically. Larger
 	// values trade recovery fidelity for round trips.
 	SnapshotEvery int
+
+	// ClientTag names this client to the server for per-client
+	// accounting and admission control; it is announced on every
+	// connection the client establishes (including failover and
+	// reconnect). Empty means untagged.
+	ClientTag string
 }
 
 func (c RetryConfig) withDefaults() (RetryConfig, error) {
@@ -139,15 +145,44 @@ func (rc *RetryClient) rand() float64 {
 	return float64(splitmix64(rc.rngState^rc.cfg.Seed)>>11) / float64(1<<53)
 }
 
+// backoffFor returns attempt's exponential backoff: BaseBackoff doubled
+// attempt times, saturating at MaxBackoff. Doubling with a pre-check
+// (rather than a single shift) cannot overflow: the previous
+// `BaseBackoff << min(attempt, 20)` wrapped for BaseBackoff above
+// ~2.5h, and whether the wrapped value tripped the `<= 0` guard was
+// luck of the sign bit — an overflowed-but-positive duration slept
+// essentially forever.
+func (rc *RetryClient) backoffFor(attempt int) time.Duration {
+	d := rc.cfg.BaseBackoff
+	for ; attempt > 0; attempt-- {
+		if d >= rc.cfg.MaxBackoff/2 {
+			return rc.cfg.MaxBackoff
+		}
+		d *= 2
+	}
+	return min(d, rc.cfg.MaxBackoff)
+}
+
 // sleepBackoff sleeps the attempt's backoff (exponential, capped,
 // ±25% jitter) unless that would cross the deadline, in which case it
 // reports false.
 func (rc *RetryClient) sleepBackoff(attempt int, deadline time.Time) bool {
-	d := rc.cfg.BaseBackoff << uint(min(attempt, 20))
-	if d > rc.cfg.MaxBackoff || d <= 0 {
-		d = rc.cfg.MaxBackoff
-	}
+	d := rc.backoffFor(attempt)
 	d += time.Duration((rc.rand() - 0.5) * 0.5 * float64(d))
+	if time.Now().Add(d).After(deadline) {
+		return false
+	}
+	time.Sleep(d)
+	return true
+}
+
+// sleepThrottle honors a throttled rejection's retry-after hint,
+// unless that would cross the deadline (reports false). Unlike
+// overload, throttling needs no budget and no connection drop: the
+// server told the client exactly when its bucket will cover the
+// request, so retrying then adds no amplification.
+func (rc *RetryClient) sleepThrottle(err error, deadline time.Time) bool {
+	d := throttleDelay(err, rc.cfg.BaseBackoff)
 	if time.Now().Add(d).After(deadline) {
 		return false
 	}
@@ -171,6 +206,9 @@ func (rc *RetryClient) conn() (*Client, error) {
 			continue
 		}
 		c.SetOpTimeout(rc.cfg.OpTimeout)
+		if rc.cfg.ClientTag != "" {
+			c.SetClientTag(rc.cfg.ClientTag)
+		}
 		rc.c = c
 		return c, nil
 	}
@@ -202,10 +240,12 @@ func (rc *RetryClient) spendToken() bool {
 
 // retryable reports whether err warrants dropping the connection and
 // retrying (transport errors, server draining). Typed application
-// rejections are handled by the callers.
+// rejections — including throttling, which must sleep the hint on the
+// same connection — are handled by the callers.
 func retryable(err error) bool {
 	switch {
 	case errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrThrottled),
 		errors.Is(err, ErrUnknownSession),
 		errors.Is(err, ErrBadSnapshot),
 		errors.Is(err, ErrBadRequest):
@@ -254,6 +294,12 @@ func (rc *RetryClient) Open(session uint64) (shard uint32, lastSeq uint64, err e
 				}
 				rc.earnToken()
 				return shard, s.seq, nil
+			}
+			if errors.Is(err, ErrThrottled) {
+				if !rc.sleepThrottle(err, deadline) {
+					return 0, 0, fmt.Errorf("serve: open session %d: %w", session, err)
+				}
+				continue
 			}
 			if !retryable(err) {
 				return 0, 0, err
@@ -306,6 +352,13 @@ func (rc *RetryClient) Update(session uint64, traces []trace.Trace) (applied, co
 				s.sinceSnap++
 				rc.earnToken()
 				sent = true
+			case errors.Is(err, ErrThrottled):
+				// Admission control: sleep the server's retry-after hint
+				// and resend on the same connection.
+				if !rc.sleepThrottle(err, deadline) {
+					return 0, 0, fmt.Errorf("serve: update session %d: %w", session, err)
+				}
+				continue
 			case errors.Is(err, ErrOverloaded):
 				if !rc.spendToken() {
 					return 0, 0, fmt.Errorf("serve: update session %d: retry budget exhausted: %w", session, err)
@@ -402,6 +455,11 @@ func (rc *RetryClient) UpdateBatch(session uint64, traces []trace.Trace) (skippe
 				s.sinceSnap++
 				rc.earnToken()
 				sent = true
+			case errors.Is(err, ErrThrottled):
+				if !rc.sleepThrottle(err, deadline) {
+					return 0, 0, 0, fmt.Errorf("serve: update session %d: %w", session, err)
+				}
+				continue
 			case errors.Is(err, ErrOverloaded):
 				if !rc.spendToken() {
 					return 0, 0, 0, fmt.Errorf("serve: update session %d: retry budget exhausted: %w", session, err)
@@ -470,6 +528,12 @@ func (rc *RetryClient) Stats(session uint64) (SessionStats, error) {
 				rc.earnToken()
 				return st, nil
 			}
+			if errors.Is(err, ErrThrottled) {
+				if !rc.sleepThrottle(err, deadline) {
+					return SessionStats{}, fmt.Errorf("serve: stats session %d: %w", session, err)
+				}
+				continue
+			}
 			if errors.Is(err, ErrUnknownSession) {
 				if eerr := rc.establish(c, session, s); eerr == nil {
 					continue
@@ -502,6 +566,12 @@ func (rc *RetryClient) Predict(session uint64) (predictor.Prediction, error) {
 			if err == nil {
 				rc.earnToken()
 				return p, nil
+			}
+			if errors.Is(err, ErrThrottled) {
+				if !rc.sleepThrottle(err, deadline) {
+					return predictor.Prediction{}, fmt.Errorf("serve: predict session %d: %w", session, err)
+				}
+				continue
 			}
 			if errors.Is(err, ErrUnknownSession) {
 				if eerr := rc.establish(c, session, s); eerr == nil {

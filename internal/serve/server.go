@@ -88,6 +88,13 @@ type Config struct {
 	// to at least a full batch response when raising MaxBatch-scale
 	// batch sizes.
 	WriteBufferSize int
+
+	// Limits configures token-bucket admission control ahead of the
+	// shard queues: per-client quotas keyed by the connection's OpHello
+	// tag plus an optional global cap. The zero value disables it.
+	// Hot-reloadable at runtime via Server.SetLimits (exposed as the
+	// admin plane's /limitz endpoint) without disturbing sessions.
+	Limits Limits
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +137,12 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup // unfinished shard tasks
 
+	// Admission control: the active limits (swapped atomically on hot
+	// reload), the global token bucket, and per-client-tag accounting.
+	limits       atomic.Pointer[Limits]
+	globalBucket tokenBucket
+	clients      *clientRegistry
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 	connWG sync.WaitGroup
@@ -148,6 +161,7 @@ type serverCounters struct {
 	Requests     atomic.Uint64 // frames parsed into requests
 	BadFrames    atomic.Uint64 // connections dropped on malformed frames
 	DrainRejects atomic.Uint64 // requests rejected while draining
+	Throttled    atomic.Uint64 // requests rejected by admission control
 
 	// Warm-restart accounting (set once during NewServer).
 	RestoredSessions atomic.Uint64 // sessions loaded from checkpoints
@@ -207,6 +221,8 @@ func NewServer(cfg Config) (*Server, error) {
 		reg:     metrics.NewRegistry(),
 		start:   time.Now(),
 	}
+	s.clients = newClientRegistry(s.reg)
+	s.SetLimits(cfg.Limits)
 	for i := 0; i < cfg.Shards; i++ {
 		m := newShardMetrics(s.reg, i, backend.Name, cfg.Shadows)
 		// Each shard gets its own shadow templates so shadow predictors
@@ -332,6 +348,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	br := bufio.NewReaderSize(conn, 1<<16)
 	var buf []byte
+	var cl *clientState // resolved on first dispatch or OpHello
 	for {
 		if it := s.cfg.IdleTimeout; it > 0 {
 			conn.SetReadDeadline(time.Now().Add(it))
@@ -350,7 +367,22 @@ func (s *Server) serveConn(conn net.Conn) {
 			break // framing no longer trustworthy
 		}
 		s.counters.Requests.Add(1)
-		s.dispatch(req, out, &pending)
+		if req.op == OpHello {
+			// Connection-scoped identity: handled here, never enqueued.
+			// An invalid tag is a per-request rejection, not a framing
+			// error — the stream is still aligned.
+			if !validClientTag(req.client) {
+				out <- encodeResponse(req, shardResp{err: ErrBadRequest})
+				continue
+			}
+			cl = s.clients.get(req.client)
+			out <- encodeResponse(req, shardResp{})
+			continue
+		}
+		if cl == nil {
+			cl = s.clients.get(defaultClientTag)
+		}
+		s.dispatch(req, cl, out, &pending)
 	}
 
 	conn.Close() // unblocks any in-flight write
@@ -360,11 +392,22 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // dispatch routes one request to its shard, or answers it immediately
-// with a typed failure (draining, overload).
-func (s *Server) dispatch(req request, out chan []byte, pending *sync.WaitGroup) {
+// with a typed failure (draining, throttled, overload). Every request
+// is accounted under the connection's client tag; work-carrying ops
+// must additionally clear admission control before touching a queue.
+func (s *Server) dispatch(req request, cl *clientState, out chan []byte, pending *sync.WaitGroup) {
+	cl.requests.Inc()
+	cl.bytes.Add(uint64(req.wireBytes))
 	if s.draining.Load() {
 		s.counters.DrainRejects.Add(1)
 		out <- encodeResponse(req, shardResp{err: ErrDraining})
+		return
+	}
+	cost := admissionCost(&req)
+	if retryAfter, ok := s.admit(cl, cost); !ok {
+		s.counters.Throttled.Add(1)
+		cl.throttles.Inc()
+		out <- encodeResponse(req, shardResp{err: &ThrottledError{RetryAfter: retryAfter}})
 		return
 	}
 	sh := s.shardFor(req.session)
@@ -378,7 +421,12 @@ func (s *Server) dispatch(req request, out chan []byte, pending *sync.WaitGroup)
 	if !sh.enqueue(t) {
 		pending.Done()
 		s.inflight.Done()
+		cl.overloads.Inc()
 		out <- encodeResponse(req, shardResp{err: ErrOverloaded})
+		return
+	}
+	if cost > 0 {
+		cl.rounds.Add(uint64(cost))
 	}
 }
 
@@ -386,6 +434,18 @@ func (s *Server) dispatch(req request, out chan []byte, pending *sync.WaitGroup)
 func encodeResponse(req request, resp shardResp) []byte {
 	buf := appendResponseHeader(nil, req.op, req.reqID, statusOf(resp.err))
 	if resp.err != nil {
+		var te *ThrottledError
+		if errors.As(resp.err, &te) {
+			// Throttled responses carry the retry-after hint (ms,
+			// rounded up so a sub-millisecond wait never encodes as 0).
+			ms := (te.RetryAfter + time.Millisecond - 1) / time.Millisecond
+			if ms < 1 {
+				ms = 1
+			}
+			var b [4]byte
+			le.PutUint32(b[:], uint32(min(ms, 1<<31)))
+			buf = append(buf, b[:]...)
+		}
 		return buf
 	}
 	switch req.op {

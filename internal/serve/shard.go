@@ -117,6 +117,15 @@ type shard struct {
 	counters shardCounters
 	metrics  *shardMetrics // nil only in tests that build shards directly
 
+	// qmu guards queue liveness: enqueue holds the read side across its
+	// send attempt and stop takes the write side before closing, so an
+	// enqueue racing a drain is rejected instead of panicking on a send
+	// to a closed channel. (The server's shutdown ordering — connections
+	// before shards — makes the race unreachable in normal operation;
+	// the lock makes it safe even when that ordering is violated.)
+	qmu    sync.RWMutex
+	closed bool
+
 	// snap mirrors the shard's aggregate predictor stats and session
 	// count for the admin listener, which must not wait on the queue.
 	// Written only by the shard goroutine, after each task.
@@ -157,15 +166,30 @@ func (sh *shard) start() {
 }
 
 // stop closes the queue and waits for the shard goroutine to finish the
-// backlog. Callers must guarantee no further enqueue attempts.
+// backlog. Safe to call more than once, and safe against concurrent
+// enqueue: the write lock waits out in-flight send attempts, and
+// enqueues arriving after it are rejected.
 func (sh *shard) stop() {
-	close(sh.queue)
+	sh.qmu.Lock()
+	if !sh.closed {
+		sh.closed = true
+		close(sh.queue)
+	}
+	sh.qmu.Unlock()
 	sh.wg.Wait()
 }
 
 // enqueue offers a task to the shard without blocking. A full queue is
-// the overload condition; the caller replies ErrOverloaded.
+// the overload condition; the caller replies ErrOverloaded. A stopped
+// shard rejects without counting an overload — that is shutdown, not
+// backpressure — and the caller's reply (ErrOverloaded) is retryable,
+// which is what a racing client should see during a drain.
 func (sh *shard) enqueue(t task) bool {
+	sh.qmu.RLock()
+	defer sh.qmu.RUnlock()
+	if sh.closed {
+		return false
+	}
 	select {
 	case sh.queue <- t:
 		return true
